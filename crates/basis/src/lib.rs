@@ -1,0 +1,46 @@
+//! Orthonormal polynomial bases for high-dimensional performance modeling.
+//!
+//! The paper approximates circuit performance as a linear combination of
+//! *orthonormal* basis functions of independent standard normal variation
+//! variables (eq. 2–5). For Gaussian weight the right family is the
+//! (normalized) probabilists' Hermite polynomials:
+//!
+//! ```text
+//! g₁(x) = 1,   g₂(x) = x,   g₃(x) = (x² − 1)/√2,   …
+//! ```
+//!
+//! multiplied across dimensions. Orthonormality
+//! `E[gᵢ(x) gⱼ(x)] = δᵢⱼ` is what makes the paper's variance bookkeeping —
+//! in particular the prior-mapping identity `α_E,m² = Σ_t β_E,m,t²`
+//! (eq. 46) — exact.
+//!
+//! This crate provides:
+//!
+//! * [`hermite`] — normalized 1-D Hermite evaluation,
+//! * [`multi_index::MultiIndex`] — sparse exponent vectors suited to
+//!   10⁴–10⁵-dimensional variation spaces,
+//! * [`basis::OrthonormalBasis`] — a term list with row/design-matrix
+//!   evaluation (the matrix `G` of eq. 9),
+//! * [`expansion`] — the schematic→layout *multifinger* basis expansion of
+//!   §IV-A, used by prior mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use bmf_basis::basis::OrthonormalBasis;
+//!
+//! // A linear model over 3 variation variables: 1, x1, x2, x3.
+//! let basis = OrthonormalBasis::linear(3);
+//! assert_eq!(basis.len(), 4);
+//! let row = basis.row(&[0.5, -1.0, 2.0]);
+//! assert_eq!(row, vec![1.0, 0.5, -1.0, 2.0]);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod basis;
+pub mod expansion;
+pub mod hermite;
+pub mod multi_index;
+pub mod quadrature;

@@ -1,0 +1,63 @@
+//! Criterion bench: OMP baseline cost scaling in K and M, plus the
+//! Monte-Carlo engine and design-matrix assembly it feeds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_circuits::sim::monte_carlo;
+use bmf_circuits::sram::{SramConfig, SramReadPath};
+use bmf_circuits::stage::Stage;
+use bmf_core::omp::{fit_omp_design, OmpConfig};
+use bmf_linalg::{Matrix, Vector};
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::seeded;
+
+fn sparse_problem(k: usize, m: usize) -> (Matrix, Vector) {
+    let mut rng = seeded(5);
+    let mut s = StandardNormal::new();
+    let g = Matrix::from_fn(k, m, |_, _| s.sample(&mut rng));
+    let mut truth = vec![0.0; m];
+    for i in 0..10 {
+        truth[i * (m / 10)] = 1.0 / (1.0 + i as f64);
+    }
+    let f = g.matvec(&Vector::from(truth)).expect("shapes");
+    (g, f)
+}
+
+fn bench_omp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omp");
+    group.sample_size(10);
+    for &(k, m) in &[(100usize, 500usize), (100, 2000), (300, 2000)] {
+        let (g, f) = sparse_problem(k, m);
+        group.bench_with_input(
+            BenchmarkId::new("fit", format!("k{k}_m{m}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    black_box(fit_omp_design(&g, &f, &OmpConfig::default()).expect("omp"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    let sram = SramReadPath::new(SramConfig::small(), 3);
+    let view = sram.read_delay();
+    group.bench_function("sram_mc_100", |b| {
+        b.iter(|| black_box(monte_carlo(&view, Stage::PostLayout, 100, 1)))
+    });
+    let set = monte_carlo(&view, Stage::PostLayout, 100, 1);
+    let basis = OrthonormalBasis::linear(set.points[0].len());
+    group.bench_function("design_matrix_100", |b| {
+        b.iter(|| black_box(basis.design_matrix(set.point_slices())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_omp, bench_substrate);
+criterion_main!(benches);

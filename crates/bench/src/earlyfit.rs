@@ -1,0 +1,129 @@
+//! Early-stage (schematic) model fitting — the prior source.
+//!
+//! Per §V of the paper, the schematic-level performance model is fitted by
+//! OMP from 3000 schematic Monte-Carlo samples; its coefficients then
+//! define the prior for post-layout modeling. The embedding convention of
+//! [`bmf_circuits::stage`] makes the mapping onto the late-stage linear
+//! basis trivial: the first `1 + R_schematic` late coefficients correspond
+//! one-to-one, and the trailing parasitic coefficients have *missing*
+//! priors (§IV-B).
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_circuits::sim::{monte_carlo, SampleSet};
+use bmf_circuits::stage::{CircuitPerformance, Stage};
+use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::Result;
+
+use crate::scale::Scale;
+
+/// A fitted early-stage model plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct EarlyModel {
+    /// Coefficients over the schematic linear basis `{1, x₁, …}`.
+    pub coeffs: Vec<f64>,
+    /// OMP holdout validation error of the early fit.
+    pub validation_error: f64,
+    /// Simulated cost of the schematic samples, hours. (The paper treats
+    /// these as sunk cost: the early-stage data already existed to
+    /// validate the schematic design.)
+    pub cost_hours: f64,
+    /// Number of schematic variables.
+    pub num_vars: usize,
+}
+
+impl EarlyModel {
+    /// Prior values for a late-stage linear basis over `late_vars`
+    /// variables: the schematic coefficients followed by `None` for every
+    /// parasitic (late-only) variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `late_vars < self.num_vars`.
+    pub fn late_prior_values(&self, late_vars: usize) -> Vec<Option<f64>> {
+        assert!(
+            late_vars >= self.num_vars,
+            "late stage must embed the early stage"
+        );
+        let mut prior: Vec<Option<f64>> = self.coeffs.iter().map(|&a| Some(a)).collect();
+        prior.extend(std::iter::repeat_n(None, late_vars - self.num_vars));
+        prior
+    }
+}
+
+/// Draws schematic Monte-Carlo samples and fits the early model by OMP.
+///
+/// # Errors
+///
+/// Propagates OMP fitting errors.
+pub fn fit_early_model(
+    circuit: &dyn CircuitPerformance,
+    scale: Scale,
+    seed: u64,
+) -> Result<(EarlyModel, SampleSet)> {
+    let set = monte_carlo(circuit, Stage::Schematic, scale.early_samples(), seed);
+    let num_vars = circuit.num_vars(Stage::Schematic);
+    let basis = OrthonormalBasis::linear(num_vars);
+    let cfg = OmpConfig {
+        max_terms: Some(scale.early_max_terms()),
+        seed,
+        ..OmpConfig::default()
+    };
+    let fit = fit_omp(&basis, &set.points, &set.values, &cfg)?;
+    Ok((
+        EarlyModel {
+            coeffs: fit.model.coeffs().to_vec(),
+            validation_error: fit.validation_error,
+            cost_hours: set.cost_hours,
+            num_vars,
+        },
+        set,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_circuits::ro::{RingOscillator, RoMetric};
+
+    #[test]
+    fn early_model_is_accurate_on_schematic_data() {
+        let scale = Scale::Ci;
+        let ro = RingOscillator::new(scale.ro_config(), 3);
+        let metric = ro.metric(RoMetric::Frequency);
+        let (early, _set) = fit_early_model(&metric, scale, 11).unwrap();
+        assert_eq!(early.coeffs.len(), early.num_vars + 1);
+        assert!(
+            early.validation_error < 0.05,
+            "early fit too poor: {}",
+            early.validation_error
+        );
+        assert!(early.cost_hours > 0.0);
+    }
+
+    #[test]
+    fn late_prior_pads_with_missing() {
+        let early = EarlyModel {
+            coeffs: vec![1.0, 2.0, 3.0],
+            validation_error: 0.0,
+            cost_hours: 0.0,
+            num_vars: 2,
+        };
+        let prior = early.late_prior_values(5);
+        assert_eq!(prior.len(), 6); // intercept + 5 vars
+        assert_eq!(prior[2], Some(3.0));
+        assert_eq!(prior[3], None);
+        assert_eq!(prior[5], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "embed")]
+    fn shrinking_variable_space_rejected() {
+        let early = EarlyModel {
+            coeffs: vec![1.0, 2.0, 3.0],
+            validation_error: 0.0,
+            cost_hours: 0.0,
+            num_vars: 2,
+        };
+        early.late_prior_values(1);
+    }
+}

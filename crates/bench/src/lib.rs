@@ -1,0 +1,25 @@
+//! Experiment harness regenerating every table and figure of the BMF
+//! paper (see DESIGN.md §4 for the experiment index).
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run -p bmf-bench --release --bin repro -- all --scale default
+//! cargo run -p bmf-bench --release --bin repro -- table1
+//! cargo run -p bmf-bench --release --bin repro -- fig5 --scale ci
+//! ```
+//!
+//! Each experiment prints a Markdown report (paper value next to measured
+//! value where the paper reports one) and writes it to
+//! `reports/<id>.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod costs;
+pub mod earlyfit;
+pub mod figures;
+pub mod report;
+pub mod scale;
+pub mod tables;

@@ -1,0 +1,358 @@
+//! A MOS current mirror solved with the nonlinear (Newton) DC engine.
+//!
+//! Fourth test circuit, exercising the large-signal solver per
+//! Monte-Carlo sample: a diode-connected reference device sets the gate
+//! bias, a mirror device copies the current into a load. The metric is
+//! the **mirror output current**, whose variation comes from V_TH and
+//! k-factor mismatch between the two devices — the canonical analog
+//! mismatch problem. The post-layout stage adds systematic threshold
+//! shifts (stress/proximity effects) with their own variation variables.
+
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::{derive_seed, seeded};
+use serde::{Deserialize, Serialize};
+
+use crate::process::Sensitivity;
+use crate::spice::circuit::Circuit;
+use crate::spice::mosfet::{Mosfet, MosfetModel, NewtonOptions, NonlinearCircuit, Polarity};
+use crate::stage::{CircuitPerformance, Stage};
+
+/// Configuration of the current mirror.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MirrorConfig {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Reference resistor from VDD to the diode device, ohms.
+    pub r_ref: f64,
+    /// Load resistor on the mirror output, ohms.
+    pub r_load: f64,
+    /// Nominal threshold voltage, volts.
+    pub vth: f64,
+    /// Nominal transconductance parameter, A/V².
+    pub k: f64,
+    /// Mismatch variables per device.
+    pub params_per_device: usize,
+    /// Interdie variables.
+    pub interdie_vars: usize,
+    /// Post-layout stress/proximity variables.
+    pub stress_vars: usize,
+    /// 1σ of per-device ΔV_TH, volts.
+    pub sigma_vth: f64,
+    /// Relative 1σ of per-device k.
+    pub sigma_k: f64,
+    /// Systematic post-layout V_TH shift, volts.
+    pub layout_vth_shift: f64,
+    /// 1σ of the post-layout stress-induced ΔV_TH, volts.
+    pub sigma_stress: f64,
+    /// Systematic schematic→layout sensitivity scatter.
+    pub layout_shift_rel: f64,
+    /// Simulated cost of one schematic sample, hours.
+    pub sch_cost_hours: f64,
+    /// Simulated cost of one post-layout sample, hours.
+    pub lay_cost_hours: f64,
+}
+
+impl Default for MirrorConfig {
+    fn default() -> Self {
+        MirrorConfig {
+            vdd: 1.8,
+            r_ref: 15_000.0,
+            r_load: 5_000.0,
+            vth: 0.4,
+            k: 2.0e-3,
+            params_per_device: 6,
+            interdie_vars: 4,
+            stress_vars: 3,
+            sigma_vth: 4.0e-3,
+            sigma_k: 0.03,
+            layout_vth_shift: 8.0e-3,
+            sigma_stress: 3.0e-3,
+            layout_shift_rel: 0.15,
+            sch_cost_hours: 2.0 / 3600.0,
+            lay_cost_hours: 25.0 / 3600.0,
+        }
+    }
+}
+
+impl MirrorConfig {
+    /// Schematic-stage variable count (interdie + two devices).
+    pub fn schematic_vars(&self) -> usize {
+        self.interdie_vars + 2 * self.params_per_device
+    }
+
+    /// Post-layout variable count.
+    pub fn post_layout_vars(&self) -> usize {
+        self.schematic_vars() + self.stress_vars
+    }
+}
+
+/// A seeded current mirror with schematic and post-layout views.
+///
+/// # Example
+///
+/// ```
+/// use bmf_circuits::mirror::{CurrentMirror, MirrorConfig};
+/// use bmf_circuits::stage::{CircuitPerformance, Stage};
+///
+/// let m = CurrentMirror::new(MirrorConfig::default(), 1);
+/// let i = m.output_current();
+/// let nominal = i.evaluate(Stage::Schematic, &vec![0.0; i.num_vars(Stage::Schematic)]);
+/// assert!(nominal > 1e-5 && nominal < 1e-3); // tens of µA
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurrentMirror {
+    config: MirrorConfig,
+    /// ΔV_TH sensitivities for (reference, mirror) × (schematic, layout).
+    vth_sens: [[Sensitivity; 2]; 2],
+    /// Relative Δk sensitivities, same layout.
+    k_sens: [[Sensitivity; 2]; 2],
+    /// Post-layout stress ΔV_TH on the mirror device.
+    stress_sens: Sensitivity,
+}
+
+impl CurrentMirror {
+    /// Builds a mirror with sensitivities drawn from `seed`.
+    pub fn new(config: MirrorConfig, seed: u64) -> Self {
+        let ppd = config.params_per_device;
+        let interdie = 0..config.interdie_vars;
+        let dev = |d: usize| {
+            let start = config.interdie_vars + d * ppd;
+            start..start + ppd
+        };
+        let stress_range =
+            config.schematic_vars()..config.schematic_vars() + config.stress_vars;
+
+        let make = |range: std::ops::Range<usize>, sigma: f64, stream: u64| -> Sensitivity {
+            let mut s = Sensitivity::constant(0.0);
+            s.weights
+                .extend(weights(interdie.clone(), sigma * 0.3, seed, stream * 2));
+            s.weights.extend(weights(range, sigma, seed, stream * 2 + 1));
+            s
+        };
+        let scatter = |s: &Sensitivity, stream: u64| -> Sensitivity {
+            let mut rng = seeded(derive_seed(seed, 600 + stream));
+            let mut smp = StandardNormal::new();
+            Sensitivity {
+                offset: s.offset,
+                weights: s
+                    .weights
+                    .iter()
+                    .map(|&(v, w)| {
+                        (v, w * (1.0 + config.layout_shift_rel * smp.sample(&mut rng)))
+                    })
+                    .collect(),
+            }
+        };
+
+        let vth_ref = make(dev(0), config.sigma_vth, 1);
+        let vth_mir = make(dev(1), config.sigma_vth, 2);
+        let k_ref = make(dev(0), config.sigma_k, 3);
+        let k_mir = make(dev(1), config.sigma_k, 4);
+        let mut stress_sens = Sensitivity::constant(0.0);
+        stress_sens
+            .weights
+            .extend(weights(stress_range, config.sigma_stress, seed, 9));
+
+        CurrentMirror {
+            vth_sens: [
+                [vth_ref.clone(), scatter(&vth_ref, 1)],
+                [vth_mir.clone(), scatter(&vth_mir, 2)],
+            ],
+            k_sens: [
+                [k_ref.clone(), scatter(&k_ref, 3)],
+                [k_mir.clone(), scatter(&k_mir, 4)],
+            ],
+            stress_sens,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MirrorConfig {
+        &self.config
+    }
+
+    /// The output-current [`CircuitPerformance`] view.
+    pub fn output_current(&self) -> MirrorPerformance<'_> {
+        MirrorPerformance { mirror: self }
+    }
+}
+
+fn weights(
+    range: std::ops::Range<usize>,
+    sigma: f64,
+    seed: u64,
+    stream: u64,
+) -> Vec<(usize, f64)> {
+    if range.is_empty() || sigma == 0.0 {
+        return Vec::new();
+    }
+    let mut rng = seeded(derive_seed(seed, 500 + stream));
+    let mut smp = StandardNormal::new();
+    let mut w: Vec<(usize, f64)> = range
+        .enumerate()
+        .map(|(j, v)| (v, smp.sample(&mut rng) / (1.0 + j as f64).powf(1.3)))
+        .collect();
+    let norm: f64 = w.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+    for (_, v) in &mut w {
+        *v *= sigma / norm;
+    }
+    w
+}
+
+/// The output-current view borrowed from a [`CurrentMirror`].
+#[derive(Debug, Clone, Copy)]
+pub struct MirrorPerformance<'a> {
+    mirror: &'a CurrentMirror,
+}
+
+impl CircuitPerformance for MirrorPerformance<'_> {
+    fn name(&self) -> &str {
+        "mirror.output_current"
+    }
+
+    fn num_vars(&self, stage: Stage) -> usize {
+        match stage {
+            Stage::Schematic => self.mirror.config.schematic_vars(),
+            Stage::PostLayout => self.mirror.config.post_layout_vars(),
+        }
+    }
+
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(stage), "variable count mismatch");
+        let cfg = &self.mirror.config;
+        let si = match stage {
+            Stage::Schematic => 0usize,
+            Stage::PostLayout => 1usize,
+        };
+        // Pad so layout-only slots exist when evaluating the schematic.
+        let padded: Vec<f64>;
+        let xs: &[f64] = if stage == Stage::Schematic {
+            padded = {
+                let mut p = x.to_vec();
+                p.resize(cfg.post_layout_vars(), 0.0);
+                p
+            };
+            &padded
+        } else {
+            x
+        };
+
+        let mut models = [MosfetModel::nmos(cfg.vth, cfg.k), MosfetModel::nmos(cfg.vth, cfg.k)];
+        for (d, model) in models.iter_mut().enumerate() {
+            model.vth += self.mirror.vth_sens[d][si].eval(xs);
+            model.k *= (1.0 + self.mirror.k_sens[d][si].eval(xs)).max(0.2);
+            if stage == Stage::PostLayout && d == 1 {
+                model.vth += cfg.layout_vth_shift + self.mirror.stress_sens.eval(xs);
+            }
+            debug_assert_eq!(model.polarity, Polarity::Nmos);
+        }
+
+        // Netlist: VDD --R_ref-- diode(ref) ; VDD --R_load-- mirror drain.
+        let mut lin = Circuit::new();
+        let vdd = lin.node();
+        let gate = lin.node();
+        let out = lin.node();
+        lin.voltage_source(vdd, Circuit::GND, cfg.vdd);
+        lin.resistor(vdd, gate, cfg.r_ref);
+        lin.resistor(vdd, out, cfg.r_load);
+        let ckt = NonlinearCircuit {
+            linear: lin,
+            mosfets: vec![
+                Mosfet {
+                    drain: gate,
+                    gate,
+                    source: Circuit::GND,
+                    model: models[0],
+                },
+                Mosfet {
+                    drain: out,
+                    gate,
+                    source: Circuit::GND,
+                    model: models[1],
+                },
+            ],
+        };
+        let op = crate::spice::mosfet::solve_dc_nonlinear(&ckt, &NewtonOptions::default())
+            .expect("mirror operating point converges");
+        op.drain_currents[1]
+    }
+
+    fn sim_cost_hours(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::Schematic => self.mirror.config.sch_cost_hours,
+            Stage::PostLayout => self.mirror.config.lay_cost_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::monte_carlo;
+
+    fn mirror() -> CurrentMirror {
+        CurrentMirror::new(MirrorConfig::default(), 7)
+    }
+
+    #[test]
+    fn nominal_mirror_copies_reference_current() {
+        let m = mirror();
+        let view = m.output_current();
+        let x = vec![0.0; m.config().schematic_vars()];
+        let iout = view.evaluate(Stage::Schematic, &x);
+        // Reference current through R_ref at the diode voltage.
+        // Matched devices and low lambda: I_out ≈ I_ref within a few %.
+        // I_ref ≈ (VDD − V_diode)/R_ref with V_diode ≈ vth + sqrt(2 I/k).
+        assert!(iout > 20e-6 && iout < 120e-6, "iout = {iout}");
+    }
+
+    #[test]
+    fn layout_vth_shift_reduces_output_current() {
+        let m = mirror();
+        let view = m.output_current();
+        let i_sch = view.evaluate(Stage::Schematic, &vec![0.0; m.config().schematic_vars()]);
+        let i_lay =
+            view.evaluate(Stage::PostLayout, &vec![0.0; m.config().post_layout_vars()]);
+        assert!(
+            i_lay < i_sch,
+            "higher mirror V_TH must reduce the copied current: {i_lay} vs {i_sch}"
+        );
+    }
+
+    #[test]
+    fn vth_mismatch_moves_current() {
+        let m = mirror();
+        let view = m.output_current();
+        let n = m.config().schematic_vars();
+        let base = view.evaluate(Stage::Schematic, &vec![0.0; n]);
+        // Bump the mirror device's first mismatch variable.
+        let mut x = vec![0.0; n];
+        x[m.config().interdie_vars + m.config().params_per_device] = 2.0;
+        let bumped = view.evaluate(Stage::Schematic, &x);
+        assert!((bumped - base).abs() / base > 1e-3, "mismatch has no effect");
+    }
+
+    #[test]
+    fn monte_carlo_spread_is_mismatch_dominated() {
+        let m = mirror();
+        let view = m.output_current();
+        let set = monte_carlo(&view, Stage::PostLayout, 200, 3);
+        let s = bmf_stat::summary::Summary::from_slice(&set.values);
+        let cov = s.coefficient_of_variation();
+        assert!(cov > 0.005 && cov < 0.25, "cov = {cov}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CurrentMirror::new(MirrorConfig::default(), 4);
+        let b = CurrentMirror::new(MirrorConfig::default(), 4);
+        let x: Vec<f64> = (0..a.config().post_layout_vars())
+            .map(|i| ((i * 7 % 5) as f64 - 2.0) / 4.0)
+            .collect();
+        assert_eq!(
+            a.output_current().evaluate(Stage::PostLayout, &x),
+            b.output_current().evaluate(Stage::PostLayout, &x)
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Netlist construction for the MNA solver.
+
+/// A circuit node. [`Circuit::GND`] is the reference node; all other nodes
+/// are created with [`Circuit::node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node(pub(crate) usize);
+
+/// A linear circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Resistor between two nodes, in ohms.
+    Resistor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms (must be positive).
+        ohms: f64,
+    },
+    /// Capacitor between two nodes, in farads (open in DC).
+    Capacitor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads (must be positive).
+        farads: f64,
+    },
+    /// Independent current source driving `amps` from `from` into `to`.
+    CurrentSource {
+        /// Node the current leaves.
+        from: Node,
+        /// Node the current enters.
+        to: Node,
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// Independent voltage source: `V(plus) − V(minus) = volts`.
+    VoltageSource {
+        /// Positive terminal.
+        plus: Node,
+        /// Negative terminal.
+        minus: Node,
+        /// Source voltage in volts.
+        volts: f64,
+    },
+    /// Voltage-controlled current source: current `gm·(V(cp) − V(cm))`
+    /// flows from `from` into `to`. This is the MOSFET small-signal
+    /// transconductance stamp.
+    Vccs {
+        /// Node the controlled current leaves.
+        from: Node,
+        /// Node the controlled current enters.
+        to: Node,
+        /// Positive controlling node.
+        cp: Node,
+        /// Negative controlling node.
+        cm: Node,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+}
+
+/// A linear netlist: nodes plus elements, ready for MNA assembly.
+///
+/// See the [module docs](crate::spice) for an example.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    num_nodes: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground (reference) node.
+    pub const GND: Node = Node(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            num_nodes: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh node.
+    pub fn node(&mut self) -> Node {
+        let n = Node(self.num_nodes);
+        self.num_nodes += 1;
+        n
+    }
+
+    /// Number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The element list, in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of independent voltage sources (MNA branch count).
+    pub fn num_voltage_sources(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. }))
+            .count()
+    }
+
+    fn check_node(&self, n: Node) {
+        assert!(n.0 < self.num_nodes, "node {} does not exist", n.0);
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ohms <= 0` or a node does not belong to this circuit.
+    pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        self.check_node(a);
+        self.check_node(b);
+        self.elements.push(Element::Resistor { a, b, ohms });
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `farads <= 0` or a node does not belong to this circuit.
+    pub fn capacitor(&mut self, a: Node, b: Node, farads: f64) {
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive"
+        );
+        self.check_node(a);
+        self.check_node(b);
+        self.elements.push(Element::Capacitor { a, b, farads });
+    }
+
+    /// Adds an independent current source driving `amps` from `from` into
+    /// `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node does not belong to this circuit.
+    pub fn current_source(&mut self, from: Node, to: Node, amps: f64) {
+        self.check_node(from);
+        self.check_node(to);
+        self.elements.push(Element::CurrentSource { from, to, amps });
+    }
+
+    /// Adds an independent voltage source `V(plus) − V(minus) = volts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node does not belong to this circuit.
+    pub fn voltage_source(&mut self, plus: Node, minus: Node, volts: f64) {
+        self.check_node(plus);
+        self.check_node(minus);
+        self.elements
+            .push(Element::VoltageSource { plus, minus, volts });
+    }
+
+    /// Adds a voltage-controlled current source (`gm` stamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node does not belong to this circuit.
+    pub fn vccs(&mut self, from: Node, to: Node, cp: Node, cm: Node, gm: f64) {
+        for n in [from, to, cp, cm] {
+            self.check_node(n);
+        }
+        self.elements.push(Element::Vccs { from, to, cp, cm, gm });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_allocation() {
+        let mut c = Circuit::new();
+        assert_eq!(c.num_nodes(), 1);
+        let a = c.node();
+        let b = c.node();
+        assert_eq!(a, Node(1));
+        assert_eq!(b, Node(2));
+        assert_eq!(c.num_nodes(), 3);
+    }
+
+    #[test]
+    fn element_insertion_and_counts() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.resistor(a, Circuit::GND, 100.0);
+        c.voltage_source(a, Circuit::GND, 1.0);
+        c.current_source(Circuit::GND, a, 1e-3);
+        assert_eq!(c.elements().len(), 3);
+        assert_eq!(c.num_voltage_sources(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn foreign_node_rejected() {
+        let mut c1 = Circuit::new();
+        let mut c2 = Circuit::new();
+        let a = c1.node();
+        let _ = a;
+        // c2 has only ground; Node(1) does not exist there.
+        c2.resistor(Node(1), Circuit::GND, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_resistance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.resistor(a, Circuit::GND, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_capacitance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.capacitor(a, Circuit::GND, -1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! Backward-Euler transient analysis for linear RC circuits.
+//!
+//! Each time step replaces every capacitor by its companion model: a
+//! conductance `C/h` in parallel with a current source `(C/h)·v_prev`.
+//! Because the circuit is linear and the step is fixed, the MNA matrix is
+//! assembled and LU-factorized once; every step is a single solve.
+
+use bmf_linalg::{LinalgError, Matrix, Vector};
+
+use super::circuit::{Circuit, Element, Node};
+use super::dc::stamp_conductance;
+
+/// Result of a transient run: node voltages at every time point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transient {
+    step: f64,
+    /// `waveforms[t][n]` = voltage of non-ground node `n+1` at step `t`.
+    waveforms: Vec<Vec<f64>>,
+}
+
+impl Transient {
+    /// Time step in seconds.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Number of stored time points (including t = 0).
+    pub fn len(&self) -> usize {
+        self.waveforms.len()
+    }
+
+    /// `true` when no time points were computed.
+    pub fn is_empty(&self) -> bool {
+        self.waveforms.is_empty()
+    }
+
+    /// Voltage of `node` at time index `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` or the node index is out of range.
+    pub fn voltage(&self, t: usize, node: Node) -> f64 {
+        if node.0 == 0 {
+            0.0
+        } else {
+            self.waveforms[t][node.0 - 1]
+        }
+    }
+
+    /// First time (by linear interpolation) at which `node` crosses
+    /// `threshold`, or `None` if it never does.
+    pub fn crossing_time(&self, node: Node, threshold: f64) -> Option<f64> {
+        let mut prev = self.voltage(0, node);
+        for t in 1..self.len() {
+            let cur = self.voltage(t, node);
+            let crossed_up = prev < threshold && cur >= threshold;
+            let crossed_down = prev > threshold && cur <= threshold;
+            if crossed_up || crossed_down {
+                let frac = (threshold - prev) / (cur - prev);
+                return Some(((t - 1) as f64 + frac) * self.step);
+            }
+            prev = cur;
+        }
+        None
+    }
+}
+
+/// Runs a backward-Euler transient of `steps` steps of size `h` seconds,
+/// starting from the all-zero state (all node voltages 0 at t = 0).
+///
+/// Sources are held at their netlist values for t > 0, so a step input is
+/// modeled by a source whose value is the post-step level.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when the companion-model system is
+/// singular (e.g. floating nodes with no capacitive or resistive path).
+pub fn solve_transient(circuit: &Circuit, h: f64, steps: usize) -> Result<Transient, LinalgError> {
+    assert!(h > 0.0 && h.is_finite(), "time step must be positive");
+    let n = circuit.num_nodes() - 1;
+    let m = circuit.num_voltage_sources();
+    let dim = n + m;
+    if dim == 0 {
+        return Ok(Transient {
+            step: h,
+            waveforms: vec![Vec::new(); steps + 1],
+        });
+    }
+
+    let idx = |node: Node| -> Option<usize> { (node.0 > 0).then(|| node.0 - 1) };
+
+    // Assemble the constant system matrix (G + C/h stamps) and the
+    // source part of the RHS.
+    let mut a = Matrix::zeros(dim, dim);
+    let mut rhs_src = Vector::zeros(dim);
+    // Capacitor list for the history current: (a, b, C/h).
+    let mut caps: Vec<(Option<usize>, Option<usize>, f64)> = Vec::new();
+
+    let mut vs_index = 0usize;
+    for e in circuit.elements() {
+        match *e {
+            Element::Resistor { a: na, b: nb, ohms } => {
+                stamp_conductance(&mut a, idx(na), idx(nb), 1.0 / ohms);
+            }
+            Element::Capacitor { a: na, b: nb, farads } => {
+                let geq = farads / h;
+                stamp_conductance(&mut a, idx(na), idx(nb), geq);
+                caps.push((idx(na), idx(nb), geq));
+            }
+            Element::CurrentSource { from, to, amps } => {
+                if let Some(i) = idx(from) {
+                    rhs_src[i] -= amps;
+                }
+                if let Some(i) = idx(to) {
+                    rhs_src[i] += amps;
+                }
+            }
+            Element::VoltageSource { plus, minus, volts } => {
+                let row = n + vs_index;
+                if let Some(i) = idx(plus) {
+                    a[(row, i)] += 1.0;
+                    a[(i, row)] += 1.0;
+                }
+                if let Some(i) = idx(minus) {
+                    a[(row, i)] -= 1.0;
+                    a[(i, row)] -= 1.0;
+                }
+                rhs_src[row] = volts;
+                vs_index += 1;
+            }
+            Element::Vccs { from, to, cp, cm, gm } => {
+                for (node, sign) in [(from, 1.0), (to, -1.0)] {
+                    if let Some(r) = idx(node) {
+                        if let Some(c) = idx(cp) {
+                            a[(r, c)] += sign * gm;
+                        }
+                        if let Some(c) = idx(cm) {
+                            a[(r, c)] -= sign * gm;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let lu = a.lu()?;
+    let mut v = vec![0.0f64; n];
+    let mut waveforms = Vec::with_capacity(steps + 1);
+    waveforms.push(v.clone());
+
+    for _ in 0..steps {
+        let mut rhs = rhs_src.clone();
+        // History currents: i_hist = geq * v_prev(a→b differential).
+        for &(na, nb, geq) in &caps {
+            let va = na.map_or(0.0, |i| v[i]);
+            let vb = nb.map_or(0.0, |i| v[i]);
+            let ih = geq * (va - vb);
+            if let Some(i) = na {
+                rhs[i] += ih;
+            }
+            if let Some(i) = nb {
+                rhs[i] -= ih;
+            }
+        }
+        let x = lu.solve(&rhs)?;
+        v.copy_from_slice(&x.as_slice()[..n]);
+        waveforms.push(v.clone());
+    }
+    Ok(Transient { step: h, waveforms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_step_response_matches_exponential() {
+        // 1k * 1uF, tau = 1 ms; step to 1 V.
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let vout = c.node();
+        c.voltage_source(vin, Circuit::GND, 1.0);
+        c.resistor(vin, vout, 1_000.0);
+        c.capacitor(vout, Circuit::GND, 1e-6);
+        let h = 1e-5; // tau/100
+        let tr = solve_transient(&c, h, 500).unwrap();
+        // At t = 5 ms (~5 tau) the output is within 1% of 1 V.
+        let v_end = tr.voltage(500, vout);
+        assert!((v_end - 1.0).abs() < 0.02, "v_end={v_end}");
+        // Compare mid-curve point against the analytic solution. BE has
+        // O(h) error; h = tau/100 keeps it ~1%.
+        let t = 100; // 1 ms = 1 tau
+        let v = tr.voltage(t, vout);
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((v - expect).abs() < 0.01, "v={v}, expect={expect}");
+    }
+
+    #[test]
+    fn crossing_time_finds_50_percent_point() {
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let vout = c.node();
+        c.voltage_source(vin, Circuit::GND, 1.0);
+        c.resistor(vin, vout, 1_000.0);
+        c.capacitor(vout, Circuit::GND, 1e-6);
+        let tr = solve_transient(&c, 1e-5, 300).unwrap();
+        let t50 = tr.crossing_time(vout, 0.5).unwrap();
+        // Analytic: tau * ln 2 = 0.693 ms.
+        assert!((t50 - 6.93e-4).abs() < 2e-5, "t50={t50}");
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.current_source(Circuit::GND, a, 1e-6);
+        c.resistor(a, Circuit::GND, 1_000.0); // settles at 1 mV
+        let tr = solve_transient(&c, 1e-6, 50).unwrap();
+        assert!(tr.crossing_time(a, 0.5).is_none());
+    }
+
+    #[test]
+    fn initial_state_is_zero() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.voltage_source(a, Circuit::GND, 2.0);
+        c.resistor(a, Circuit::GND, 10.0);
+        let tr = solve_transient(&c, 1e-9, 3).unwrap();
+        assert_eq!(tr.voltage(0, a), 0.0);
+        // After the first step the source is enforced.
+        assert!((tr.voltage(1, a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_step_rejected() {
+        let c = Circuit::new();
+        let _ = solve_transient(&c, 0.0, 10);
+    }
+}

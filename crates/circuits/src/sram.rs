@@ -1,0 +1,608 @@
+//! Behavioral SRAM read path (the paper's Fig. 6 circuit).
+//!
+//! The read path is: wordline driver → bit-cell array (128 cells per
+//! column) → bitline discharge → sense amplifier → timing logic. The read
+//! delay from wordline assertion to the sense-amp output is the paper's
+//! single performance metric for this circuit (Table V).
+//!
+//! Structure of the model:
+//!
+//! * every bit cell carries its own mismatch variables; the *accessed* row
+//!   dominates its column's discharge current, while the other 127 rows
+//!   contribute weak subthreshold leakage — giving the read delay a few
+//!   large coefficients and tens of thousands of small-but-nonzero ones,
+//!   the sparsity pattern that makes OMP a meaningful baseline,
+//! * column delay `t_bl = C_bl·ΔV / I_eff` is a smooth reciprocal
+//!   nonlinearity, and the word delay averages the columns (a read of a
+//!   full word settles with the slowest bits close to the mean at these
+//!   variation levels),
+//! * post-layout adds a distributed bitline RC ladder whose *Elmore delay*
+//!   (through [`crate::spice::elmore`]) multiplies the column delay, with
+//!   per-column parasitic variation variables scaling R and C, plus the
+//!   systematic coefficient shift also used by the RO model.
+
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::{derive_seed, seeded};
+use serde::{Deserialize, Serialize};
+
+use crate::process::{Sensitivity, VarSpace};
+use crate::spice::elmore::{RcSegment, RcTree};
+use crate::stage::{CircuitPerformance, Stage};
+
+/// Configuration of the behavioral SRAM read path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Bit cells per column (the paper uses 128).
+    pub rows: usize,
+    /// Columns read in parallel (word width).
+    pub columns: usize,
+    /// Mismatch variables per bit cell.
+    pub params_per_cell: usize,
+    /// Mismatch variables of the wordline driver.
+    pub driver_vars: usize,
+    /// Mismatch variables of the sense amplifier + timing logic.
+    pub senseamp_vars: usize,
+    /// Shared interdie variables.
+    pub interdie_vars: usize,
+    /// Post-layout parasitic variables per column (scale bitline R and C).
+    pub parasitic_vars_per_column: usize,
+    /// Nominal wordline-driver delay, seconds.
+    pub t_driver: f64,
+    /// Nominal bitline discharge delay, seconds.
+    pub t_bitline: f64,
+    /// Nominal sense-amp + timing delay, seconds.
+    pub t_senseamp: f64,
+    /// Relative 1σ of the accessed cell's read current.
+    pub cell_current_sigma: f64,
+    /// Relative leakage contribution of one unaccessed cell (nominal).
+    pub leak_per_cell: f64,
+    /// Relative 1σ of one unaccessed cell's leakage factor.
+    pub leak_sigma: f64,
+    /// Magnitude of the systematic schematic→layout coefficient shift.
+    pub layout_shift_rel: f64,
+    /// Nominal bitline RC Elmore delay multiplier after extraction.
+    pub layout_rc_factor: f64,
+    /// Relative 1σ of the parasitic R/C scaling per column.
+    pub parasitic_sigma: f64,
+    /// Simulated cost of one schematic sample, hours.
+    pub sch_cost_hours: f64,
+    /// Simulated cost of one post-layout sample, hours.
+    pub lay_cost_hours: f64,
+}
+
+impl SramConfig {
+    /// Tiny configuration for unit tests (≈100 variables).
+    pub fn small() -> Self {
+        SramConfig {
+            rows: 8,
+            columns: 2,
+            params_per_cell: 4,
+            driver_vars: 4,
+            senseamp_vars: 6,
+            interdie_vars: 4,
+            parasitic_vars_per_column: 2,
+            ..SramConfig::base()
+        }
+    }
+
+    /// Default experiment shape (~6 200 post-layout variables): 128 rows ×
+    /// 8 columns × 6 params. See DESIGN.md §2.
+    pub fn default_shape() -> Self {
+        SramConfig {
+            rows: 128,
+            columns: 8,
+            params_per_cell: 6,
+            driver_vars: 12,
+            senseamp_vars: 16,
+            interdie_vars: 15,
+            parasitic_vars_per_column: 4,
+            ..SramConfig::base()
+        }
+    }
+
+    /// Paper-scale configuration: 66 117 post-layout variables
+    /// (128 rows × 64 columns × 8 params + 48 driver/sense + 21 interdie
+    /// + 64 × 8 parasitics).
+    pub fn paper() -> Self {
+        SramConfig {
+            rows: 128,
+            columns: 64,
+            params_per_cell: 8,
+            driver_vars: 24,
+            senseamp_vars: 24,
+            interdie_vars: 21,
+            parasitic_vars_per_column: 8,
+            ..SramConfig::base()
+        }
+    }
+
+    fn base() -> Self {
+        SramConfig {
+            rows: 8,
+            columns: 2,
+            params_per_cell: 4,
+            driver_vars: 4,
+            senseamp_vars: 6,
+            interdie_vars: 4,
+            parasitic_vars_per_column: 2,
+            t_driver: 25.0e-12,
+            t_bitline: 90.0e-12,
+            t_senseamp: 45.0e-12,
+            cell_current_sigma: 0.06,
+            leak_per_cell: 1.2e-3,
+            leak_sigma: 0.35,
+            layout_shift_rel: 0.20,
+            layout_rc_factor: 1.25,
+            parasitic_sigma: 0.05,
+            // Table VI: 400 post-layout samples = 38.77 h -> 349 s each.
+            sch_cost_hours: 30.0 / 3600.0,
+            lay_cost_hours: 349.0 / 3600.0,
+        }
+    }
+
+    /// Schematic-stage variable count.
+    pub fn schematic_vars(&self) -> usize {
+        self.interdie_vars
+            + self.driver_vars
+            + self.columns * self.rows * self.params_per_cell
+            + self.senseamp_vars
+    }
+
+    /// Post-layout variable count.
+    pub fn post_layout_vars(&self) -> usize {
+        self.schematic_vars() + self.columns * self.parasitic_vars_per_column
+    }
+}
+
+/// Per-column sensitivity bundle.
+#[derive(Debug, Clone)]
+struct ColumnSens {
+    /// Accessed-cell read-current factor (relative).
+    current: Sensitivity,
+    /// Leakage factors of the unaccessed cells (one weight set, summed).
+    leak: Sensitivity,
+    /// Post-layout only: parasitic R scaling.
+    par_r: Sensitivity,
+    /// Post-layout only: parasitic C scaling.
+    par_c: Sensitivity,
+}
+
+/// A seeded behavioral SRAM read path with schematic and post-layout views.
+///
+/// # Example
+///
+/// ```
+/// use bmf_circuits::sram::{SramConfig, SramReadPath};
+/// use bmf_circuits::stage::{CircuitPerformance, Stage};
+///
+/// let sram = SramReadPath::new(SramConfig::small(), 3);
+/// let d = sram.read_delay();
+/// let t = d.evaluate(Stage::Schematic, &vec![0.0; d.num_vars(Stage::Schematic)]);
+/// assert!(t > 50.0e-12 && t < 500.0e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramReadPath {
+    config: SramConfig,
+    sch_space: VarSpace,
+    lay_space: VarSpace,
+    driver_sch: Sensitivity,
+    driver_lay: Sensitivity,
+    sense_sch: Sensitivity,
+    sense_lay: Sensitivity,
+    cols_sch: Vec<ColumnSens>,
+    cols_lay: Vec<ColumnSens>,
+}
+
+impl SramReadPath {
+    /// Builds the read path with sensitivities drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is degenerate (no rows/columns).
+    pub fn new(config: SramConfig, seed: u64) -> Self {
+        assert!(config.rows > 1, "need at least two rows");
+        assert!(config.columns > 0, "need at least one column");
+        assert!(config.params_per_cell > 0, "need cell mismatch variables");
+
+        let mut sch = VarSpace::new();
+        let interdie = sch.alloc("interdie", config.interdie_vars);
+        let driver = sch.alloc("wordline.driver", config.driver_vars);
+        let mut cells = Vec::with_capacity(config.columns);
+        for c in 0..config.columns {
+            let mut col = Vec::with_capacity(config.rows);
+            for r in 0..config.rows {
+                col.push(sch.alloc(&format!("col{c}.cell{r}"), config.params_per_cell));
+            }
+            cells.push(col);
+        }
+        let sense = sch.alloc("senseamp", config.senseamp_vars);
+        let mut lay = sch.clone();
+        let mut parasitics = Vec::with_capacity(config.columns);
+        for c in 0..config.columns {
+            parasitics.push(lay.alloc(
+                &format!("col{c}.bitline.parasitic"),
+                config.parasitic_vars_per_column,
+            ));
+        }
+
+        // Driver and sense-amp delay factors.
+        let mut driver_sch = Sensitivity::constant(0.0);
+        driver_sch
+            .weights
+            .extend(decaying(interdie.clone(), 0.03, 1.2, seed, 0));
+        driver_sch
+            .weights
+            .extend(decaying(driver, 0.04, 1.3, seed, 1));
+        let mut sense_sch = Sensitivity::constant(0.0);
+        sense_sch
+            .weights
+            .extend(decaying(interdie.clone(), 0.025, 1.4, seed, 2));
+        sense_sch
+            .weights
+            .extend(decaying(sense, 0.05, 1.3, seed, 3));
+
+        // Columns: accessed cell is row 0 of each column.
+        let mut cols_sch = Vec::with_capacity(config.columns);
+        for (c, col) in cells.iter().enumerate() {
+            let cseed = derive_seed(seed, 3000 + c as u64);
+            let mut current = Sensitivity::constant(0.0);
+            current
+                .weights
+                .extend(decaying(interdie.clone(), 0.02, 1.5, cseed, 0));
+            current
+                .weights
+                .extend(decaying(col[0].clone(), config.cell_current_sigma, 1.2, cseed, 1));
+            let mut leak = Sensitivity::constant(0.0);
+            for (r, range) in col.iter().enumerate().skip(1) {
+                // Each unaccessed cell leaks with per-cell spread; the
+                // first cell parameter (the "V_TH" slot) dominates.
+                leak.weights.extend(decaying(
+                    range.clone(),
+                    config.leak_per_cell * config.leak_sigma,
+                    2.0,
+                    derive_seed(cseed, r as u64),
+                    0,
+                ));
+            }
+            cols_sch.push(ColumnSens {
+                current,
+                leak,
+                par_r: Sensitivity::constant(0.0),
+                par_c: Sensitivity::constant(0.0),
+            });
+        }
+
+        // Post-layout: systematic shifts + parasitic R/C variables.
+        let shift = |s: &Sensitivity, sd: u64, stream: u64| -> Sensitivity {
+            shift_weights(s, config.layout_shift_rel, sd, stream)
+        };
+        let driver_lay = shift(&driver_sch, derive_seed(seed, 4000), 0);
+        let sense_lay = shift(&sense_sch, derive_seed(seed, 4001), 1);
+        let mut cols_lay = Vec::with_capacity(config.columns);
+        for (c, base) in cols_sch.iter().enumerate() {
+            let lseed = derive_seed(seed, 5000 + c as u64);
+            let mut par_r = Sensitivity::constant(0.0);
+            let mut par_c = Sensitivity::constant(0.0);
+            let range = parasitics[c].clone();
+            let half = range.start + range.len() / 2;
+            par_r
+                .weights
+                .extend(decaying(range.start..half, config.parasitic_sigma, 1.0, lseed, 0));
+            par_c
+                .weights
+                .extend(decaying(half..range.end, config.parasitic_sigma, 1.0, lseed, 1));
+            cols_lay.push(ColumnSens {
+                current: shift(&base.current, lseed, 2),
+                leak: shift(&base.leak, lseed, 3),
+                par_r,
+                par_c,
+            });
+        }
+
+        SramReadPath {
+            config,
+            sch_space: sch,
+            lay_space: lay,
+            driver_sch,
+            driver_lay,
+            sense_sch,
+            sense_lay,
+            cols_sch,
+            cols_lay,
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &SramConfig {
+        &self.config
+    }
+
+    /// The variable-space registry at `stage`.
+    pub fn var_space(&self, stage: Stage) -> &VarSpace {
+        match stage {
+            Stage::Schematic => &self.sch_space,
+            Stage::PostLayout => &self.lay_space,
+        }
+    }
+
+    /// The read-delay [`CircuitPerformance`] view.
+    pub fn read_delay(&self) -> SramPerformance<'_> {
+        SramPerformance { sram: self }
+    }
+
+    /// Nominal read delay at the schematic stage, seconds.
+    pub fn nominal_delay(&self) -> f64 {
+        self.config.t_driver + self.config.t_bitline + self.config.t_senseamp
+    }
+
+    fn evaluate_delay(&self, stage: Stage, x: &[f64]) -> f64 {
+        let cfg = &self.config;
+        let expected = match stage {
+            Stage::Schematic => cfg.schematic_vars(),
+            Stage::PostLayout => cfg.post_layout_vars(),
+        };
+        assert_eq!(
+            x.len(),
+            expected,
+            "SRAM {stage} expects {expected} variables, got {}",
+            x.len()
+        );
+        let (driver, sense, cols, rc_factor) = match stage {
+            Stage::Schematic => (&self.driver_sch, &self.sense_sch, &self.cols_sch, 1.0),
+            Stage::PostLayout => (
+                &self.driver_lay,
+                &self.sense_lay,
+                &self.cols_lay,
+                cfg.layout_rc_factor,
+            ),
+        };
+
+        let t_drv = cfg.t_driver * (1.0 + driver.eval(x)).max(0.2);
+        let t_sa = cfg.t_senseamp * (1.0 + sense.eval(x)).max(0.2);
+
+        let mut t_bl_sum = 0.0;
+        for col in cols {
+            // Effective discharge current: accessed cell minus total
+            // leakage of the 127 unaccessed cells.
+            let i_cell = (1.0 + col.current.eval(x)).max(0.2);
+            let leak = (cfg.rows as f64 - 1.0) * cfg.leak_per_cell + col.leak.eval(x);
+            let i_eff = (i_cell - leak).max(0.05);
+            let mut t_bl = cfg.t_bitline / i_eff;
+            if stage == Stage::PostLayout {
+                // Distributed bitline RC: Elmore delay of an `rows`-segment
+                // ladder, normalized by its nominal, scaled by the
+                // parasitic variation of this column.
+                let r_scale = (1.0 + col.par_r.eval(x)).max(0.2);
+                let c_scale = (1.0 + col.par_c.eval(x)).max(0.2);
+                let elmore = bitline_elmore(cfg.rows, r_scale, c_scale);
+                let elmore_nom = bitline_elmore(cfg.rows, 1.0, 1.0);
+                t_bl *= 1.0 + (rc_factor - 1.0) * (elmore / elmore_nom);
+            }
+            t_bl_sum += t_bl;
+        }
+        let t_bl_avg = t_bl_sum / cols.len() as f64;
+        t_drv + t_bl_avg + t_sa
+    }
+}
+
+/// Elmore delay of a uniform `rows`-segment bitline ladder with scaled
+/// per-segment R and C, in arbitrary units.
+fn bitline_elmore(rows: usize, r_scale: f64, c_scale: f64) -> f64 {
+    let segs: Vec<RcSegment> = (0..rows)
+        .map(|i| RcSegment {
+            parent: if i == 0 { None } else { Some(i - 1) },
+            resistance: 2.0 * r_scale,
+            capacitance: 0.4e-15 * c_scale,
+        })
+        .collect();
+    let tree = RcTree::new(segs).expect("ladder is topologically sorted");
+    tree.max_delay()
+}
+
+/// The read-delay [`CircuitPerformance`] view borrowed from an
+/// [`SramReadPath`].
+#[derive(Debug, Clone, Copy)]
+pub struct SramPerformance<'a> {
+    sram: &'a SramReadPath,
+}
+
+impl CircuitPerformance for SramPerformance<'_> {
+    fn name(&self) -> &str {
+        "sram.read_delay"
+    }
+
+    fn num_vars(&self, stage: Stage) -> usize {
+        match stage {
+            Stage::Schematic => self.sram.config.schematic_vars(),
+            Stage::PostLayout => self.sram.config.post_layout_vars(),
+        }
+    }
+
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
+        self.sram.evaluate_delay(stage, x)
+    }
+
+    fn sim_cost_hours(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::Schematic => self.sram.config.sch_cost_hours,
+            Stage::PostLayout => self.sram.config.lay_cost_hours,
+        }
+    }
+}
+
+fn decaying(
+    range: std::ops::Range<usize>,
+    sigma: f64,
+    decay: f64,
+    seed: u64,
+    stream: u64,
+) -> Vec<(usize, f64)> {
+    if range.is_empty() || sigma == 0.0 {
+        return Vec::new();
+    }
+    let mut rng = seeded(derive_seed(seed, 66_000 + stream));
+    let mut sampler = StandardNormal::new();
+    let mut w: Vec<(usize, f64)> = range
+        .clone()
+        .enumerate()
+        .map(|(j, var)| {
+            let u = sampler.sample(&mut rng);
+            (var, u / (1.0 + j as f64).powf(decay))
+        })
+        .collect();
+    let norm: f64 = w.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        let scale = sigma / norm;
+        for (_, v) in &mut w {
+            *v *= scale;
+        }
+    }
+    w
+}
+
+fn shift_weights(base: &Sensitivity, rel: f64, seed: u64, stream: u64) -> Sensitivity {
+    let mut rng = seeded(derive_seed(seed, 99_000 + stream));
+    let mut sampler = StandardNormal::new();
+    Sensitivity {
+        offset: base.offset,
+        weights: base
+            .weights
+            .iter()
+            .map(|&(var, w)| (var, w * (1.0 + rel * sampler.sample(&mut rng))))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::monte_carlo;
+
+    fn small() -> SramReadPath {
+        SramReadPath::new(SramConfig::small(), 11)
+    }
+
+    #[test]
+    fn variable_counts() {
+        let cfg = SramConfig::small();
+        assert_eq!(cfg.schematic_vars(), 4 + 4 + 2 * 8 * 4 + 6);
+        assert_eq!(cfg.post_layout_vars(), cfg.schematic_vars() + 2 * 2);
+        let s = small();
+        assert_eq!(s.var_space(Stage::Schematic).len(), cfg.schematic_vars());
+        assert_eq!(s.var_space(Stage::PostLayout).len(), cfg.post_layout_vars());
+    }
+
+    #[test]
+    fn paper_config_variable_count() {
+        let c = SramConfig::paper();
+        assert_eq!(c.post_layout_vars(), 66_117);
+    }
+
+    #[test]
+    fn nominal_delay_close_to_sum_of_stages() {
+        let s = small();
+        let x = vec![0.0; s.config().schematic_vars()];
+        let t = s.read_delay().evaluate(Stage::Schematic, &x);
+        // The leakage term slightly slows the bitline even at nominal.
+        let approx = s.nominal_delay();
+        assert!(t >= approx);
+        assert!(t < approx * 1.1, "t={t}, approx={approx}");
+    }
+
+    #[test]
+    fn post_layout_is_slower() {
+        let s = small();
+        let ts = s
+            .read_delay()
+            .evaluate(Stage::Schematic, &vec![0.0; s.config().schematic_vars()]);
+        let tl = s
+            .read_delay()
+            .evaluate(Stage::PostLayout, &vec![0.0; s.config().post_layout_vars()]);
+        assert!(tl > ts, "post-layout {tl} should exceed schematic {ts}");
+    }
+
+    #[test]
+    fn accessed_cell_dominates_unaccessed() {
+        let s = small();
+        let n = s.config().schematic_vars();
+        let d = s.read_delay();
+        let base = d.evaluate(Stage::Schematic, &vec![0.0; n]);
+        // Bump the accessed cell's first parameter (col0.cell0).
+        let acc = s.var_space(Stage::Schematic).group("col0.cell0").unwrap();
+        let mut x = vec![0.0; n];
+        x[acc.range.start] = 1.0;
+        let d_acc = (d.evaluate(Stage::Schematic, &x) - base).abs();
+        // Bump an unaccessed cell's first parameter (col0.cell5).
+        let una = s.var_space(Stage::Schematic).group("col0.cell5").unwrap();
+        let mut y = vec![0.0; n];
+        y[una.range.start] = 1.0;
+        let d_una = (d.evaluate(Stage::Schematic, &y) - base).abs();
+        assert!(
+            d_acc > 5.0 * d_una,
+            "accessed-cell effect {d_acc} should dwarf unaccessed {d_una}"
+        );
+        assert!(d_una > 0.0, "unaccessed cells must still matter");
+    }
+
+    #[test]
+    fn parasitics_affect_only_post_layout() {
+        let s = small();
+        let n_sch = s.config().schematic_vars();
+        let n_lay = s.config().post_layout_vars();
+        let d = s.read_delay();
+        let mut x = vec![0.0; n_lay];
+        let base = d.evaluate(Stage::PostLayout, &x);
+        x[n_sch] = 2.0;
+        assert_ne!(base, d.evaluate(Stage::PostLayout, &x));
+    }
+
+    #[test]
+    fn monte_carlo_spread_plausible() {
+        let s = small();
+        let d = s.read_delay();
+        let set = monte_carlo(&d, Stage::PostLayout, 300, 5);
+        let sum = bmf_stat::summary::Summary::from_slice(&set.values);
+        let cov = sum.coefficient_of_variation();
+        assert!(cov > 0.002 && cov < 0.2, "cov={cov}");
+        // Delay distribution is right-skewed (reciprocal of current).
+        assert!(sum.skewness() > -0.5, "skew={}", sum.skewness());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SramReadPath::new(SramConfig::small(), 7);
+        let b = SramReadPath::new(SramConfig::small(), 7);
+        let x: Vec<f64> = (0..a.config().post_layout_vars())
+            .map(|i| ((i * 31 % 17) as f64 - 8.0) / 8.0)
+            .collect();
+        assert_eq!(
+            a.read_delay().evaluate(Stage::PostLayout, &x),
+            b.read_delay().evaluate(Stage::PostLayout, &x)
+        );
+    }
+
+    #[test]
+    fn early_late_sensitivities_correlate() {
+        let s = SramReadPath::new(SramConfig::small(), 21);
+        let n_sch = s.config().schematic_vars();
+        let n_lay = s.config().post_layout_vars();
+        let d = s.read_delay();
+        let h = 0.05;
+        let f0s = d.evaluate(Stage::Schematic, &vec![0.0; n_sch]);
+        let f0l = d.evaluate(Stage::PostLayout, &vec![0.0; n_lay]);
+        let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+        for i in 0..n_sch {
+            let mut xs = vec![0.0; n_sch];
+            xs[i] = h;
+            let gs = (d.evaluate(Stage::Schematic, &xs) - f0s) / h / f0s;
+            let mut xl = vec![0.0; n_lay];
+            xl[i] = h;
+            let gl = (d.evaluate(Stage::PostLayout, &xl) - f0l) / h / f0l;
+            dot += gs * gl;
+            na += gs * gs;
+            nb += gl * gl;
+        }
+        let corr = dot / (na.sqrt() * nb.sqrt());
+        assert!(corr > 0.85, "correlation {corr} too weak");
+    }
+}

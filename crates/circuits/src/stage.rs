@@ -1,0 +1,112 @@
+//! Design stages and the performance-evaluation interface.
+//!
+//! The BMF flow spans an *early* stage (schematic-level simulation) and a
+//! *late* stage (post-layout simulation). A [`CircuitPerformance`] is one
+//! scalar performance metric of one circuit, evaluable at either stage; the
+//! Monte-Carlo engine in [`crate::sim`] only ever talks to this trait.
+//!
+//! ## Variable-space convention
+//!
+//! For every implementation in this crate, the late-stage variation vector
+//! *embeds* the early-stage one: the first
+//! `num_vars(Stage::Schematic)` entries are the schematic variables
+//! (interdie + lumped device mismatch) and the remaining
+//! `num_vars(Stage::PostLayout) − num_vars(Stage::Schematic)` entries are
+//! post-layout-only parasitic variables. This matches §IV-B of the paper:
+//! the late-stage model needs additional basis functions whose prior
+//! knowledge is missing. (The multifinger splitting of §IV-A is exposed
+//! separately by [`crate::diffpair`], which publishes its
+//! `FingerExpansion`.)
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the design flow at which simulation data can be collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Schematic-level design: fast simulations, no layout parasitics.
+    Schematic,
+    /// Post-layout design: extracted netlist, slow simulations, parasitic
+    /// variation variables present.
+    PostLayout,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Schematic => write!(f, "schematic"),
+            Stage::PostLayout => write!(f, "post-layout"),
+        }
+    }
+}
+
+/// One scalar performance metric of one circuit, evaluable at both stages.
+///
+/// Implementations must be deterministic: the same `(stage, x)` always
+/// yields the same value. Randomness lives in the Monte-Carlo engine, not
+/// in the circuit.
+pub trait CircuitPerformance: Sync {
+    /// Human-readable metric name, e.g. `"ro.frequency"`.
+    fn name(&self) -> &str;
+
+    /// Number of variation variables at `stage`.
+    fn num_vars(&self, stage: Stage) -> usize;
+
+    /// Evaluates the metric at `stage` for the variation vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `x.len() != self.num_vars(stage)`.
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64;
+
+    /// Simulated wall-clock cost of producing one Monte-Carlo sample at
+    /// `stage`, in hours. This feeds the cost ledger reproducing the
+    /// paper's Tables IV/VI simulation-cost rows.
+    fn sim_cost_hours(&self, stage: Stage) -> f64;
+
+    /// Number of post-layout-only variables (those without early-stage
+    /// prior knowledge).
+    fn num_parasitic_vars(&self) -> usize {
+        self.num_vars(Stage::PostLayout) - self.num_vars(Stage::Schematic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl CircuitPerformance for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn num_vars(&self, stage: Stage) -> usize {
+            match stage {
+                Stage::Schematic => 3,
+                Stage::PostLayout => 5,
+            }
+        }
+        fn evaluate(&self, _stage: Stage, x: &[f64]) -> f64 {
+            x.iter().sum()
+        }
+        fn sim_cost_hours(&self, _stage: Stage) -> f64 {
+            0.01
+        }
+    }
+
+    #[test]
+    fn parasitic_count_is_difference() {
+        assert_eq!(Dummy.num_parasitic_vars(), 2);
+    }
+
+    #[test]
+    fn stage_display() {
+        assert_eq!(Stage::Schematic.to_string(), "schematic");
+        assert_eq!(Stage::PostLayout.to_string(), "post-layout");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let d: &dyn CircuitPerformance = &Dummy;
+        assert_eq!(d.evaluate(Stage::Schematic, &[1.0, 2.0, 3.0]), 6.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Controlled synthetic early/late model pairs.
+//!
+//! The behavioral circuits in [`crate::ro`] and [`crate::sram`] are
+//! realistic but their true coefficients are only implicitly defined. For
+//! unit tests and for the ablation studies (prior quality vs early/late
+//! similarity) we also need a generator where *everything* is dialed in
+//! explicitly: the true sparse coefficient spectrum, the exact
+//! schematic→layout perturbation, the number of missing-prior variables,
+//! and the size of the residual "simulator error".
+//!
+//! The truth is linear in `x` plus a small deterministic quadratic
+//! residual, so a linear fit has an irreducible error floor — mirroring
+//! how the paper's linear models behave on real simulation data (eq. 23's
+//! ε term).
+
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::{derive_seed, seeded};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::stage::{CircuitPerformance, Stage};
+
+/// Configuration of a [`SyntheticCircuit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Schematic-stage variation variables.
+    pub early_vars: usize,
+    /// Additional post-layout-only variables (missing prior knowledge).
+    pub extra_late_vars: usize,
+    /// Coefficient magnitude decay exponent: the `r`-th largest
+    /// coefficient has magnitude `∝ 1/(1+r)^decay`. Larger ⇒ sparser.
+    pub decay: f64,
+    /// Overall scale of the linear coefficients.
+    pub coeff_scale: f64,
+    /// Relative size of the schematic→layout coefficient perturbation
+    /// (`0` ⇒ identical stages; the ablation knob for prior quality).
+    pub layout_shift_rel: f64,
+    /// Probability that a late coefficient flips sign relative to the
+    /// early one (`0` ⇒ signs preserved). Sign corruption is what makes
+    /// the zero-mean prior (magnitude only) beat the nonzero-mean prior —
+    /// the §III-A2 trade-off.
+    pub sign_flip_prob: f64,
+    /// Nominal (constant-term) value at the early stage.
+    pub nominal: f64,
+    /// Relative shift of the nominal after layout.
+    pub layout_nominal_shift: f64,
+    /// Magnitude of the deterministic quadratic residual (the "simulator
+    /// error" a linear model cannot capture).
+    pub residual_scale: f64,
+    /// Simulated cost of one schematic sample, hours.
+    pub sch_cost_hours: f64,
+    /// Simulated cost of one post-layout sample, hours.
+    pub lay_cost_hours: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            early_vars: 50,
+            extra_late_vars: 5,
+            decay: 1.2,
+            coeff_scale: 1.0,
+            layout_shift_rel: 0.15,
+            sign_flip_prob: 0.0,
+            nominal: 10.0,
+            layout_nominal_shift: 0.08,
+            residual_scale: 0.01,
+            sch_cost_hours: 1.0 / 3600.0,
+            lay_cost_hours: 10.0 / 3600.0,
+        }
+    }
+}
+
+/// A synthetic performance function with fully known ground truth.
+///
+/// # Example
+///
+/// ```
+/// use bmf_circuits::synthetic::{SyntheticCircuit, SyntheticConfig};
+/// use bmf_circuits::stage::{CircuitPerformance, Stage};
+///
+/// let syn = SyntheticCircuit::new(SyntheticConfig::default(), 7);
+/// assert_eq!(syn.num_vars(Stage::Schematic), 50);
+/// assert_eq!(syn.num_vars(Stage::PostLayout), 55);
+/// // The true early coefficients are exposed for exact-prior tests.
+/// assert_eq!(syn.true_early_coeffs().len(), 51); // intercept + 50
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCircuit {
+    config: SyntheticConfig,
+    /// Intercept followed by one coefficient per early variable.
+    alpha_early: Vec<f64>,
+    /// Intercept followed by coefficients for all late variables
+    /// (early vars first, then the extra late-only ones).
+    alpha_late: Vec<f64>,
+    /// Unit direction of the quadratic residual (late variable space).
+    residual_dir: Vec<f64>,
+}
+
+impl SyntheticCircuit {
+    /// Generates a synthetic circuit from the configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `early_vars == 0`.
+    pub fn new(config: SyntheticConfig, seed: u64) -> Self {
+        assert!(config.early_vars > 0, "need at least one early variable");
+        let mut rng = seeded(derive_seed(seed, 0));
+        let mut sampler = StandardNormal::new();
+
+        // Early coefficients: decaying magnitudes in a random variable
+        // order with random signs.
+        let n_e = config.early_vars;
+        let mut ranks: Vec<usize> = (0..n_e).collect();
+        ranks.shuffle(&mut rng);
+        let mut alpha_early = Vec::with_capacity(n_e + 1);
+        alpha_early.push(config.nominal);
+        for i in 0..n_e {
+            let mag = config.coeff_scale / (1.0 + ranks[i] as f64).powf(config.decay);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            // Mild magnitude scatter keeps the spectrum from being exactly
+            // deterministic.
+            let scatter = 1.0 + 0.2 * sampler.sample(&mut rng);
+            alpha_early.push(sign * mag * scatter.abs().max(0.1));
+        }
+
+        // Late coefficients: perturbed early ones plus extra late-only
+        // coefficients of intermediate magnitude.
+        let mut rng_l = seeded(derive_seed(seed, 1));
+        let mut sampler_l = StandardNormal::new();
+        let n_l = n_e + config.extra_late_vars;
+        let mut alpha_late = Vec::with_capacity(n_l + 1);
+        alpha_late.push(config.nominal * (1.0 + config.layout_nominal_shift));
+        for &a in &alpha_early[1..] {
+            let zeta = sampler_l.sample(&mut rng_l);
+            let flip = if config.sign_flip_prob > 0.0 && rng_l.gen_bool(config.sign_flip_prob)
+            {
+                -1.0
+            } else {
+                1.0
+            };
+            alpha_late.push(flip * a * (1.0 + config.layout_shift_rel * zeta));
+        }
+        for j in 0..config.extra_late_vars {
+            let mag = 0.5 * config.coeff_scale / (2.0 + j as f64).powf(config.decay);
+            let sign = if rng_l.gen_bool(0.5) { 1.0 } else { -1.0 };
+            alpha_late.push(sign * mag);
+        }
+
+        // Residual direction: fixed random unit vector.
+        let mut rng_r = seeded(derive_seed(seed, 2));
+        let mut sampler_r = StandardNormal::new();
+        let mut dir = sampler_r.sample_vec(&mut rng_r, n_l);
+        let norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt();
+        for d in &mut dir {
+            *d /= norm;
+        }
+
+        SyntheticCircuit {
+            config,
+            alpha_early,
+            alpha_late,
+            residual_dir: dir,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// True early-stage coefficients: `[intercept, a₁, …, a_Rₑ]`.
+    ///
+    /// These correspond to the linear Hermite basis `{1, x₁, …}` — exactly
+    /// what an exact early-stage fit would recover (up to the residual).
+    pub fn true_early_coeffs(&self) -> &[f64] {
+        &self.alpha_early
+    }
+
+    /// True late-stage coefficients: `[intercept, a₁, …, a_R_L]`.
+    pub fn true_late_coeffs(&self) -> &[f64] {
+        &self.alpha_late
+    }
+
+    fn eval_linear(&self, coeffs: &[f64], x: &[f64]) -> f64 {
+        let mut v = coeffs[0];
+        for (a, xi) in coeffs[1..].iter().zip(x) {
+            v += a * xi;
+        }
+        v
+    }
+}
+
+impl CircuitPerformance for SyntheticCircuit {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn num_vars(&self, stage: Stage) -> usize {
+        match stage {
+            Stage::Schematic => self.config.early_vars,
+            Stage::PostLayout => self.config.early_vars + self.config.extra_late_vars,
+        }
+    }
+
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(stage), "variable count mismatch");
+        let (coeffs, dir): (&[f64], &[f64]) = match stage {
+            Stage::Schematic => (
+                &self.alpha_early,
+                &self.residual_dir[..self.config.early_vars],
+            ),
+            Stage::PostLayout => (&self.alpha_late, &self.residual_dir),
+        };
+        let linear = self.eval_linear(coeffs, x);
+        // Deterministic quadratic residual: he₂ along a fixed direction.
+        let u: f64 = dir.iter().zip(x).map(|(d, xi)| d * xi).sum();
+        let residual = self.config.residual_scale
+            * self.config.coeff_scale
+            * ((u * u - 1.0) / 2.0f64.sqrt());
+        linear + residual
+    }
+
+    fn sim_cost_hours(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::Schematic => self.config.sch_cost_hours,
+            Stage::PostLayout => self.config.lay_cost_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syn() -> SyntheticCircuit {
+        SyntheticCircuit::new(SyntheticConfig::default(), 42)
+    }
+
+    #[test]
+    fn coefficient_lengths() {
+        let s = syn();
+        assert_eq!(s.true_early_coeffs().len(), 51);
+        assert_eq!(s.true_late_coeffs().len(), 56);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SyntheticCircuit::new(SyntheticConfig::default(), 9);
+        let b = SyntheticCircuit::new(SyntheticConfig::default(), 9);
+        assert_eq!(a.true_late_coeffs(), b.true_late_coeffs());
+        let c = SyntheticCircuit::new(SyntheticConfig::default(), 10);
+        assert_ne!(a.true_late_coeffs(), c.true_late_coeffs());
+    }
+
+    #[test]
+    fn evaluation_matches_truth_up_to_residual() {
+        let s = syn();
+        let n = s.num_vars(Stage::PostLayout);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64 - 2.0) / 2.0).collect();
+        let f = s.evaluate(Stage::PostLayout, &x);
+        let linear = s.eval_linear(s.true_late_coeffs(), &x);
+        let bound = s.config().residual_scale
+            * s.config().coeff_scale
+            * (x.iter().map(|v| v * v).sum::<f64>() + 1.0);
+        assert!((f - linear).abs() <= bound, "residual exceeds bound");
+    }
+
+    #[test]
+    fn zero_shift_makes_stages_share_coefficients() {
+        let cfg = SyntheticConfig {
+            layout_shift_rel: 0.0,
+            layout_nominal_shift: 0.0,
+            ..SyntheticConfig::default()
+        };
+        let s = SyntheticCircuit::new(cfg, 3);
+        let e = s.true_early_coeffs();
+        let l = s.true_late_coeffs();
+        for (a, b) in e.iter().zip(l.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coefficients_have_decaying_spectrum() {
+        let s = syn();
+        let mut mags: Vec<f64> = s.true_early_coeffs()[1..]
+            .iter()
+            .map(|a| a.abs())
+            .collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top coefficient should dominate the median by a clear factor.
+        let median = mags[mags.len() / 2];
+        assert!(mags[0] > 5.0 * median, "spectrum not sparse enough");
+    }
+
+    #[test]
+    fn late_only_coefficients_are_nonzero() {
+        let s = syn();
+        let tail = &s.true_late_coeffs()[51..];
+        assert_eq!(tail.len(), 5);
+        assert!(tail.iter().all(|a| a.abs() > 0.0));
+    }
+
+    #[test]
+    fn sign_flips_follow_probability() {
+        let cfg = SyntheticConfig {
+            early_vars: 400,
+            sign_flip_prob: 0.5,
+            layout_shift_rel: 0.0,
+            ..SyntheticConfig::default()
+        };
+        let s = SyntheticCircuit::new(cfg, 11);
+        let flips = s.true_early_coeffs()[1..]
+            .iter()
+            .zip(&s.true_late_coeffs()[1..401])
+            .filter(|(e, l)| e.signum() != l.signum())
+            .count();
+        let frac = flips as f64 / 400.0;
+        assert!((frac - 0.5).abs() < 0.1, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn early_late_correlation_strong() {
+        let s = syn();
+        let e = &s.true_early_coeffs()[1..];
+        let l = &s.true_late_coeffs()[1..51];
+        let dot: f64 = e.iter().zip(l).map(|(a, b)| a * b).sum();
+        let na: f64 = e.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let nb: f64 = l.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let corr = dot / (na * nb);
+        assert!(corr > 0.95, "corr={corr}");
+    }
+}

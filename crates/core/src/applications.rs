@@ -1,0 +1,350 @@
+//! Downstream applications of fitted performance models.
+//!
+//! The paper motivates performance modeling by what the model is *for*
+//! (§I–II): "estimating parametric yield \[17\], extracting worst-case
+//! corner \[18\], optimizing circuit design". This module implements the
+//! first two on top of [`PerformanceModel`]:
+//!
+//! * [`yield_monte_carlo`] — parametric yield against a spec by sampling
+//!   the *model* (thousands of model evaluations cost what one circuit
+//!   simulation does),
+//! * [`yield_closed_form_linear`] — the exact yield of a linear model
+//!   (`f ~ N(α₀, Σ_{m>0} α_m²)` under the standard normal PDK
+//!   convention),
+//! * [`worst_case_corner`] — the variation point on a given sigma-sphere
+//!   that extremizes the performance, via conditional-gradient iterations
+//!   with analytic basis gradients (closed form for linear models).
+
+use bmf_stat::normal::{cdf, StandardNormal};
+use bmf_stat::rng::seeded;
+use serde::{Deserialize, Serialize};
+
+use crate::model::PerformanceModel;
+use crate::{BmfError, Result};
+
+/// A performance specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Spec {
+    /// Pass when `f ≤ limit` (e.g. power, delay).
+    UpperBound(f64),
+    /// Pass when `f ≥ limit` (e.g. gain, frequency).
+    LowerBound(f64),
+    /// Pass when `lo ≤ f ≤ hi`.
+    Window {
+        /// Lower acceptance limit.
+        lo: f64,
+        /// Upper acceptance limit.
+        hi: f64,
+    },
+}
+
+impl Spec {
+    /// Whether a performance value passes the spec.
+    pub fn passes(&self, f: f64) -> bool {
+        match *self {
+            Spec::UpperBound(limit) => f <= limit,
+            Spec::LowerBound(limit) => f >= limit,
+            Spec::Window { lo, hi } => f >= lo && f <= hi,
+        }
+    }
+}
+
+/// A Monte-Carlo yield estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldEstimate {
+    /// Estimated pass fraction in `[0, 1]`.
+    pub value: f64,
+    /// Binomial standard error of the estimate.
+    pub std_err: f64,
+    /// Number of model evaluations used.
+    pub samples: usize,
+}
+
+/// Estimates parametric yield by Monte-Carlo on the fitted model.
+///
+/// # Panics
+///
+/// Panics when `samples == 0`.
+///
+/// # Example
+///
+/// ```
+/// use bmf_basis::basis::OrthonormalBasis;
+/// use bmf_core::applications::{yield_monte_carlo, Spec};
+/// use bmf_core::model::PerformanceModel;
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let model = PerformanceModel::new(OrthonormalBasis::linear(1), vec![0.0, 1.0])?;
+/// let y = yield_monte_carlo(&model, &Spec::UpperBound(0.0), 20_000, 1);
+/// assert!((y.value - 0.5).abs() < 0.02); // P(N(0,1) <= 0) = 1/2
+/// # Ok(())
+/// # }
+/// ```
+pub fn yield_monte_carlo(
+    model: &PerformanceModel,
+    spec: &Spec,
+    samples: usize,
+    seed: u64,
+) -> YieldEstimate {
+    assert!(samples > 0, "need at least one sample");
+    let n_vars = model.basis().num_vars();
+    let mut rng = seeded(seed);
+    let mut sampler = StandardNormal::new();
+    let mut pass = 0usize;
+    let mut x = vec![0.0; n_vars];
+    for _ in 0..samples {
+        sampler.fill(&mut rng, &mut x);
+        if spec.passes(model.predict(&x)) {
+            pass += 1;
+        }
+    }
+    let p = pass as f64 / samples as f64;
+    YieldEstimate {
+        value: p,
+        std_err: (p * (1.0 - p) / samples as f64).sqrt(),
+        samples,
+    }
+}
+
+/// Exact yield of a *linear* model: under `x ~ N(0, I)` the performance is
+/// `N(α₀, Σ_{m>0} α_m²)`, so the yield is a Φ expression.
+///
+/// # Errors
+///
+/// Returns [`BmfError::InvalidConfig`] when the model has any nonlinear
+/// term (use [`yield_monte_carlo`] there) or when a window spec is
+/// inverted.
+pub fn yield_closed_form_linear(model: &PerformanceModel, spec: &Spec) -> Result<f64> {
+    let basis = model.basis();
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    for (term, &a) in basis.terms().iter().zip(model.coeffs()) {
+        if term.is_constant() {
+            mean += a;
+        } else if term.total_degree() == 1 {
+            var += a * a;
+        } else if a != 0.0 {
+            return Err(BmfError::InvalidConfig {
+                detail: format!(
+                    "closed-form yield requires a linear model; term {term} is nonlinear"
+                ),
+            });
+        }
+    }
+    let sigma = var.sqrt();
+    let phi = |t: f64| -> f64 {
+        if sigma == 0.0 {
+            if t >= 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            cdf(t / sigma)
+        }
+    };
+    Ok(match *spec {
+        Spec::UpperBound(limit) => phi(limit - mean),
+        Spec::LowerBound(limit) => 1.0 - phi(limit - mean),
+        Spec::Window { lo, hi } => {
+            if hi < lo {
+                return Err(BmfError::InvalidConfig {
+                    detail: format!("inverted window spec: [{lo}, {hi}]"),
+                });
+            }
+            phi(hi - mean) - phi(lo - mean)
+        }
+    })
+}
+
+/// A worst-case corner: the variation point on the sigma-sphere that
+/// extremizes the performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corner {
+    /// The corner point in variation space (‖x‖₂ = `sigma_radius`).
+    pub point: Vec<f64>,
+    /// Model value at the corner.
+    pub value: f64,
+}
+
+/// Extracts the worst-case corner on the sphere `‖x‖₂ = sigma_radius`:
+/// maximizes the model when `maximize`, minimizes otherwise.
+///
+/// Uses conditional-gradient iterations with the analytic basis gradient:
+/// `x ← r·∇f(x)/‖∇f(x)‖` (sign-adjusted). For a linear model the first
+/// iteration is exact (`x* = ±r·α/‖α‖` over the linear coefficients,
+/// the classical corner formula); for mildly nonlinear models a few
+/// iterations converge to a stationary point on the sphere.
+///
+/// # Panics
+///
+/// Panics when `sigma_radius` is not positive.
+///
+/// # Errors
+///
+/// Returns [`BmfError::InvalidConfig`] when the model has a zero gradient
+/// everywhere on the sphere (constant model).
+pub fn worst_case_corner(
+    model: &PerformanceModel,
+    sigma_radius: f64,
+    maximize: bool,
+    max_iters: usize,
+) -> Result<Corner> {
+    assert!(
+        sigma_radius > 0.0 && sigma_radius.is_finite(),
+        "sigma radius must be positive"
+    );
+    let basis = model.basis();
+    let n = basis.num_vars();
+    let sign = if maximize { 1.0 } else { -1.0 };
+
+    // Start from the gradient at the origin.
+    let mut x = vec![0.0; n];
+    let mut g = basis.model_gradient(model.coeffs(), &x);
+    if norm(&g) == 0.0 {
+        // Degenerate at the origin (e.g. pure even model): nudge.
+        x = vec![sigma_radius / (n as f64).sqrt(); n];
+        g = basis.model_gradient(model.coeffs(), &x);
+        if norm(&g) == 0.0 {
+            return Err(BmfError::InvalidConfig {
+                detail: "model gradient vanishes; no corner direction exists".into(),
+            });
+        }
+    }
+    project(&mut x, &g, sign, sigma_radius);
+    let mut value = model.predict(&x);
+
+    for _ in 0..max_iters.max(1) {
+        let g = basis.model_gradient(model.coeffs(), &x);
+        if norm(&g) == 0.0 {
+            break;
+        }
+        let mut next = x.clone();
+        project(&mut next, &g, sign, sigma_radius);
+        let next_value = model.predict(&next);
+        if sign * (next_value - value) <= 1e-14 * value.abs().max(1.0) {
+            break;
+        }
+        x = next;
+        value = next_value;
+    }
+    Ok(Corner { point: x, value })
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+fn project(x: &mut [f64], g: &[f64], sign: f64, r: f64) {
+    let n = norm(g);
+    for (xi, gi) in x.iter_mut().zip(g) {
+        *xi = sign * r * gi / n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_basis::basis::OrthonormalBasis;
+
+    fn linear_model(coeffs: Vec<f64>) -> PerformanceModel {
+        PerformanceModel::new(OrthonormalBasis::linear(coeffs.len() - 1), coeffs).unwrap()
+    }
+
+    #[test]
+    fn spec_predicates() {
+        assert!(Spec::UpperBound(1.0).passes(1.0));
+        assert!(!Spec::UpperBound(1.0).passes(1.1));
+        assert!(Spec::LowerBound(0.0).passes(0.0));
+        assert!(Spec::Window { lo: -1.0, hi: 1.0 }.passes(0.5));
+        assert!(!Spec::Window { lo: -1.0, hi: 1.0 }.passes(2.0));
+    }
+
+    #[test]
+    fn closed_form_matches_phi() {
+        // f = 1 + 2x: sigma = 2, P(f <= 3) = Phi(1).
+        let m = linear_model(vec![1.0, 2.0]);
+        let y = yield_closed_form_linear(&m, &Spec::UpperBound(3.0)).unwrap();
+        assert!((y - cdf(1.0)).abs() < 1e-9);
+        let y = yield_closed_form_linear(&m, &Spec::LowerBound(1.0)).unwrap();
+        assert!((y - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        let m = linear_model(vec![0.5, 1.0, -0.5, 0.25]);
+        let spec = Spec::Window { lo: -1.0, hi: 2.0 };
+        let exact = yield_closed_form_linear(&m, &spec).unwrap();
+        let mc = yield_monte_carlo(&m, &spec, 50_000, 9);
+        assert!(
+            (mc.value - exact).abs() < 4.0 * mc.std_err + 1e-3,
+            "mc {} vs exact {exact}",
+            mc.value
+        );
+    }
+
+    #[test]
+    fn closed_form_rejects_nonlinear() {
+        let basis = OrthonormalBasis::total_degree(2, 2, 100);
+        let mut coeffs = vec![0.0; basis.len()];
+        coeffs[0] = 1.0;
+        coeffs[3] = 0.5; // he2 term
+        let m = PerformanceModel::new(basis, coeffs).unwrap();
+        assert!(matches!(
+            yield_closed_form_linear(&m, &Spec::UpperBound(0.0)),
+            Err(BmfError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_sigma_yield() {
+        let m = linear_model(vec![1.0, 0.0]);
+        assert_eq!(
+            yield_closed_form_linear(&m, &Spec::UpperBound(2.0)).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            yield_closed_form_linear(&m, &Spec::UpperBound(0.5)).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn inverted_window_rejected() {
+        let m = linear_model(vec![0.0, 1.0]);
+        assert!(yield_closed_form_linear(&m, &Spec::Window { lo: 1.0, hi: -1.0 }).is_err());
+    }
+
+    #[test]
+    fn linear_corner_is_classical_formula() {
+        let m = linear_model(vec![10.0, 3.0, -4.0]);
+        let c = worst_case_corner(&m, 3.0, true, 5).unwrap();
+        // x* = 3 * (3, -4)/5 = (1.8, -2.4); value = 10 + 3*1.8 + 4*2.4 = 25.
+        assert!((c.point[0] - 1.8).abs() < 1e-12);
+        assert!((c.point[1] + 2.4).abs() < 1e-12);
+        assert!((c.value - 25.0).abs() < 1e-12);
+        let worst_low = worst_case_corner(&m, 3.0, false, 5).unwrap();
+        assert!((worst_low.value + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_stays_on_sphere_for_nonlinear_model() {
+        let basis = OrthonormalBasis::total_degree(2, 2, 100);
+        let mut coeffs = vec![0.0; basis.len()];
+        coeffs[1] = 1.0; // x0
+        coeffs[4] = 0.3; // x0*x1
+        let m = PerformanceModel::new(basis, coeffs).unwrap();
+        let c = worst_case_corner(&m, 2.0, true, 50).unwrap();
+        let r: f64 = c.point.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((r - 2.0).abs() < 1e-9, "corner off the sphere: {r}");
+        // A corner must beat the nominal point.
+        assert!(c.value > m.predict(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn constant_model_has_no_corner() {
+        let basis = OrthonormalBasis::linear(2);
+        let m = PerformanceModel::new(basis, vec![5.0, 0.0, 0.0]).unwrap();
+        assert!(worst_case_corner(&m, 1.0, true, 5).is_err());
+    }
+}

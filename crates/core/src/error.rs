@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+use bmf_linalg::LinalgError;
+
+/// Errors produced by the BMF fitting pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BmfError {
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// Sample points/values disagree in count, or a point has the wrong
+    /// dimension.
+    SampleShape {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// The prior length does not match the basis size.
+    PriorShape {
+        /// Number of basis terms.
+        basis_terms: usize,
+        /// Number of prior entries supplied.
+        prior_entries: usize,
+    },
+    /// Not enough samples for the requested operation (e.g. fewer samples
+    /// than cross-validation folds, or fewer than the number of
+    /// missing-prior coefficients).
+    NotEnoughSamples {
+        /// Samples available.
+        available: usize,
+        /// Samples required.
+        required: usize,
+        /// What needed them.
+        context: &'static str,
+    },
+    /// A hyper-parameter grid or configuration value is invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            BmfError::SampleShape { detail } => write!(f, "sample shape mismatch: {detail}"),
+            BmfError::PriorShape {
+                basis_terms,
+                prior_entries,
+            } => write!(
+                f,
+                "prior has {prior_entries} entries but the basis has {basis_terms} terms"
+            ),
+            BmfError::NotEnoughSamples {
+                available,
+                required,
+                context,
+            } => write!(
+                f,
+                "{context} needs at least {required} samples, got {available}"
+            ),
+            BmfError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for BmfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BmfError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for BmfError {
+    fn from(e: LinalgError) -> Self {
+        BmfError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BmfError::from(LinalgError::Singular { pivot: 3 });
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        let e2 = BmfError::PriorShape {
+            basis_terms: 10,
+            prior_entries: 8,
+        };
+        assert!(e2.to_string().contains("10"));
+        assert!(e2.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<BmfError>();
+    }
+}

@@ -1,0 +1,431 @@
+//! The top-level BMF fitter — Algorithm 1 of the paper.
+//!
+//! [`BmfFitter`] packages the full flow:
+//!
+//! 1. define the prior from the early-stage model coefficients (step 1),
+//!    optionally through the multifinger prior mapping of §IV-A (step 2)
+//!    and with missing-prior entries for late-only basis functions (step 3);
+//! 2. take the K late-stage samples (step 4);
+//! 3. select the prior family and hyper-parameter by N-fold
+//!    cross-validation (§IV-D), then solve the MAP estimate with the fast
+//!    low-rank solver (step 5).
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_basis::expansion::ExpandedBasis;
+use bmf_linalg::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::hyper::CvConfig;
+use crate::map_estimate::{map_estimate, SolverKind};
+use crate::model::PerformanceModel;
+use crate::prior::{Prior, PriorKind};
+use crate::select::{select_prior, PriorSelection, SelectionOutcome};
+use crate::{BmfError, Result};
+
+/// Builder for a BMF late-stage fit.
+///
+/// See the [crate-level example](crate) for basic use; the
+/// [`BmfFitter::from_mapped_early_model`] constructor covers the
+/// multifinger case.
+#[derive(Debug, Clone)]
+pub struct BmfFitter {
+    basis: OrthonormalBasis,
+    prior_values: Vec<Option<f64>>,
+    selection: PriorSelection,
+    solver: SolverKind,
+    cv: CvConfig,
+}
+
+/// Everything a completed fit reports.
+#[derive(Debug, Clone)]
+pub struct BmfFit {
+    /// The fitted late-stage model.
+    pub model: PerformanceModel,
+    /// The selected prior family.
+    pub prior_kind: PriorKind,
+    /// The selected hyper-parameter (`σ₀²` or `η`).
+    pub hyper: f64,
+    /// Cross-validation error of the selected configuration (an estimate
+    /// of the relative modeling error, eq. 59).
+    pub cv_error: f64,
+    /// The full selection record (per-grid-point errors for both priors).
+    pub selection: SelectionOutcome,
+}
+
+/// Serializable summary of a fit (for experiment reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BmfFitSummary {
+    /// The selected prior family.
+    pub prior_kind: PriorKind,
+    /// The selected hyper-parameter.
+    pub hyper: f64,
+    /// Cross-validation error estimate.
+    pub cv_error: f64,
+    /// Number of basis terms.
+    pub terms: usize,
+}
+
+impl BmfFit {
+    /// A serializable summary of this fit.
+    pub fn summary(&self) -> BmfFitSummary {
+        BmfFitSummary {
+            prior_kind: self.prior_kind,
+            hyper: self.hyper,
+            cv_error: self.cv_error,
+            terms: self.model.basis().len(),
+        }
+    }
+}
+
+impl BmfFitter {
+    /// Creates a fitter for `basis` with per-term early-stage coefficient
+    /// knowledge (`None` = missing prior, §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::PriorShape`] when `early.len() != basis.len()`.
+    pub fn new(basis: OrthonormalBasis, early: Vec<Option<f64>>) -> Result<Self> {
+        if early.len() != basis.len() {
+            return Err(BmfError::PriorShape {
+                basis_terms: basis.len(),
+                prior_entries: early.len(),
+            });
+        }
+        Ok(BmfFitter {
+            basis,
+            prior_values: early,
+            selection: PriorSelection::Auto,
+            solver: SolverKind::Fast,
+            cv: CvConfig::default(),
+        })
+    }
+
+    /// Creates a fitter whose basis and prior both come from an
+    /// early-stage model: the late-stage basis equals the early basis and
+    /// every coefficient has prior knowledge.
+    pub fn from_early_model(early_model: &PerformanceModel) -> Self {
+        BmfFitter {
+            basis: early_model.basis().clone(),
+            prior_values: early_model.coeffs().iter().map(|&a| Some(a)).collect(),
+            selection: PriorSelection::Auto,
+            solver: SolverKind::Fast,
+            cv: CvConfig::default(),
+        }
+    }
+
+    /// Creates a fitter for a multifinger post-layout basis (§IV-A): the
+    /// schematic coefficients are mapped through `β = α_E/√T_m` (eq. 49)
+    /// onto `expansion.basis()`, and `extra` additional basis terms are
+    /// appended with missing priors (§IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::PriorShape`] when `schematic_coeffs` does not
+    /// match the expansion.
+    pub fn from_mapped_early_model(
+        expansion: &ExpandedBasis,
+        schematic_coeffs: &[f64],
+        extra: Vec<bmf_basis::multi_index::MultiIndex>,
+    ) -> Result<Self> {
+        let prior = Prior::mapped(
+            PriorKind::NonZeroMean,
+            expansion,
+            schematic_coeffs,
+            extra.len(),
+        )?;
+        let mut terms = expansion.basis().terms().to_vec();
+        let num_vars = expansion.basis().num_vars();
+        terms.extend(extra);
+        let basis = OrthonormalBasis::from_terms(num_vars, terms);
+        Ok(BmfFitter {
+            basis,
+            prior_values: prior.early_values().to_vec(),
+            selection: PriorSelection::Auto,
+            solver: SolverKind::Fast,
+            cv: CvConfig::default(),
+        })
+    }
+
+    /// Sets the prior-family policy (default: [`PriorSelection::Auto`],
+    /// i.e. BMF-PS).
+    pub fn prior_selection(mut self, selection: PriorSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the MAP solver (default: [`SolverKind::Fast`]).
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the cross-validation fold count.
+    pub fn folds(mut self, folds: usize) -> Self {
+        self.cv.folds = folds;
+        self
+    }
+
+    /// Sets the hyper-parameter grid.
+    pub fn hyper_grid(mut self, grid: Vec<f64>) -> Self {
+        self.cv.grid = grid;
+        self
+    }
+
+    /// Sets the cross-validation shuffle seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cv.seed = seed;
+        self
+    }
+
+    /// The late-stage basis this fitter will fit over.
+    pub fn basis(&self) -> &OrthonormalBasis {
+        &self.basis
+    }
+
+    /// Runs Algorithm 1 on K late-stage samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::SampleShape`] when points/values disagree or a point
+    ///   has the wrong dimension (panics on dimension inside the basis —
+    ///   length mismatches between points and values are errors).
+    /// * [`BmfError::NotEnoughSamples`] when K is too small for the folds
+    ///   or the missing-prior block.
+    /// * [`BmfError::Linalg`] on numerical failure.
+    pub fn fit(&self, points: &[Vec<f64>], values: &[f64]) -> Result<BmfFit> {
+        if points.len() != values.len() {
+            return Err(BmfError::SampleShape {
+                detail: format!("{} points vs {} values", points.len(), values.len()),
+            });
+        }
+        let g = self
+            .basis
+            .design_matrix(points.iter().map(|p| p.as_slice()));
+
+        // Normalize the response (and the prior with it) so the problem is
+        // dimensionless: raw physical units (hertz, watts) would otherwise
+        // put the intercept prior variance tens of decades above the other
+        // coefficients, wrecking both the conditioning of the MAP system
+        // and the meaning of the fixed hyper-parameter grid. The relative
+        // error (eq. 59) and the returned coefficients are unaffected —
+        // coefficients are rescaled on the way out. The reported `hyper`
+        // lives in the normalized space.
+        let scale = response_scale(values);
+        let f = Vector::from_fn(values.len(), |i| values[i] / scale);
+        let prior = Prior::new(
+            PriorKind::ZeroMean,
+            self.prior_values
+                .iter()
+                .map(|v| v.map(|a| a / scale))
+                .collect(),
+        );
+
+        let selection = select_prior(&g, &f, &prior, self.selection, &self.cv)?;
+        let chosen = prior.with_kind(selection.kind);
+        let alpha = map_estimate(&g, &f, &chosen, selection.hyper, self.solver)?;
+        let coeffs: Vec<f64> = alpha.iter().map(|a| a * scale).collect();
+        let model = PerformanceModel::new(self.basis.clone(), coeffs)?;
+        Ok(BmfFit {
+            model,
+            prior_kind: selection.kind,
+            hyper: selection.hyper,
+            cv_error: selection.cv_error,
+            selection,
+        })
+    }
+}
+
+/// RMS of the response values, used to normalize the fitting problem.
+/// Falls back to 1.0 for an all-zero (or empty) response.
+pub fn response_scale(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let rms = (values.iter().map(|v| v * v).sum::<f64>() / values.len() as f64).sqrt();
+    if rms > 0.0 && rms.is_finite() {
+        rms
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_basis::expansion::FingerExpansion;
+    use bmf_basis::multi_index::MultiIndex;
+    use bmf_stat::normal::StandardNormal;
+    use bmf_stat::rng::seeded;
+
+    fn points(k: usize, r: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = seeded(seed);
+        let mut s = StandardNormal::new();
+        (0..k).map(|_| s.sample_vec(&mut rng, r)).collect()
+    }
+
+    #[test]
+    fn few_samples_with_good_prior_beat_no_prior() {
+        // M = 41 coefficients, K = 12 samples. The early model is a mildly
+        // perturbed truth; BMF should fit well where LS cannot even run.
+        let r = 40;
+        let basis = OrthonormalBasis::linear(r);
+        let truth: Vec<f64> = (0..=r)
+            .map(|i| if i == 0 { 5.0 } else { 2.0 / (i as f64).powf(1.2) })
+            .collect();
+        let eval = |p: &[f64]| -> f64 {
+            truth[0] + p.iter().enumerate().map(|(i, x)| truth[i + 1] * x).sum::<f64>()
+        };
+        let early: Vec<Option<f64>> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Some(t * (1.0 + 0.1 * ((i * 7) as f64).sin())))
+            .collect();
+        let train = points(12, r, 1);
+        let train_vals: Vec<f64> = train.iter().map(|p| eval(p)).collect();
+        let fit = BmfFitter::new(basis, early)
+            .unwrap()
+            .folds(4)
+            .seed(9)
+            .fit(&train, &train_vals)
+            .unwrap();
+        let test = points(100, r, 2);
+        let test_vals: Vec<f64> = test.iter().map(|p| eval(p)).collect();
+        let err = fit
+            .model
+            .relative_error(test.iter().map(|p| p.as_slice()), &test_vals)
+            .unwrap();
+        assert!(err < 0.05, "BMF error too high: {err}");
+    }
+
+    #[test]
+    fn missing_prior_terms_are_learned() {
+        // Basis term without early knowledge gets identified from data.
+        let r = 10;
+        let basis = OrthonormalBasis::linear(r);
+        let eval = |p: &[f64]| 1.0 + 0.5 * p[0] + 2.0 * p[9];
+        let mut early: Vec<Option<f64>> = vec![
+            Some(1.0),
+            Some(0.5),
+        ];
+        early.extend(std::iter::repeat_n(Some(0.01), r - 2));
+        early.push(None); // x10 has no early knowledge
+        let train = points(20, r, 3);
+        let train_vals: Vec<f64> = train.iter().map(|p| eval(p)).collect();
+        let fit = BmfFitter::new(basis, early)
+            .unwrap()
+            .folds(4)
+            .fit(&train, &train_vals)
+            .unwrap();
+        let c = fit.model.coeffs();
+        assert!((c[r] - 2.0).abs() < 0.2, "missing-prior coeff: {}", c[r]);
+    }
+
+    #[test]
+    fn from_early_model_roundtrip() {
+        let basis = OrthonormalBasis::linear(3);
+        let early_model =
+            PerformanceModel::new(basis.clone(), vec![1.0, 0.3, -0.2, 0.05]).unwrap();
+        let fitter = BmfFitter::from_early_model(&early_model);
+        assert_eq!(fitter.basis().len(), 4);
+        let train = points(10, 3, 4);
+        let vals: Vec<f64> = train.iter().map(|p| early_model.predict(p) * 1.1).collect();
+        let fit = fitter.folds(3).fit(&train, &vals).unwrap();
+        // Late model ~ 1.1 x early model.
+        let p = [0.5, -0.5, 1.0];
+        assert!((fit.model.predict(&p) - early_model.predict(&p) * 1.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn mapped_fitter_builds_layout_basis_with_extras() {
+        let exp = FingerExpansion::new(vec![2, 2]).unwrap();
+        let schematic = OrthonormalBasis::linear(2);
+        let expanded = exp.expand_basis(&schematic).unwrap();
+        // Layout basis gets one extra parasitic-ish term on a new... the
+        // expansion has 4 layout vars; add a cross term as the extra.
+        let extra = vec![MultiIndex::from_pairs(&[(0, 1), (2, 1)])];
+        let fitter =
+            BmfFitter::from_mapped_early_model(&expanded, &[1.0, 2.0, -1.0], extra).unwrap();
+        assert_eq!(fitter.basis().len(), 6); // 5 mapped + 1 extra
+        let prior_missing = fitter
+            .prior_values
+            .iter()
+            .filter(|v| v.is_none())
+            .count();
+        assert_eq!(prior_missing, 1);
+    }
+
+    #[test]
+    fn solver_choice_does_not_change_result() {
+        let r = 15;
+        let basis = OrthonormalBasis::linear(r);
+        let truth: Vec<f64> = (0..=r).map(|i| (i as f64 * 0.7).cos()).collect();
+        let eval = |p: &[f64]| -> f64 {
+            truth[0] + p.iter().enumerate().map(|(i, x)| truth[i + 1] * x).sum::<f64>()
+        };
+        let early: Vec<Option<f64>> = truth.iter().map(|&t| Some(t)).collect();
+        let train = points(10, r, 5);
+        let vals: Vec<f64> = train.iter().map(|p| eval(p)).collect();
+        let fast = BmfFitter::new(basis.clone(), early.clone())
+            .unwrap()
+            .fit(&train, &vals)
+            .unwrap();
+        let direct = BmfFitter::new(basis, early)
+            .unwrap()
+            .solver(SolverKind::Direct)
+            .fit(&train, &vals)
+            .unwrap();
+        for (a, b) in fast.model.coeffs().iter().zip(direct.model.coeffs()) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+        assert_eq!(fast.prior_kind, direct.prior_kind);
+    }
+
+    #[test]
+    fn physical_units_are_handled_by_normalization() {
+        // GHz-scale response with a GHz-scale intercept prior: without
+        // response normalization the MAP system is numerically singular
+        // and the hyper grid meaningless.
+        let r = 20;
+        let basis = OrthonormalBasis::linear(r);
+        let truth: Vec<f64> = std::iter::once(5.0e9)
+            .chain((1..=r).map(|i| 2.0e7 / (i as f64)))
+            .collect();
+        let eval = |p: &[f64]| -> f64 {
+            truth[0] + p.iter().enumerate().map(|(i, x)| truth[i + 1] * x).sum::<f64>()
+        };
+        let mut early: Vec<Option<f64>> = truth.iter().map(|&t| Some(t * 1.05)).collect();
+        early[r] = None; // one missing-prior coefficient too
+        let train = points(14, r, 8);
+        let vals: Vec<f64> = train.iter().map(|p| eval(p)).collect();
+        let fit = BmfFitter::new(basis, early)
+            .unwrap()
+            .folds(4)
+            .fit(&train, &vals)
+            .unwrap();
+        let test = points(50, r, 9);
+        let tvals: Vec<f64> = test.iter().map(|p| eval(p)).collect();
+        let err = fit
+            .model
+            .relative_error(test.iter().map(|p| p.as_slice()), &tvals)
+            .unwrap();
+        assert!(err < 1e-3, "error {err} too high for near-exact prior");
+    }
+
+    #[test]
+    fn response_scale_handles_edge_cases() {
+        assert_eq!(response_scale(&[]), 1.0);
+        assert_eq!(response_scale(&[0.0, 0.0]), 1.0);
+        assert!((response_scale(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let basis = OrthonormalBasis::linear(2);
+        assert!(BmfFitter::new(basis.clone(), vec![Some(1.0)]).is_err());
+        let fitter = BmfFitter::new(basis, vec![Some(1.0); 3]).unwrap();
+        assert!(matches!(
+            fitter.fit(&[vec![0.0, 0.0]], &[1.0, 2.0]),
+            Err(BmfError::SampleShape { .. })
+        ));
+    }
+}

@@ -1,0 +1,423 @@
+//! Hyper-parameter selection by N-fold cross-validation (§IV-D).
+//!
+//! The hyper-parameter (`σ₀²` for the zero-mean prior, `η = σ₀²/λ²` for
+//! the nonzero-mean prior) controls how strongly the prior is weighted
+//! against the late-stage data. Following the paper, it is chosen from a
+//! grid by N-fold cross-validation: split the K training samples into N
+//! non-overlapping groups; fit on N−1 groups, estimate the relative error
+//! (eq. 59) on the held-out group; average over the N rotations; pick the
+//! grid value with the smallest mean error.
+//!
+//! Each fold builds one [`MapSweep`], so adding grid points costs only a
+//! K×K factorization each, not a full Θ(K²M) rebuild.
+
+use bmf_linalg::{Matrix, Vector};
+use bmf_stat::crossval::KFold;
+use serde::{Deserialize, Serialize};
+
+use crate::map_estimate::MapSweep;
+use crate::prior::Prior;
+use crate::{BmfError, Result};
+
+/// Cross-validation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvConfig {
+    /// Number of folds (the paper's `N`).
+    pub folds: usize,
+    /// Candidate hyper-parameter values. Must be positive.
+    pub grid: Vec<f64>,
+    /// Seed for the fold shuffle.
+    pub seed: u64,
+}
+
+impl Default for CvConfig {
+    fn default() -> Self {
+        CvConfig {
+            folds: 5,
+            grid: log_grid(1e-4, 1e4, 17),
+            seed: 0,
+        }
+    }
+}
+
+/// Builds a logarithmically spaced grid from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics when `lo` or `hi` is not positive, or `n < 2`.
+///
+/// ```
+/// let g = bmf_core::hyper::log_grid(0.01, 100.0, 5);
+/// assert_eq!(g.len(), 5);
+/// assert!((g[2] - 1.0).abs() < 1e-12);
+/// ```
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert!(n >= 2, "need at least two grid points");
+    let llo = lo.ln();
+    let lhi = hi.ln();
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Outcome of a cross-validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvOutcome {
+    /// The grid value with the lowest mean validation error.
+    pub best_hyper: f64,
+    /// The corresponding mean validation error.
+    pub best_error: f64,
+    /// Mean validation error for every grid value, in grid order.
+    pub errors: Vec<(f64, f64)>,
+}
+
+/// Cross-validates the MAP hyper-parameter on an explicit design matrix.
+///
+/// # Errors
+///
+/// * [`BmfError::InvalidConfig`] for an empty or non-positive grid, or
+///   fewer than 2 folds.
+/// * [`BmfError::NotEnoughSamples`] when `K < folds` or a fold leaves too
+///   few samples to identify the missing-prior coefficients.
+/// * [`BmfError::Linalg`] when every grid value fails structurally.
+pub fn cross_validate_hyper(
+    g: &Matrix,
+    f: &Vector,
+    prior: &Prior,
+    config: &CvConfig,
+) -> Result<CvOutcome> {
+    if config.grid.is_empty() || config.grid.iter().any(|&h| !(h > 0.0) || !h.is_finite()) {
+        return Err(BmfError::InvalidConfig {
+            detail: "hyper-parameter grid must be non-empty and positive".into(),
+        });
+    }
+    if config.folds < 2 {
+        return Err(BmfError::InvalidConfig {
+            detail: format!("need at least 2 folds, got {}", config.folds),
+        });
+    }
+    let k = g.nrows();
+    if f.len() != k {
+        return Err(BmfError::SampleShape {
+            detail: format!("{k} design rows vs {} values", f.len()),
+        });
+    }
+    let kfold =
+        KFold::new(k, config.folds, config.seed).map_err(|_| BmfError::NotEnoughSamples {
+            available: k,
+            required: config.folds,
+            context: "cross-validation folds",
+        })?;
+
+    let mut sums = vec![0.0f64; config.grid.len()];
+    let mut counts = vec![0usize; config.grid.len()];
+    for fold in kfold.folds() {
+        let g_train = select_rows(g, &fold.train);
+        let f_train = Vector::from_fn(fold.train.len(), |i| f[fold.train[i]]);
+        let g_val = select_rows(g, &fold.validate);
+        let f_val = Vector::from_fn(fold.validate.len(), |i| f[fold.validate[i]]);
+        let val_norm = f_val.norm2().max(f64::MIN_POSITIVE);
+
+        let sweep = match MapSweep::new(&g_train, prior) {
+            Ok(s) => s,
+            // A fold may be too small for the missing-prior block; skip it.
+            Err(BmfError::NotEnoughSamples { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        for (gi, &h) in config.grid.iter().enumerate() {
+            let alpha = match sweep.solve(&f_train, h) {
+                Ok(a) => a,
+                Err(BmfError::Linalg(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let pred = g_val.matvec(&alpha)?;
+            let err = pred.sub(&f_val)?.norm2() / val_norm;
+            sums[gi] += err;
+            counts[gi] += 1;
+        }
+    }
+
+    let mut errors = Vec::with_capacity(config.grid.len());
+    let mut best: Option<(f64, f64)> = None;
+    for (gi, &h) in config.grid.iter().enumerate() {
+        if counts[gi] == 0 {
+            continue;
+        }
+        let mean = sums[gi] / counts[gi] as f64;
+        errors.push((h, mean));
+        if best.is_none_or(|(_, e)| mean < e) {
+            best = Some((h, mean));
+        }
+    }
+    let (best_hyper, best_error) = best.ok_or(BmfError::NotEnoughSamples {
+        available: k,
+        required: config.folds,
+        context: "cross-validation (all folds degenerate)",
+    })?;
+    Ok(CvOutcome {
+        best_hyper,
+        best_error,
+        errors,
+    })
+}
+
+/// Cross-validates *both* prior families over the grid in one pass,
+/// sharing the expensive per-fold Woodbury kernels (which depend only on
+/// the prior precisions, identical for the two families).
+///
+/// Returns `(zero_mean, nonzero_mean)` outcomes. This is what BMF-PS uses
+/// internally; it is ~2× cheaper than calling
+/// [`cross_validate_hyper`] twice.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_validate_hyper`].
+pub fn cross_validate_both(
+    g: &Matrix,
+    f: &Vector,
+    prior: &Prior,
+    config: &CvConfig,
+) -> Result<(CvOutcome, CvOutcome)> {
+    use crate::prior::PriorKind;
+
+    if config.grid.is_empty() || config.grid.iter().any(|&h| !(h > 0.0) || !h.is_finite()) {
+        return Err(BmfError::InvalidConfig {
+            detail: "hyper-parameter grid must be non-empty and positive".into(),
+        });
+    }
+    if config.folds < 2 {
+        return Err(BmfError::InvalidConfig {
+            detail: format!("need at least 2 folds, got {}", config.folds),
+        });
+    }
+    let k = g.nrows();
+    if f.len() != k {
+        return Err(BmfError::SampleShape {
+            detail: format!("{k} design rows vs {} values", f.len()),
+        });
+    }
+    let kfold =
+        KFold::new(k, config.folds, config.seed).map_err(|_| BmfError::NotEnoughSamples {
+            available: k,
+            required: config.folds,
+            context: "cross-validation folds",
+        })?;
+
+    // Build sweeps from the nonzero-mean view so prior means are cached;
+    // the zero-mean solves reuse the same kernels with the mean dropped.
+    let nzm_prior = prior.with_kind(PriorKind::NonZeroMean);
+    let kinds = [PriorKind::ZeroMean, PriorKind::NonZeroMean];
+    let mut sums = [vec![0.0f64; config.grid.len()], vec![0.0f64; config.grid.len()]];
+    let mut counts = [vec![0usize; config.grid.len()], vec![0usize; config.grid.len()]];
+
+    for fold in kfold.folds() {
+        let g_train = select_rows(g, &fold.train);
+        let f_train = Vector::from_fn(fold.train.len(), |i| f[fold.train[i]]);
+        let g_val = select_rows(g, &fold.validate);
+        let f_val = Vector::from_fn(fold.validate.len(), |i| f[fold.validate[i]]);
+        let val_norm = f_val.norm2().max(f64::MIN_POSITIVE);
+
+        let sweep = match MapSweep::new(&g_train, &nzm_prior) {
+            Ok(s) => s,
+            Err(BmfError::NotEnoughSamples { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        for (gi, &h) in config.grid.iter().enumerate() {
+            for (ki, &kind) in kinds.iter().enumerate() {
+                let alpha = match sweep.solve_with_kind(&f_train, h, kind) {
+                    Ok(a) => a,
+                    Err(BmfError::Linalg(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                let pred = g_val.matvec(&alpha)?;
+                let err = pred.sub(&f_val)?.norm2() / val_norm;
+                sums[ki][gi] += err;
+                counts[ki][gi] += 1;
+            }
+        }
+    }
+
+    let mut outcomes = Vec::with_capacity(2);
+    for ki in 0..2 {
+        let mut errors = Vec::new();
+        let mut best: Option<(f64, f64)> = None;
+        for (gi, &h) in config.grid.iter().enumerate() {
+            if counts[ki][gi] == 0 {
+                continue;
+            }
+            let mean = sums[ki][gi] / counts[ki][gi] as f64;
+            errors.push((h, mean));
+            if best.is_none_or(|(_, e)| mean < e) {
+                best = Some((h, mean));
+            }
+        }
+        let (best_hyper, best_error) = best.ok_or(BmfError::NotEnoughSamples {
+            available: k,
+            required: config.folds,
+            context: "cross-validation (all folds degenerate)",
+        })?;
+        outcomes.push(CvOutcome {
+            best_hyper,
+            best_error,
+            errors,
+        });
+    }
+    let nzm = outcomes.pop().expect("two outcomes");
+    let zm = outcomes.pop().expect("two outcomes");
+    Ok((zm, nzm))
+}
+
+pub(crate) fn select_rows(g: &Matrix, rows: &[usize]) -> Matrix {
+    Matrix::from_fn(rows.len(), g.ncols(), |i, j| g[(rows[i], j)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::PriorKind;
+    use bmf_stat::normal::StandardNormal;
+    use bmf_stat::rng::seeded;
+
+    fn design(k: usize, m: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        let mut s = StandardNormal::new();
+        Matrix::from_fn(k, m, |_, _| s.sample(&mut rng))
+    }
+
+    #[test]
+    fn log_grid_endpoints() {
+        let g = log_grid(0.1, 10.0, 3);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[1] - 1.0).abs() < 1e-12);
+        assert!((g[2] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accurate_prior_drives_hyper_up() {
+        // When the early model equals the truth, CV should prefer a large
+        // hyper (trust the prior); when it is garbage, a small one.
+        let m = 25;
+        let k = 20;
+        let g = design(k, m, 1);
+        let truth: Vec<f64> = (0..m).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let f = g.matvec(&Vector::from(truth.clone())).unwrap();
+
+        let good = Prior::from_coeffs(PriorKind::NonZeroMean, &truth);
+        let cfg = CvConfig {
+            folds: 4,
+            grid: log_grid(1e-3, 1e3, 13),
+            seed: 3,
+        };
+        let out_good = cross_validate_hyper(&g, &f, &good, &cfg).unwrap();
+
+        let garbage: Vec<f64> = truth.iter().map(|t| -t * 3.0 + 0.7).collect();
+        let bad = Prior::from_coeffs(PriorKind::NonZeroMean, &garbage);
+        let out_bad = cross_validate_hyper(&g, &f, &bad, &cfg).unwrap();
+
+        assert!(
+            out_good.best_hyper > out_bad.best_hyper,
+            "good prior should be trusted more: {} vs {}",
+            out_good.best_hyper,
+            out_bad.best_hyper
+        );
+        assert!(out_good.best_error < out_bad.best_error);
+    }
+
+    #[test]
+    fn best_is_argmin_of_reported_errors() {
+        let m = 10;
+        let g = design(12, m, 2);
+        let truth: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).sin()).collect();
+        let f = g.matvec(&Vector::from(truth.clone())).unwrap();
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &truth);
+        let out =
+            cross_validate_hyper(&g, &f, &prior, &CvConfig::default()).unwrap();
+        let min = out
+            .errors
+            .iter()
+            .fold(f64::INFINITY, |acc, &(_, e)| acc.min(e));
+        assert!((out.best_error - min).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = design(10, 8, 4);
+        let f = Vector::from_fn(10, |i| i as f64);
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 8]);
+        let cfg = CvConfig::default();
+        let a = cross_validate_hyper(&g, &f, &prior, &cfg).unwrap();
+        let b = cross_validate_hyper(&g, &f, &prior, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        let g = design(10, 4, 5);
+        let f = Vector::zeros(10);
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 4]);
+        let empty = CvConfig {
+            grid: vec![],
+            ..CvConfig::default()
+        };
+        assert!(matches!(
+            cross_validate_hyper(&g, &f, &prior, &empty),
+            Err(BmfError::InvalidConfig { .. })
+        ));
+        let one_fold = CvConfig {
+            folds: 1,
+            ..CvConfig::default()
+        };
+        assert!(matches!(
+            cross_validate_hyper(&g, &f, &prior, &one_fold),
+            Err(BmfError::InvalidConfig { .. })
+        ));
+        let neg = CvConfig {
+            grid: vec![-1.0],
+            ..CvConfig::default()
+        };
+        assert!(matches!(
+            cross_validate_hyper(&g, &f, &prior, &neg),
+            Err(BmfError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn both_matches_individual_runs() {
+        let m = 14;
+        let g = design(16, m, 7);
+        let truth: Vec<f64> = (0..m).map(|i| 0.8 / (1.0 + i as f64)).collect();
+        let f = g.matvec(&Vector::from(truth.clone())).unwrap();
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &truth);
+        let cfg = CvConfig {
+            folds: 4,
+            grid: log_grid(1e-2, 1e2, 7),
+            seed: 5,
+        };
+        let (zm, nzm) = cross_validate_both(&g, &f, &prior, &cfg).unwrap();
+        let zm_solo =
+            cross_validate_hyper(&g, &f, &prior.with_kind(PriorKind::ZeroMean), &cfg).unwrap();
+        let nzm_solo =
+            cross_validate_hyper(&g, &f, &prior.with_kind(PriorKind::NonZeroMean), &cfg)
+                .unwrap();
+        assert_eq!(zm.best_hyper, zm_solo.best_hyper);
+        assert!((zm.best_error - zm_solo.best_error).abs() < 1e-12);
+        assert_eq!(nzm.best_hyper, nzm_solo.best_hyper);
+        assert!((nzm.best_error - nzm_solo.best_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_samples_for_folds() {
+        let g = design(3, 4, 6);
+        let f = Vector::zeros(3);
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 4]);
+        let cfg = CvConfig {
+            folds: 5,
+            ..CvConfig::default()
+        };
+        assert!(matches!(
+            cross_validate_hyper(&g, &f, &prior, &cfg),
+            Err(BmfError::NotEnoughSamples { .. })
+        ));
+    }
+}

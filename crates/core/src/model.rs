@@ -1,0 +1,173 @@
+//! Fitted performance models.
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_stat::summary::relative_l2_error;
+
+use crate::{BmfError, Result};
+
+/// A fitted performance model `f(x) ≈ Σ_m α_m g_m(x)` (eq. 2 of the
+/// paper): an orthonormal Hermite basis plus one coefficient per term.
+///
+/// # Example
+///
+/// ```
+/// use bmf_basis::basis::OrthonormalBasis;
+/// use bmf_core::model::PerformanceModel;
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let basis = OrthonormalBasis::linear(2);
+/// let model = PerformanceModel::new(basis, vec![1.0, 2.0, -1.0])?;
+/// assert_eq!(model.predict(&[0.5, 0.25]), 1.0 + 1.0 - 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceModel {
+    basis: OrthonormalBasis,
+    coeffs: Vec<f64>,
+}
+
+impl PerformanceModel {
+    /// Creates a model from a basis and matching coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::PriorShape`] when the coefficient count differs
+    /// from the basis size.
+    pub fn new(basis: OrthonormalBasis, coeffs: Vec<f64>) -> Result<Self> {
+        if coeffs.len() != basis.len() {
+            return Err(BmfError::PriorShape {
+                basis_terms: basis.len(),
+                prior_entries: coeffs.len(),
+            });
+        }
+        Ok(PerformanceModel { basis, coeffs })
+    }
+
+    /// The basis.
+    pub fn basis(&self) -> &OrthonormalBasis {
+        &self.basis
+    }
+
+    /// The fitted coefficients, in basis-term order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Number of coefficients whose magnitude exceeds `threshold` —
+    /// a sparsity diagnostic.
+    pub fn active_terms(&self, threshold: f64) -> usize {
+        self.coeffs.iter().filter(|a| a.abs() > threshold).count()
+    }
+
+    /// Evaluates the model at one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.basis().num_vars()`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.basis.evaluate_model(&self.coeffs, x)
+    }
+
+    /// Evaluates the model at many points.
+    pub fn predict_batch<'a, I>(&self, points: I) -> Vec<f64>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        points.into_iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Relative modeling error `‖f̂ − f‖₂ / ‖f‖₂` over a test set — the
+    /// paper's accuracy metric (eq. 59).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::SampleShape`] when points and values disagree in
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reference values are all zero.
+    pub fn relative_error<'a, I>(&self, points: I, values: &[f64]) -> Result<f64>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let pred = self.predict_batch(points);
+        if pred.len() != values.len() {
+            return Err(BmfError::SampleShape {
+                detail: format!("{} predictions vs {} values", pred.len(), values.len()),
+            });
+        }
+        Ok(relative_l2_error(&pred, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PerformanceModel {
+        PerformanceModel::new(OrthonormalBasis::linear(2), vec![3.0, 1.0, -2.0]).unwrap()
+    }
+
+    #[test]
+    fn predict_is_linear_combination() {
+        let m = model();
+        assert_eq!(m.predict(&[1.0, 1.0]), 2.0);
+        assert_eq!(m.predict(&[0.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    fn coefficient_count_validated() {
+        assert!(matches!(
+            PerformanceModel::new(OrthonormalBasis::linear(2), vec![1.0]),
+            Err(BmfError::PriorShape { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let m = model();
+        let pts = [[0.1, 0.2], [0.3, -0.4]];
+        let batch = m.predict_batch(pts.iter().map(|p| p.as_slice()));
+        assert_eq!(batch, vec![m.predict(&pts[0]), m.predict(&pts[1])]);
+    }
+
+    #[test]
+    fn perfect_model_has_zero_error() {
+        let m = model();
+        let pts = [[0.5, 0.5], [1.0, -1.0], [0.0, 2.0]];
+        let vals: Vec<f64> = pts.iter().map(|p| m.predict(p)).collect();
+        let e = m
+            .relative_error(pts.iter().map(|p| p.as_slice()), &vals)
+            .unwrap();
+        assert!(e < 1e-14);
+    }
+
+    #[test]
+    fn error_matches_eq59() {
+        let m = model();
+        let pts = [[0.0, 0.0]];
+        // prediction 3.0, actual 4.0 -> |3-4|/|4| = 0.25
+        let e = m
+            .relative_error(pts.iter().map(|p| p.as_slice()), &[4.0])
+            .unwrap();
+        assert!((e - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_counts_rejected() {
+        let m = model();
+        let pts = [[0.0, 0.0]];
+        assert!(m
+            .relative_error(pts.iter().map(|p| p.as_slice()), &[1.0, 2.0])
+            .is_err());
+    }
+
+    #[test]
+    fn active_terms_counts_above_threshold() {
+        let m = model();
+        assert_eq!(m.active_terms(1.5), 2);
+        assert_eq!(m.active_terms(0.0), 3);
+    }
+}

@@ -1,0 +1,401 @@
+//! Orthogonal matching pursuit (OMP) — the sparse-regression baseline the
+//! paper compares against (§II-C, reference \[13\]).
+//!
+//! OMP greedily selects one basis function per iteration: the column of
+//! the design matrix most correlated with the current residual. After each
+//! selection the coefficients of the active set are refit by least squares
+//! (that is the "orthogonal" part) and the residual is recomputed. The
+//! number of selected terms is chosen by holdout validation: iterate while
+//! the validation error keeps improving, then refit the best active set on
+//! all samples.
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_linalg::{Matrix, Vector};
+use bmf_stat::rng::seeded;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::least_squares::solve_least_squares;
+use crate::model::PerformanceModel;
+use crate::{BmfError, Result};
+
+/// OMP configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OmpConfig {
+    /// Hard cap on selected terms (`None` ⇒ limited only by the training
+    /// sample count).
+    pub max_terms: Option<usize>,
+    /// Fraction of samples held out to choose the stopping iteration.
+    pub validation_fraction: f64,
+    /// Stop when the validation error has not improved for this many
+    /// consecutive iterations.
+    pub patience: usize,
+    /// Early exit when the relative training residual drops below this.
+    pub min_relative_residual: f64,
+    /// Seed for the train/validation shuffle.
+    pub seed: u64,
+}
+
+impl Default for OmpConfig {
+    fn default() -> Self {
+        OmpConfig {
+            max_terms: None,
+            validation_fraction: 0.25,
+            patience: 8,
+            min_relative_residual: 1e-10,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of an OMP fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpFit {
+    /// Full-length coefficient vector (zeros outside the active set).
+    pub coeffs: Vec<f64>,
+    /// Selected term indices, in selection order.
+    pub selected: Vec<usize>,
+    /// Holdout validation error at the chosen stopping point.
+    pub validation_error: f64,
+}
+
+/// Runs OMP on an explicit design matrix.
+///
+/// # Errors
+///
+/// * [`BmfError::SampleShape`] when `f.len() != g.nrows()`.
+/// * [`BmfError::NotEnoughSamples`] when fewer than 4 samples are given
+///   (no meaningful train/validation split exists).
+/// * [`BmfError::InvalidConfig`] for a bad validation fraction.
+pub fn fit_omp_design(g: &Matrix, f: &Vector, config: &OmpConfig) -> Result<OmpFit> {
+    let (k, m) = g.shape();
+    if f.len() != k {
+        return Err(BmfError::SampleShape {
+            detail: format!("{k} design rows vs {} values", f.len()),
+        });
+    }
+    if k < 4 {
+        return Err(BmfError::NotEnoughSamples {
+            available: k,
+            required: 4,
+            context: "OMP",
+        });
+    }
+    if !(0.0..0.9).contains(&config.validation_fraction) {
+        return Err(BmfError::InvalidConfig {
+            detail: format!(
+                "validation_fraction must be in [0, 0.9), got {}",
+                config.validation_fraction
+            ),
+        });
+    }
+
+    // Train/validation split.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.shuffle(&mut seeded(config.seed));
+    let n_val = ((k as f64 * config.validation_fraction) as usize).min(k - 2);
+    let (val_idx, train_idx) = order.split_at(n_val);
+    let g_train = select_rows(g, train_idx);
+    let g_val = select_rows(g, val_idx);
+    let f_train = Vector::from_fn(train_idx.len(), |i| f[train_idx[i]]);
+    let f_val = Vector::from_fn(val_idx.len(), |i| f[val_idx[i]]);
+
+    // Column norms over the training rows, for correlation normalization.
+    let col_norms: Vec<f64> = (0..m)
+        .map(|j| {
+            (0..g_train.nrows())
+                .map(|i| g_train[(i, j)] * g_train[(i, j)])
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect();
+
+    let cap = config
+        .max_terms
+        .unwrap_or(usize::MAX)
+        .min(g_train.nrows().saturating_sub(1))
+        .min(m)
+        .max(1);
+
+    let f_norm = f_train.norm2().max(f64::MIN_POSITIVE);
+    let mut residual = f_train.clone();
+    let mut active: Vec<usize> = Vec::new();
+    let mut in_active = vec![false; m];
+    let mut best: Option<(f64, usize)> = None; // (val error, #terms)
+    let mut stall = 0usize;
+
+    while active.len() < cap {
+        // Most correlated unselected column.
+        let corr = g_train.matvec_transpose(&residual)?;
+        let mut best_j = None;
+        let mut best_c = 0.0;
+        for j in 0..m {
+            if in_active[j] || col_norms[j] == 0.0 {
+                continue;
+            }
+            let c = (corr[j] / col_norms[j]).abs();
+            if c > best_c {
+                best_c = c;
+                best_j = Some(j);
+            }
+        }
+        let Some(j) = best_j else { break };
+        active.push(j);
+        in_active[j] = true;
+
+        // Orthogonal refit of the active set.
+        let ga = g_train.select_columns(&active);
+        let coef = match solve_least_squares(&ga, &f_train) {
+            Ok(c) => c,
+            Err(_) => {
+                // Numerically dependent column: drop it and stop growing.
+                in_active[j] = false;
+                active.pop();
+                break;
+            }
+        };
+        residual = f_train.sub(&ga.matvec(&coef)?)?;
+
+        // Validation error with the current active set.
+        let val_err = if val_idx.is_empty() {
+            residual.norm2() / f_norm
+        } else {
+            let pred = g_val.select_columns(&active).matvec(&coef)?;
+            pred.sub(&f_val)?.norm2() / f_val.norm2().max(f64::MIN_POSITIVE)
+        };
+        match best {
+            Some((e, _)) if val_err >= e => {
+                stall += 1;
+                if stall >= config.patience {
+                    break;
+                }
+            }
+            _ => {
+                best = Some((val_err, active.len()));
+                stall = 0;
+            }
+        }
+        if residual.norm2() / f_norm < config.min_relative_residual {
+            break;
+        }
+    }
+
+    let (validation_error, n_terms) = best.unwrap_or((f64::INFINITY, active.len().max(1)));
+    active.truncate(n_terms);
+
+    // Final refit on ALL samples with the chosen active set.
+    let ga_full = g.select_columns(&active);
+    let coef = solve_least_squares(&ga_full, f)?;
+    let mut coeffs = vec![0.0; m];
+    for (idx, &j) in active.iter().enumerate() {
+        coeffs[j] = coef[idx];
+    }
+    Ok(OmpFit {
+        coeffs,
+        selected: active,
+        validation_error,
+    })
+}
+
+/// Runs OMP over a basis and sample points, returning a fitted
+/// [`PerformanceModel`].
+///
+/// # Errors
+///
+/// Same conditions as [`fit_omp_design`], plus
+/// [`BmfError::SampleShape`] when points and values disagree in count.
+///
+/// # Example
+///
+/// ```
+/// use bmf_basis::basis::OrthonormalBasis;
+/// use bmf_core::omp::{fit_omp, OmpConfig};
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// // Sparse truth over 10 variables: only x2 matters.
+/// let basis = OrthonormalBasis::linear(10);
+/// let points: Vec<Vec<f64>> = (0..30)
+///     .map(|i| (0..10).map(|j| (((i * 10 + j) * 37 % 19) as f64 - 9.0) / 9.0).collect())
+///     .collect();
+/// let values: Vec<f64> = points.iter().map(|p| 5.0 + 3.0 * p[2]).collect();
+/// let fit = fit_omp(&basis, &points, &values, &OmpConfig::default())?;
+/// assert!((fit.model.predict(&vec![0.0; 10]) - 5.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_omp(
+    basis: &OrthonormalBasis,
+    points: &[Vec<f64>],
+    values: &[f64],
+    config: &OmpConfig,
+) -> Result<OmpModelFit> {
+    if points.len() != values.len() {
+        return Err(BmfError::SampleShape {
+            detail: format!("{} points vs {} values", points.len(), values.len()),
+        });
+    }
+    let g = basis.design_matrix(points.iter().map(|p| p.as_slice()));
+    let f = Vector::from(values);
+    let fit = fit_omp_design(&g, &f, config)?;
+    Ok(OmpModelFit {
+        model: PerformanceModel::new(basis.clone(), fit.coeffs)?,
+        selected: fit.selected,
+        validation_error: fit.validation_error,
+    })
+}
+
+/// An OMP fit packaged as a [`PerformanceModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpModelFit {
+    /// The fitted model (coefficients are zero outside the active set).
+    pub model: PerformanceModel,
+    /// Selected term indices, in selection order.
+    pub selected: Vec<usize>,
+    /// Holdout validation error at the stopping point.
+    pub validation_error: f64,
+}
+
+fn select_rows(g: &Matrix, rows: &[usize]) -> Matrix {
+    Matrix::from_fn(rows.len(), g.ncols(), |i, j| g[(rows[i], j)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_stat::normal::StandardNormal;
+
+    fn random_points(k: usize, r: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = seeded(seed);
+        let mut s = StandardNormal::new();
+        (0..k).map(|_| s.sample_vec(&mut rng, r)).collect()
+    }
+
+    #[test]
+    fn recovers_sparse_support() {
+        let basis = OrthonormalBasis::linear(40);
+        let points = random_points(60, 40, 1);
+        // Truth: intercept + terms 5 and 17.
+        let values: Vec<f64> = points
+            .iter()
+            .map(|p| 2.0 + 1.5 * p[4] - 0.8 * p[16])
+            .collect();
+        let fit = fit_omp(&basis, &points, &values, &OmpConfig::default()).unwrap();
+        // Basis term indices: 0 = const, 1 + var.
+        assert!(fit.selected.contains(&0), "intercept missed: {:?}", fit.selected);
+        assert!(fit.selected.contains(&5));
+        assert!(fit.selected.contains(&17));
+        let c = fit.model.coeffs();
+        assert!((c[0] - 2.0).abs() < 0.05);
+        assert!((c[5] - 1.5).abs() < 0.05);
+        assert!((c[17] + 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn underdetermined_sparse_recovery() {
+        // M = 101 coefficients, K = 40 samples: least squares impossible,
+        // OMP fine because the truth is 3-sparse.
+        let basis = OrthonormalBasis::linear(100);
+        let points = random_points(40, 100, 2);
+        let values: Vec<f64> = points.iter().map(|p| 1.0 + 2.0 * p[10] + p[50]).collect();
+        let fit = fit_omp(&basis, &points, &values, &OmpConfig::default()).unwrap();
+        let err = fit
+            .model
+            .relative_error(points.iter().map(|p| p.as_slice()), &values)
+            .unwrap();
+        assert!(err < 0.05, "err = {err}");
+    }
+
+    #[test]
+    fn validation_stopping_prevents_overfitting_noise() {
+        let basis = OrthonormalBasis::linear(30);
+        let points = random_points(50, 30, 3);
+        // Pure truth + deterministic pseudo-noise.
+        let values: Vec<f64> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| 1.0 + p[0] + 0.05 * ((i as f64 * 2.7).sin()))
+            .collect();
+        let fit = fit_omp(&basis, &points, &values, &OmpConfig::default()).unwrap();
+        // Should select close to the true 2 terms, not dozens of noise
+        // terms.
+        assert!(
+            fit.selected.len() <= 12,
+            "selected too many terms: {}",
+            fit.selected.len()
+        );
+    }
+
+    #[test]
+    fn max_terms_is_respected() {
+        let basis = OrthonormalBasis::linear(20);
+        let points = random_points(40, 20, 4);
+        let values: Vec<f64> = points.iter().map(|p| p.iter().sum()).collect();
+        let cfg = OmpConfig {
+            max_terms: Some(3),
+            ..OmpConfig::default()
+        };
+        let fit = fit_omp(&basis, &points, &values, &cfg).unwrap();
+        assert!(fit.selected.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let basis = OrthonormalBasis::linear(15);
+        let points = random_points(30, 15, 5);
+        let values: Vec<f64> = points.iter().map(|p| p[1] - p[7]).collect();
+        let a = fit_omp(&basis, &points, &values, &OmpConfig::default()).unwrap();
+        let b = fit_omp(&basis, &points, &values, &OmpConfig::default()).unwrap();
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.model.coeffs(), b.model.coeffs());
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let basis = OrthonormalBasis::linear(3);
+        let points = random_points(3, 3, 6);
+        let values = vec![0.0; 3];
+        assert!(matches!(
+            fit_omp(&basis, &points, &values, &OmpConfig::default()),
+            Err(BmfError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_validation_fraction_rejected() {
+        let basis = OrthonormalBasis::linear(3);
+        let points = random_points(10, 3, 7);
+        let values = vec![0.0; 10];
+        let cfg = OmpConfig {
+            validation_fraction: 0.95,
+            ..OmpConfig::default()
+        };
+        assert!(matches!(
+            fit_omp(&basis, &points, &values, &cfg),
+            Err(BmfError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn error_decreases_with_more_samples() {
+        // The classic OMP learning curve (paper Tables I-III, OMP column).
+        let basis = OrthonormalBasis::linear(60);
+        let truth = |p: &[f64]| 1.0 + 0.9 * p[3] - 0.6 * p[30] + 0.3 * p[45] + 0.1 * p[12];
+        let test_points = random_points(200, 60, 999);
+        let test_values: Vec<f64> = test_points.iter().map(|p| truth(p)).collect();
+        let mut errs = Vec::new();
+        for &k in &[30usize, 120] {
+            let points = random_points(k, 60, 8);
+            let values: Vec<f64> = points.iter().map(|p| truth(p)).collect();
+            let fit = fit_omp(&basis, &points, &values, &OmpConfig::default()).unwrap();
+            errs.push(
+                fit.model
+                    .relative_error(test_points.iter().map(|p| p.as_slice()), &test_values)
+                    .unwrap(),
+            );
+        }
+        assert!(
+            errs[1] <= errs[0] * 1.05 + 1e-12,
+            "error should not grow with samples: {errs:?}"
+        );
+    }
+}

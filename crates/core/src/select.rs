@@ -1,0 +1,161 @@
+//! Prior selection: BMF-PS (§IV-D, §V).
+//!
+//! Whether the zero-mean or the nonzero-mean prior is better depends on
+//! how faithful the early-stage model is — and the paper shows the winner
+//! flips between metrics (Tables I vs III) and even between sample counts
+//! (Table V). BMF-PS settles it empirically: cross-validate *both* priors
+//! over their hyper-parameter grids and keep the one with the lower
+//! estimated error.
+
+use bmf_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::hyper::{cross_validate_hyper, CvConfig, CvOutcome};
+use crate::prior::{Prior, PriorKind};
+use crate::Result;
+
+/// How the prior family is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PriorSelection {
+    /// Always use the given family (BMF-ZM / BMF-NZM).
+    Fixed(PriorKind),
+    /// Cross-validate both families and keep the better (BMF-PS).
+    Auto,
+}
+
+/// Outcome of prior + hyper-parameter selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionOutcome {
+    /// The chosen prior family.
+    pub kind: PriorKind,
+    /// The chosen hyper-parameter.
+    pub hyper: f64,
+    /// Cross-validation error of the chosen configuration.
+    pub cv_error: f64,
+    /// Full CV outcome for the zero-mean prior (when it was evaluated).
+    pub zero_mean: Option<CvOutcome>,
+    /// Full CV outcome for the nonzero-mean prior (when it was evaluated).
+    pub nonzero_mean: Option<CvOutcome>,
+}
+
+/// Selects the prior family and hyper-parameter by cross-validation.
+///
+/// `prior` supplies the early-coefficient values; its own `kind` is
+/// ignored when `selection` is [`PriorSelection::Auto`].
+///
+/// # Errors
+///
+/// Propagates the conditions of
+/// [`cross_validate_hyper`].
+pub fn select_prior(
+    g: &Matrix,
+    f: &Vector,
+    prior: &Prior,
+    selection: PriorSelection,
+    config: &CvConfig,
+) -> Result<SelectionOutcome> {
+    match selection {
+        PriorSelection::Fixed(kind) => {
+            let out = cross_validate_hyper(g, f, &prior.with_kind(kind), config)?;
+            let (zero_mean, nonzero_mean) = match kind {
+                PriorKind::ZeroMean => (Some(out.clone()), None),
+                PriorKind::NonZeroMean => (None, Some(out.clone())),
+            };
+            Ok(SelectionOutcome {
+                kind,
+                hyper: out.best_hyper,
+                cv_error: out.best_error,
+                zero_mean,
+                nonzero_mean,
+            })
+        }
+        PriorSelection::Auto => {
+            let (zm, nzm) = crate::hyper::cross_validate_both(g, f, prior, config)?;
+            let (kind, hyper, cv_error) = if zm.best_error <= nzm.best_error {
+                (PriorKind::ZeroMean, zm.best_hyper, zm.best_error)
+            } else {
+                (PriorKind::NonZeroMean, nzm.best_hyper, nzm.best_error)
+            };
+            Ok(SelectionOutcome {
+                kind,
+                hyper,
+                cv_error,
+                zero_mean: Some(zm),
+                nonzero_mean: Some(nzm),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_stat::normal::StandardNormal;
+    use bmf_stat::rng::seeded;
+
+    fn design(k: usize, m: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        let mut s = StandardNormal::new();
+        Matrix::from_fn(k, m, |_, _| s.sample(&mut rng))
+    }
+
+    #[test]
+    fn auto_picks_nonzero_mean_for_faithful_prior() {
+        // Early coefficients equal the truth -> the sign information of
+        // the nonzero-mean prior should win.
+        let m = 30;
+        let g = design(12, m, 1);
+        let truth: Vec<f64> = (0..m).map(|i| 1.5 / (1.0 + i as f64)).collect();
+        let f = g.matvec(&Vector::from(truth.clone())).unwrap();
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &truth);
+        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default())
+            .unwrap();
+        assert_eq!(out.kind, PriorKind::NonZeroMean);
+        assert!(out.zero_mean.is_some() && out.nonzero_mean.is_some());
+    }
+
+    #[test]
+    fn auto_picks_zero_mean_when_signs_are_wrong() {
+        // Early coefficients with flipped signs but right magnitudes: the
+        // zero-mean prior (magnitude only) should win.
+        let m = 30;
+        let g = design(12, m, 2);
+        let truth: Vec<f64> = (0..m).map(|i| 1.5 / (1.0 + i as f64)).collect();
+        let f = g.matvec(&Vector::from(truth.clone())).unwrap();
+        let flipped: Vec<f64> = truth.iter().map(|t| -t).collect();
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &flipped);
+        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default())
+            .unwrap();
+        assert_eq!(out.kind, PriorKind::ZeroMean);
+    }
+
+    #[test]
+    fn fixed_respects_requested_kind() {
+        let g = design(10, 8, 3);
+        let f = Vector::from_fn(10, |i| i as f64 * 0.1);
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[0.5; 8]);
+        let out = select_prior(
+            &g,
+            &f,
+            &prior,
+            PriorSelection::Fixed(PriorKind::NonZeroMean),
+            &CvConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.kind, PriorKind::NonZeroMean);
+        assert!(out.zero_mean.is_none());
+    }
+
+    #[test]
+    fn chosen_error_is_min_of_both() {
+        let g = design(14, 10, 4);
+        let truth: Vec<f64> = (0..10).map(|i| (i as f64).cos()).collect();
+        let f = g.matvec(&Vector::from(truth.clone())).unwrap();
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &truth);
+        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default())
+            .unwrap();
+        let zm = out.zero_mean.as_ref().unwrap().best_error;
+        let nzm = out.nonzero_mean.as_ref().unwrap().best_error;
+        assert!((out.cv_error - zm.min(nzm)).abs() < 1e-15);
+    }
+}

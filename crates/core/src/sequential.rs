@@ -1,0 +1,265 @@
+//! Sequential (online) Bayesian model fusion.
+//!
+//! In practice the K late-stage samples do not arrive at once: each
+//! post-layout simulation takes hours, and a designer wants the best
+//! current model — and its trajectory — after *every* finished run. This
+//! module keeps the MAP estimate up to date as samples stream in.
+//!
+//! Instead of refitting from scratch (Θ(K²M) per sample through the fast
+//! solver), [`SequentialBmf`] maintains the Cholesky factor of the
+//! Woodbury core `c⁻¹I + G D⁻¹ Gᵀ`, which grows by exactly one row per
+//! sample ([`bmf_linalg::Cholesky::extend`], Θ(K·M + K²)); producing the
+//! current coefficients is then Θ(K·M). The estimates are identical to a
+//! batch [`map_estimate`](crate::map_estimate::map_estimate) over the
+//! samples seen so far.
+//!
+//! Limitations: the hyper-parameter and prior family are fixed up front
+//! (re-run selection offline when desired), and every coefficient needs a
+//! finite prior — missing-prior coefficients would change the core
+//! structure per sample (use the batch path for those).
+
+use bmf_linalg::{Cholesky, Matrix, Vector};
+
+use crate::prior::Prior;
+use crate::{BmfError, Result};
+
+/// An online MAP estimator absorbing one sample at a time.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::prior::{Prior, PriorKind};
+/// use bmf_core::sequential::SequentialBmf;
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &[1.0, -0.5]);
+/// let mut seq = SequentialBmf::new(&prior, 1.0)?;
+/// seq.add_sample(&[1.0, 0.0], 1.2)?;   // basis row, observed value
+/// seq.add_sample(&[0.0, 1.0], -0.4)?;
+/// let alpha = seq.coefficients()?;
+/// assert_eq!(alpha.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialBmf {
+    /// Prior precision diagonal inverse `D⁻¹` (unit hyper already folded
+    /// in).
+    d_inv: Vec<f64>,
+    /// Prior part of the right-hand side.
+    prior_rhs: Vec<f64>,
+    /// Accumulated design rows (K × M, rows appended).
+    rows: Vec<Vec<f64>>,
+    /// Accumulated responses.
+    values: Vec<f64>,
+    /// Cholesky factor of the growing core `I + G D⁻¹ Gᵀ`.
+    core: Option<Cholesky>,
+}
+
+impl SequentialBmf {
+    /// Creates the estimator for a fixed prior and hyper-parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidConfig`] when the prior has missing
+    /// entries (see module docs).
+    pub fn new(prior: &Prior, hyper: f64) -> Result<Self> {
+        if prior.num_missing() > 0 {
+            return Err(BmfError::InvalidConfig {
+                detail: "sequential BMF requires finite priors for every coefficient".into(),
+            });
+        }
+        let precisions = prior.precisions(hyper);
+        let d_inv: Vec<f64> = precisions.iter().map(|d| 1.0 / d).collect();
+        Ok(SequentialBmf {
+            d_inv,
+            prior_rhs: prior.rhs_contribution(hyper),
+            rows: Vec::new(),
+            values: Vec::new(),
+            core: None,
+        })
+    }
+
+    /// Number of coefficients.
+    pub fn num_coefficients(&self) -> usize {
+        self.d_inv.len()
+    }
+
+    /// Number of samples absorbed so far.
+    pub fn num_samples(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Absorbs one sample: `row` is the basis row `[g₁(x) … g_M(x)]` and
+    /// `value` the observed performance.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::SampleShape`] when `row.len()` differs from the
+    ///   coefficient count.
+    /// * [`BmfError::Linalg`] when the extended core loses positive
+    ///   definiteness (numerically impossible for exact arithmetic; a
+    ///   defensive error path).
+    pub fn add_sample(&mut self, row: &[f64], value: f64) -> Result<()> {
+        let m = self.d_inv.len();
+        if row.len() != m {
+            return Err(BmfError::SampleShape {
+                detail: format!("row has {} entries, model has {m}", row.len()),
+            });
+        }
+        // New core column: w_i = g_i D⁻¹ g_newᵀ; diagonal 1 + g_new D⁻¹ g_newᵀ.
+        let k = self.rows.len();
+        let mut w = Vector::zeros(k);
+        for (i, prev) in self.rows.iter().enumerate() {
+            w[i] = weighted_dot(prev, row, &self.d_inv);
+        }
+        let d = 1.0 + weighted_dot(row, row, &self.d_inv);
+        match &mut self.core {
+            None => {
+                let first = Matrix::from_rows(&[&[d]])?;
+                self.core = Some(first.cholesky()?);
+            }
+            Some(chol) => chol.extend(&w, d)?,
+        }
+        self.rows.push(row.to_vec());
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// The current MAP coefficients — identical to a batch fast-solver
+    /// fit over all absorbed samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::Linalg`] on numerical failure. Calling this
+    /// with zero samples returns the prior mean (the MAP estimate with no
+    /// data).
+    pub fn coefficients(&self) -> Result<Vector> {
+        let m = self.d_inv.len();
+        // rhs = Gᵀf + prior_rhs; t = D⁻¹ rhs.
+        let mut rhs = self.prior_rhs.clone();
+        for (row, &f) in self.rows.iter().zip(&self.values) {
+            for (r, &g) in rhs.iter_mut().zip(row) {
+                *r += g * f;
+            }
+        }
+        let t = Vector::from_fn(m, |i| self.d_inv[i] * rhs[i]);
+        let Some(chol) = &self.core else {
+            return Ok(t); // no data: pure prior
+        };
+        // y = core⁻¹ (G t); alpha = t − D⁻¹ Gᵀ y.
+        let gt = Vector::from_fn(self.rows.len(), |i| {
+            self.rows[i].iter().zip(t.iter()).map(|(a, b)| a * b).sum()
+        });
+        let y = chol.solve(&gt)?;
+        let mut alpha = t;
+        for (i, row) in self.rows.iter().enumerate() {
+            let yi = y[i];
+            for (j, &g) in row.iter().enumerate() {
+                alpha[j] -= self.d_inv[j] * g * yi;
+            }
+        }
+        Ok(alpha)
+    }
+}
+
+fn weighted_dot(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .zip(w)
+        .map(|((x, y), z)| x * y * z)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map_estimate::{map_estimate, SolverKind};
+    use crate::prior::PriorKind;
+    use bmf_stat::normal::StandardNormal;
+    use bmf_stat::rng::seeded;
+
+    fn random_rows(k: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = seeded(seed);
+        let mut s = StandardNormal::new();
+        (0..k).map(|_| s.sample_vec(&mut rng, m)).collect()
+    }
+
+    #[test]
+    fn matches_batch_fit_after_every_sample() {
+        let m = 12;
+        let early: Vec<f64> = (0..m).map(|i| 0.7 / (1.0 + i as f64)).collect();
+        let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
+        let rows = random_rows(7, m, 1);
+        let values: Vec<f64> = rows.iter().map(|r| r.iter().sum::<f64>() * 0.3).collect();
+
+        let mut seq = SequentialBmf::new(&prior, 2.0).unwrap();
+        for k in 0..rows.len() {
+            seq.add_sample(&rows[k], values[k]).unwrap();
+            let online = seq.coefficients().unwrap();
+            // Batch reference over the first k+1 samples.
+            let g = Matrix::from_rows(
+                &rows[..=k].iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let f = Vector::from(&values[..=k]);
+            let batch = map_estimate(&g, &f, &prior, 2.0, SolverKind::Fast).unwrap();
+            let rel = online.sub(&batch).unwrap().norm2() / batch.norm2().max(1e-30);
+            assert!(rel < 1e-9, "divergence at sample {k}: {rel}");
+        }
+    }
+
+    #[test]
+    fn zero_samples_returns_prior_mean() {
+        let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &[2.0, -1.0]);
+        let seq = SequentialBmf::new(&prior, 5.0).unwrap();
+        let alpha = seq.coefficients().unwrap();
+        assert!((alpha[0] - 2.0).abs() < 1e-12);
+        assert!((alpha[1] + 1.0).abs() < 1e-12);
+        // Zero-mean prior: estimate is zero.
+        let zm = SequentialBmf::new(&Prior::from_coeffs(PriorKind::ZeroMean, &[2.0, -1.0]), 5.0)
+            .unwrap();
+        assert_eq!(zm.coefficients().unwrap().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn missing_prior_rejected() {
+        let prior = Prior::new(PriorKind::ZeroMean, vec![Some(1.0), None]);
+        assert!(matches!(
+            SequentialBmf::new(&prior, 1.0),
+            Err(BmfError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn row_shape_validated() {
+        let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0, 1.0]);
+        let mut seq = SequentialBmf::new(&prior, 1.0).unwrap();
+        assert!(matches!(
+            seq.add_sample(&[1.0], 0.0),
+            Err(BmfError::SampleShape { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_converges_to_truth_with_data() {
+        let m = 6;
+        let truth = [1.0, -0.5, 0.25, 2.0, 0.0, -1.0];
+        // Mediocre prior with a small hyper-parameter (weak weight), lots
+        // of data: the data must win.
+        let early: Vec<f64> = truth.iter().map(|t| t * 0.5 + 0.2).collect();
+        let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
+        let mut seq = SequentialBmf::new(&prior, 1e-3).unwrap();
+        let rows = random_rows(60, m, 3);
+        for row in &rows {
+            let f: f64 = row.iter().zip(&truth).map(|(g, t)| g * t).sum();
+            seq.add_sample(row, f).unwrap();
+        }
+        let alpha = seq.coefficients().unwrap();
+        for (a, t) in alpha.iter().zip(&truth) {
+            assert!((a - t).abs() < 0.05, "{a} vs {t}");
+        }
+        assert_eq!(seq.num_samples(), 60);
+        assert_eq!(seq.num_coefficients(), 6);
+    }
+}

@@ -1,0 +1,329 @@
+use crate::triangular::{solve_lower, solve_lower_transpose};
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite matrix.
+///
+/// This is the "conventional solver" the BMF paper benchmarks its fast
+/// low-rank solver against (§IV-C, Fig. 5): the direct MAP estimate inverts
+/// an M × M posterior precision matrix, which costs Θ(M³/3) here, versus the
+/// Θ(K²M) Woodbury path in [`crate::woodbury`].
+///
+/// # Example
+///
+/// ```
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = a.cholesky()?;
+/// let x = chol.solve(&Vector::from(vec![1.0, 2.0]))?;
+/// let r = a.matvec(&x)?;
+/// assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored in a full square matrix whose upper
+    /// triangle is zero.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes the symmetric positive definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is assumed, matching the convention of LAPACK's `dpotrf`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] when `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] when a pivot is ≤ 0; the error
+    ///   carries the pivot index and residual value.
+    /// * [`LinalgError::NonFinite`] when `a` contains NaN or ±∞.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (n, c) = a.shape();
+        if n != c {
+            return Err(LinalgError::NotSquare { rows: n, cols: c });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "cholesky" });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: s });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs
+    /// from the factor dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let y = solve_lower(&self.l, b)?;
+        solve_lower_transpose(&self.l, &y)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `B.nrows()` differs
+    /// from the factor dimension.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.nrows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹` explicitly.
+    ///
+    /// Prefer [`Cholesky::solve`] where possible; the explicit inverse is
+    /// exposed because the MAP posterior covariance Σ_L (eq. 28/31) is
+    /// itself an inverse that callers may want to inspect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the underlying triangular solves.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Log-determinant of `A`, computed as `2 Σ log L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Grows the factorization by one row/column: if this factor is of
+    /// `A`, produce the factor of
+    ///
+    /// ```text
+    /// [ A   w ]
+    /// [ wᵀ  d ]
+    /// ```
+    ///
+    /// in Θ(n²) instead of refactorizing at Θ(n³). This is what lets the
+    /// sequential BMF estimator absorb one new simulation sample at a
+    /// time: the Woodbury core `c⁻¹I + G D⁻¹ Gᵀ` grows exactly this way
+    /// per sample.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] when `w.len() != self.dim()`.
+    /// * [`LinalgError::NotPositiveDefinite`] when the extended matrix is
+    ///   not positive definite.
+    pub fn extend(&mut self, w: &Vector, d: f64) -> Result<()> {
+        let n = self.dim();
+        if w.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky extend",
+                lhs: (n, n),
+                rhs: (w.len(), 1),
+            });
+        }
+        // New row l satisfies L l = w; new diagonal sqrt(d - l·l).
+        let l_row = crate::triangular::solve_lower(&self.l, w)?;
+        let s = d - l_row.dot(&l_row)?;
+        if s <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: s });
+        }
+        let mut bigger = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                bigger[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for j in 0..n {
+            bigger[(n, j)] = l_row[j];
+        }
+        bigger[(n, n)] = s.sqrt();
+        self.l = bigger;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I with a fixed B, guaranteed SPD.
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0]])
+            .unwrap();
+        let mut a = b.gram();
+        a.add_diagonal_mut(&[1.0, 1.0, 1.0]).unwrap();
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let l = chol.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.sub(&a).unwrap().norm_frobenius() < 1e-12);
+    }
+
+    #[test]
+    fn solve_satisfies_system() {
+        let a = spd3();
+        let b = Vector::from(vec![1.0, -1.0, 2.0]);
+        let x = a.cholesky().unwrap().solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap().sub(&b).unwrap();
+        assert!(r.norm2() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = a.cholesky().unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().norm_frobenius() < 1e-10);
+    }
+
+    #[test]
+    fn log_det_matches_2x2_closed_form() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let det = 4.0 * 3.0 - 2.0 * 2.0;
+        let chol = a.cholesky().unwrap();
+        assert!((chol.log_det() - (det as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected_with_pivot() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        match a.cholesky() {
+            Err(LinalgError::NotPositiveDefinite { pivot, value }) => {
+                assert_eq!(pivot, 1);
+                assert!(value <= 0.0);
+            }
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn upper_triangle_is_ignored() {
+        // Only the lower triangle should be read.
+        let mut a = spd3();
+        a[(0, 2)] = 777.0;
+        let mut sym = spd3();
+        sym[(0, 2)] = sym[(2, 0)];
+        let l1 = a.cholesky().unwrap();
+        let l2 = sym.cholesky().unwrap();
+        assert!(l1
+            .factor()
+            .sub(l2.factor())
+            .unwrap()
+            .norm_frobenius()
+            .abs()
+            < 1e-14);
+    }
+
+    #[test]
+    fn extend_matches_full_factorization() {
+        // Build a 4x4 SPD matrix, factor the 3x3 leading block, extend.
+        let b = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.0, 0.2],
+            &[0.0, 1.0, 0.7, -0.4],
+            &[0.3, 0.0, 1.0, 0.6],
+            &[0.1, 0.2, 0.0, 1.0],
+            &[0.0, 0.1, 0.2, 0.3],
+        ])
+        .unwrap();
+        let mut a = b.gram();
+        a.add_diagonal_mut(&[0.5; 4]).unwrap();
+
+        let a3 = Matrix::from_fn(3, 3, |i, j| a[(i, j)]);
+        let mut chol = a3.cholesky().unwrap();
+        let w = Vector::from(vec![a[(0, 3)], a[(1, 3)], a[(2, 3)]]);
+        chol.extend(&w, a[(3, 3)]).unwrap();
+
+        let full = a.cholesky().unwrap();
+        let diff = chol.factor().sub(full.factor()).unwrap().norm_frobenius();
+        assert!(diff < 1e-12, "extended factor differs: {diff}");
+    }
+
+    #[test]
+    fn extend_rejects_indefinite_growth() {
+        let mut chol = Matrix::identity(2).cholesky().unwrap();
+        // Appending w = (2, 0), d = 1 gives a matrix with negative Schur
+        // complement (1 - 4 < 0).
+        assert!(matches!(
+            chol.extend(&Vector::from(vec![2.0, 0.0]), 1.0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_validates_dimension() {
+        let mut chol = Matrix::identity(2).cholesky().unwrap();
+        assert!(chol.extend(&Vector::zeros(3), 1.0).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_solves_each_column() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = chol.solve_matrix(&b).unwrap();
+        let r = a.matmul(&x).unwrap().sub(&b).unwrap();
+        assert!(r.norm_frobenius() < 1e-11);
+    }
+}

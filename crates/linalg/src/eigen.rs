@@ -1,0 +1,184 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used for spectral diagnostics of the MAP system: the condition number
+//! of the posterior precision `D + GᵀG` explains when the direct Cholesky
+//! solver loses accuracy, and the eigenvalue spectrum of `GᵀG` shows the
+//! K-rank structure that the fast solver exploits. Jacobi is slow (Θ(n³)
+//! per sweep) but simple, unconditionally stable, and more than adequate
+//! for diagnostic use at moderate n.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, matching `values`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the decomposition of a symmetric matrix using cyclic
+    /// Jacobi rotations.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] when `a` is not square.
+    /// * [`LinalgError::NonFinite`] when `a` contains NaN/∞ or is not
+    ///   symmetric within `1e-8·‖A‖`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (n, c) = a.shape();
+        if n != c {
+            return Err(LinalgError::NotSquare { rows: n, cols: c });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "eigen" });
+        }
+        let scale = a.norm_frobenius().max(1.0);
+        if !a.is_symmetric(1e-8 * scale) {
+            return Err(LinalgError::NonFinite {
+                op: "eigen (matrix not symmetric)",
+            });
+        }
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+        let tol = 1e-14 * scale;
+        for _sweep in 0..100 {
+            let mut off = 0.0f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off = off.max(m[(p, q)].abs());
+                }
+            }
+            if off <= tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol {
+                        continue;
+                    }
+                    let (app, aqq) = (m[(p, p)], m[(q, q)]);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let cos = 1.0 / (t * t + 1.0).sqrt();
+                    let sin = t * cos;
+                    // Rotate rows/cols p and q of M.
+                    for k in 0..n {
+                        let (mkp, mkq) = (m[(k, p)], m[(k, q)]);
+                        m[(k, p)] = cos * mkp - sin * mkq;
+                        m[(k, q)] = sin * mkp + cos * mkq;
+                    }
+                    for k in 0..n {
+                        let (mpk, mqk) = (m[(p, k)], m[(q, k)]);
+                        m[(p, k)] = cos * mpk - sin * mqk;
+                        m[(q, k)] = sin * mpk + cos * mqk;
+                    }
+                    // Accumulate the rotation into V.
+                    for k in 0..n {
+                        let (vkp, vkq) = (v[(k, p)], v[(k, q)]);
+                        v[(k, p)] = cos * vkp - sin * vkq;
+                        v[(k, q)] = sin * vkp + cos * vkq;
+                    }
+                }
+            }
+        }
+        // Sort descending by eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite"));
+        let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+        let vectors = Matrix::from_fn(n, n, |r, cidx| v[(r, order[cidx])]);
+        Ok(SymmetricEigen { values, vectors })
+    }
+
+    /// Spectral condition number `λ_max / λ_min` (∞ when `λ_min ≤ 0`).
+    pub fn condition_number(&self) -> f64 {
+        let max = *self.values.first().unwrap_or(&0.0);
+        let min = *self.values.last().unwrap_or(&0.0);
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Number of eigenvalues above `threshold` (numerical rank).
+    pub fn rank(&self, threshold: f64) -> usize {
+        self.values.iter().filter(|&&l| l > threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        let lambda = Matrix::from_diagonal(&e.values);
+        let vl = e.vectors.matmul(&lambda).unwrap();
+        vl.matmul(&e.vectors.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diagonal(&[3.0, 1.0, 2.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!((e.condition_number() - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let b = Matrix::from_rows(&[
+            &[1.0, 0.4, -0.2, 0.0],
+            &[0.0, 1.2, 0.3, 0.5],
+            &[0.7, 0.0, 0.9, -0.3],
+        ])
+        .unwrap();
+        let a = b.gram(); // symmetric PSD 4x4
+        let e = SymmetricEigen::new(&a).unwrap();
+        let rec = reconstruct(&e);
+        assert!(rec.sub(&a).unwrap().norm_frobenius() < 1e-10);
+        // V^T V = I.
+        let vtv = e.vectors.gram();
+        assert!(vtv.sub(&Matrix::identity(4)).unwrap().norm_frobenius() < 1e-10);
+        // Gram matrix of a 3x4: rank 3, one ~zero eigenvalue.
+        assert_eq!(e.rank(1e-9), 3);
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 2.0]])
+            .unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        let trace: f64 = (0..3).map(|i| a[(i, i)]).sum();
+        assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-10);
+        let det = a.lu().unwrap().det();
+        let prod: f64 = e.values.iter().product();
+        assert!((prod - det).abs() < 1e-9 * det.abs().max(1.0));
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(SymmetricEigen::new(&a).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn psd_condition_number_of_singular_matrix_is_infinite() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!(e.condition_number().is_infinite());
+    }
+}

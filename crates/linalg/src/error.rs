@@ -1,0 +1,114 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines in this crate.
+///
+/// All routines validate their inputs eagerly: dimension mismatches are
+/// reported before any arithmetic is performed, and factorizations report
+/// structural failures (loss of positive definiteness, singularity) with the
+/// offending pivot index so callers can diagnose which coefficient caused the
+/// breakdown.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that was attempted.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Number of rows observed.
+        rows: usize,
+        /// Number of columns observed.
+        cols: usize,
+    },
+    /// Cholesky factorization encountered a non-positive pivot.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value of the failing pivot (the diagonal residual).
+        value: f64,
+    },
+    /// LU factorization or a triangular solve hit a (numerically) zero pivot.
+    Singular {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// An input value was invalid (NaN or infinite) where finite data is
+    /// required.
+    NonFinite {
+        /// Human-readable name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// An empty matrix or vector was supplied where data is required.
+    Empty {
+        /// Human-readable name of the operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has residual {value:e}"
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NonFinite { op } => {
+                write!(f, "non-finite value encountered in {op}")
+            }
+            LinalgError::Empty { op } => write!(f, "empty operand in {op}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn not_positive_definite_reports_pivot() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 7,
+            value: -1e-3,
+        };
+        assert!(e.to_string().contains("pivot 7"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Self-contained dense linear algebra for the Bayesian Model Fusion
+//! reproduction.
+//!
+//! The BMF paper's MAP estimator reduces to solving symmetric positive
+//! definite (SPD) linear systems; its "fast solver" (§IV-C) is the
+//! Sherman–Morrison–Woodbury identity applied to a diagonal-plus-low-rank
+//! matrix. This crate provides exactly the pieces that pipeline needs,
+//! implemented from scratch so the direct-vs-fast solver comparison is
+//! apples-to-apples:
+//!
+//! * [`Matrix`] / [`Vector`] — dense row-major `f64` storage with the usual
+//!   BLAS-1/2/3 style operations,
+//! * [`Cholesky`] — SPD factorization and solves (the paper's "conventional
+//!   solver"),
+//! * [`Lu`] — partially pivoted LU for general square systems (used by the
+//!   mini-SPICE MNA solver),
+//! * [`Qr`] — Householder QR for overdetermined least squares,
+//! * [`woodbury`] — the low-rank update solver of eq. (53)–(58).
+//!
+//! # Example
+//!
+//! ```
+//! use bmf_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), bmf_linalg::LinalgError> {
+//! // Solve the SPD system (AᵀA + I) x = b via Cholesky.
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])?;
+//! let spd = a.gram().add(&Matrix::identity(2))?;
+//! let chol = spd.cholesky()?;
+//! let x = chol.solve(&Vector::from(vec![1.0, 1.0]))?;
+//! assert_eq!(x.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod complex;
+mod cholesky;
+pub mod eigen;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod triangular;
+pub mod woodbury;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use triangular::{solve_lower, solve_lower_transpose, solve_upper};
+pub use vector::Vector;
+
+mod vector;
+
+/// Convenient result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,224 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// LU factorization with partial (row) pivoting: `P A = L U`.
+///
+/// Used by the mini-SPICE modified-nodal-analysis solver in `bmf-circuits`,
+/// whose conductance matrices are square but not symmetric (voltage-source
+/// stamps break symmetry).
+///
+/// # Example
+///
+/// ```
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]])?; // needs pivoting
+/// let lu = a.lu()?;
+/// let x = lu.solve(&Vector::from(vec![2.0, 4.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part holds L (unit diagonal implied),
+    /// upper part holds U.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinant computation.
+    sign: f64,
+}
+
+/// Relative pivot threshold: a pivot smaller than this times the largest
+/// absolute entry of the matrix is treated as zero.
+const REL_PIVOT_TOL: f64 = 1e-14;
+
+impl Lu {
+    /// Factorizes the square matrix `a` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] when `a` is not square.
+    /// * [`LinalgError::Singular`] when no acceptable pivot exists in some
+    ///   column.
+    /// * [`LinalgError::NonFinite`] when `a` contains NaN or ±∞.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (n, c) = a.shape();
+        if n != c {
+            return Err(LinalgError::NotSquare { rows: n, cols: c });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "lu" });
+        }
+        let scale = a
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, x| m.max(x.abs()))
+            .max(1.0);
+        let tol = REL_PIVOT_TOL * scale;
+
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < tol {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs
+    /// from the factor dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut x = Vector::from_fn(n, |i| b[self.perm[i]]);
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of `A`, as `sign · Π U[i][i]`.
+    pub fn det(&self) -> f64 {
+        (0..self.dim()).fold(self.sign, |acc, i| acc * self.lu[(i, i)])
+    }
+
+    /// Computes `A⁻¹` explicitly by solving against the identity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Lu::solve`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        for j in 0..n {
+            let e = Vector::from_fn(n, |i| if i == j { 1.0 } else { 0.0 });
+            let x = self.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
+        let b = Vector::from(vec![8.0, -11.0, -3.0]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        // Known solution: x = (2, 3, -1).
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.lu().unwrap().solve(&Vector::from(vec![3.0, 5.0])).unwrap();
+        assert_eq!(x.as_slice(), &[5.0, 3.0]);
+    }
+
+    #[test]
+    fn det_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((a.lu().unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_tracks_permutations() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((a.lu().unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.lu().unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(2)).unwrap().norm_frobenius() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

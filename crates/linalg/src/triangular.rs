@@ -1,0 +1,183 @@
+//! Forward and backward substitution for triangular systems.
+//!
+//! These are the inner kernels shared by [`crate::Cholesky`], [`crate::Lu`]
+//! and [`crate::Qr`]. Only the relevant triangle of the input matrix is
+//! read, so a packed factor stored in a full square matrix works unchanged.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Pivots with magnitude below this threshold are treated as exact zeros.
+const PIVOT_TOL: f64 = 1e-300;
+
+fn check_square_system(l: &Matrix, b: &Vector, op: &'static str) -> Result<()> {
+    let (r, c) = l.shape();
+    if r != c {
+        return Err(LinalgError::NotSquare { rows: r, cols: c });
+    }
+    if b.len() != r {
+        return Err(LinalgError::DimensionMismatch {
+            op,
+            lhs: (r, c),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+/// Solves `L x = b` where `L` is lower triangular (forward substitution).
+///
+/// Only the lower triangle of `l` (including the diagonal) is read.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when a diagonal entry is (numerically)
+/// zero, [`LinalgError::NotSquare`] or [`LinalgError::DimensionMismatch`] on
+/// shape violations.
+///
+/// ```
+/// use bmf_linalg::{solve_lower, Matrix, Vector};
+/// # fn main() -> Result<(), bmf_linalg::LinalgError> {
+/// let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]])?;
+/// let x = solve_lower(&l, &Vector::from(vec![4.0, 11.0]))?;
+/// assert_eq!(x.as_slice(), &[2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_lower(l: &Matrix, b: &Vector) -> Result<Vector> {
+    check_square_system(l, b, "solve_lower")?;
+    let n = b.len();
+    let mut x = b.clone();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = x[i];
+        for j in 0..i {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` where `U` is upper triangular (backward substitution).
+///
+/// Only the upper triangle of `u` (including the diagonal) is read.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when a diagonal entry is (numerically)
+/// zero, [`LinalgError::NotSquare`] or [`LinalgError::DimensionMismatch`] on
+/// shape violations.
+pub fn solve_upper(u: &Matrix, b: &Vector) -> Result<Vector> {
+    check_square_system(u, b, "solve_upper")?;
+    let n = b.len();
+    let mut x = b.clone();
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `Lᵀ x = b` reading only the lower triangle of `l`.
+///
+/// This avoids materializing the transpose when completing a Cholesky solve
+/// (`L Lᵀ x = b` ⇒ forward then transposed-forward substitution).
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lower`].
+pub fn solve_lower_transpose(l: &Matrix, b: &Vector) -> Result<Vector> {
+    check_square_system(l, b, "solve_lower_transpose")?;
+    let n = b.len();
+    let mut x = b.clone();
+    for i in (0..n).rev() {
+        // Lᵀ[i][j] = L[j][i]; only j >= i contribute.
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * x[j];
+        }
+        let d = l[(i, i)];
+        if d.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_solve_roundtrip() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 1.5, 0.0], &[-1.0, 0.5, 3.0]])
+            .unwrap();
+        let x_true = Vector::from(vec![1.0, -2.0, 0.5]);
+        let b = l.matvec(&x_true).unwrap();
+        let x = solve_lower(&l, &b).unwrap();
+        for (a, t) in x.iter().zip(x_true.iter()) {
+            assert!((a - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_solve_roundtrip() {
+        let u = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[0.0, 1.5, 0.5], &[0.0, 0.0, 3.0]])
+            .unwrap();
+        let x_true = Vector::from(vec![0.3, 2.0, -1.0]);
+        let b = u.matvec(&x_true).unwrap();
+        let x = solve_upper(&u, &b).unwrap();
+        for (a, t) in x.iter().zip(x_true.iter()) {
+            assert!((a - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lower_transpose_matches_explicit_transpose() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.5]]).unwrap();
+        let b = Vector::from(vec![1.0, 2.0]);
+        let a = solve_lower_transpose(&l, &b).unwrap();
+        let e = solve_upper(&l.transpose(), &b).unwrap();
+        for (u, v) in a.iter().zip(e.iter()) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_is_singular() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            solve_lower(&l, &Vector::zeros(2)),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let l = Matrix::zeros(2, 3);
+        assert!(solve_lower(&l, &Vector::zeros(2)).is_err());
+        let sq = Matrix::identity(2);
+        assert!(solve_upper(&sq, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn upper_triangle_ignored_by_lower_solve() {
+        // Garbage above the diagonal must not affect the result.
+        let l = Matrix::from_rows(&[&[2.0, 999.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower(&l, &Vector::from(vec![4.0, 11.0])).unwrap();
+        assert_eq!(x.as_slice(), &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Sherman–Morrison–Woodbury solvers for diagonal-plus-low-rank systems.
+//!
+//! The BMF MAP estimate (eq. 30/35) solves
+//!
+//! ```text
+//! (D + c · GᵀG) x = rhs,        D = diag(d₁ … d_M),  G ∈ ℝ^{K×M},  K ≪ M
+//! ```
+//!
+//! where `D` holds the prior precisions (`σ_m⁻²` in the zero-mean case,
+//! `η·α_{E,m}⁻²` in the nonzero-mean case with `c = 1`). A direct solver
+//! factorizes the M × M matrix at Θ(M³) cost; the Woodbury identity
+//! (eq. 53–58) reduces this to one K × K factorization plus Θ(K²M) work —
+//! the paper reports up to 600× speed-ups from exactly this identity, with
+//! *no* approximation.
+//!
+//! Two entry points are provided:
+//!
+//! * [`solve_diag_plus_gram`] — all prior precisions strictly positive
+//!   (the plain §IV-C case, eq. 53/56). Uses a Cholesky-factorized SPD core.
+//! * [`solve_diag_plus_gram_semidefinite`] — some precisions exactly zero
+//!   (the *missing prior knowledge* case of §IV-B, eq. 50–52, where
+//!   `σ_m = +∞` so only `σ_m⁻¹ = 0` enters). Uses an augmented low-rank
+//!   update that stays exact; see the function docs for the derivation.
+
+use crate::{Cholesky, LinalgError, Lu, Matrix, Result, Vector};
+
+fn validate(prior_precision: &[f64], c: f64, g: &Matrix, rhs: &Vector) -> Result<()> {
+    let (_k, m) = g.shape();
+    if prior_precision.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "woodbury (precision length vs G cols)",
+            lhs: (prior_precision.len(), 1),
+            rhs: (m, 1),
+        });
+    }
+    if rhs.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "woodbury (rhs length vs G cols)",
+            lhs: (rhs.len(), 1),
+            rhs: (m, 1),
+        });
+    }
+    if !(c > 0.0) || !c.is_finite() {
+        return Err(LinalgError::NonFinite { op: "woodbury (c)" });
+    }
+    if prior_precision.iter().any(|d| !d.is_finite() || *d < 0.0) {
+        return Err(LinalgError::NonFinite {
+            op: "woodbury (precision)",
+        });
+    }
+    Ok(())
+}
+
+/// Solves `(D + c·GᵀG) x = rhs` with `D = diag(prior_precision)` strictly
+/// positive, via the Sherman–Morrison–Woodbury identity:
+///
+/// ```text
+/// x = D⁻¹ rhs − D⁻¹ Gᵀ (c⁻¹ I + G D⁻¹ Gᵀ)⁻¹ G D⁻¹ rhs
+/// ```
+///
+/// Exact (up to rounding); never forms an M × M matrix. Cost Θ(K²M + K³)
+/// versus Θ(M³) for the direct factorization.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] on shape violations.
+/// * [`LinalgError::NonFinite`] when `c ≤ 0`, any precision is negative, or
+///   inputs are not finite.
+/// * [`LinalgError::Singular`] when some precision is exactly zero (use
+///   [`solve_diag_plus_gram_semidefinite`] for that case).
+/// * [`LinalgError::NotPositiveDefinite`] if the K × K core loses positive
+///   definiteness (pathological scaling).
+///
+/// # Example
+///
+/// ```
+/// use bmf_linalg::{woodbury, Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_linalg::LinalgError> {
+/// let g = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, -1.0]])?;
+/// let d = vec![1.0, 2.0, 4.0]; // prior precisions
+/// let rhs = Vector::from(vec![1.0, 1.0, 1.0]);
+/// let x = woodbury::solve_diag_plus_gram(&d, 0.5, &g, &rhs)?;
+/// // Verify against the explicit M x M system.
+/// let mut h = g.gram().scaled(0.5);
+/// h.add_diagonal_mut(&d)?;
+/// let direct = h.cholesky()?.solve(&rhs)?;
+/// assert!(x.sub(&direct)?.norm2() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_diag_plus_gram(
+    prior_precision: &[f64],
+    c: f64,
+    g: &Matrix,
+    rhs: &Vector,
+) -> Result<Vector> {
+    validate(prior_precision, c, g, rhs)?;
+    if let Some(z) = prior_precision.iter().position(|d| *d == 0.0) {
+        return Err(LinalgError::Singular { pivot: z });
+    }
+    let core = WoodburyCore::new(prior_precision, c, g)?;
+    core.solve(rhs)
+}
+
+/// A pre-factorized Woodbury core for repeated solves against the same
+/// `(D, c, G)` triple with different right-hand sides.
+///
+/// Cross-validation sweeps (§IV-D) solve the same system shape for many
+/// hyper-parameter values and folds; when only the right-hand side changes,
+/// reusing the factorized K × K core turns each additional solve into
+/// Θ(KM) work.
+#[derive(Debug, Clone)]
+pub struct WoodburyCore {
+    d_inv: Vec<f64>,
+    chol: Cholesky,
+    g: Matrix,
+}
+
+impl WoodburyCore {
+    /// Builds and factorizes the K × K core `c⁻¹ I + G D⁻¹ Gᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve_diag_plus_gram`].
+    pub fn new(prior_precision: &[f64], c: f64, g: &Matrix) -> Result<Self> {
+        let (k, _m) = g.shape();
+        let d_inv: Vec<f64> = prior_precision.iter().map(|d| 1.0 / d).collect();
+        let mut core = g.outer_gram_diag(&d_inv)?;
+        core.add_diagonal_mut(&vec![1.0 / c; k])?;
+        let chol = core.cholesky()?;
+        Ok(WoodburyCore {
+            d_inv,
+            chol,
+            g: g.clone(),
+        })
+    }
+
+    /// Solves `(D + c·GᵀG) x = rhs` using the pre-factorized core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `rhs.len()` differs
+    /// from the number of columns of `G`.
+    pub fn solve(&self, rhs: &Vector) -> Result<Vector> {
+        let m = self.g.ncols();
+        if rhs.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "woodbury core solve",
+                lhs: (m, 1),
+                rhs: (rhs.len(), 1),
+            });
+        }
+        // t = D⁻¹ rhs
+        let t = Vector::from_fn(m, |i| self.d_inv[i] * rhs[i]);
+        // y = (core)⁻¹ G t
+        let gt = self.g.matvec(&t)?;
+        let y = self.chol.solve(&gt)?;
+        // x = t − D⁻¹ Gᵀ y
+        let gty = self.g.matvec_transpose(&y)?;
+        Ok(Vector::from_fn(m, |i| t[i] - self.d_inv[i] * gty[i]))
+    }
+}
+
+/// Solves `(D + c·GᵀG) x = rhs` where some diagonal precisions are exactly
+/// zero — the missing-prior-knowledge case of §IV-B.
+///
+/// # Method
+///
+/// Let `Z = { m : d_m = 0 }` and `E ∈ ℝ^{M×|Z|}` collect the corresponding
+/// identity columns. Pick a positive shift `τ` and write
+///
+/// ```text
+/// H = D̃ + U C Uᵀ,   D̃ = D + τ·E Eᵀ,   U = [Gᵀ | E],
+///                    C = blockdiag(c·I_K, −τ·I_{|Z|})
+/// ```
+///
+/// which is an algebraic identity for any `τ > 0`. The Woodbury identity
+/// with the (K+|Z|) × (K+|Z|) inner matrix `W = C⁻¹ + Uᵀ D̃⁻¹ U` (factorized
+/// by pivoted LU — `W` is indefinite) then yields the exact solution at
+/// Θ((K+|Z|)³ + K²M) cost. A well-posed MAP problem has `|Z| ≤ K` (the data
+/// must identify the unconstrained coefficients), so this stays within a
+/// small constant of the plain fast solver.
+///
+/// `τ` is chosen as the mean of `c·‖G col‖²` over the zero-precision columns
+/// (falling back to 1.0), which keeps `W` well scaled.
+///
+/// # Errors
+///
+/// * The shape/validity conditions of [`solve_diag_plus_gram`].
+/// * [`LinalgError::Singular`] when the overall system is singular — in
+///   particular when more coefficients lack priors than there are samples
+///   (`|Z| > K`).
+pub fn solve_diag_plus_gram_semidefinite(
+    prior_precision: &[f64],
+    c: f64,
+    g: &Matrix,
+    rhs: &Vector,
+) -> Result<Vector> {
+    validate(prior_precision, c, g, rhs)?;
+    let zeros: Vec<usize> = prior_precision
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| (*d == 0.0).then_some(i))
+        .collect();
+    if zeros.is_empty() {
+        return solve_diag_plus_gram(prior_precision, c, g, rhs);
+    }
+    let (k, m) = g.shape();
+    let nz = zeros.len();
+    if nz > k {
+        // More unconstrained coefficients than samples: H is singular.
+        return Err(LinalgError::Singular { pivot: zeros[k] });
+    }
+
+    // Shift tau: mean of c * column norms over the zero-precision columns.
+    let mut tau = 0.0;
+    for &z in &zeros {
+        let mut s = 0.0;
+        for i in 0..k {
+            s += g[(i, z)] * g[(i, z)];
+        }
+        tau += c * s;
+    }
+    tau /= nz as f64;
+    if !(tau > 0.0) {
+        tau = 1.0;
+    }
+
+    // D-tilde inverse.
+    let mut dt_inv: Vec<f64> = prior_precision.iter().map(|d| 1.0 / d).collect();
+    for &z in &zeros {
+        dt_inv[z] = 1.0 / tau;
+    }
+
+    // Inner matrix W = C^-1 + U^T Dt^-1 U, size (k + nz).
+    let n = k + nz;
+    let mut w = Matrix::zeros(n, n);
+    // Block (1,1): c^-1 I + G Dt^-1 G^T.
+    let block11 = g.outer_gram_diag(&dt_inv)?;
+    for i in 0..k {
+        for j in 0..k {
+            w[(i, j)] = block11[(i, j)] + if i == j { 1.0 / c } else { 0.0 };
+        }
+    }
+    // Block (1,2) and (2,1): G Dt^-1 E  → column z scaled by 1/tau.
+    for (jz, &z) in zeros.iter().enumerate() {
+        for i in 0..k {
+            let v = g[(i, z)] / tau;
+            w[(i, k + jz)] = v;
+            w[(k + jz, i)] = v;
+        }
+    }
+    // Block (2,2): -tau^-1 I + E^T Dt^-1 E = -1/tau + 1/tau = 0. Left zero.
+
+    let lu = Lu::new(&w)?;
+
+    // t = Dt^-1 rhs.
+    let t = Vector::from_fn(m, |i| dt_inv[i] * rhs[i]);
+    // u = U^T t : first k entries G t, last nz entries t[z].
+    let gt = g.matvec(&t)?;
+    let mut u = Vector::zeros(n);
+    for i in 0..k {
+        u[i] = gt[i];
+    }
+    for (jz, &z) in zeros.iter().enumerate() {
+        u[k + jz] = t[z];
+    }
+    let y = lu.solve(&u)?;
+    // Uy = G^T y1 + E y2.
+    let y1 = Vector::from(&y.as_slice()[..k]);
+    let mut uy = g.matvec_transpose(&y1)?;
+    for (jz, &z) in zeros.iter().enumerate() {
+        uy[z] += y[k + jz];
+    }
+    Ok(Vector::from_fn(m, |i| t[i] - dt_inv[i] * uy[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random matrix without external dependencies.
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = state.wrapping_mul(0x2545F4914F6CDD1D);
+            (u >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    fn direct_solve(d: &[f64], c: f64, g: &Matrix, rhs: &Vector) -> Vector {
+        let mut h = g.gram().scaled(c);
+        h.add_diagonal_mut(d).unwrap();
+        h.lu().unwrap().solve(rhs).unwrap()
+    }
+
+    #[test]
+    fn matches_direct_solver_positive_priors() {
+        let g = pseudo_random_matrix(6, 20, 42);
+        let d: Vec<f64> = (0..20).map(|i| 0.5 + 0.1 * i as f64).collect();
+        let rhs = Vector::from_fn(20, |i| (i as f64).sin());
+        let fast = solve_diag_plus_gram(&d, 2.0, &g, &rhs).unwrap();
+        let direct = direct_solve(&d, 2.0, &g, &rhs);
+        assert!(fast.sub(&direct).unwrap().norm2() < 1e-9 * direct.norm2().max(1.0));
+    }
+
+    #[test]
+    fn core_reuse_matches_one_shot() {
+        let g = pseudo_random_matrix(4, 12, 7);
+        let d: Vec<f64> = (0..12).map(|i| 1.0 + i as f64 * 0.05).collect();
+        let core = WoodburyCore::new(&d, 1.5, &g).unwrap();
+        for s in 0..3 {
+            let rhs = Vector::from_fn(12, |i| ((i + s) as f64).cos());
+            let a = core.solve(&rhs).unwrap();
+            let b = solve_diag_plus_gram(&d, 1.5, &g, &rhs).unwrap();
+            assert!(a.sub(&b).unwrap().norm2() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_precision_rejected_by_strict_solver() {
+        let g = pseudo_random_matrix(3, 5, 1);
+        let d = vec![1.0, 0.0, 1.0, 1.0, 1.0];
+        let rhs = Vector::zeros(5);
+        assert!(matches!(
+            solve_diag_plus_gram(&d, 1.0, &g, &rhs),
+            Err(LinalgError::Singular { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn semidefinite_matches_direct_solver() {
+        let g = pseudo_random_matrix(8, 15, 99);
+        let mut d: Vec<f64> = (0..15).map(|i| 0.8 + 0.05 * i as f64).collect();
+        d[3] = 0.0;
+        d[10] = 0.0;
+        let rhs = Vector::from_fn(15, |i| 1.0 / (1.0 + i as f64));
+        let fast = solve_diag_plus_gram_semidefinite(&d, 0.7, &g, &rhs).unwrap();
+        let direct = direct_solve(&d, 0.7, &g, &rhs);
+        assert!(fast.sub(&direct).unwrap().norm2() < 1e-8 * direct.norm2().max(1.0));
+    }
+
+    #[test]
+    fn semidefinite_with_no_zeros_delegates() {
+        let g = pseudo_random_matrix(3, 6, 5);
+        let d = vec![1.0; 6];
+        let rhs = Vector::from_fn(6, |i| i as f64);
+        let a = solve_diag_plus_gram_semidefinite(&d, 1.0, &g, &rhs).unwrap();
+        let b = solve_diag_plus_gram(&d, 1.0, &g, &rhs).unwrap();
+        assert!(a.sub(&b).unwrap().norm2() < 1e-14);
+    }
+
+    #[test]
+    fn too_many_missing_priors_is_singular() {
+        let g = pseudo_random_matrix(2, 6, 3);
+        let d = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]; // 3 zeros > K = 2
+        let rhs = Vector::zeros(6);
+        assert!(matches!(
+            solve_diag_plus_gram_semidefinite(&d, 1.0, &g, &rhs),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_precision_rejected() {
+        let g = pseudo_random_matrix(2, 3, 3);
+        assert!(solve_diag_plus_gram(&[1.0, -1.0, 1.0], 1.0, &g, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn non_positive_c_rejected() {
+        let g = pseudo_random_matrix(2, 3, 3);
+        assert!(solve_diag_plus_gram(&[1.0; 3], 0.0, &g, &Vector::zeros(3)).is_err());
+        assert!(solve_diag_plus_gram(&[1.0; 3], -1.0, &g, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn wide_underdetermined_regime() {
+        // K = 3 samples, M = 40 coefficients: the regime the paper targets.
+        let g = pseudo_random_matrix(3, 40, 1234);
+        let d: Vec<f64> = (0..40).map(|i| 0.2 + 0.01 * i as f64).collect();
+        let rhs = Vector::from_fn(40, |i| ((i * 7 % 11) as f64) / 11.0);
+        let fast = solve_diag_plus_gram(&d, 3.0, &g, &rhs).unwrap();
+        let direct = direct_solve(&d, 3.0, &g, &rhs);
+        assert!(fast.sub(&direct).unwrap().norm2() < 1e-9 * direct.norm2().max(1.0));
+    }
+}

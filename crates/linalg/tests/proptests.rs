@@ -1,0 +1,177 @@
+//! Property-based tests for the dense linear-algebra kernels.
+//!
+//! Strategy: generate random well-conditioned inputs, then check algebraic
+//! identities (factor-reconstruct, solve-then-multiply, fast-vs-direct
+//! equivalence) within tolerances scaled to the operand magnitudes.
+
+use bmf_linalg::{woodbury, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Bounded element strategy keeping matrices well scaled.
+fn elem() -> impl Strategy<Value = f64> {
+    (-10.0f64..10.0).prop_map(|x| (x * 100.0).round() / 100.0)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(elem(), rows * cols)
+        .prop_map(move |data| Matrix::from_row_major(rows, cols, data).expect("sized"))
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(elem(), n).prop_map(Vector::from)
+}
+
+/// An SPD matrix built as BᵀB + δI.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n + 1, n).prop_map(move |b| {
+        let mut a = b.gram();
+        a.add_diagonal_mut(&vec![1.0; n]).expect("square");
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix(4, 6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_matvec(
+        a in matrix(3, 4),
+        b in matrix(4, 5),
+        x in vector(5),
+    ) {
+        // (A B) x == A (B x)
+        let lhs = a.matmul(&b).unwrap().matvec(&x).unwrap();
+        let rhs = a.matvec(&b.matvec(&x).unwrap()).unwrap();
+        let scale = lhs.norm2().max(1.0);
+        prop_assert!(lhs.sub(&rhs).unwrap().norm2() <= 1e-10 * scale);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product(m in matrix(5, 3)) {
+        let fast = m.gram();
+        let explicit = m.transpose().matmul(&m).unwrap();
+        prop_assert!(fast.sub(&explicit).unwrap().norm_frobenius() <= 1e-10);
+        prop_assert!(fast.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn matvec_transpose_matches_explicit(m in matrix(4, 7), x in vector(4)) {
+        let fast = m.matvec_transpose(&x).unwrap();
+        let explicit = m.transpose().matvec(&x).unwrap();
+        prop_assert!(fast.sub(&explicit).unwrap().norm2() <= 1e-10);
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd(4)) {
+        let chol = a.cholesky().unwrap();
+        let l = chol.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        let scale = a.norm_frobenius().max(1.0);
+        prop_assert!(rec.sub(&a).unwrap().norm_frobenius() <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn cholesky_solve_satisfies_system(a in spd(4), b in vector(4)) {
+        let x = a.cholesky().unwrap().solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap().sub(&b).unwrap();
+        prop_assert!(r.norm2() <= 1e-8 * b.norm2().max(1.0));
+    }
+
+    #[test]
+    fn lu_solve_satisfies_system(a in spd(4), b in vector(4)) {
+        // SPD inputs are trivially nonsingular for LU too.
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap().sub(&b).unwrap();
+        prop_assert!(r.norm2() <= 1e-8 * b.norm2().max(1.0));
+    }
+
+    #[test]
+    fn lu_det_matches_cholesky_logdet(a in spd(3)) {
+        let det = a.lu().unwrap().det();
+        let logdet = a.cholesky().unwrap().log_det();
+        prop_assert!(det > 0.0);
+        prop_assert!((det.ln() - logdet).abs() <= 1e-8 * logdet.abs().max(1.0));
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(g in matrix(8, 3), y in vector(8)) {
+        // The LS residual must be orthogonal to the column space of G
+        // whenever G has full column rank (guard via R diagonal).
+        let qr = g.qr().unwrap();
+        let r = qr.r();
+        let full_rank = (0..3).all(|i| r[(i, i)].abs() > 1e-6);
+        prop_assume!(full_rank);
+        let x = qr.solve_least_squares(&y).unwrap();
+        let resid = g.matvec(&x).unwrap().sub(&y).unwrap();
+        let gt_r = g.matvec_transpose(&resid).unwrap();
+        prop_assert!(gt_r.norm_inf() <= 1e-7 * y.norm2().max(1.0));
+    }
+
+    #[test]
+    fn woodbury_matches_direct(
+        g in matrix(3, 10),
+        d in proptest::collection::vec(0.1f64..5.0, 10),
+        rhs in vector(10),
+        c in 0.1f64..10.0,
+    ) {
+        let fast = woodbury::solve_diag_plus_gram(&d, c, &g, &rhs).unwrap();
+        let mut h = g.gram().scaled(c);
+        h.add_diagonal_mut(&d).unwrap();
+        let direct = h.cholesky().unwrap().solve(&rhs).unwrap();
+        let scale = direct.norm2().max(1.0);
+        prop_assert!(fast.sub(&direct).unwrap().norm2() <= 1e-7 * scale);
+    }
+
+    #[test]
+    fn woodbury_semidefinite_matches_direct(
+        g in matrix(5, 9),
+        d in proptest::collection::vec(0.1f64..5.0, 9),
+        rhs in vector(9),
+        zero_at in 0usize..9,
+    ) {
+        let mut d = d;
+        d[zero_at] = 0.0;
+        let fast = match woodbury::solve_diag_plus_gram_semidefinite(&d, 1.0, &g, &rhs) {
+            Ok(v) => v,
+            // Random G may make the system singular; that is a valid outcome.
+            Err(_) => return Ok(()),
+        };
+        let mut h = g.gram();
+        h.add_diagonal_mut(&d).unwrap();
+        let direct = match h.lu() {
+            Ok(lu) => lu.solve(&rhs).unwrap(),
+            Err(_) => return Ok(()),
+        };
+        let scale = direct.norm2().max(1.0);
+        prop_assert!(fast.sub(&direct).unwrap().norm2() <= 1e-6 * scale);
+    }
+
+    #[test]
+    fn select_columns_preserves_entries(m in matrix(3, 6)) {
+        let idx = [5usize, 0, 3];
+        let s = m.select_columns(&idx);
+        for i in 0..3 {
+            for (jj, &j) in idx.iter().enumerate() {
+                prop_assert_eq!(s[(i, jj)], m[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_dot_cauchy_schwarz(a in vector(6), b in vector(6)) {
+        let lhs = a.dot(&b).unwrap().abs();
+        let rhs = a.norm2() * b.norm2();
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in vector(6), b in vector(6)) {
+        let sum = a.add(&b).unwrap();
+        prop_assert!(sum.norm2() <= a.norm2() + b.norm2() + 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Fixed-width histograms with ASCII rendering.
+//!
+//! The paper's Fig. 4 and Fig. 7 show histograms of post-layout Monte-Carlo
+//! samples (RO power / phase noise / frequency, SRAM read delay). The
+//! reproduction harness regenerates them as text: a [`Histogram`] plus
+//! [`Histogram::render_ascii`] prints a vertical-bar chart alongside the
+//! moment summary.
+
+use crate::summary::Summary;
+
+/// A fixed-width histogram over a closed range.
+///
+/// Values outside the range are counted in saturating edge bins is *not*
+/// done; they are tallied separately as underflow/overflow so the bin mass
+/// always reflects the stated range.
+///
+/// # Example
+///
+/// ```
+/// use bmf_stat::histogram::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [1.0, 1.5, 7.0, 11.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts()[0], 2);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    summary: Summary,
+}
+
+/// Error constructing a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidHistogram;
+
+impl std::fmt::Display for InvalidHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram requires lo < hi (finite) and at least one bin")
+    }
+}
+
+impl std::error::Error for InvalidHistogram {}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidHistogram`] when `lo >= hi`, the bounds are not
+    /// finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, InvalidHistogram> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() || bins == 0 {
+            return Err(InvalidHistogram);
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            summary: Summary::new(),
+        })
+    }
+
+    /// Builds a histogram spanning the sample range of `xs` with `bins`
+    /// bins (padding degenerate ranges by ±0.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidHistogram`] when `xs` is empty or `bins == 0`.
+    pub fn from_samples(xs: &[f64], bins: usize) -> Result<Self, InvalidHistogram> {
+        if xs.is_empty() {
+            return Err(InvalidHistogram);
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo == hi {
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &x in xs {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.summary.push(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x > self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let mut b = ((x - self.lo) / w) as usize;
+            if b == self.counts.len() {
+                b -= 1; // x == hi lands in the last bin
+            }
+            self.counts[b] += 1;
+        }
+    }
+
+    /// Bin counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Lower bound of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Center of bin `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` is out of range.
+    pub fn bin_center(&self, b: usize) -> f64 {
+        assert!(b < self.counts.len(), "bin {b} out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (b as f64 + 0.5) * w
+    }
+
+    /// Moment summary of every observation added.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Renders the histogram as an ASCII bar chart, one bin per line:
+    /// `center | bar | count`. `width` is the maximum bar length in
+    /// characters.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (b, &c) in self.counts.iter().enumerate() {
+            let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>12.4e} | {:<width$} | {}\n",
+                self.bin_center(b),
+                "#".repeat(bar_len),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for x in [0.0, 0.24, 0.25, 0.5, 0.99, 1.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-1.0);
+        h.add(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn from_samples_covers_all() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&xs, 10).unwrap();
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn from_samples_degenerate_range() {
+        let h = Histogram::from_samples(&[5.0, 5.0, 5.0], 3).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Histogram::new(1.0, 0.0, 3).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+        assert!(Histogram::from_samples(&[], 3).is_err());
+    }
+
+    #[test]
+    fn bin_center_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn ascii_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(0.1);
+        h.add(0.2);
+        h.add(0.7);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("| 2"));
+        assert!(s.contains("| 1"));
+    }
+
+    #[test]
+    fn summary_tracks_all_observations() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        for x in [0.0, 0.5, 1.0, 2.0] {
+            h.add(x);
+        }
+        assert_eq!(h.summary().count(), 4);
+        assert!((h.summary().mean() - 0.875).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Used to validate the substrate's distributional claims: that the
+//! process-variation sampler really is standard normal, and that circuit
+//! performance distributions are near-normal in the bulk (the paper's
+//! Fig. 4/7 histograms) while retaining their skew in the tails.
+
+use crate::normal::Normal;
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F̂(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution with the usual
+    /// finite-sample correction).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// `true` when the hypothesis "sample comes from the reference
+    /// distribution" is *not* rejected at level `alpha`.
+    pub fn is_consistent(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Tests a sample against `N(mean, std_dev²)`.
+///
+/// # Panics
+///
+/// Panics when the sample is empty or contains NaN.
+///
+/// ```
+/// use bmf_stat::kstest::ks_test_normal;
+/// use bmf_stat::normal::StandardNormal;
+/// use bmf_stat::rng::seeded;
+///
+/// let mut rng = seeded(3);
+/// let mut s = StandardNormal::new();
+/// let xs: Vec<f64> = (0..2000).map(|_| s.sample(&mut rng)).collect();
+/// let r = ks_test_normal(&xs, 0.0, 1.0);
+/// assert!(r.is_consistent(0.01));
+/// ```
+pub fn ks_test_normal(sample: &[f64], mean: f64, std_dev: f64) -> KsResult {
+    assert!(!sample.is_empty(), "KS test needs data");
+    let dist = Normal::new(mean, std_dev);
+    let mut xs = sample.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS sample"));
+    let n = xs.len();
+    let nf = n as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = dist.cdf(x);
+        let d_plus = (i as f64 + 1.0) / nf - f;
+        let d_minus = f - i as f64 / nf;
+        d = d.max(d_plus).max(d_minus);
+    }
+    let p_value = kolmogorov_sf((nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d);
+    KsResult {
+        statistic: d,
+        p_value,
+        n,
+    }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::StandardNormal;
+    use crate::rng::seeded;
+
+    #[test]
+    fn accepts_true_normal_sample() {
+        let mut rng = seeded(7);
+        let mut s = StandardNormal::new();
+        let xs: Vec<f64> = (0..5000).map(|_| 2.0 + 0.5 * s.sample(&mut rng)).collect();
+        let r = ks_test_normal(&xs, 2.0, 0.5);
+        assert!(r.is_consistent(0.01), "p = {}", r.p_value);
+        assert!(r.statistic < 0.03);
+    }
+
+    #[test]
+    fn rejects_shifted_sample() {
+        let mut rng = seeded(8);
+        let mut s = StandardNormal::new();
+        let xs: Vec<f64> = (0..5000).map(|_| 0.3 + s.sample(&mut rng)).collect();
+        let r = ks_test_normal(&xs, 0.0, 1.0);
+        assert!(!r.is_consistent(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn rejects_uniform_sample() {
+        let xs: Vec<f64> = (0..2000).map(|i| i as f64 / 1999.0 * 4.0 - 2.0).collect();
+        let r = ks_test_normal(&xs, 0.0, 1.0);
+        assert!(!r.is_consistent(0.01));
+    }
+
+    #[test]
+    fn kolmogorov_sf_limits() {
+        assert!((kolmogorov_sf(1e-6) - 1.0).abs() < 1e-9);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+        // Known value: Q(1.0) ~ 0.27.
+        assert!((kolmogorov_sf(1.0) - 0.27).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_sample_panics() {
+        ks_test_normal(&[], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Statistics substrate for the Bayesian Model Fusion reproduction.
+//!
+//! The offline crate set provides `rand` but not `rand_distr`, and the BMF
+//! pipeline needs more than sampling: Gaussian pdf/cdf/quantiles for the
+//! prior definitions (§III-A), histograms for reproducing Fig. 4/7, moment
+//! summaries for validating the synthetic circuit substrate, and K-fold
+//! cross-validation splits for hyper-parameter and prior selection (§IV-D).
+//! This crate implements all of that from scratch:
+//!
+//! * [`normal`] — standard normal sampling (Marsaglia polar method),
+//!   `erf`, Φ, Φ⁻¹ (Acklam's rational approximation), and a [`normal::Normal`]
+//!   distribution type,
+//! * [`histogram`] — fixed-width binning with ASCII rendering,
+//! * [`summary`] — mean/variance/skewness/kurtosis and quantiles,
+//! * [`crossval`] — seeded K-fold index splitting,
+//! * [`rng`] — seeding conventions used across the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use bmf_stat::normal::StandardNormal;
+//! use bmf_stat::summary::Summary;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut sampler = StandardNormal::new();
+//! let xs: Vec<f64> = (0..10_000).map(|_| sampler.sample(&mut rng)).collect();
+//! let s = Summary::from_slice(&xs);
+//! assert!(s.mean().abs() < 0.05);
+//! assert!((s.std_dev() - 1.0).abs() < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crossval;
+pub mod histogram;
+pub mod kstest;
+pub mod normal;
+pub mod rng;
+pub mod summary;

@@ -1,0 +1,344 @@
+//! Gaussian distribution primitives: sampling, pdf, cdf, quantiles.
+//!
+//! The process design kit convention adopted by the paper (eq. 1) models
+//! every device-level variation variable as an independent standard normal;
+//! everything downstream — the orthonormal Hermite basis, the priors of
+//! §III-A, the Monte-Carlo engine — builds on the routines here.
+
+use rand::Rng as RandRng;
+
+/// 1/√(2π), the normalization constant of the standard normal pdf.
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Error function `erf(x)`, accurate to about 1.2e-7 (Abramowitz & Stegun
+/// 7.1.26 with the Horner-form polynomial).
+///
+/// ```
+/// assert!((bmf_stat::normal::erf(0.0)).abs() < 1e-7);
+/// assert!((bmf_stat::normal::erf(10.0) - 1.0).abs() < 1e-7);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal pdf φ(x).
+pub fn pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cdf Φ(x).
+///
+/// ```
+/// assert!((bmf_stat::normal::cdf(0.0) - 0.5).abs() < 1e-9);
+/// ```
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile Φ⁻¹(p) via Acklam's rational approximation
+/// (relative error below 1.15e-9 on (0, 1)).
+///
+/// # Panics
+///
+/// Panics when `p` is outside the open interval `(0, 1)`.
+///
+/// ```
+/// let z = bmf_stat::normal::inverse_cdf(0.975);
+/// assert!((z - 1.959964).abs() < 1e-4);
+/// ```
+pub fn inverse_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard normal sampler using the Marsaglia polar method.
+///
+/// The polar method produces pairs of independent deviates; the spare is
+/// cached, so on average each sample costs ~0.64 uniform pairs.
+///
+/// # Example
+///
+/// ```
+/// use bmf_stat::normal::StandardNormal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut sampler = StandardNormal::new();
+/// let z = sampler.sample(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StandardNormal {
+    spare: Option<f64>,
+}
+
+impl StandardNormal {
+    /// Creates a sampler with an empty spare cache.
+    pub fn new() -> Self {
+        StandardNormal { spare: None }
+    }
+
+    /// Draws one standard normal deviate.
+    pub fn sample<R: RandRng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Fills `out` with independent standard normal deviates.
+    pub fn fill<R: RandRng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for o in out {
+            *o = self.sample(rng);
+        }
+    }
+
+    /// Draws `n` independent standard normal deviates.
+    pub fn sample_vec<R: RandRng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A general normal distribution `N(mean, std_dev²)`.
+///
+/// Used to represent the coefficient priors of §III-A: the zero-mean prior
+/// `N(0, α_E²)` (eq. 12/16) and the nonzero-mean prior `N(α_E, λ²α_E²)`
+/// (eq. 19).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `std_dev` is negative or non-finite. A zero standard
+    /// deviation is allowed and denotes a point mass (useful when an
+    /// early-stage coefficient is exactly zero).
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
+            "invalid normal parameters: mean={mean}, std_dev={std_dev}"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Probability density at `x`. A point mass returns `+∞` at its mean and
+    /// `0` elsewhere.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x == self.mean { f64::INFINITY } else { 0.0 };
+        }
+        pdf((x - self.mean) / self.std_dev) / self.std_dev
+    }
+
+    /// Cumulative probability at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x < self.mean { 0.0 } else { 1.0 };
+        }
+        cdf((x - self.mean) / self.std_dev)
+    }
+
+    /// Draws one deviate.
+    pub fn sample<R: RandRng + ?Sized>(&self, sampler: &mut StandardNormal, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * sampler.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn erf_known_values() {
+        // erf(1) = 0.8427007929...
+        assert!((erf(1.0) - 0.842_700_79).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 2e-7);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 2e-7);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.0, 3.0] {
+            assert!((cdf(x) + cdf(-x) - 1.0).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_roundtrip() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let x = inverse_cdf(p);
+            assert!((cdf(x) - p).abs() < 1e-6, "p={p}, x={x}");
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_known_quantiles() {
+        assert!(inverse_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_cdf(0.841_344_75) - 1.0).abs() < 1e-4);
+        assert!((inverse_cdf(0.022_750_13) + 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0,1)")]
+    fn inverse_cdf_rejects_out_of_range() {
+        inverse_cdf(1.0);
+    }
+
+    #[test]
+    fn sampler_moments() {
+        let mut rng = seeded(42);
+        let mut s = StandardNormal::new();
+        let n = 200_000;
+        let xs = s.sample_vec(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn sampler_tail_fractions() {
+        let mut rng = seeded(7);
+        let mut s = StandardNormal::new();
+        let n = 100_000;
+        let beyond_2: usize = (0..n)
+            .filter(|_| s.sample(&mut rng).abs() > 2.0)
+            .count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(|Z| > 2) = 0.0455.
+        assert!((frac - 0.0455).abs() < 0.005, "frac={frac}");
+    }
+
+    #[test]
+    fn normal_pdf_integrates_to_one() {
+        let d = Normal::new(1.0, 2.0);
+        // Trapezoidal rule over +-10 sigma.
+        let n = 4000;
+        let (a, b) = (1.0 - 20.0, 1.0 + 20.0);
+        let h = (b - a) / n as f64;
+        let mut s = 0.5 * (d.pdf(a) + d.pdf(b));
+        for i in 1..n {
+            s += d.pdf(a + i as f64 * h);
+        }
+        assert!((s * h - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_monotone_and_bounded() {
+        let d = Normal::new(-0.5, 0.3);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = -3.0 + i as f64 * 0.05;
+            let c = d.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn point_mass_behaviour() {
+        let d = Normal::new(2.0, 0.0);
+        assert_eq!(d.pdf(2.0), f64::INFINITY);
+        assert_eq!(d.pdf(2.1), 0.0);
+        assert_eq!(d.cdf(1.9), 0.0);
+        assert_eq!(d.cdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn scaled_sampling_moments() {
+        let mut rng = seeded(3);
+        let mut s = StandardNormal::new();
+        let d = Normal::new(5.0, 0.5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut s, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn negative_std_dev_rejected() {
+        Normal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the BMF reproduction workspace.
+//!
+//! Re-exports the member crates so the examples and integration tests can use
+//! a single dependency. Downstream users should depend on the individual
+//! crates (`bmf-core`, `bmf-circuits`, ...) directly.
+
+pub use bmf_basis as basis;
+pub use bmf_circuits as circuits;
+pub use bmf_core as core;
+pub use bmf_linalg as linalg;
+pub use bmf_stat as stat;

@@ -1,0 +1,95 @@
+//! Integration test: the §IV-A multifinger prior-mapping flow across
+//! crates — schematic diff-pair fit, finger expansion, mapped prior,
+//! late-stage fusion — using only public APIs.
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_circuits::diffpair::{DiffPair, DiffPairConfig};
+use bmf_circuits::sim::monte_carlo;
+use bmf_circuits::stage::{CircuitPerformance, Stage};
+use bmf_core::fusion::BmfFitter;
+use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::prior::{Prior, PriorKind};
+
+#[test]
+fn mapped_prior_preserves_variance_and_fits() {
+    let dp = DiffPair::new(DiffPairConfig::default());
+    let vos = dp.offset_voltage();
+
+    // Early fit on the 4-variable schematic basis.
+    let sch = monte_carlo(&vos, Stage::Schematic, 300, 1);
+    let sch_basis = OrthonormalBasis::linear(4);
+    let early = fit_omp(&sch_basis, &sch.points, &sch.values, &OmpConfig::default())
+        .expect("early fit");
+    let alpha_e = early.model.coeffs();
+
+    // Expand and map: eq. 46's variance identity must hold exactly.
+    let expansion = dp.finger_expansion();
+    let expanded = expansion.expand_basis(&sch_basis).expect("multilinear");
+    let beta = expanded.map_coefficients(alpha_e);
+    for m in 0..expanded.num_schematic_terms() {
+        let group = expanded.group(m);
+        let sum_sq: f64 = group.iter().map(|&t| beta[t] * beta[t]).sum();
+        assert!(
+            (sum_sq - alpha_e[m] * alpha_e[m]).abs() <= 1e-12 * alpha_e[m].abs().max(1e-12),
+            "variance identity violated for term {m}"
+        );
+    }
+
+    // Late-stage fusion with very few samples.
+    let lay = monte_carlo(&vos, Stage::PostLayout, 8, 2);
+    let test = monte_carlo(&vos, Stage::PostLayout, 300, 3);
+    let fit = BmfFitter::from_mapped_early_model(&expanded, alpha_e, vec![])
+        .expect("fitter")
+        .folds(4)
+        .seed(5)
+        .fit(&lay.points, &lay.values)
+        .expect("fit");
+    let err = fit
+        .model
+        .relative_error(test.point_slices(), &test.values)
+        .expect("error");
+    assert!(err < 0.10, "mapped-prior fit error too high: {err}");
+}
+
+#[test]
+fn mapped_prior_construction_matches_eq49() {
+    // Direct check of Prior::mapped on the diff-pair expansion.
+    let dp = DiffPair::new(DiffPairConfig::default());
+    let expansion = dp.finger_expansion();
+    let sch_basis = OrthonormalBasis::linear(4);
+    let expanded = expansion.expand_basis(&sch_basis).expect("multilinear");
+    // alpha for (1, x_vth1, x_vth2, x_rl1, x_rl2).
+    let alpha = [0.0, 5.0e-3, -5.0e-3, 1.0e-4, -1.0e-4];
+    let prior = Prior::mapped(PriorKind::NonZeroMean, &expanded, &alpha, 0).expect("mapped");
+    let vals = prior.early_values();
+    let s2 = 2.0f64.sqrt();
+    // vth coefficients spread over two fingers each.
+    assert!((vals[1].unwrap() - 5.0e-3 / s2).abs() < 1e-15);
+    assert!((vals[2].unwrap() - 5.0e-3 / s2).abs() < 1e-15);
+    assert!((vals[3].unwrap() + 5.0e-3 / s2).abs() < 1e-15);
+    // rl coefficients have one "finger": unchanged.
+    assert!((vals[5].unwrap() - 1.0e-4).abs() < 1e-15);
+    assert_eq!(prior.num_missing(), 0);
+}
+
+#[test]
+fn collapse_consistency_between_stages() {
+    // Evaluating the schematic circuit at the collapsed point approximates
+    // the layout circuit at the finger point (they differ only by the
+    // systematic layout factors).
+    let dp = DiffPair::new(DiffPairConfig {
+        layout_gm_factor: 1.0,
+        layout_rl_factor: 1.0,
+        ..DiffPairConfig::default()
+    });
+    let vos = dp.offset_voltage();
+    let expansion = dp.finger_expansion();
+    let layout_x = [0.4, -0.9, 0.3, 0.2, 0.7, -0.1];
+    let sch_x = expansion.collapse_point(&layout_x);
+    let vl = vos.evaluate(Stage::PostLayout, &layout_x);
+    let vs = vos.evaluate(Stage::Schematic, &sch_x);
+    assert!(
+        (vl - vs).abs() < 1e-12,
+        "with unit layout factors the stages must agree exactly: {vl} vs {vs}"
+    );
+}
