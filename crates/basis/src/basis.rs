@@ -159,11 +159,7 @@ impl OrthonormalBasis {
     /// dimension.
     pub fn evaluate_model(&self, coeffs: &[f64], x: &[f64]) -> f64 {
         assert_eq!(coeffs.len(), self.len(), "coefficient count mismatch");
-        self.row(x)
-            .iter()
-            .zip(coeffs)
-            .map(|(g, a)| g * a)
-            .sum()
+        self.row(x).iter().zip(coeffs).map(|(g, a)| g * a).sum()
     }
 
     /// Analytic gradient `∇_x Σ_m coeffs[m]·g_m(x)`, using
@@ -303,7 +299,9 @@ mod tests {
     #[test]
     fn gradient_matches_finite_differences() {
         let b = OrthonormalBasis::total_degree(3, 3, 1000);
-        let coeffs: Vec<f64> = (0..b.len()).map(|m| ((m * 13 % 7) as f64 - 3.0) / 5.0).collect();
+        let coeffs: Vec<f64> = (0..b.len())
+            .map(|m| ((m * 13 % 7) as f64 - 3.0) / 5.0)
+            .collect();
         let x = [0.4, -0.8, 1.2];
         let grad = b.model_gradient(&coeffs, &x);
         let h = 1e-6;

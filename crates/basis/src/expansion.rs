@@ -164,9 +164,7 @@ impl FingerExpansion {
         self.fingers
             .iter()
             .zip(&self.offsets)
-            .map(|(&w, &off)| {
-                layout_x[off..off + w].iter().sum::<f64>() / (w as f64).sqrt()
-            })
+            .map(|(&w, &off)| layout_x[off..off + w].iter().sum::<f64>() / (w as f64).sqrt())
             .collect()
     }
 

@@ -177,7 +177,10 @@ mod tests {
         for n in 0..8 {
             let x = 1.234;
             let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
-            assert!((hermite(n, -x) - sign * hermite(n, x)).abs() < 1e-9, "n={n}");
+            assert!(
+                (hermite(n, -x) - sign * hermite(n, x)).abs() < 1e-9,
+                "n={n}"
+            );
         }
     }
 }

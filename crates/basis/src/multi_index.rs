@@ -105,8 +105,7 @@ impl MultiIndex {
     ///
     /// Panics if `f` maps two variables of this index to the same target.
     pub fn map_vars<F: FnMut(usize) -> usize>(&self, mut f: F) -> MultiIndex {
-        let remapped: Vec<(usize, u32)> =
-            self.pairs.iter().map(|&(v, d)| (f(v), d)).collect();
+        let remapped: Vec<(usize, u32)> = self.pairs.iter().map(|&(v, d)| (f(v), d)).collect();
         let out = MultiIndex::from_pairs(&remapped);
         assert_eq!(
             out.pairs.len(),

@@ -122,10 +122,10 @@ pub fn basis_gram_exact(basis: &OrthonormalBasis, points_per_dim: usize) -> Matr
     for flat in 0..total {
         let mut rem = flat;
         let mut w = 1.0;
-        for v in 0..d {
+        for xv in x.iter_mut() {
             let idx = rem % n;
             rem /= n;
-            x[v] = rule.nodes()[idx];
+            *xv = rule.nodes()[idx];
             w *= rule.weights()[idx];
         }
         let row = basis.row(&x);
@@ -191,9 +191,7 @@ mod tests {
         let r = GaussHermite::new(6);
         for i in 0..=4usize {
             for j in 0..=4usize {
-                let v = r.integrate(|x| {
-                    hermite_normalized(i, x) * hermite_normalized(j, x)
-                });
+                let v = r.integrate(|x| hermite_normalized(i, x) * hermite_normalized(j, x));
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!(
                     (v - want).abs() < 1e-9,

@@ -1,10 +1,10 @@
-//! Criterion bench: end-to-end fitting cost of the four methods at a few
+//! Bench: end-to-end fitting cost of the four methods at a few
 //! training-set sizes — the Fig. 5/8 comparison as a repeatable benchmark.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//! Runs on the in-tree timing harness; pass `--smoke` for a one-iteration
+//! CI run at a reduced size.
 
 use bmf_basis::basis::OrthonormalBasis;
+use bmf_bench::timing::Harness;
 use bmf_circuits::ro::{RingOscillator, RoConfig, RoMetric};
 use bmf_circuits::sim::monte_carlo;
 use bmf_circuits::stage::{CircuitPerformance, Stage};
@@ -56,41 +56,32 @@ fn setup(k: usize) -> Setup {
     Setup { g, f, prior, cv }
 }
 
-fn bench_fitting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fitting_cost");
-    group.sample_size(10);
-    for &k in &[100usize, 300] {
+fn main() {
+    let h = Harness::from_cli();
+    let sizes: &[usize] = if h.is_smoke() { &[60] } else { &[100, 300] };
+    for &k in sizes {
         let s = setup(k);
-        group.bench_with_input(BenchmarkId::new("omp", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(fit_omp_design(&s.g, &s.f, &OmpConfig::default()).expect("omp"))
-            })
+        h.bench(&format!("fitting_cost/omp/{k}"), || {
+            fit_omp_design(&s.g, &s.f, &OmpConfig::default()).expect("omp")
         });
-        group.bench_with_input(BenchmarkId::new("bmf_ps_fast", k), &k, |b, _| {
-            b.iter(|| {
-                let (zm, nzm) =
-                    cross_validate_both(&s.g, &s.f, &s.prior, &s.cv).expect("cv");
-                let (kind, hyper) = if zm.best_error <= nzm.best_error {
-                    (PriorKind::ZeroMean, zm.best_hyper)
-                } else {
-                    (PriorKind::NonZeroMean, nzm.best_hyper)
-                };
-                black_box(
-                    map_estimate(&s.g, &s.f, &s.prior.with_kind(kind), hyper, SolverKind::Fast)
-                        .expect("map"),
-                )
-            })
+        h.bench(&format!("fitting_cost/bmf_ps_fast/{k}"), || {
+            let (zm, nzm) = cross_validate_both(&s.g, &s.f, &s.prior, &s.cv).expect("cv");
+            let (kind, hyper) = if zm.best_error <= nzm.best_error {
+                (PriorKind::ZeroMean, zm.best_hyper)
+            } else {
+                (PriorKind::NonZeroMean, nzm.best_hyper)
+            };
+            map_estimate(
+                &s.g,
+                &s.f,
+                &s.prior.with_kind(kind),
+                hyper,
+                SolverKind::Fast,
+            )
+            .expect("map")
         });
-        group.bench_with_input(BenchmarkId::new("bmf_map_direct", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(
-                    map_estimate(&s.g, &s.f, &s.prior, 1.0, SolverKind::Direct).expect("map"),
-                )
-            })
+        h.bench(&format!("fitting_cost/bmf_map_direct/{k}"), || {
+            map_estimate(&s.g, &s.f, &s.prior, 1.0, SolverKind::Direct).expect("map")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fitting);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion bench: OMP baseline cost scaling in K and M, plus the
-//! Monte-Carlo engine and design-matrix assembly it feeds on.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//! Bench: OMP baseline cost scaling in K and M, plus the Monte-Carlo
+//! engine and design-matrix assembly it feeds on. Runs on the in-tree
+//! timing harness; pass `--smoke` for a one-iteration CI run at reduced
+//! sizes.
 
 use bmf_basis::basis::OrthonormalBasis;
+use bmf_bench::timing::Harness;
 use bmf_circuits::sim::monte_carlo;
 use bmf_circuits::sram::{SramConfig, SramReadPath};
 use bmf_circuits::stage::Stage;
@@ -25,39 +25,29 @@ fn sparse_problem(k: usize, m: usize) -> (Matrix, Vector) {
     (g, f)
 }
 
-fn bench_omp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("omp");
-    group.sample_size(10);
-    for &(k, m) in &[(100usize, 500usize), (100, 2000), (300, 2000)] {
+fn main() {
+    let h = Harness::from_cli();
+    let shapes: &[(usize, usize)] = if h.is_smoke() {
+        &[(60, 300)]
+    } else {
+        &[(100, 500), (100, 2000), (300, 2000)]
+    };
+    for &(k, m) in shapes {
         let (g, f) = sparse_problem(k, m);
-        group.bench_with_input(
-            BenchmarkId::new("fit", format!("k{k}_m{m}")),
-            &k,
-            |b, _| {
-                b.iter(|| {
-                    black_box(fit_omp_design(&g, &f, &OmpConfig::default()).expect("omp"))
-                })
-            },
-        );
+        h.bench(&format!("omp/fit/k{k}_m{m}"), || {
+            fit_omp_design(&g, &f, &OmpConfig::default()).expect("omp")
+        });
     }
-    group.finish();
-}
 
-fn bench_substrate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate");
-    group.sample_size(10);
+    let mc = if h.is_smoke() { 50 } else { 100 };
     let sram = SramReadPath::new(SramConfig::small(), 3);
     let view = sram.read_delay();
-    group.bench_function("sram_mc_100", |b| {
-        b.iter(|| black_box(monte_carlo(&view, Stage::PostLayout, 100, 1)))
+    h.bench(&format!("substrate/sram_mc_{mc}"), || {
+        monte_carlo(&view, Stage::PostLayout, mc, 1)
     });
-    let set = monte_carlo(&view, Stage::PostLayout, 100, 1);
+    let set = monte_carlo(&view, Stage::PostLayout, mc, 1);
     let basis = OrthonormalBasis::linear(set.points[0].len());
-    group.bench_function("design_matrix_100", |b| {
-        b.iter(|| black_box(basis.design_matrix(set.point_slices())))
+    h.bench(&format!("substrate/design_matrix_{mc}"), || {
+        basis.design_matrix(set.point_slices())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_omp, bench_substrate);
-criterion_main!(benches);

@@ -1,10 +1,9 @@
-//! Criterion bench: direct (Cholesky) vs fast (low-rank) MAP solver
-//! across problem size M — the §IV-C comparison behind Fig. 5's solver
-//! curves and the 600× claim.
+//! Bench: direct (Cholesky) vs fast (low-rank) MAP solver across problem
+//! size M — the §IV-C comparison behind Fig. 5's solver curves and the
+//! 600× claim. Runs on the in-tree timing harness; pass `--smoke` for a
+//! one-iteration CI run at reduced sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use bmf_bench::timing::Harness;
 use bmf_core::map_estimate::{map_estimate, SolverKind};
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_linalg::{Matrix, Vector};
@@ -16,38 +15,32 @@ fn problem(k: usize, m: usize, seed: u64) -> (Matrix, Vector, Prior) {
     let mut s = StandardNormal::new();
     let g = Matrix::from_fn(k, m, |_, _| s.sample(&mut rng));
     let truth: Vec<f64> = (0..m).map(|j| 1.0 / (1.0 + j as f64).powf(1.1)).collect();
-    let f = g.matvec(&Vector::from(truth.clone())).expect("shapes match");
+    let f = g
+        .matvec(&Vector::from(truth.clone()))
+        .expect("shapes match");
     let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &truth);
     (g, f, prior)
 }
 
-fn bench_solvers(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_cli();
     let k = 100;
-    let mut group = c.benchmark_group("map_solver");
-    group.sample_size(10);
-    for &m in &[250usize, 500, 1000, 2000] {
+    let sizes: &[usize] = if h.is_smoke() {
+        &[100, 250]
+    } else {
+        &[250, 500, 1000, 2000]
+    };
+    for &m in sizes {
         let (g, f, prior) = problem(k, m, 42);
-        group.bench_with_input(BenchmarkId::new("fast", m), &m, |b, _| {
-            b.iter(|| {
-                black_box(
-                    map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast).expect("solve"),
-                )
-            })
+        h.bench(&format!("map_solver/fast/{m}"), || {
+            map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast).expect("solve")
         });
         // Direct solver only up to 1000 to keep bench wall time sane; the
         // gap is already decisive there.
         if m <= 1000 {
-            group.bench_with_input(BenchmarkId::new("direct", m), &m, |b, _| {
-                b.iter(|| {
-                    black_box(
-                        map_estimate(&g, &f, &prior, 1.0, SolverKind::Direct).expect("solve"),
-                    )
-                })
+            h.bench(&format!("map_solver/direct/{m}"), || {
+                map_estimate(&g, &f, &prior, 1.0, SolverKind::Direct).expect("solve")
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

@@ -36,7 +36,6 @@ use bmf_stat::rng::{derive_seed, seeded};
 use crate::report::{pct, secs, Report};
 use crate::scale::Scale;
 
-
 /// Ablation: prior family accuracy vs early/late coefficient shift.
 ///
 /// # Errors
@@ -76,7 +75,12 @@ pub fn prior_quality_sweep(scale: Scale, seed: u64) -> Result<Report> {
             .collect();
         early.extend(std::iter::repeat_n(None, late_vars - early_vars));
 
-        let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 50 + si as u64));
+        let train = monte_carlo(
+            &circuit,
+            Stage::PostLayout,
+            k,
+            derive_seed(seed, 50 + si as u64),
+        );
         let test = monte_carlo(
             &circuit,
             Stage::PostLayout,
@@ -178,7 +182,13 @@ pub fn prior_quality_sweep(scale: Scale, seed: u64) -> Result<Report> {
         ]);
     }
     r.table(
-        &["P(sign flip)", "BMF-ZM (%)", "BMF-NZM (%)", "BMF-PS (%)", "PS chose"],
+        &[
+            "P(sign flip)",
+            "BMF-ZM (%)",
+            "BMF-NZM (%)",
+            "BMF-PS (%)",
+            "PS chose",
+        ],
         &rows,
     );
     Ok(r)
@@ -226,12 +236,7 @@ pub fn baseline_comparison(scale: Scale, seed: u64) -> Result<Report> {
     let basis_sch = OrthonormalBasis::linear(sch_vars);
     let early = crate::earlyfit::EarlyModel {
         coeffs: {
-            let fit = fit_omp(
-                &basis_sch,
-                &sch.points,
-                &sch.values,
-                &OmpConfig::default(),
-            )?;
+            let fit = fit_omp(&basis_sch, &sch.points, &sch.values, &OmpConfig::default())?;
             fit.model.coeffs().to_vec()
         },
         validation_error: 0.0,
@@ -310,7 +315,13 @@ pub fn baseline_comparison(scale: Scale, seed: u64) -> Result<Report> {
         ]);
     }
     r.table(
-        &["K", "OMP (%)", "LASSO (%)", "least squares (%)", "BMF-PS (%)"],
+        &[
+            "K",
+            "OMP (%)",
+            "LASSO (%)",
+            "least squares (%)",
+            "BMF-PS (%)",
+        ],
         &rows,
     );
     r.para(
@@ -444,7 +455,10 @@ pub fn fold_sensitivity(scale: Scale, seed: u64) -> Result<Report> {
             format!("{:.1e}", fit.hyper),
         ]);
     }
-    r.table(&["folds", "test error (%)", "chosen prior", "chosen hyper"], &rows);
+    r.table(
+        &["folds", "test error (%)", "chosen prior", "chosen hyper"],
+        &rows,
+    );
     r.para("The fold count barely moves the result — 5 folds (the default) is safe.");
     Ok(r)
 }
@@ -565,10 +579,7 @@ pub fn nonlinear_study(scale: Scale, seed: u64) -> Result<Report> {
 
     // BMF on the *linear* basis: shows the model-order floor.
     let basis1 = OrthonormalBasis::linear(vars);
-    let early1: Vec<Option<f64>> = truth[..=vars]
-        .iter()
-        .map(|&t| Some(t * 1.05))
-        .collect();
+    let early1: Vec<Option<f64>> = truth[..=vars].iter().map(|&t| Some(t * 1.05)).collect();
     let fit1 = BmfFitter::new(basis1, early1)?
         .folds(5)
         .seed(derive_seed(seed, 4))
@@ -588,7 +599,11 @@ pub fn nonlinear_study(scale: Scale, seed: u64) -> Result<Report> {
     r.table(
         &["model", "basis terms", "test error (%)"],
         &[
-            vec!["BMF-PS, degree-2 basis".into(), m2.to_string(), pct(bmf2_err)],
+            vec![
+                "BMF-PS, degree-2 basis".into(),
+                m2.to_string(),
+                pct(bmf2_err),
+            ],
             vec!["OMP, degree-2 basis".into(), m2.to_string(), pct(omp2_err)],
             vec![
                 "BMF-PS, linear basis (model-order floor)".into(),
@@ -647,7 +662,10 @@ pub fn prior_mapping_study(scale: Scale, seed: u64) -> Result<Report> {
         "Schematic V_OS coefficients (OMP, {n_early} samples): {:?}. Each input \
          transistor has {fingers} fingers post-layout; eq. 49 maps the V_TH \
          coefficients as β = α_E/√{fingers}.",
-        alpha_e.iter().map(|a| (a * 1e4).round() / 1e4).collect::<Vec<_>>(),
+        alpha_e
+            .iter()
+            .map(|a| (a * 1e4).round() / 1e4)
+            .collect::<Vec<_>>(),
     ));
 
     // Late: fit with very few layout samples.
@@ -797,7 +815,11 @@ mod tests {
     fn solver_scaling_shows_speedup_and_exactness() {
         let r = solver_scaling(Scale::Ci, 1).unwrap();
         assert!(r.body.contains("speedup"));
-        assert!(r.body.contains("e-"), "exactness column missing: {}", r.body);
+        assert!(
+            r.body.contains("e-"),
+            "exactness column missing: {}",
+            r.body
+        );
     }
 
     #[test]
@@ -829,7 +851,11 @@ mod tests {
             "BMF should beat OMP on the quadratic basis:\n{}",
             r.body
         );
-        assert!(r.body.contains("floor well above both: **true**"), "{}", r.body);
+        assert!(
+            r.body.contains("floor well above both: **true**"),
+            "{}",
+            r.body
+        );
     }
 
     #[test]

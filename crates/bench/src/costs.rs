@@ -118,7 +118,13 @@ pub fn run_cost_comparison(
     } else {
         (PriorKind::NonZeroMean, nzm.best_hyper)
     };
-    let alpha = map_estimate(&g_bmf, &f_bmf, &prior.with_kind(kind), hyper, SolverKind::Fast)?;
+    let alpha = map_estimate(
+        &g_bmf,
+        &f_bmf,
+        &prior.with_kind(kind),
+        hyper,
+        SolverKind::Fast,
+    )?;
     bmf_ledger.charge_fitting_seconds(t0.elapsed().as_secs_f64());
     let bmf_err = g_test.matvec(&alpha)?.sub(&f_test)?.norm2() / test_norm;
 
@@ -173,8 +179,14 @@ pub fn render_cost_table(
             ],
             vec![
                 "fitting cost (seconds)".into(),
-                format!("{} ({paper_omp_fit_s})", secs(cmp.omp.ledger.fitting_seconds)),
-                format!("{} ({paper_bmf_fit_s})", secs(cmp.bmf.ledger.fitting_seconds)),
+                format!(
+                    "{} ({paper_omp_fit_s})",
+                    secs(cmp.omp.ledger.fitting_seconds)
+                ),
+                format!(
+                    "{} ({paper_bmf_fit_s})",
+                    secs(cmp.bmf.ledger.fitting_seconds)
+                ),
             ],
             vec![
                 "total modeling cost (hours)".into(),

@@ -38,10 +38,7 @@ pub fn prior_illustration(kind: PriorKind) -> Report {
     let (alpha_small, alpha_large) = (0.25, 2.0);
     let lambda = 0.5;
     let (d1, d2) = match kind {
-        PriorKind::ZeroMean => (
-            Normal::new(0.0, alpha_small),
-            Normal::new(0.0, alpha_large),
-        ),
+        PriorKind::ZeroMean => (Normal::new(0.0, alpha_small), Normal::new(0.0, alpha_large)),
         PriorKind::NonZeroMean => (
             Normal::new(alpha_small, lambda * alpha_small),
             Normal::new(alpha_large, lambda * alpha_large),
@@ -170,7 +167,12 @@ pub fn ro_histograms(scale: Scale, seed: u64) -> Report {
         (RoMetric::Frequency, "(c) frequency", "GHz", 1e-9),
     ] {
         let view = ro.metric(metric);
-        let set = monte_carlo(&view, Stage::PostLayout, n, derive_seed(seed, metric as u64));
+        let set = monte_carlo(
+            &view,
+            Stage::PostLayout,
+            n,
+            derive_seed(seed, metric as u64),
+        );
         histogram_section(&mut r, label, &set.values, unit, factor);
     }
     r
@@ -293,8 +295,9 @@ pub fn render_cost_figure(id: &str, title: &str, rows: &[CostRow], m: usize) -> 
                 secs(row.bmf_fast_s),
                 row.direct_s.map_or("(infeasible)".into(), secs),
                 secs(row.fast_solve_s),
-                row.direct_s
-                    .map_or("-".into(), |d| format!("{:.0}x", d / row.fast_solve_s.max(1e-9))),
+                row.direct_s.map_or("-".into(), |d| {
+                    format!("{:.0}x", d / row.fast_solve_s.max(1e-9))
+                }),
             ]
         })
         .collect();

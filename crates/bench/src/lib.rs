@@ -23,3 +23,4 @@ pub mod figures;
 pub mod report;
 pub mod scale;
 pub mod tables;
+pub mod timing;

@@ -63,55 +63,163 @@ pub mod paper_data {
 
     /// Table I: relative modeling error (%) of power for the RO.
     pub const TABLE1: &[PaperRow] = &[
-        PaperRow { k: 100, values: [2.7187, 0.7466, 0.5558, 0.5558] },
-        PaperRow { k: 200, values: [1.3645, 0.6032, 0.5253, 0.5253] },
-        PaperRow { k: 300, values: [1.0390, 0.5411, 0.5078, 0.5110] },
-        PaperRow { k: 400, values: [0.9644, 0.5055, 0.4922, 0.4925] },
-        PaperRow { k: 500, values: [0.9281, 0.4848, 0.4810, 0.4848] },
-        PaperRow { k: 600, values: [0.9049, 0.4719, 0.4716, 0.4736] },
-        PaperRow { k: 700, values: [0.8879, 0.4622, 0.4636, 0.4640] },
-        PaperRow { k: 800, values: [0.8738, 0.4544, 0.4567, 0.4546] },
-        PaperRow { k: 900, values: [0.8671, 0.4501, 0.4525, 0.4518] },
+        PaperRow {
+            k: 100,
+            values: [2.7187, 0.7466, 0.5558, 0.5558],
+        },
+        PaperRow {
+            k: 200,
+            values: [1.3645, 0.6032, 0.5253, 0.5253],
+        },
+        PaperRow {
+            k: 300,
+            values: [1.0390, 0.5411, 0.5078, 0.5110],
+        },
+        PaperRow {
+            k: 400,
+            values: [0.9644, 0.5055, 0.4922, 0.4925],
+        },
+        PaperRow {
+            k: 500,
+            values: [0.9281, 0.4848, 0.4810, 0.4848],
+        },
+        PaperRow {
+            k: 600,
+            values: [0.9049, 0.4719, 0.4716, 0.4736],
+        },
+        PaperRow {
+            k: 700,
+            values: [0.8879, 0.4622, 0.4636, 0.4640],
+        },
+        PaperRow {
+            k: 800,
+            values: [0.8738, 0.4544, 0.4567, 0.4546],
+        },
+        PaperRow {
+            k: 900,
+            values: [0.8671, 0.4501, 0.4525, 0.4518],
+        },
     ];
 
     /// Table II: relative modeling error (%) of phase noise for the RO.
     pub const TABLE2: &[PaperRow] = &[
-        PaperRow { k: 100, values: [0.2871, 0.1033, 0.0974, 0.0982] },
-        PaperRow { k: 200, values: [0.1594, 0.1006, 0.0924, 0.0925] },
-        PaperRow { k: 300, values: [0.1289, 0.0984, 0.0909, 0.0909] },
-        PaperRow { k: 400, values: [0.1175, 0.0948, 0.0887, 0.0887] },
-        PaperRow { k: 500, values: [0.1145, 0.0916, 0.0869, 0.0869] },
-        PaperRow { k: 600, values: [0.1110, 0.0893, 0.0857, 0.0857] },
-        PaperRow { k: 700, values: [0.1087, 0.0876, 0.0848, 0.0848] },
-        PaperRow { k: 800, values: [0.1068, 0.0863, 0.0839, 0.0839] },
-        PaperRow { k: 900, values: [0.1053, 0.0849, 0.0830, 0.0830] },
+        PaperRow {
+            k: 100,
+            values: [0.2871, 0.1033, 0.0974, 0.0982],
+        },
+        PaperRow {
+            k: 200,
+            values: [0.1594, 0.1006, 0.0924, 0.0925],
+        },
+        PaperRow {
+            k: 300,
+            values: [0.1289, 0.0984, 0.0909, 0.0909],
+        },
+        PaperRow {
+            k: 400,
+            values: [0.1175, 0.0948, 0.0887, 0.0887],
+        },
+        PaperRow {
+            k: 500,
+            values: [0.1145, 0.0916, 0.0869, 0.0869],
+        },
+        PaperRow {
+            k: 600,
+            values: [0.1110, 0.0893, 0.0857, 0.0857],
+        },
+        PaperRow {
+            k: 700,
+            values: [0.1087, 0.0876, 0.0848, 0.0848],
+        },
+        PaperRow {
+            k: 800,
+            values: [0.1068, 0.0863, 0.0839, 0.0839],
+        },
+        PaperRow {
+            k: 900,
+            values: [0.1053, 0.0849, 0.0830, 0.0830],
+        },
     ];
 
     /// Table III: relative modeling error (%) of frequency for the RO.
     pub const TABLE3: &[PaperRow] = &[
-        PaperRow { k: 100, values: [1.8346, 0.5800, 0.6664, 0.6069] },
-        PaperRow { k: 200, values: [1.0677, 0.4080, 0.4905, 0.4080] },
-        PaperRow { k: 300, values: [0.9081, 0.3311, 0.3674, 0.3311] },
-        PaperRow { k: 400, values: [0.8592, 0.2954, 0.3062, 0.2954] },
-        PaperRow { k: 500, values: [0.8166, 0.2781, 0.2841, 0.2779] },
-        PaperRow { k: 600, values: [0.7948, 0.2672, 0.2705, 0.2672] },
-        PaperRow { k: 700, values: [0.7794, 0.2589, 0.2609, 0.2590] },
-        PaperRow { k: 800, values: [0.7667, 0.2530, 0.2544, 0.2530] },
-        PaperRow { k: 900, values: [0.7471, 0.2487, 0.2500, 0.2487] },
+        PaperRow {
+            k: 100,
+            values: [1.8346, 0.5800, 0.6664, 0.6069],
+        },
+        PaperRow {
+            k: 200,
+            values: [1.0677, 0.4080, 0.4905, 0.4080],
+        },
+        PaperRow {
+            k: 300,
+            values: [0.9081, 0.3311, 0.3674, 0.3311],
+        },
+        PaperRow {
+            k: 400,
+            values: [0.8592, 0.2954, 0.3062, 0.2954],
+        },
+        PaperRow {
+            k: 500,
+            values: [0.8166, 0.2781, 0.2841, 0.2779],
+        },
+        PaperRow {
+            k: 600,
+            values: [0.7948, 0.2672, 0.2705, 0.2672],
+        },
+        PaperRow {
+            k: 700,
+            values: [0.7794, 0.2589, 0.2609, 0.2590],
+        },
+        PaperRow {
+            k: 800,
+            values: [0.7667, 0.2530, 0.2544, 0.2530],
+        },
+        PaperRow {
+            k: 900,
+            values: [0.7471, 0.2487, 0.2500, 0.2487],
+        },
     ];
 
     /// Table V: relative modeling error (%) of read delay for the SRAM
     /// read path.
     pub const TABLE5: &[PaperRow] = &[
-        PaperRow { k: 100, values: [3.2320, 1.0592, 1.1130, 1.0804] },
-        PaperRow { k: 200, values: [1.8538, 0.9645, 0.9512, 0.9630] },
-        PaperRow { k: 300, values: [1.3691, 0.9055, 0.8643, 0.8791] },
-        PaperRow { k: 400, values: [1.1330, 0.8573, 0.8141, 0.8250] },
-        PaperRow { k: 500, values: [1.0669, 0.8156, 0.7833, 0.7916] },
-        PaperRow { k: 600, values: [1.0319, 0.7777, 0.7582, 0.7609] },
-        PaperRow { k: 700, values: [1.0174, 0.7455, 0.7323, 0.7344] },
-        PaperRow { k: 800, values: [1.0081, 0.7216, 0.7159, 0.7174] },
-        PaperRow { k: 900, values: [0.9974, 0.6986, 0.6958, 0.6989] },
+        PaperRow {
+            k: 100,
+            values: [3.2320, 1.0592, 1.1130, 1.0804],
+        },
+        PaperRow {
+            k: 200,
+            values: [1.8538, 0.9645, 0.9512, 0.9630],
+        },
+        PaperRow {
+            k: 300,
+            values: [1.3691, 0.9055, 0.8643, 0.8791],
+        },
+        PaperRow {
+            k: 400,
+            values: [1.1330, 0.8573, 0.8141, 0.8250],
+        },
+        PaperRow {
+            k: 500,
+            values: [1.0669, 0.8156, 0.7833, 0.7916],
+        },
+        PaperRow {
+            k: 600,
+            values: [1.0319, 0.7777, 0.7582, 0.7609],
+        },
+        PaperRow {
+            k: 700,
+            values: [1.0174, 0.7455, 0.7323, 0.7344],
+        },
+        PaperRow {
+            k: 800,
+            values: [1.0081, 0.7216, 0.7159, 0.7174],
+        },
+        PaperRow {
+            k: 900,
+            values: [0.9974, 0.6986, 0.6958, 0.6989],
+        },
     ];
 }
 

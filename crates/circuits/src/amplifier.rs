@@ -10,7 +10,6 @@
 
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
-use serde::{Deserialize, Serialize};
 
 use crate::process::Sensitivity;
 use crate::spice::ac::{bandwidth_3db, solve_ac};
@@ -18,7 +17,7 @@ use crate::spice::circuit::Circuit;
 use crate::stage::{CircuitPerformance, Stage};
 
 /// Configuration of the amplifier stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmplifierConfig {
     /// Nominal transconductance, siemens.
     pub gm: f64,
@@ -91,7 +90,7 @@ impl AmplifierConfig {
 }
 
 /// Amplifier metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AmplifierMetric {
     /// Low-frequency voltage gain in dB.
     GainDb,
@@ -165,7 +164,12 @@ impl Amplifier {
                 weights: s
                     .weights
                     .iter()
-                    .map(|&(v, w)| (v, w * (1.0 + config.layout_shift_rel * sampler.sample(&mut rng))))
+                    .map(|&(v, w)| {
+                        (
+                            v,
+                            w * (1.0 + config.layout_shift_rel * sampler.sample(&mut rng)),
+                        )
+                    })
                     .collect(),
             }
         };
@@ -206,9 +210,7 @@ impl Amplifier {
         let rl = cfg.rl * (1.0 + self.rl_sens[si].eval(x)).max(0.2);
         let mut cl = cfg.cl * (1.0 + self.cl_sens[si].eval(x)).max(0.2);
         if stage == Stage::PostLayout {
-            cl += cfg.cl
-                * cfg.layout_cap_fraction
-                * (1.0 + self.par_sens.eval(x)).max(0.1);
+            cl += cfg.cl * cfg.layout_cap_fraction * (1.0 + self.par_sens.eval(x)).max(0.1);
         }
         let mut ckt = Circuit::new();
         let vin = ckt.node();
@@ -221,12 +223,7 @@ impl Amplifier {
     }
 }
 
-fn weights(
-    range: std::ops::Range<usize>,
-    sigma: f64,
-    seed: u64,
-    stream: u64,
-) -> Vec<(usize, f64)> {
+fn weights(range: std::ops::Range<usize>, sigma: f64, seed: u64, stream: u64) -> Vec<(usize, f64)> {
     if range.is_empty() || sigma == 0.0 {
         return Vec::new();
     }
@@ -312,15 +309,19 @@ mod tests {
         let a = amp();
         let n = a.config().schematic_vars();
         let x = vec![0.0; n];
-        let g = a.metric(AmplifierMetric::GainDb).evaluate(Stage::Schematic, &x);
+        let g = a
+            .metric(AmplifierMetric::GainDb)
+            .evaluate(Stage::Schematic, &x);
         let expect_gain = 20.0 * (a.config().gm * a.config().rl).log10();
         assert!((g - expect_gain).abs() < 1e-6, "gain {g} vs {expect_gain}");
         let bw = a
             .metric(AmplifierMetric::BandwidthHz)
             .evaluate(Stage::Schematic, &x);
-        let expect_bw =
-            1.0 / (2.0 * std::f64::consts::PI * a.config().rl * a.config().cl);
-        assert!((bw - expect_bw).abs() / expect_bw < 1e-3, "bw {bw} vs {expect_bw}");
+        let expect_bw = 1.0 / (2.0 * std::f64::consts::PI * a.config().rl * a.config().cl);
+        assert!(
+            (bw - expect_bw).abs() / expect_bw < 1e-3,
+            "bw {bw} vs {expect_bw}"
+        );
     }
 
     #[test]
@@ -357,7 +358,11 @@ mod tests {
         let set = monte_carlo(&view, Stage::PostLayout, 200, 7);
         let s = bmf_stat::summary::Summary::from_slice(&set.values);
         // ~0.3-1.5 dB sigma for a few-% gm/RL spread.
-        assert!(s.std_dev() > 0.1 && s.std_dev() < 3.0, "sigma {}", s.std_dev());
+        assert!(
+            s.std_dev() > 0.1 && s.std_dev() < 3.0,
+            "sigma {}",
+            s.std_dev()
+        );
     }
 
     #[test]

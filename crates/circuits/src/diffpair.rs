@@ -16,14 +16,13 @@
 //! [`crate::spice::dc`], like a real simulator would.
 
 use bmf_basis::expansion::FingerExpansion;
-use serde::{Deserialize, Serialize};
 
 use crate::spice::circuit::Circuit;
 use crate::spice::dc::solve_dc;
 use crate::stage::{CircuitPerformance, Stage};
 
 /// Configuration of the differential pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiffPairConfig {
     /// Fingers per input transistor at the post-layout stage.
     pub fingers: usize,

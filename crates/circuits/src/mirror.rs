@@ -10,7 +10,6 @@
 
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
-use serde::{Deserialize, Serialize};
 
 use crate::process::Sensitivity;
 use crate::spice::circuit::Circuit;
@@ -18,7 +17,7 @@ use crate::spice::mosfet::{Mosfet, MosfetModel, NewtonOptions, NonlinearCircuit,
 use crate::stage::{CircuitPerformance, Stage};
 
 /// Configuration of the current mirror.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MirrorConfig {
     /// Supply voltage, volts.
     pub vdd: f64,
@@ -119,14 +118,14 @@ impl CurrentMirror {
             let start = config.interdie_vars + d * ppd;
             start..start + ppd
         };
-        let stress_range =
-            config.schematic_vars()..config.schematic_vars() + config.stress_vars;
+        let stress_range = config.schematic_vars()..config.schematic_vars() + config.stress_vars;
 
         let make = |range: std::ops::Range<usize>, sigma: f64, stream: u64| -> Sensitivity {
             let mut s = Sensitivity::constant(0.0);
             s.weights
                 .extend(weights(interdie.clone(), sigma * 0.3, seed, stream * 2));
-            s.weights.extend(weights(range, sigma, seed, stream * 2 + 1));
+            s.weights
+                .extend(weights(range, sigma, seed, stream * 2 + 1));
             s
         };
         let scatter = |s: &Sensitivity, stream: u64| -> Sensitivity {
@@ -138,7 +137,10 @@ impl CurrentMirror {
                     .weights
                     .iter()
                     .map(|&(v, w)| {
-                        (v, w * (1.0 + config.layout_shift_rel * smp.sample(&mut rng)))
+                        (
+                            v,
+                            w * (1.0 + config.layout_shift_rel * smp.sample(&mut rng)),
+                        )
                     })
                     .collect(),
             }
@@ -178,12 +180,7 @@ impl CurrentMirror {
     }
 }
 
-fn weights(
-    range: std::ops::Range<usize>,
-    sigma: f64,
-    seed: u64,
-    stream: u64,
-) -> Vec<(usize, f64)> {
+fn weights(range: std::ops::Range<usize>, sigma: f64, seed: u64, stream: u64) -> Vec<(usize, f64)> {
     if range.is_empty() || sigma == 0.0 {
         return Vec::new();
     }
@@ -238,7 +235,10 @@ impl CircuitPerformance for MirrorPerformance<'_> {
             x
         };
 
-        let mut models = [MosfetModel::nmos(cfg.vth, cfg.k), MosfetModel::nmos(cfg.vth, cfg.k)];
+        let mut models = [
+            MosfetModel::nmos(cfg.vth, cfg.k),
+            MosfetModel::nmos(cfg.vth, cfg.k),
+        ];
         for (d, model) in models.iter_mut().enumerate() {
             model.vth += self.mirror.vth_sens[d][si].eval(xs);
             model.k *= (1.0 + self.mirror.k_sens[d][si].eval(xs)).max(0.2);
@@ -312,8 +312,7 @@ mod tests {
         let m = mirror();
         let view = m.output_current();
         let i_sch = view.evaluate(Stage::Schematic, &vec![0.0; m.config().schematic_vars()]);
-        let i_lay =
-            view.evaluate(Stage::PostLayout, &vec![0.0; m.config().post_layout_vars()]);
+        let i_lay = view.evaluate(Stage::PostLayout, &vec![0.0; m.config().post_layout_vars()]);
         assert!(
             i_lay < i_sch,
             "higher mirror V_TH must reduce the copied current: {i_lay} vs {i_sch}"
@@ -330,7 +329,10 @@ mod tests {
         let mut x = vec![0.0; n];
         x[m.config().interdie_vars + m.config().params_per_device] = 2.0;
         let bumped = view.evaluate(Stage::Schematic, &x);
-        assert!((bumped - base).abs() / base > 1e-3, "mismatch has no effect");
+        assert!(
+            (bumped - base).abs() / base > 1e-3,
+            "mismatch has no effect"
+        );
     }
 
     #[test]

@@ -25,13 +25,12 @@
 
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
-use serde::{Deserialize, Serialize};
 
 use crate::process::{Sensitivity, VarSpace};
 use crate::stage::{CircuitPerformance, Stage};
 
 /// Configuration of the behavioral ring oscillator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoConfig {
     /// Number of inverter stages (use an odd count for a real RO).
     pub stages: usize,
@@ -136,8 +135,7 @@ impl RoConfig {
 
     /// Schematic-stage variable count.
     pub fn schematic_vars(&self) -> usize {
-        self.interdie_vars
-            + self.stages * self.transistors_per_stage * self.params_per_transistor
+        self.interdie_vars + self.stages * self.transistors_per_stage * self.params_per_transistor
     }
 
     /// Post-layout variable count.
@@ -147,7 +145,7 @@ impl RoConfig {
 }
 
 /// The three RO performance metrics of §V-A.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoMetric {
     /// Total power (dynamic + leakage), watts. Fig. 4(a), Table I.
     Power,
@@ -299,7 +297,8 @@ impl RingOscillator {
         }
 
         let nominal_freq = 1.0 / (2.0 * config.stages as f64 * config.nominal_stage_delay);
-        let nominal_power = config.vdd * config.vdd
+        let nominal_power = config.vdd
+            * config.vdd
             * nominal_freq
             * (config.stages as f64 * config.nominal_stage_cap)
             + config.leakage_power;
@@ -492,13 +491,15 @@ mod tests {
     fn nominal_point_matches_closed_form() {
         let ro = small_ro();
         let x = vec![0.0; ro.config().schematic_vars()];
-        let f = ro.metric(RoMetric::Frequency).evaluate(Stage::Schematic, &x);
+        let f = ro
+            .metric(RoMetric::Frequency)
+            .evaluate(Stage::Schematic, &x);
         assert!((f - ro.nominal_frequency()).abs() / ro.nominal_frequency() < 1e-12);
         let p = ro.metric(RoMetric::Power).evaluate(Stage::Schematic, &x);
         // Power at nominal = vdd^2 f C_total + leak.
         let cfg = ro.config();
-        let expect = cfg.vdd * cfg.vdd * f * (cfg.stages as f64 * cfg.nominal_stage_cap)
-            + cfg.leakage_power;
+        let expect =
+            cfg.vdd * cfg.vdd * f * (cfg.stages as f64 * cfg.nominal_stage_cap) + cfg.leakage_power;
         assert!((p - expect).abs() / expect < 1e-12);
     }
 
@@ -532,8 +533,12 @@ mod tests {
         let ro = small_ro();
         let xs = vec![0.0; ro.config().schematic_vars()];
         let xl = vec![0.0; ro.config().post_layout_vars()];
-        let fs = ro.metric(RoMetric::Frequency).evaluate(Stage::Schematic, &xs);
-        let fl = ro.metric(RoMetric::Frequency).evaluate(Stage::PostLayout, &xl);
+        let fs = ro
+            .metric(RoMetric::Frequency)
+            .evaluate(Stage::Schematic, &xs);
+        let fl = ro
+            .metric(RoMetric::Frequency)
+            .evaluate(Stage::PostLayout, &xl);
         assert!(
             fl < fs,
             "post-layout frequency {fl} should be below schematic {fs}"
@@ -547,9 +552,13 @@ mod tests {
         let n_sch = ro.config().schematic_vars();
         let n_lay = ro.config().post_layout_vars();
         let mut x = vec![0.0; n_lay];
-        let base = ro.metric(RoMetric::Frequency).evaluate(Stage::PostLayout, &x);
+        let base = ro
+            .metric(RoMetric::Frequency)
+            .evaluate(Stage::PostLayout, &x);
         x[n_sch] = 2.0; // first parasitic variable
-        let bumped = ro.metric(RoMetric::Frequency).evaluate(Stage::PostLayout, &x);
+        let bumped = ro
+            .metric(RoMetric::Frequency)
+            .evaluate(Stage::PostLayout, &x);
         assert_ne!(base, bumped, "parasitic variable must matter post-layout");
     }
 
@@ -562,8 +571,14 @@ mod tests {
         let dir: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64 - 3.0) / 3.0).collect();
         let m = ro.metric(RoMetric::Frequency);
         let f0 = m.evaluate(Stage::Schematic, &vec![0.0; n]);
-        let f1 = m.evaluate(Stage::Schematic, &dir.iter().map(|d| d * 0.1).collect::<Vec<_>>());
-        let f2 = m.evaluate(Stage::Schematic, &dir.iter().map(|d| d * 0.2).collect::<Vec<_>>());
+        let f1 = m.evaluate(
+            Stage::Schematic,
+            &dir.iter().map(|d| d * 0.1).collect::<Vec<_>>(),
+        );
+        let f2 = m.evaluate(
+            Stage::Schematic,
+            &dir.iter().map(|d| d * 0.2).collect::<Vec<_>>(),
+        );
         let d1 = f1 - f0;
         let d2 = f2 - f0;
         assert!(
@@ -622,7 +637,9 @@ mod tests {
     fn phase_noise_is_in_dbc_range() {
         let ro = small_ro();
         let x = vec![0.0; ro.config().schematic_vars()];
-        let pn = ro.metric(RoMetric::PhaseNoise).evaluate(Stage::Schematic, &x);
+        let pn = ro
+            .metric(RoMetric::PhaseNoise)
+            .evaluate(Stage::Schematic, &x);
         assert!(pn < -80.0 && pn > -130.0, "pn = {pn}");
     }
 

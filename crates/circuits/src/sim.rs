@@ -133,7 +133,7 @@ pub fn monte_carlo_par(
     let n = circuit.num_vars(stage);
     let chunk = k.div_ceil(threads);
     let mut results: Vec<Vec<(Vec<f64>, f64)>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
@@ -141,7 +141,7 @@ pub fn monte_carlo_par(
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 (lo..hi)
                     .map(|i| {
                         let x = sample_point(n, seed, i as u64);
@@ -154,8 +154,7 @@ pub fn monte_carlo_par(
         for h in handles {
             results.push(h.join().expect("sampler thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut points = Vec::with_capacity(k);
     let mut values = Vec::with_capacity(k);
@@ -296,8 +295,12 @@ mod tests {
         let c = Sum { vars: 1 };
         let s = monte_carlo(&c, Stage::Schematic, 20_000, 3);
         let mean: f64 = s.values.iter().sum::<f64>() / s.len() as f64;
-        let var: f64 =
-            s.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (s.len() - 1) as f64;
+        let var: f64 = s
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (s.len() - 1) as f64;
         assert!(mean.abs() < 0.03);
         assert!((var - 1.0).abs() < 0.05);
     }

@@ -6,7 +6,7 @@
 //! system per frequency point yields node phasors, from which transfer
 //! magnitudes/phases and −3 dB bandwidths follow.
 
-use bmf_linalg::complex::{C64, CMatrix};
+use bmf_linalg::complex::{CMatrix, C64};
 use bmf_linalg::LinalgError;
 
 use super::circuit::{Circuit, Element, Node};
@@ -95,7 +95,11 @@ pub fn solve_ac(circuit: &Circuit, freq_hz: f64) -> Result<AcSolution, LinalgErr
             Element::Resistor { a: na, b: nb, ohms } => {
                 stamp_admittance(&mut a, idx(na), idx(nb), C64::real(1.0 / ohms));
             }
-            Element::Capacitor { a: na, b: nb, farads } => {
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
                 stamp_admittance(&mut a, idx(na), idx(nb), C64::new(0.0, omega * farads));
             }
             Element::CurrentSource { from, to, amps } => {
@@ -119,7 +123,13 @@ pub fn solve_ac(circuit: &Circuit, freq_hz: f64) -> Result<AcSolution, LinalgErr
                 rhs[row] = C64::real(volts);
                 vs_index += 1;
             }
-            Element::Vccs { from, to, cp, cm, gm } => {
+            Element::Vccs {
+                from,
+                to,
+                cp,
+                cm,
+                gm,
+            } => {
                 for (node, sign) in [(from, 1.0), (to, -1.0)] {
                     if let Some(r) = idx(node) {
                         if let Some(c) = idx(cp) {
@@ -245,10 +255,7 @@ mod tests {
         let (ckt, vout) = rc_lowpass(1_000.0, 1e-9);
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 1_000.0 * 1e-9);
         let bw = bandwidth_3db(&ckt, vout, 1.0, 1e9).unwrap().unwrap();
-        assert!(
-            (bw - fc).abs() / fc < 1e-3,
-            "bw {bw} vs analytic {fc}"
-        );
+        assert!((bw - fc).abs() / fc < 1e-3, "bw {bw} vs analytic {fc}");
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl Circuit {
     ///
     /// Panics when `ohms <= 0` or a node does not belong to this circuit.
     pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.check_node(a);
         self.check_node(b);
         self.elements.push(Element::Resistor { a, b, ohms });
@@ -147,7 +150,8 @@ impl Circuit {
     pub fn current_source(&mut self, from: Node, to: Node, amps: f64) {
         self.check_node(from);
         self.check_node(to);
-        self.elements.push(Element::CurrentSource { from, to, amps });
+        self.elements
+            .push(Element::CurrentSource { from, to, amps });
     }
 
     /// Adds an independent voltage source `V(plus) − V(minus) = volts`.
@@ -171,7 +175,13 @@ impl Circuit {
         for n in [from, to, cp, cm] {
             self.check_node(n);
         }
-        self.elements.push(Element::Vccs { from, to, cp, cm, gm });
+        self.elements.push(Element::Vccs {
+            from,
+            to,
+            cp,
+            cm,
+            gm,
+        });
     }
 }
 

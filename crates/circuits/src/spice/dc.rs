@@ -92,7 +92,13 @@ pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution, LinalgError> {
                 rhs[row] = volts;
                 vs_index += 1;
             }
-            Element::Vccs { from, to, cp, cm, gm } => {
+            Element::Vccs {
+                from,
+                to,
+                cp,
+                cm,
+                gm,
+            } => {
                 // Current gm*(Vcp - Vcm) leaves `from`, enters `to`.
                 for (node, sign) in [(from, 1.0), (to, -1.0)] {
                     if let Some(r) = idx(node) {

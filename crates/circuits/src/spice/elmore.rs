@@ -66,7 +66,10 @@ impl std::fmt::Display for RcTreeError {
                 "segment {segment}: parent must precede child (topological order)"
             ),
             RcTreeError::BadValue { segment } => {
-                write!(f, "segment {segment}: R and C must be finite and non-negative")
+                write!(
+                    f,
+                    "segment {segment}: R and C must be finite and non-negative"
+                )
             }
         }
     }
@@ -88,8 +91,8 @@ impl RcTree {
                     return Err(RcTreeError::BadTopology { segment: i });
                 }
             }
-            if !(s.resistance >= 0.0)
-                || !(s.capacitance >= 0.0)
+            if s.resistance < 0.0
+                || s.capacitance < 0.0
                 || !s.resistance.is_finite()
                 || !s.capacitance.is_finite()
             {

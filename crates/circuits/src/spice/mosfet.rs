@@ -251,7 +251,13 @@ pub fn solve_dc_nonlinear(
                     rhs[row] = volts;
                     vs_index += 1;
                 }
-                Element::Vccs { from, to, cp, cm, gm } => {
+                Element::Vccs {
+                    from,
+                    to,
+                    cp,
+                    cm,
+                    gm,
+                } => {
                     for (node, sign) in [(from, 1.0), (to, -1.0)] {
                         if let Some(r) = idx(node) {
                             if let Some(c) = idx(cp) {
@@ -266,9 +272,7 @@ pub fn solve_dc_nonlinear(
             }
         }
         // Linearized MOSFET companion models.
-        let getv = |node: Node, v: &[f64]| -> f64 {
-            idx(node).map_or(0.0, |i| v[i])
-        };
+        let getv = |node: Node, v: &[f64]| -> f64 { idx(node).map_or(0.0, |i| v[i]) };
         for mos in &ckt.mosfets {
             let (vd, vg, vs) = (
                 getv(mos.drain, &v),
@@ -463,7 +467,10 @@ mod tests {
         };
         let low_in = solve_dc_nonlinear(&build(0.0), &NewtonOptions::default()).unwrap();
         let out_node = Node(3);
-        assert!(low_in.voltage(out_node) > VDD - 0.05, "output should be high");
+        assert!(
+            low_in.voltage(out_node) > VDD - 0.05,
+            "output should be high"
+        );
         let high_in = solve_dc_nonlinear(&build(VDD), &NewtonOptions::default()).unwrap();
         assert!(high_in.voltage(out_node) < 0.05, "output should be low");
         // Symmetric inverter: switching threshold near VDD/2.

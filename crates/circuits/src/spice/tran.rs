@@ -102,7 +102,11 @@ pub fn solve_transient(circuit: &Circuit, h: f64, steps: usize) -> Result<Transi
             Element::Resistor { a: na, b: nb, ohms } => {
                 stamp_conductance(&mut a, idx(na), idx(nb), 1.0 / ohms);
             }
-            Element::Capacitor { a: na, b: nb, farads } => {
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
                 let geq = farads / h;
                 stamp_conductance(&mut a, idx(na), idx(nb), geq);
                 caps.push((idx(na), idx(nb), geq));
@@ -128,7 +132,13 @@ pub fn solve_transient(circuit: &Circuit, h: f64, steps: usize) -> Result<Transi
                 rhs_src[row] = volts;
                 vs_index += 1;
             }
-            Element::Vccs { from, to, cp, cm, gm } => {
+            Element::Vccs {
+                from,
+                to,
+                cp,
+                cm,
+                gm,
+            } => {
                 for (node, sign) in [(from, 1.0), (to, -1.0)] {
                     if let Some(r) = idx(node) {
                         if let Some(c) = idx(cp) {

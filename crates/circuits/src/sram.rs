@@ -23,14 +23,13 @@
 
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
-use serde::{Deserialize, Serialize};
 
 use crate::process::{Sensitivity, VarSpace};
 use crate::spice::elmore::{RcSegment, RcTree};
 use crate::stage::{CircuitPerformance, Stage};
 
 /// Configuration of the behavioral SRAM read path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SramConfig {
     /// Bit cells per column (the paper uses 128).
     pub rows: usize,
@@ -249,9 +248,13 @@ impl SramReadPath {
             current
                 .weights
                 .extend(decaying(interdie.clone(), 0.02, 1.5, cseed, 0));
-            current
-                .weights
-                .extend(decaying(col[0].clone(), config.cell_current_sigma, 1.2, cseed, 1));
+            current.weights.extend(decaying(
+                col[0].clone(),
+                config.cell_current_sigma,
+                1.2,
+                cseed,
+                1,
+            ));
             let mut leak = Sensitivity::constant(0.0);
             for (r, range) in col.iter().enumerate().skip(1) {
                 // Each unaccessed cell leaks with per-cell spread; the
@@ -285,12 +288,20 @@ impl SramReadPath {
             let mut par_c = Sensitivity::constant(0.0);
             let range = parasitics[c].clone();
             let half = range.start + range.len() / 2;
-            par_r
-                .weights
-                .extend(decaying(range.start..half, config.parasitic_sigma, 1.0, lseed, 0));
-            par_c
-                .weights
-                .extend(decaying(half..range.end, config.parasitic_sigma, 1.0, lseed, 1));
+            par_r.weights.extend(decaying(
+                range.start..half,
+                config.parasitic_sigma,
+                1.0,
+                lseed,
+                0,
+            ));
+            par_c.weights.extend(decaying(
+                half..range.end,
+                config.parasitic_sigma,
+                1.0,
+                lseed,
+                1,
+            ));
             cols_lay.push(ColumnSens {
                 current: shift(&base.current, lseed, 2),
                 leak: shift(&base.leak, lseed, 3),

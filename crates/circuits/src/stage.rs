@@ -18,10 +18,8 @@
 //! separately by [`crate::diffpair`], which publishes its
 //! `FingerExpansion`.)
 
-use serde::{Deserialize, Serialize};
-
 /// A point in the design flow at which simulation data can be collected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Schematic-level design: fast simulations, no layout parasitics.
     Schematic,

@@ -15,14 +15,11 @@
 
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::stage::{CircuitPerformance, Stage};
 
 /// Configuration of a [`SyntheticCircuit`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticConfig {
     /// Schematic-stage variation variables.
     pub early_vars: usize,
@@ -113,11 +110,11 @@ impl SyntheticCircuit {
         // order with random signs.
         let n_e = config.early_vars;
         let mut ranks: Vec<usize> = (0..n_e).collect();
-        ranks.shuffle(&mut rng);
+        rng.shuffle(&mut ranks);
         let mut alpha_early = Vec::with_capacity(n_e + 1);
         alpha_early.push(config.nominal);
-        for i in 0..n_e {
-            let mag = config.coeff_scale / (1.0 + ranks[i] as f64).powf(config.decay);
+        for &rank in &ranks {
+            let mag = config.coeff_scale / (1.0 + rank as f64).powf(config.decay);
             let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             // Mild magnitude scatter keeps the spectrum from being exactly
             // deterministic.
@@ -134,8 +131,7 @@ impl SyntheticCircuit {
         alpha_late.push(config.nominal * (1.0 + config.layout_nominal_shift));
         for &a in &alpha_early[1..] {
             let zeta = sampler_l.sample(&mut rng_l);
-            let flip = if config.sign_flip_prob > 0.0 && rng_l.gen_bool(config.sign_flip_prob)
-            {
+            let flip = if config.sign_flip_prob > 0.0 && rng_l.gen_bool(config.sign_flip_prob) {
                 -1.0
             } else {
                 1.0
@@ -216,9 +212,8 @@ impl CircuitPerformance for SyntheticCircuit {
         let linear = self.eval_linear(coeffs, x);
         // Deterministic quadratic residual: he₂ along a fixed direction.
         let u: f64 = dir.iter().zip(x).map(|(d, xi)| d * xi).sum();
-        let residual = self.config.residual_scale
-            * self.config.coeff_scale
-            * ((u * u - 1.0) / 2.0f64.sqrt());
+        let residual =
+            self.config.residual_scale * self.config.coeff_scale * ((u * u - 1.0) / 2.0f64.sqrt());
         linear + residual
     }
 
@@ -285,10 +280,7 @@ mod tests {
     #[test]
     fn coefficients_have_decaying_spectrum() {
         let s = syn();
-        let mut mags: Vec<f64> = s.true_early_coeffs()[1..]
-            .iter()
-            .map(|a| a.abs())
-            .collect();
+        let mut mags: Vec<f64> = s.true_early_coeffs()[1..].iter().map(|a| a.abs()).collect();
         mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
         // Top coefficient should dominate the median by a clear factor.
         let median = mags[mags.len() / 2];

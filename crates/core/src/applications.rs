@@ -17,13 +17,12 @@
 
 use bmf_stat::normal::{cdf, StandardNormal};
 use bmf_stat::rng::seeded;
-use serde::{Deserialize, Serialize};
 
 use crate::model::PerformanceModel;
 use crate::{BmfError, Result};
 
 /// A performance specification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Spec {
     /// Pass when `f ≤ limit` (e.g. power, delay).
     UpperBound(f64),
@@ -50,7 +49,7 @@ impl Spec {
 }
 
 /// A Monte-Carlo yield estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct YieldEstimate {
     /// Estimated pass fraction in `[0, 1]`.
     pub value: f64,

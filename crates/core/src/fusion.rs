@@ -13,7 +13,6 @@
 use bmf_basis::basis::OrthonormalBasis;
 use bmf_basis::expansion::ExpandedBasis;
 use bmf_linalg::Vector;
-use serde::{Deserialize, Serialize};
 
 use crate::hyper::CvConfig;
 use crate::map_estimate::{map_estimate, SolverKind};
@@ -53,7 +52,7 @@ pub struct BmfFit {
 }
 
 /// Serializable summary of a fit (for experiment reports).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BmfFitSummary {
     /// The selected prior family.
     pub prior_kind: PriorKind,
@@ -270,10 +269,20 @@ mod tests {
         let r = 40;
         let basis = OrthonormalBasis::linear(r);
         let truth: Vec<f64> = (0..=r)
-            .map(|i| if i == 0 { 5.0 } else { 2.0 / (i as f64).powf(1.2) })
+            .map(|i| {
+                if i == 0 {
+                    5.0
+                } else {
+                    2.0 / (i as f64).powf(1.2)
+                }
+            })
             .collect();
         let eval = |p: &[f64]| -> f64 {
-            truth[0] + p.iter().enumerate().map(|(i, x)| truth[i + 1] * x).sum::<f64>()
+            truth[0]
+                + p.iter()
+                    .enumerate()
+                    .map(|(i, x)| truth[i + 1] * x)
+                    .sum::<f64>()
         };
         let early: Vec<Option<f64>> = truth
             .iter()
@@ -303,10 +312,7 @@ mod tests {
         let r = 10;
         let basis = OrthonormalBasis::linear(r);
         let eval = |p: &[f64]| 1.0 + 0.5 * p[0] + 2.0 * p[9];
-        let mut early: Vec<Option<f64>> = vec![
-            Some(1.0),
-            Some(0.5),
-        ];
+        let mut early: Vec<Option<f64>> = vec![Some(1.0), Some(0.5)];
         early.extend(std::iter::repeat_n(Some(0.01), r - 2));
         early.push(None); // x10 has no early knowledge
         let train = points(20, r, 3);
@@ -323,8 +329,7 @@ mod tests {
     #[test]
     fn from_early_model_roundtrip() {
         let basis = OrthonormalBasis::linear(3);
-        let early_model =
-            PerformanceModel::new(basis.clone(), vec![1.0, 0.3, -0.2, 0.05]).unwrap();
+        let early_model = PerformanceModel::new(basis.clone(), vec![1.0, 0.3, -0.2, 0.05]).unwrap();
         let fitter = BmfFitter::from_early_model(&early_model);
         assert_eq!(fitter.basis().len(), 4);
         let train = points(10, 3, 4);
@@ -346,11 +351,7 @@ mod tests {
         let fitter =
             BmfFitter::from_mapped_early_model(&expanded, &[1.0, 2.0, -1.0], extra).unwrap();
         assert_eq!(fitter.basis().len(), 6); // 5 mapped + 1 extra
-        let prior_missing = fitter
-            .prior_values
-            .iter()
-            .filter(|v| v.is_none())
-            .count();
+        let prior_missing = fitter.prior_values.iter().filter(|v| v.is_none()).count();
         assert_eq!(prior_missing, 1);
     }
 
@@ -360,7 +361,11 @@ mod tests {
         let basis = OrthonormalBasis::linear(r);
         let truth: Vec<f64> = (0..=r).map(|i| (i as f64 * 0.7).cos()).collect();
         let eval = |p: &[f64]| -> f64 {
-            truth[0] + p.iter().enumerate().map(|(i, x)| truth[i + 1] * x).sum::<f64>()
+            truth[0]
+                + p.iter()
+                    .enumerate()
+                    .map(|(i, x)| truth[i + 1] * x)
+                    .sum::<f64>()
         };
         let early: Vec<Option<f64>> = truth.iter().map(|&t| Some(t)).collect();
         let train = points(10, r, 5);
@@ -391,7 +396,11 @@ mod tests {
             .chain((1..=r).map(|i| 2.0e7 / (i as f64)))
             .collect();
         let eval = |p: &[f64]| -> f64 {
-            truth[0] + p.iter().enumerate().map(|(i, x)| truth[i + 1] * x).sum::<f64>()
+            truth[0]
+                + p.iter()
+                    .enumerate()
+                    .map(|(i, x)| truth[i + 1] * x)
+                    .sum::<f64>()
         };
         let mut early: Vec<Option<f64>> = truth.iter().map(|&t| Some(t * 1.05)).collect();
         early[r] = None; // one missing-prior coefficient too

@@ -13,14 +13,13 @@
 
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::crossval::KFold;
-use serde::{Deserialize, Serialize};
 
 use crate::map_estimate::MapSweep;
 use crate::prior::Prior;
 use crate::{BmfError, Result};
 
 /// Cross-validation configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CvConfig {
     /// Number of folds (the paper's `N`).
     pub folds: usize,
@@ -87,7 +86,7 @@ pub fn cross_validate_hyper(
     prior: &Prior,
     config: &CvConfig,
 ) -> Result<CvOutcome> {
-    if config.grid.is_empty() || config.grid.iter().any(|&h| !(h > 0.0) || !h.is_finite()) {
+    if config.grid.is_empty() || config.grid.iter().any(|&h| h <= 0.0 || !h.is_finite()) {
         return Err(BmfError::InvalidConfig {
             detail: "hyper-parameter grid must be non-empty and positive".into(),
         });
@@ -181,7 +180,7 @@ pub fn cross_validate_both(
 ) -> Result<(CvOutcome, CvOutcome)> {
     use crate::prior::PriorKind;
 
-    if config.grid.is_empty() || config.grid.iter().any(|&h| !(h > 0.0) || !h.is_finite()) {
+    if config.grid.is_empty() || config.grid.iter().any(|&h| h <= 0.0 || !h.is_finite()) {
         return Err(BmfError::InvalidConfig {
             detail: "hyper-parameter grid must be non-empty and positive".into(),
         });
@@ -208,8 +207,14 @@ pub fn cross_validate_both(
     // the zero-mean solves reuse the same kernels with the mean dropped.
     let nzm_prior = prior.with_kind(PriorKind::NonZeroMean);
     let kinds = [PriorKind::ZeroMean, PriorKind::NonZeroMean];
-    let mut sums = [vec![0.0f64; config.grid.len()], vec![0.0f64; config.grid.len()]];
-    let mut counts = [vec![0usize; config.grid.len()], vec![0usize; config.grid.len()]];
+    let mut sums = [
+        vec![0.0f64; config.grid.len()],
+        vec![0.0f64; config.grid.len()],
+    ];
+    let mut counts = [
+        vec![0usize; config.grid.len()],
+        vec![0usize; config.grid.len()],
+    ];
 
     for fold in kfold.folds() {
         let g_train = select_rows(g, &fold.train);
@@ -331,8 +336,7 @@ mod tests {
         let truth: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).sin()).collect();
         let f = g.matvec(&Vector::from(truth.clone())).unwrap();
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &truth);
-        let out =
-            cross_validate_hyper(&g, &f, &prior, &CvConfig::default()).unwrap();
+        let out = cross_validate_hyper(&g, &f, &prior, &CvConfig::default()).unwrap();
         let min = out
             .errors
             .iter()
@@ -398,8 +402,7 @@ mod tests {
         let zm_solo =
             cross_validate_hyper(&g, &f, &prior.with_kind(PriorKind::ZeroMean), &cfg).unwrap();
         let nzm_solo =
-            cross_validate_hyper(&g, &f, &prior.with_kind(PriorKind::NonZeroMean), &cfg)
-                .unwrap();
+            cross_validate_hyper(&g, &f, &prior.with_kind(PriorKind::NonZeroMean), &cfg).unwrap();
         assert_eq!(zm.best_hyper, zm_solo.best_hyper);
         assert!((zm.best_error - zm_solo.best_error).abs() < 1e-12);
         assert_eq!(nzm.best_hyper, nzm_solo.best_hyper);

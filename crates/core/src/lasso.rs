@@ -11,14 +11,12 @@
 use bmf_basis::basis::OrthonormalBasis;
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::rng::seeded;
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 use crate::model::PerformanceModel;
 use crate::{BmfError, Result};
 
 /// LASSO configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LassoConfig {
     /// Number of λ values on the geometric path from `λ_max` down to
     /// `λ_max · min_ratio`.
@@ -101,7 +99,7 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
 
     // Train/validation split.
     let mut order: Vec<usize> = (0..k).collect();
-    order.shuffle(&mut seeded(config.seed));
+    seeded(config.seed).shuffle(&mut order);
     let n_val = ((k as f64 * config.validation_fraction) as usize).min(k - 2);
     let (val_idx, train_idx) = order.split_at(n_val);
     let kt = train_idx.len();
@@ -269,7 +267,10 @@ mod tests {
     fn recovers_sparse_truth() {
         let basis = OrthonormalBasis::linear(30);
         let points = random_points(60, 30, 1);
-        let values: Vec<f64> = points.iter().map(|p| 2.0 + 1.5 * p[4] - 0.8 * p[16]).collect();
+        let values: Vec<f64> = points
+            .iter()
+            .map(|p| 2.0 + 1.5 * p[4] - 0.8 * p[16])
+            .collect();
         let fit = fit_lasso(&basis, &points, &values, &LassoConfig::default()).unwrap();
         let c = fit.model.coeffs();
         assert!((c[0] - 2.0).abs() < 0.1, "intercept {}", c[0]);
@@ -300,7 +301,12 @@ mod tests {
         let points = random_points(50, 20, 3);
         let values: Vec<f64> = points
             .iter()
-            .map(|p| p.iter().enumerate().map(|(i, x)| x / (1.0 + i as f64)).sum())
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .map(|(i, x)| x / (1.0 + i as f64))
+                    .sum()
+            })
             .collect();
         let strong = LassoConfig {
             path_len: 1,

@@ -24,13 +24,12 @@
 //!   [`bmf_linalg::woodbury`].
 
 use bmf_linalg::{woodbury, Matrix, Vector};
-use serde::{Deserialize, Serialize};
 
 use crate::prior::Prior;
 use crate::{BmfError, Result};
 
 /// Which MAP solver to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SolverKind {
     /// Dense M × M Cholesky factorization (Θ(M³)).
     Direct,
@@ -111,7 +110,11 @@ pub fn map_estimate(
 
     let precisions = prior.precisions(hyper);
     let mut rhs = g.matvec_transpose(f)?;
-    for (r, b0) in rhs.as_mut_slice().iter_mut().zip(prior.rhs_contribution(hyper)) {
+    for (r, b0) in rhs
+        .as_mut_slice()
+        .iter_mut()
+        .zip(prior.rhs_contribution(hyper))
+    {
         *r += b0;
     }
 
@@ -286,7 +289,13 @@ impl MapSweep {
         let dt_inv: Vec<f64> = self
             .a
             .iter()
-            .map(|&a| if a > 0.0 { 1.0 / (hyper * a) } else { 1.0 / self.tau })
+            .map(|&a| {
+                if a > 0.0 {
+                    1.0 / (hyper * a)
+                } else {
+                    1.0 / self.tau
+                }
+            })
             .collect();
         let t = Vector::from_fn(m, |i| dt_inv[i] * rhs[i]);
         let gt = self.g.matvec(&t)?;
@@ -439,8 +448,7 @@ mod tests {
     fn solvers_agree_nonzero_mean_with_missing() {
         let g = random_design(10, 25, 2);
         let f = Vector::from_fn(10, |i| 0.3 * i as f64 - 1.0);
-        let mut early: Vec<Option<f64>> =
-            (0..25).map(|i| Some(((i + 1) as f64).recip())).collect();
+        let mut early: Vec<Option<f64>> = (0..25).map(|i| Some(((i + 1) as f64).recip())).collect();
         early[3] = None;
         early[17] = None;
         let prior = Prior::new(PriorKind::NonZeroMean, early);
@@ -484,7 +492,13 @@ mod tests {
         // better than the prior-free ridge answer.
         let g = random_design(4, 20, 5);
         let truth: Vec<f64> = (0..20)
-            .map(|i| if i % 7 == 0 { 1.0 / (1.0 + i as f64 / 4.0) } else { 0.02 })
+            .map(|i| {
+                if i % 7 == 0 {
+                    1.0 / (1.0 + i as f64 / 4.0)
+                } else {
+                    0.02
+                }
+            })
             .collect();
         let f = g.matvec(&Vector::from(truth.clone())).unwrap();
         // Early model: truth + 10% perturbation.

@@ -12,15 +12,13 @@
 use bmf_basis::basis::OrthonormalBasis;
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::rng::seeded;
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 use crate::least_squares::solve_least_squares;
 use crate::model::PerformanceModel;
 use crate::{BmfError, Result};
 
 /// OMP configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OmpConfig {
     /// Hard cap on selected terms (`None` ⇒ limited only by the training
     /// sample count).
@@ -92,7 +90,7 @@ pub fn fit_omp_design(g: &Matrix, f: &Vector, config: &OmpConfig) -> Result<OmpF
 
     // Train/validation split.
     let mut order: Vec<usize> = (0..k).collect();
-    order.shuffle(&mut seeded(config.seed));
+    seeded(config.seed).shuffle(&mut order);
     let n_val = ((k as f64 * config.validation_fraction) as usize).min(k - 2);
     let (val_idx, train_idx) = order.split_at(n_val);
     let g_train = select_rows(g, train_idx);
@@ -281,7 +279,11 @@ mod tests {
             .collect();
         let fit = fit_omp(&basis, &points, &values, &OmpConfig::default()).unwrap();
         // Basis term indices: 0 = const, 1 + var.
-        assert!(fit.selected.contains(&0), "intercept missed: {:?}", fit.selected);
+        assert!(
+            fit.selected.contains(&0),
+            "intercept missed: {:?}",
+            fit.selected
+        );
         assert!(fit.selected.contains(&5));
         assert!(fit.selected.contains(&17));
         let c = fit.model.coeffs();

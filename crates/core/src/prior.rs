@@ -18,12 +18,11 @@
 //! `β = α_E/√T_m` (eq. 49) before the prior is formed.
 
 use bmf_basis::expansion::ExpandedBasis;
-use serde::{Deserialize, Serialize};
 
 use crate::{BmfError, Result};
 
 /// Which Gaussian prior family to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PriorKind {
     /// `α_L,m ~ N(0, α_E,m²)` — magnitude information only (BMF-ZM).
     ZeroMean,
@@ -63,7 +62,7 @@ const REL_FLOOR: f64 = 1e-8;
 /// assert_eq!(prior.len(), 4);
 /// assert_eq!(prior.num_missing(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Prior {
     kind: PriorKind,
     early: Vec<Option<f64>>,
@@ -198,10 +197,12 @@ impl Prior {
             PriorKind::NonZeroMean => {
                 let floor = self.floor();
                 (0..self.len())
-                    .map(|m| match (self.early[m], self.floored_magnitude(m, floor)) {
-                        (Some(a), Some(_)) => precisions[m] * a,
-                        _ => 0.0,
-                    })
+                    .map(
+                        |m| match (self.early[m], self.floored_magnitude(m, floor)) {
+                            (Some(a), Some(_)) => precisions[m] * a,
+                            _ => 0.0,
+                        },
+                    )
                     .collect()
             }
         }

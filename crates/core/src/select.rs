@@ -8,14 +8,13 @@
 //! estimated error.
 
 use bmf_linalg::{Matrix, Vector};
-use serde::{Deserialize, Serialize};
 
 use crate::hyper::{cross_validate_hyper, CvConfig, CvOutcome};
 use crate::prior::{Prior, PriorKind};
 use crate::Result;
 
 /// How the prior family is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PriorSelection {
     /// Always use the given family (BMF-ZM / BMF-NZM).
     Fixed(PriorKind),
@@ -108,8 +107,7 @@ mod tests {
         let truth: Vec<f64> = (0..m).map(|i| 1.5 / (1.0 + i as f64)).collect();
         let f = g.matvec(&Vector::from(truth.clone())).unwrap();
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &truth);
-        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default())
-            .unwrap();
+        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default()).unwrap();
         assert_eq!(out.kind, PriorKind::NonZeroMean);
         assert!(out.zero_mean.is_some() && out.nonzero_mean.is_some());
     }
@@ -124,8 +122,7 @@ mod tests {
         let f = g.matvec(&Vector::from(truth.clone())).unwrap();
         let flipped: Vec<f64> = truth.iter().map(|t| -t).collect();
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &flipped);
-        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default())
-            .unwrap();
+        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default()).unwrap();
         assert_eq!(out.kind, PriorKind::ZeroMean);
     }
 
@@ -152,8 +149,7 @@ mod tests {
         let truth: Vec<f64> = (0..10).map(|i| (i as f64).cos()).collect();
         let f = g.matvec(&Vector::from(truth.clone())).unwrap();
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &truth);
-        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default())
-            .unwrap();
+        let out = select_prior(&g, &f, &prior, PriorSelection::Auto, &CvConfig::default()).unwrap();
         let zm = out.zero_mean.as_ref().unwrap().best_error;
         let nzm = out.nonzero_mean.as_ref().unwrap().best_error;
         assert!((out.cv_error - zm.min(nzm)).abs() < 1e-15);

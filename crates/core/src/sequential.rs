@@ -164,11 +164,7 @@ impl SequentialBmf {
 }
 
 fn weighted_dot(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .zip(w)
-        .map(|((x, y), z)| x * y * z)
-        .sum()
+    a.iter().zip(b).zip(w).map(|((x, y), z)| x * y * z).sum()
 }
 
 #[cfg(test)]
@@ -198,10 +194,8 @@ mod tests {
             seq.add_sample(&rows[k], values[k]).unwrap();
             let online = seq.coefficients().unwrap();
             // Batch reference over the first k+1 samples.
-            let g = Matrix::from_rows(
-                &rows[..=k].iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
-            )
-            .unwrap();
+            let g = Matrix::from_rows(&rows[..=k].iter().map(|r| r.as_slice()).collect::<Vec<_>>())
+                .unwrap();
             let f = Vector::from(&values[..=k]);
             let batch = map_estimate(&g, &f, &prior, 2.0, SolverKind::Fast).unwrap();
             let rel = online.sub(&batch).unwrap().norm2() / batch.norm2().max(1e-30);

@@ -187,8 +187,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = Bᵀ B + I with a fixed B, guaranteed SPD.
-        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0]])
-            .unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0]]).unwrap();
         let mut a = b.gram();
         a.add_diagonal_mut(&[1.0, 1.0, 1.0]).unwrap();
         a
@@ -252,10 +251,7 @@ mod tests {
     fn nan_rejected() {
         let mut a = Matrix::identity(2);
         a[(0, 0)] = f64::NAN;
-        assert!(matches!(
-            a.cholesky(),
-            Err(LinalgError::NonFinite { .. })
-        ));
+        assert!(matches!(a.cholesky(), Err(LinalgError::NonFinite { .. })));
     }
 
     #[test]
@@ -267,13 +263,7 @@ mod tests {
         sym[(0, 2)] = sym[(2, 0)];
         let l1 = a.cholesky().unwrap();
         let l2 = sym.cholesky().unwrap();
-        assert!(l1
-            .factor()
-            .sub(l2.factor())
-            .unwrap()
-            .norm_frobenius()
-            .abs()
-            < 1e-14);
+        assert!(l1.factor().sub(l2.factor()).unwrap().norm_frobenius().abs() < 1e-14);
     }
 
     #[test]

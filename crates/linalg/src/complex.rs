@@ -145,6 +145,8 @@ impl MulAssign for C64 {
 
 impl Div for C64 {
     type Output = C64;
+    // Division by reciprocal is the intended numerically-stable route here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: C64) -> C64 {
         self * o.recip()
     }
@@ -214,8 +216,8 @@ impl CMatrix {
         (0..self.rows)
             .map(|i| {
                 let mut s = C64::ZERO;
-                for j in 0..self.cols {
-                    s += self.get(i, j) * x[j];
+                for (j, &xj) in x.iter().enumerate() {
+                    s += self.get(i, j) * xj;
                 }
                 s
             })

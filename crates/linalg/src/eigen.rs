@@ -158,8 +158,8 @@ mod tests {
 
     #[test]
     fn trace_and_det_invariants() {
-        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 2.0]]).unwrap();
         let e = SymmetricEigen::new(&a).unwrap();
         let trace: f64 = (0..3).map(|i| a[(i, i)]).sum();
         assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-10);

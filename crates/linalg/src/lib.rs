@@ -36,8 +36,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod complex;
 mod cholesky;
+pub mod complex;
 pub mod eigen;
 mod error;
 mod lu;

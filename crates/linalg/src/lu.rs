@@ -171,8 +171,8 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let b = Vector::from(vec![8.0, -11.0, -3.0]);
         let x = a.lu().unwrap().solve(&b).unwrap();
         // Known solution: x = (2, 3, -1).
@@ -184,7 +184,11 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
-        let x = a.lu().unwrap().solve(&Vector::from(vec![3.0, 5.0])).unwrap();
+        let x = a
+            .lu()
+            .unwrap()
+            .solve(&Vector::from(vec![3.0, 5.0]))
+            .unwrap();
         assert_eq!(x.as_slice(), &[5.0, 3.0]);
     }
 

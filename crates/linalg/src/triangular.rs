@@ -123,8 +123,8 @@ mod tests {
 
     #[test]
     fn lower_solve_roundtrip() {
-        let l = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 1.5, 0.0], &[-1.0, 0.5, 3.0]])
-            .unwrap();
+        let l =
+            Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 1.5, 0.0], &[-1.0, 0.5, 3.0]]).unwrap();
         let x_true = Vector::from(vec![1.0, -2.0, 0.5]);
         let b = l.matvec(&x_true).unwrap();
         let x = solve_lower(&l, &b).unwrap();
@@ -135,8 +135,8 @@ mod tests {
 
     #[test]
     fn upper_solve_roundtrip() {
-        let u = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[0.0, 1.5, 0.5], &[0.0, 0.0, 3.0]])
-            .unwrap();
+        let u =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[0.0, 1.5, 0.5], &[0.0, 0.0, 3.0]]).unwrap();
         let x_true = Vector::from(vec![0.3, 2.0, -1.0]);
         let b = u.matvec(&x_true).unwrap();
         let x = solve_upper(&u, &b).unwrap();

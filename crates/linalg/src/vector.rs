@@ -100,12 +100,7 @@ impl Vector {
                 rhs: (other.len(), 1),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
     }
 
     /// Euclidean (L2) norm.

@@ -40,7 +40,7 @@ fn validate(prior_precision: &[f64], c: f64, g: &Matrix, rhs: &Vector) -> Result
             rhs: (m, 1),
         });
     }
-    if !(c > 0.0) || !c.is_finite() {
+    if c <= 0.0 || !c.is_finite() {
         return Err(LinalgError::NonFinite { op: "woodbury (c)" });
     }
     if prior_precision.iter().any(|d| !d.is_finite() || *d < 0.0) {
@@ -223,7 +223,7 @@ pub fn solve_diag_plus_gram_semidefinite(
         tau += c * s;
     }
     tau /= nz as f64;
-    if !(tau > 0.0) {
+    if tau.is_nan() || tau <= 0.0 {
         tau = 1.0;
     }
 

@@ -1,177 +1,226 @@
 //! Property-based tests for the dense linear-algebra kernels.
 //!
-//! Strategy: generate random well-conditioned inputs, then check algebraic
-//! identities (factor-reconstruct, solve-then-multiply, fast-vs-direct
-//! equivalence) within tolerances scaled to the operand magnitudes.
+//! Strategy: generate random well-conditioned inputs with the in-tree
+//! harness (`bmf_stat::prop`), then check algebraic identities
+//! (factor-reconstruct, solve-then-multiply, fast-vs-direct equivalence)
+//! within tolerances scaled to the operand magnitudes. On failure the
+//! harness prints the case seed; replay it with `BMF_PROP_CASE_SEED`.
 
 use bmf_linalg::{woodbury, Matrix, Vector};
-use proptest::prelude::*;
+use bmf_stat::prop::{check, DEFAULT_CASES};
+use bmf_stat::rng::Rng;
 
-/// Bounded element strategy keeping matrices well scaled.
-fn elem() -> impl Strategy<Value = f64> {
-    (-10.0f64..10.0).prop_map(|x| (x * 100.0).round() / 100.0)
+/// Bounded element generator keeping matrices well scaled.
+fn elem(rng: &mut Rng) -> f64 {
+    (rng.gen_range(-10.0..10.0) * 100.0).round() / 100.0
 }
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(elem(), rows * cols)
-        .prop_map(move |data| Matrix::from_row_major(rows, cols, data).expect("sized"))
+fn matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| elem(rng)).collect();
+    Matrix::from_row_major(rows, cols, data).expect("sized")
 }
 
-fn vector(n: usize) -> impl Strategy<Value = Vector> {
-    proptest::collection::vec(elem(), n).prop_map(Vector::from)
+fn vector(rng: &mut Rng, n: usize) -> Vector {
+    Vector::from((0..n).map(|_| elem(rng)).collect::<Vec<f64>>())
 }
 
-/// An SPD matrix built as BᵀB + δI.
-fn spd(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix(n + 1, n).prop_map(move |b| {
-        let mut a = b.gram();
-        a.add_diagonal_mut(&vec![1.0; n]).expect("square");
-        a
-    })
+/// An SPD matrix built as BᵀB + I.
+fn spd(rng: &mut Rng, n: usize) -> Matrix {
+    let b = matrix(rng, n + 1, n);
+    let mut a = b.gram();
+    a.add_diagonal_mut(&vec![1.0; n]).expect("square");
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn transpose_is_involution() {
+    check("transpose_is_involution", DEFAULT_CASES, |rng| {
+        let m = matrix(rng, 4, 6);
+        assert_eq!(m.transpose().transpose(), m);
+    });
+}
 
-    #[test]
-    fn transpose_is_involution(m in matrix(4, 6)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
-
-    #[test]
-    fn matmul_associates_with_matvec(
-        a in matrix(3, 4),
-        b in matrix(4, 5),
-        x in vector(5),
-    ) {
+#[test]
+fn matmul_associates_with_matvec() {
+    check("matmul_associates_with_matvec", DEFAULT_CASES, |rng| {
+        let a = matrix(rng, 3, 4);
+        let b = matrix(rng, 4, 5);
+        let x = vector(rng, 5);
         // (A B) x == A (B x)
         let lhs = a.matmul(&b).unwrap().matvec(&x).unwrap();
         let rhs = a.matvec(&b.matvec(&x).unwrap()).unwrap();
         let scale = lhs.norm2().max(1.0);
-        prop_assert!(lhs.sub(&rhs).unwrap().norm2() <= 1e-10 * scale);
-    }
+        assert!(lhs.sub(&rhs).unwrap().norm2() <= 1e-10 * scale);
+    });
+}
 
-    #[test]
-    fn gram_matches_explicit_product(m in matrix(5, 3)) {
+#[test]
+fn gram_matches_explicit_product() {
+    check("gram_matches_explicit_product", DEFAULT_CASES, |rng| {
+        let m = matrix(rng, 5, 3);
         let fast = m.gram();
         let explicit = m.transpose().matmul(&m).unwrap();
-        prop_assert!(fast.sub(&explicit).unwrap().norm_frobenius() <= 1e-10);
-        prop_assert!(fast.is_symmetric(1e-12));
-    }
+        assert!(fast.sub(&explicit).unwrap().norm_frobenius() <= 1e-10);
+        assert!(fast.is_symmetric(1e-12));
+    });
+}
 
-    #[test]
-    fn matvec_transpose_matches_explicit(m in matrix(4, 7), x in vector(4)) {
+#[test]
+fn matvec_transpose_matches_explicit() {
+    check("matvec_transpose_matches_explicit", DEFAULT_CASES, |rng| {
+        let m = matrix(rng, 4, 7);
+        let x = vector(rng, 4);
         let fast = m.matvec_transpose(&x).unwrap();
         let explicit = m.transpose().matvec(&x).unwrap();
-        prop_assert!(fast.sub(&explicit).unwrap().norm2() <= 1e-10);
-    }
+        assert!(fast.sub(&explicit).unwrap().norm2() <= 1e-10);
+    });
+}
 
-    #[test]
-    fn cholesky_reconstructs(a in spd(4)) {
+#[test]
+fn cholesky_reconstructs() {
+    check("cholesky_reconstructs", DEFAULT_CASES, |rng| {
+        let a = spd(rng, 4);
         let chol = a.cholesky().unwrap();
         let l = chol.factor();
         let rec = l.matmul(&l.transpose()).unwrap();
         let scale = a.norm_frobenius().max(1.0);
-        prop_assert!(rec.sub(&a).unwrap().norm_frobenius() <= 1e-9 * scale);
-    }
+        assert!(rec.sub(&a).unwrap().norm_frobenius() <= 1e-9 * scale);
+    });
+}
 
-    #[test]
-    fn cholesky_solve_satisfies_system(a in spd(4), b in vector(4)) {
+#[test]
+fn cholesky_solve_satisfies_system() {
+    check("cholesky_solve_satisfies_system", DEFAULT_CASES, |rng| {
+        let a = spd(rng, 4);
+        let b = vector(rng, 4);
         let x = a.cholesky().unwrap().solve(&b).unwrap();
         let r = a.matvec(&x).unwrap().sub(&b).unwrap();
-        prop_assert!(r.norm2() <= 1e-8 * b.norm2().max(1.0));
-    }
+        assert!(r.norm2() <= 1e-8 * b.norm2().max(1.0));
+    });
+}
 
-    #[test]
-    fn lu_solve_satisfies_system(a in spd(4), b in vector(4)) {
+#[test]
+fn lu_solve_satisfies_system() {
+    check("lu_solve_satisfies_system", DEFAULT_CASES, |rng| {
         // SPD inputs are trivially nonsingular for LU too.
+        let a = spd(rng, 4);
+        let b = vector(rng, 4);
         let x = a.lu().unwrap().solve(&b).unwrap();
         let r = a.matvec(&x).unwrap().sub(&b).unwrap();
-        prop_assert!(r.norm2() <= 1e-8 * b.norm2().max(1.0));
-    }
+        assert!(r.norm2() <= 1e-8 * b.norm2().max(1.0));
+    });
+}
 
-    #[test]
-    fn lu_det_matches_cholesky_logdet(a in spd(3)) {
+#[test]
+fn lu_det_matches_cholesky_logdet() {
+    check("lu_det_matches_cholesky_logdet", DEFAULT_CASES, |rng| {
+        let a = spd(rng, 3);
         let det = a.lu().unwrap().det();
         let logdet = a.cholesky().unwrap().log_det();
-        prop_assert!(det > 0.0);
-        prop_assert!((det.ln() - logdet).abs() <= 1e-8 * logdet.abs().max(1.0));
-    }
+        assert!(det > 0.0);
+        assert!((det.ln() - logdet).abs() <= 1e-8 * logdet.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn qr_least_squares_residual_is_orthogonal(g in matrix(8, 3), y in vector(8)) {
-        // The LS residual must be orthogonal to the column space of G
-        // whenever G has full column rank (guard via R diagonal).
-        let qr = g.qr().unwrap();
-        let r = qr.r();
-        let full_rank = (0..3).all(|i| r[(i, i)].abs() > 1e-6);
-        prop_assume!(full_rank);
-        let x = qr.solve_least_squares(&y).unwrap();
-        let resid = g.matvec(&x).unwrap().sub(&y).unwrap();
-        let gt_r = g.matvec_transpose(&resid).unwrap();
-        prop_assert!(gt_r.norm_inf() <= 1e-7 * y.norm2().max(1.0));
-    }
+#[test]
+fn qr_least_squares_residual_is_orthogonal() {
+    check(
+        "qr_least_squares_residual_is_orthogonal",
+        DEFAULT_CASES,
+        |rng| {
+            // The LS residual must be orthogonal to the column space of G
+            // whenever G has full column rank (guard via R diagonal).
+            let g = matrix(rng, 8, 3);
+            let y = vector(rng, 8);
+            let qr = g.qr().unwrap();
+            let r = qr.r();
+            let full_rank = (0..3).all(|i| r[(i, i)].abs() > 1e-6);
+            if !full_rank {
+                return; // skip the (rare) rank-deficient draw
+            }
+            let x = qr.solve_least_squares(&y).unwrap();
+            let resid = g.matvec(&x).unwrap().sub(&y).unwrap();
+            let gt_r = g.matvec_transpose(&resid).unwrap();
+            assert!(gt_r.norm_inf() <= 1e-7 * y.norm2().max(1.0));
+        },
+    );
+}
 
-    #[test]
-    fn woodbury_matches_direct(
-        g in matrix(3, 10),
-        d in proptest::collection::vec(0.1f64..5.0, 10),
-        rhs in vector(10),
-        c in 0.1f64..10.0,
-    ) {
+#[test]
+fn woodbury_matches_direct() {
+    check("woodbury_matches_direct", DEFAULT_CASES, |rng| {
+        let g = matrix(rng, 3, 10);
+        let d: Vec<f64> = (0..10).map(|_| rng.gen_range(0.1..5.0)).collect();
+        let rhs = vector(rng, 10);
+        let c = rng.gen_range(0.1..10.0);
         let fast = woodbury::solve_diag_plus_gram(&d, c, &g, &rhs).unwrap();
         let mut h = g.gram().scaled(c);
         h.add_diagonal_mut(&d).unwrap();
         let direct = h.cholesky().unwrap().solve(&rhs).unwrap();
         let scale = direct.norm2().max(1.0);
-        prop_assert!(fast.sub(&direct).unwrap().norm2() <= 1e-7 * scale);
-    }
+        assert!(fast.sub(&direct).unwrap().norm2() <= 1e-7 * scale);
+    });
+}
 
-    #[test]
-    fn woodbury_semidefinite_matches_direct(
-        g in matrix(5, 9),
-        d in proptest::collection::vec(0.1f64..5.0, 9),
-        rhs in vector(9),
-        zero_at in 0usize..9,
-    ) {
-        let mut d = d;
-        d[zero_at] = 0.0;
-        let fast = match woodbury::solve_diag_plus_gram_semidefinite(&d, 1.0, &g, &rhs) {
-            Ok(v) => v,
-            // Random G may make the system singular; that is a valid outcome.
-            Err(_) => return Ok(()),
-        };
-        let mut h = g.gram();
-        h.add_diagonal_mut(&d).unwrap();
-        let direct = match h.lu() {
-            Ok(lu) => lu.solve(&rhs).unwrap(),
-            Err(_) => return Ok(()),
-        };
-        let scale = direct.norm2().max(1.0);
-        prop_assert!(fast.sub(&direct).unwrap().norm2() <= 1e-6 * scale);
-    }
+#[test]
+fn woodbury_semidefinite_matches_direct() {
+    check(
+        "woodbury_semidefinite_matches_direct",
+        DEFAULT_CASES,
+        |rng| {
+            let g = matrix(rng, 5, 9);
+            let mut d: Vec<f64> = (0..9).map(|_| rng.gen_range(0.1..5.0)).collect();
+            let rhs = vector(rng, 9);
+            let zero_at = rng.gen_index(9);
+            d[zero_at] = 0.0;
+            let fast = match woodbury::solve_diag_plus_gram_semidefinite(&d, 1.0, &g, &rhs) {
+                Ok(v) => v,
+                // Random G may make the system singular; that is a valid outcome.
+                Err(_) => return,
+            };
+            let mut h = g.gram();
+            h.add_diagonal_mut(&d).unwrap();
+            let direct = match h.lu() {
+                Ok(lu) => lu.solve(&rhs).unwrap(),
+                Err(_) => return,
+            };
+            let scale = direct.norm2().max(1.0);
+            assert!(fast.sub(&direct).unwrap().norm2() <= 1e-6 * scale);
+        },
+    );
+}
 
-    #[test]
-    fn select_columns_preserves_entries(m in matrix(3, 6)) {
+#[test]
+fn select_columns_preserves_entries() {
+    check("select_columns_preserves_entries", DEFAULT_CASES, |rng| {
+        let m = matrix(rng, 3, 6);
         let idx = [5usize, 0, 3];
         let s = m.select_columns(&idx);
         for i in 0..3 {
             for (jj, &j) in idx.iter().enumerate() {
-                prop_assert_eq!(s[(i, jj)], m[(i, j)]);
+                assert_eq!(s[(i, jj)], m[(i, j)]);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn vector_dot_cauchy_schwarz(a in vector(6), b in vector(6)) {
+#[test]
+fn vector_dot_cauchy_schwarz() {
+    check("vector_dot_cauchy_schwarz", DEFAULT_CASES, |rng| {
+        let a = vector(rng, 6);
+        let b = vector(rng, 6);
         let lhs = a.dot(&b).unwrap().abs();
         let rhs = a.norm2() * b.norm2();
-        prop_assert!(lhs <= rhs + 1e-9);
-    }
+        assert!(lhs <= rhs + 1e-9);
+    });
+}
 
-    #[test]
-    fn triangle_inequality(a in vector(6), b in vector(6)) {
+#[test]
+fn triangle_inequality() {
+    check("triangle_inequality", DEFAULT_CASES, |rng| {
+        let a = vector(rng, 6);
+        let b = vector(rng, 6);
         let sum = a.add(&b).unwrap();
-        prop_assert!(sum.norm2() <= a.norm2() + b.norm2() + 1e-9);
-    }
+        assert!(sum.norm2() <= a.norm2() + b.norm2() + 1e-9);
+    });
 }

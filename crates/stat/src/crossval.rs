@@ -7,8 +7,6 @@
 //! coefficients, and the N error estimates are averaged. This module
 //! provides the seeded, deterministic split.
 
-use rand::seq::SliceRandom;
-
 use crate::rng::seeded;
 
 /// One train/validate split.
@@ -66,12 +64,14 @@ impl std::fmt::Display for KFoldError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KFoldError::TooFewFolds { requested } => {
-                write!(f, "cross-validation needs at least 2 folds, got {requested}")
+                write!(
+                    f,
+                    "cross-validation needs at least 2 folds, got {requested}"
+                )
             }
-            KFoldError::MoreFoldsThanSamples { requested, samples } => write!(
-                f,
-                "cannot split {samples} samples into {requested} folds"
-            ),
+            KFoldError::MoreFoldsThanSamples { requested, samples } => {
+                write!(f, "cannot split {samples} samples into {requested} folds")
+            }
         }
     }
 }
@@ -97,7 +97,7 @@ impl KFold {
             });
         }
         let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(&mut seeded(seed));
+        seeded(seed).shuffle(&mut order);
         Ok(KFold { n, k, order })
     }
 
@@ -153,8 +153,7 @@ mod tests {
                 assert!(seen.insert(i), "index {i} validated twice");
             }
             // train + validate == all indices
-            let union: HashSet<usize> =
-                f.train.iter().chain(&f.validate).copied().collect();
+            let union: HashSet<usize> = f.train.iter().chain(&f.validate).copied().collect();
             assert_eq!(union.len(), 23);
         }
         assert_eq!(seen.len(), 23);

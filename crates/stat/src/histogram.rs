@@ -41,7 +41,10 @@ pub struct InvalidHistogram;
 
 impl std::fmt::Display for InvalidHistogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "histogram requires lo < hi (finite) and at least one bin")
+        write!(
+            f,
+            "histogram requires lo < hi (finite) and at least one bin"
+        )
     }
 }
 
@@ -55,7 +58,7 @@ impl Histogram {
     /// Returns [`InvalidHistogram`] when `lo >= hi`, the bounds are not
     /// finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, InvalidHistogram> {
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() || bins == 0 {
+        if lo >= hi || !lo.is_finite() || !hi.is_finite() || bins == 0 {
             return Err(InvalidHistogram);
         }
         Ok(Histogram {

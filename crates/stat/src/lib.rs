@@ -1,28 +1,31 @@
 //! Statistics substrate for the Bayesian Model Fusion reproduction.
 //!
-//! The offline crate set provides `rand` but not `rand_distr`, and the BMF
-//! pipeline needs more than sampling: Gaussian pdf/cdf/quantiles for the
-//! prior definitions (§III-A), histograms for reproducing Fig. 4/7, moment
-//! summaries for validating the synthetic circuit substrate, and K-fold
-//! cross-validation splits for hyper-parameter and prior selection (§IV-D).
-//! This crate implements all of that from scratch:
+//! The workspace builds fully offline with zero external dependencies, and
+//! the BMF pipeline needs more than sampling: Gaussian pdf/cdf/quantiles
+//! for the prior definitions (§III-A), histograms for reproducing Fig. 4/7,
+//! moment summaries for validating the synthetic circuit substrate, and
+//! K-fold cross-validation splits for hyper-parameter and prior selection
+//! (§IV-D). This crate implements all of that from scratch:
 //!
+//! * [`rng`] — the in-tree deterministic generator (xoshiro256++) and the
+//!   seed-derivation conventions used across the workspace,
 //! * [`normal`] — standard normal sampling (Marsaglia polar method),
 //!   `erf`, Φ, Φ⁻¹ (Acklam's rational approximation), and a [`normal::Normal`]
 //!   distribution type,
 //! * [`histogram`] — fixed-width binning with ASCII rendering,
 //! * [`summary`] — mean/variance/skewness/kurtosis and quantiles,
 //! * [`crossval`] — seeded K-fold index splitting,
-//! * [`rng`] — seeding conventions used across the workspace.
+//! * [`prop`] — the in-tree property-test harness (seeded cases with
+//!   failure-seed reporting).
 //!
 //! # Example
 //!
 //! ```
 //! use bmf_stat::normal::StandardNormal;
+//! use bmf_stat::rng::seeded;
 //! use bmf_stat::summary::Summary;
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = seeded(7);
 //! let mut sampler = StandardNormal::new();
 //! let xs: Vec<f64> = (0..10_000).map(|_| sampler.sample(&mut rng)).collect();
 //! let s = Summary::from_slice(&xs);
@@ -37,5 +40,6 @@ pub mod crossval;
 pub mod histogram;
 pub mod kstest;
 pub mod normal;
+pub mod prop;
 pub mod rng;
 pub mod summary;

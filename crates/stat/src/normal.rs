@@ -5,7 +5,7 @@
 //! everything downstream — the orthonormal Hermite basis, the priors of
 //! §III-A, the Monte-Carlo engine — builds on the routines here.
 
-use rand::Rng as RandRng;
+use crate::rng::Rng;
 
 /// 1/√(2π), the normalization constant of the standard normal pdf.
 const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
@@ -22,8 +22,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -115,9 +114,9 @@ pub fn inverse_cdf(p: f64) -> f64 {
 ///
 /// ```
 /// use bmf_stat::normal::StandardNormal;
-/// use rand::SeedableRng;
+/// use bmf_stat::rng::seeded;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = seeded(1);
 /// let mut sampler = StandardNormal::new();
 /// let z = sampler.sample(&mut rng);
 /// assert!(z.is_finite());
@@ -134,7 +133,7 @@ impl StandardNormal {
     }
 
     /// Draws one standard normal deviate.
-    pub fn sample<R: RandRng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+    pub fn sample(&mut self, rng: &mut Rng) -> f64 {
         if let Some(z) = self.spare.take() {
             return z;
         }
@@ -151,14 +150,14 @@ impl StandardNormal {
     }
 
     /// Fills `out` with independent standard normal deviates.
-    pub fn fill<R: RandRng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+    pub fn fill(&mut self, rng: &mut Rng, out: &mut [f64]) {
         for o in out {
             *o = self.sample(rng);
         }
     }
 
     /// Draws `n` independent standard normal deviates.
-    pub fn sample_vec<R: RandRng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<f64> {
+    pub fn sample_vec(&mut self, rng: &mut Rng, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
@@ -218,7 +217,7 @@ impl Normal {
     }
 
     /// Draws one deviate.
-    pub fn sample<R: RandRng + ?Sized>(&self, sampler: &mut StandardNormal, rng: &mut R) -> f64 {
+    pub fn sample(&self, sampler: &mut StandardNormal, rng: &mut Rng) -> f64 {
         self.mean + self.std_dev * sampler.sample(rng)
     }
 }
@@ -281,9 +280,7 @@ mod tests {
         let mut rng = seeded(7);
         let mut s = StandardNormal::new();
         let n = 100_000;
-        let beyond_2: usize = (0..n)
-            .filter(|_| s.sample(&mut rng).abs() > 2.0)
-            .count();
+        let beyond_2: usize = (0..n).filter(|_| s.sample(&mut rng).abs() > 2.0).count();
         let frac = beyond_2 as f64 / n as f64;
         // P(|Z| > 2) = 0.0455.
         assert!((frac - 0.0455).abs() < 0.005, "frac={frac}");

@@ -1,28 +1,50 @@
-//! Seeding conventions shared by every stochastic component in the
-//! workspace.
+//! In-tree deterministic RNG and the seeding conventions shared by every
+//! stochastic component in the workspace.
 //!
 //! Every experiment in the reproduction harness is driven by a single `u64`
 //! master seed; sub-components (stages, repeats, folds) derive independent
 //! streams with [`derive_seed`] so that adding a new consumer never perturbs
 //! existing streams — the property that keeps the regenerated tables
 //! bit-reproducible as the harness evolves.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), implemented here so
+//! the workspace builds fully offline with zero external dependencies. Its
+//! 256-bit state is expanded from the `u64` seed with the SplitMix64
+//! sequence, the construction recommended by the xoshiro authors. The output
+//! stream for a given seed is pinned by golden-value tests
+//! (`crates/stat/tests/rng_golden.rs`): changing the algorithm silently
+//! would shift every regenerated table in the repo, so any such change must
+//! update the goldens deliberately.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// The deterministic RNG used across the workspace.
-pub type Rng = StdRng;
+/// The deterministic RNG used across the workspace: xoshiro256++.
+///
+/// Construct it with [`seeded`]; sub-streams come from [`derive_seed`].
+/// Beyond the raw [`next_u64`](Rng::next_u64) output it offers the small
+/// set of derived draws the workspace needs: uniform floats, bounded
+/// integers, Bernoulli trials, and Fisher–Yates shuffling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
 
 /// Creates the workspace RNG from a `u64` seed.
 ///
+/// The four state words are drawn from the SplitMix64 sequence started at
+/// the seed, so nearby seeds still yield decorrelated streams.
+///
 /// ```
-/// use rand::RngCore;
 /// let mut a = bmf_stat::rng::seeded(42);
 /// let mut b = bmf_stat::rng::seeded(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 pub fn seeded(seed: u64) -> Rng {
-    StdRng::seed_from_u64(seed)
+    let mut sm = seed;
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        *word = splitmix64_finalize(sm);
+    }
+    Rng { state }
 }
 
 /// Derives a child seed from a master seed and a stream label.
@@ -36,18 +58,97 @@ pub fn seeded(seed: u64) -> Rng {
 /// assert_ne!(s1, s2);
 /// ```
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    splitmix64_finalize(
+        master
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mix on `u64`.
+fn splitmix64_finalize(z: u64) -> u64 {
+    let mut z = z;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
+impl Rng {
+    /// Next raw 64-bit output of the xoshiro256++ sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53: the standard double conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from the half-open interval `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or not finite.
+    pub fn gen_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        assert!(
+            range.start < range.end && (range.end - range.start).is_finite(),
+            "gen_range needs a finite non-empty range, got {:?}",
+            range
+        );
+        range.start + (range.end - range.start) * self.next_f64()
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// Uniform index in `[0, n)` by rejection sampling (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index needs a nonzero bound");
+        let n = n as u64;
+        // Largest multiple of n that fits in u64; values at or above it
+        // would bias the remainder, so reject and redraw.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
 
     #[test]
     fn seeded_is_deterministic() {
@@ -76,5 +177,88 @@ mod tests {
     #[test]
     fn derive_seed_depends_on_master() {
         assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = seeded(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn next_f64_is_roughly_uniform() {
+        let mut rng = seeded(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = seeded(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn gen_range_rejects_empty() {
+        seeded(0).gen_range(1.0..1.0);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = seeded(13);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = seeded(14);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_index_covers_range_uniformly() {
+        let mut rng = seeded(15);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.gen_index(7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 7.0).abs() < 0.01, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded(16);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // With 50 elements an identity shuffle is astronomically unlikely.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_given_seed() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b = a.clone();
+        seeded(77).shuffle(&mut a);
+        seeded(77).shuffle(&mut b);
+        assert_eq!(a, b);
     }
 }

@@ -66,8 +66,7 @@ impl Summary {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -265,7 +264,9 @@ mod tests {
 
     #[test]
     fn merge_equals_combined() {
-        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0)
+            .collect();
         let (a, b) = xs.split_at(17);
         let mut sa = Summary::from_slice(a);
         let sb = Summary::from_slice(b);

@@ -1,0 +1,67 @@
+//! Distributional validation of the in-tree normal sampler: a one-sample
+//! Kolmogorov–Smirnov test of the Marsaglia-polar sampler (driven by the
+//! in-tree xoshiro256++ generator) against the crate's own `normal` CDF,
+//! at fixed seeds so the verdicts are bit-reproducible.
+
+use bmf_stat::kstest::ks_test_normal;
+use bmf_stat::normal::{Normal, StandardNormal};
+use bmf_stat::rng::{derive_seed, seeded};
+
+#[test]
+fn standard_sampler_passes_ks_against_standard_cdf() {
+    let mut rng = seeded(314159);
+    let mut s = StandardNormal::new();
+    let xs = s.sample_vec(&mut rng, 20_000);
+    let r = ks_test_normal(&xs, 0.0, 1.0);
+    assert!(
+        r.is_consistent(0.01),
+        "KS rejected the sampler: D={}, p={}",
+        r.statistic,
+        r.p_value
+    );
+    // With n = 20k a correct sampler's D statistic is tiny.
+    assert!(r.statistic < 0.01, "D={}", r.statistic);
+}
+
+#[test]
+fn scaled_sampler_passes_ks_against_scaled_cdf() {
+    let mut rng = seeded(271828);
+    let mut s = StandardNormal::new();
+    let d = Normal::new(-3.0, 0.75);
+    let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut s, &mut rng)).collect();
+    let r = ks_test_normal(&xs, -3.0, 0.75);
+    assert!(
+        r.is_consistent(0.01),
+        "KS rejected scaled sampling: D={}, p={}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn ks_verdicts_hold_across_derived_streams() {
+    // The per-stream samplers used by the Monte-Carlo engine must each be
+    // standard normal, not just the master stream.
+    for label in 0..4 {
+        let mut rng = seeded(derive_seed(1729, label));
+        let mut s = StandardNormal::new();
+        let xs = s.sample_vec(&mut rng, 8_000);
+        let r = ks_test_normal(&xs, 0.0, 1.0);
+        assert!(
+            r.is_consistent(0.005),
+            "stream {label} rejected: D={}, p={}",
+            r.statistic,
+            r.p_value
+        );
+    }
+}
+
+#[test]
+fn ks_detects_a_wrong_sampler() {
+    // Negative control: feeding raw uniforms (what a broken Box–Muller
+    // port would resemble) must be rejected decisively.
+    let mut rng = seeded(42);
+    let xs: Vec<f64> = (0..5_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let r = ks_test_normal(&xs, 0.0, 1.0);
+    assert!(!r.is_consistent(0.01), "uniform sample passed KS");
+}

@@ -74,8 +74,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y_model = yield_monte_carlo(&fit.model, &spec, 20_000, 5);
     // Reference: brute-force yield from the actual circuit.
     let brute = monte_carlo(&bw, Stage::PostLayout, 2_000, 6);
-    let y_true = brute.values.iter().filter(|v| spec.passes(**v)).count() as f64
-        / brute.values.len() as f64;
+    let y_true =
+        brute.values.iter().filter(|v| spec.passes(**v)).count() as f64 / brute.values.len() as f64;
     println!(
         "yield vs spec(BW >= {:.1} MHz): model {:.1}% +- {:.1}%, circuit MC {:.1}%",
         nom_lay * 0.93 / 1e6,

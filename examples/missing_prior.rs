@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         13,
     );
     let late_vars = circuit.num_vars(Stage::PostLayout);
-    println!(
-        "truth: {early_vars} early variables + {extra} post-layout-only parasitic variables"
-    );
+    println!("truth: {early_vars} early variables + {extra} post-layout-only parasitic variables");
 
     let k = 40;
     let train = monte_carlo(&circuit, Stage::PostLayout, k, 1);
@@ -65,12 +63,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  worst parasitic-coefficient error: {worst:.4}");
 
     // (b) Naive: drop the parasitic variables from the model entirely.
-    let trunc: Vec<Vec<f64>> = train.points.iter().map(|p| p[..early_vars].to_vec()).collect();
+    let trunc: Vec<Vec<f64>> = train
+        .points
+        .iter()
+        .map(|p| p[..early_vars].to_vec())
+        .collect();
     let fit_naive = BmfFitter::new(OrthonormalBasis::linear(early_vars), known)?
         .seed(3)
         .fit(&trunc, &train.values)?;
-    let trunc_test: Vec<Vec<f64>> =
-        test.points.iter().map(|p| p[..early_vars].to_vec()).collect();
+    let trunc_test: Vec<Vec<f64>> = test
+        .points
+        .iter()
+        .map(|p| p[..early_vars].to_vec())
+        .collect();
     let err_naive = fit_naive
         .model
         .relative_error(trunc_test.iter().map(|p| p.as_slice()), &test.values)?;

@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The late basis embeds the early one; parasitic terms get missing
     // priors (handled by `None`).
     let late_basis = OrthonormalBasis::linear(late_vars);
-    let mut prior: Vec<Option<f64>> =
-        early_fit.model.coeffs().iter().map(|&a| Some(a)).collect();
+    let mut prior: Vec<Option<f64>> = early_fit.model.coeffs().iter().map(|&a| Some(a)).collect();
     prior.extend(std::iter::repeat_n(None, late_vars - early_vars));
 
     let fit = BmfFitter::new(late_basis.clone(), prior)?
@@ -72,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let omp_err = omp_fit
         .model
         .relative_error(test.point_slices(), &test.values)?;
-    println!("OMP (no prior)        with K={k}: test error {:.3}%", omp_err * 100.0);
+    println!(
+        "OMP (no prior)        with K={k}: test error {:.3}%",
+        omp_err * 100.0
+    );
 
     println!(
         "\nsimulated cost: late-stage samples {:.2} h; reusing early data was free",

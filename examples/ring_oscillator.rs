@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ledger.charge_samples(&lay);
         let test = monte_carlo(&view, Stage::PostLayout, 300, 3);
 
-        let mut prior: Vec<Option<f64>> =
-            early.model.coeffs().iter().map(|&a| Some(a)).collect();
+        let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
         prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
 
         let started = std::time::Instant::now();

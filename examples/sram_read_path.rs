@@ -90,7 +90,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nK={k} post-layout samples ({} coefficients to determine):",
         lay_vars + 1
     );
-    println!("  BMF-PS: {:.3}%  ({} prior, η={:.1e})", bmf_err * 100.0, fit.prior_kind, fit.hyper);
+    println!(
+        "  BMF-PS: {:.3}%  ({} prior, η={:.1e})",
+        bmf_err * 100.0,
+        fit.prior_kind,
+        fit.hyper
+    );
     println!("  OMP:    {:.3}%", omp_err * 100.0);
     assert!(bmf_err < omp_err);
     Ok(())

@@ -8,8 +8,8 @@ use bmf_circuits::sim::{monte_carlo, monte_carlo_par, CostLedger};
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
-use bmf_core::select::PriorSelection;
 use bmf_core::prior::PriorKind;
+use bmf_core::select::PriorSelection;
 
 fn test_ro() -> RingOscillator {
     RingOscillator::new(
@@ -49,8 +49,7 @@ fn fused_model_beats_prior_free_baseline() {
         let lay = monte_carlo(&view, Stage::PostLayout, k, 2);
         let test = monte_carlo(&view, Stage::PostLayout, 300, 3);
 
-        let mut prior: Vec<Option<f64>> =
-            early.model.coeffs().iter().map(|&a| Some(a)).collect();
+        let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
         prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
         let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior)
             .expect("fitter")
@@ -176,5 +175,7 @@ fn monte_carlo_parallel_consistency_and_costs() {
 
     let mut ledger = CostLedger::new();
     ledger.charge_samples(&seq);
-    assert!((ledger.simulation_hours - 37.0 * view.sim_cost_hours(Stage::PostLayout)).abs() < 1e-12);
+    assert!(
+        (ledger.simulation_hours - 37.0 * view.sim_cost_hours(Stage::PostLayout)).abs() < 1e-12
+    );
 }

@@ -16,7 +16,13 @@ fn ro_error_table_shape() {
     let table = run_error_table(&view, scale, 7).expect("table");
     // Shape 1: every BMF variant beats OMP at every K.
     for row in &table.rows {
-        assert!(row.ps < row.omp, "K={}: PS {} !< OMP {}", row.k, row.ps, row.omp);
+        assert!(
+            row.ps < row.omp,
+            "K={}: PS {} !< OMP {}",
+            row.k,
+            row.ps,
+            row.omp
+        );
         assert!(row.zm < row.omp);
         assert!(row.nzm < row.omp);
     }
@@ -58,7 +64,11 @@ fn cost_comparison_shape() {
     let view = ro.metric(RoMetric::Frequency);
     let cmp = run_cost_comparison(&view, scale, 5, 80, 40).expect("comparison");
     // The ledger speedup equals the sample ratio up to fitting seconds.
-    assert!(cmp.speedup() > 1.8 && cmp.speedup() <= 2.05, "speedup {}", cmp.speedup());
+    assert!(
+        cmp.speedup() > 1.8 && cmp.speedup() <= 2.05,
+        "speedup {}",
+        cmp.speedup()
+    );
     // No accuracy surrendered (within a small tolerance).
     assert!(cmp.bmf.error <= cmp.omp.error * 1.1);
 }

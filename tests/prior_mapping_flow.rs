@@ -18,19 +18,23 @@ fn mapped_prior_preserves_variance_and_fits() {
     // Early fit on the 4-variable schematic basis.
     let sch = monte_carlo(&vos, Stage::Schematic, 300, 1);
     let sch_basis = OrthonormalBasis::linear(4);
-    let early = fit_omp(&sch_basis, &sch.points, &sch.values, &OmpConfig::default())
-        .expect("early fit");
+    let early =
+        fit_omp(&sch_basis, &sch.points, &sch.values, &OmpConfig::default()).expect("early fit");
     let alpha_e = early.model.coeffs();
 
     // Expand and map: eq. 46's variance identity must hold exactly.
     let expansion = dp.finger_expansion();
     let expanded = expansion.expand_basis(&sch_basis).expect("multilinear");
     let beta = expanded.map_coefficients(alpha_e);
-    for m in 0..expanded.num_schematic_terms() {
+    for (m, &alpha_m) in alpha_e
+        .iter()
+        .enumerate()
+        .take(expanded.num_schematic_terms())
+    {
         let group = expanded.group(m);
         let sum_sq: f64 = group.iter().map(|&t| beta[t] * beta[t]).sum();
         assert!(
-            (sum_sq - alpha_e[m] * alpha_e[m]).abs() <= 1e-12 * alpha_e[m].abs().max(1e-12),
+            (sum_sq - alpha_m * alpha_m).abs() <= 1e-12 * alpha_m.abs().max(1e-12),
             "variance identity violated for term {m}"
         );
     }

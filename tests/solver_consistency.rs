@@ -1,113 +1,133 @@
 //! Integration property tests: the fast (Woodbury) solver, the direct
 //! (Cholesky) solver, and the hyper-sweep cache must agree on random
 //! problems, including the missing-prior and underdetermined regimes.
+//!
+//! Driven by the in-tree harness (`bmf_stat::prop`); a failing case prints
+//! its seed for replay via `BMF_PROP_CASE_SEED`.
 
 use bmf_core::map_estimate::{map_estimate, MapSweep, SolverKind};
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_linalg::{Matrix, Vector};
-use proptest::prelude::*;
+use bmf_stat::prop::{check, vec_in};
+use bmf_stat::rng::Rng;
 
-fn design(k: usize, m: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-2.0f64..2.0, k * m)
-        .prop_map(move |d| Matrix::from_row_major(k, m, d).expect("sized"))
+const CASES: u64 = 48;
+
+fn design(rng: &mut Rng, k: usize, m: usize) -> Matrix {
+    Matrix::from_row_major(k, m, vec_in(rng, -2.0, 2.0, k * m)).expect("sized")
 }
 
-fn early_values(m: usize) -> impl Strategy<Value = Vec<Option<f64>>> {
-    proptest::collection::vec(
-        prop_oneof![
-            8 => (0.05f64..3.0).prop_map(Some),
-            1 => (-3.0f64..-0.05).prop_map(Some),
-            1 => Just(None),
-        ],
-        m,
-    )
+/// Early-stage prior values: mostly positive, some negative, a few missing
+/// (an 8:1:1 mix).
+fn early_values(rng: &mut Rng, m: usize) -> Vec<Option<f64>> {
+    (0..m)
+        .map(|_| {
+            let pick = rng.gen_index(10);
+            if pick < 8 {
+                Some(rng.gen_range(0.05..3.0))
+            } else if pick < 9 {
+                Some(rng.gen_range(-3.0..-0.05))
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn fast_equals_direct(
-        g in design(6, 15),
-        early in early_values(15),
-        kind in prop_oneof![Just(PriorKind::ZeroMean), Just(PriorKind::NonZeroMean)],
-        hyper in 0.01f64..100.0,
-        fvals in proptest::collection::vec(-3.0f64..3.0, 6),
-    ) {
+#[test]
+fn fast_equals_direct() {
+    check("fast_equals_direct", CASES, |rng| {
+        let g = design(rng, 6, 15);
+        let early = early_values(rng, 15);
+        let kind = if rng.gen_bool(0.5) {
+            PriorKind::ZeroMean
+        } else {
+            PriorKind::NonZeroMean
+        };
+        let hyper = rng.gen_range(0.01..100.0);
+        let f = Vector::from(vec_in(rng, -3.0, 3.0, 6));
         let prior = Prior::new(kind, early);
-        prop_assume!(prior.num_missing() <= 6);
-        let f = Vector::from(fvals);
+        if prior.num_missing() > 6 {
+            return; // fast solver requires missing count ≤ sample count
+        }
         let fast = map_estimate(&g, &f, &prior, hyper, SolverKind::Fast);
         let direct = map_estimate(&g, &f, &prior, hyper, SolverKind::Direct);
         match (fast, direct) {
             (Ok(a), Ok(b)) => {
                 let scale = b.norm2().max(1.0);
-                prop_assert!(
+                assert!(
                     a.sub(&b).unwrap().norm2() <= 1e-6 * scale,
-                    "solver mismatch: {} vs {}", a.norm2(), b.norm2()
+                    "solver mismatch: {} vs {}",
+                    a.norm2(),
+                    b.norm2()
                 );
             }
             // Degenerate random problems may be singular for both.
             (Err(_), Err(_)) => {}
-            (a, b) => prop_assert!(false, "solvers disagree on solvability: {a:?} vs {b:?}"),
+            (a, b) => panic!("solvers disagree on solvability: {a:?} vs {b:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn sweep_equals_one_shot(
-        g in design(5, 12),
-        early in early_values(12),
-        hyper in 0.01f64..100.0,
-        fvals in proptest::collection::vec(-3.0f64..3.0, 5),
-    ) {
+#[test]
+fn sweep_equals_one_shot() {
+    check("sweep_equals_one_shot", CASES, |rng| {
+        let g = design(rng, 5, 12);
+        let early = early_values(rng, 12);
+        let hyper = rng.gen_range(0.01..100.0);
+        let f = Vector::from(vec_in(rng, -3.0, 3.0, 5));
         let prior = Prior::new(PriorKind::NonZeroMean, early);
-        prop_assume!(prior.num_missing() <= 5);
-        let f = Vector::from(fvals);
+        if prior.num_missing() > 5 {
+            return;
+        }
         let sweep = match MapSweep::new(&g, &prior) {
             Ok(s) => s,
-            Err(_) => return Ok(()),
+            Err(_) => return,
         };
-        match (sweep.solve(&f, hyper), map_estimate(&g, &f, &prior, hyper, SolverKind::Fast)) {
+        match (
+            sweep.solve(&f, hyper),
+            map_estimate(&g, &f, &prior, hyper, SolverKind::Fast),
+        ) {
             (Ok(a), Ok(b)) => {
                 let scale = b.norm2().max(1.0);
-                prop_assert!(a.sub(&b).unwrap().norm2() <= 1e-6 * scale);
+                assert!(a.sub(&b).unwrap().norm2() <= 1e-6 * scale);
             }
             (Err(_), Err(_)) => {}
-            (a, b) => prop_assert!(false, "sweep disagrees: {a:?} vs {b:?}"),
+            (a, b) => panic!("sweep disagrees: {a:?} vs {b:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn interpolation_property_with_strong_data(
-        g in design(12, 8),
-        fvals in proptest::collection::vec(-2.0f64..2.0, 12),
-    ) {
+#[test]
+fn interpolation_property_with_strong_data() {
+    check("interpolation_property_with_strong_data", CASES, |rng| {
         // Overdetermined + weak prior: MAP approaches least squares, so
         // the residual must be (near-)orthogonal to the column space.
+        let g = design(rng, 12, 8);
+        let f = Vector::from(vec_in(rng, -2.0, 2.0, 12));
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 8]);
-        let f = Vector::from(fvals);
         let alpha = match map_estimate(&g, &f, &prior, 1e-9, SolverKind::Fast) {
             Ok(a) => a,
-            Err(_) => return Ok(()),
+            Err(_) => return,
         };
         let resid = g.matvec(&alpha).unwrap().sub(&f).unwrap();
         let gt_r = g.matvec_transpose(&resid).unwrap();
-        prop_assert!(gt_r.norm_inf() <= 1e-4 * f.norm2().max(1.0));
-    }
+        assert!(gt_r.norm_inf() <= 1e-4 * f.norm2().max(1.0));
+    });
+}
 
-    #[test]
-    fn strong_prior_dominates_sparse_data(
-        g in design(3, 10),
-        early in proptest::collection::vec(0.1f64..2.0, 10),
-        fvals in proptest::collection::vec(-2.0f64..2.0, 3),
-    ) {
+#[test]
+fn strong_prior_dominates_sparse_data() {
+    check("strong_prior_dominates_sparse_data", CASES, |rng| {
         // Huge hyper: the nonzero-mean MAP estimate must sit at the prior
         // mean regardless of the data.
+        let g = design(rng, 3, 10);
+        let early = vec_in(rng, 0.1, 2.0, 10);
+        let f = Vector::from(vec_in(rng, -2.0, 2.0, 3));
         let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
-        let f = Vector::from(fvals);
         let alpha = map_estimate(&g, &f, &prior, 1e12, SolverKind::Fast).unwrap();
         for (a, e) in alpha.iter().zip(&early) {
-            prop_assert!((a - e).abs() < 1e-3, "{a} vs {e}");
+            assert!((a - e).abs() < 1e-3, "{a} vs {e}");
         }
-    }
+    });
 }

@@ -1,32 +1,40 @@
 //! Property tests over the circuit substrate: invariants that must hold
 //! for *any* seed, because the whole reproduction rests on them.
+//!
+//! Driven by the in-tree harness (`bmf_stat::prop`); a failing case prints
+//! its seed for replay via `BMF_PROP_CASE_SEED`.
 
 use bmf_circuits::ro::{RingOscillator, RoConfig, RoMetric};
 use bmf_circuits::sram::{SramConfig, SramReadPath};
 use bmf_circuits::stage::{CircuitPerformance, Stage};
-use proptest::prelude::*;
+use bmf_stat::prop::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const CASES: u64 = 16;
 
-    /// Evaluation is a pure function of (stage, x) for any circuit seed.
-    #[test]
-    fn ro_evaluation_is_deterministic(seed in 0u64..1000, bump in -2.0f64..2.0) {
+/// Evaluation is a pure function of (stage, x) for any circuit seed.
+#[test]
+fn ro_evaluation_is_deterministic() {
+    check("ro_evaluation_is_deterministic", CASES, |rng| {
+        let seed = rng.gen_index(1000) as u64;
+        let bump = rng.gen_range(-2.0..2.0);
         let ro = RingOscillator::new(RoConfig::small(), seed);
         let n = ro.config().post_layout_vars();
         let mut x = vec![0.0; n];
         x[n / 2] = bump;
         let m = ro.metric(RoMetric::Frequency);
-        prop_assert_eq!(
+        assert_eq!(
             m.evaluate(Stage::PostLayout, &x),
             m.evaluate(Stage::PostLayout, &x)
         );
-    }
+    });
+}
 
-    /// Physical sanity for any seed: positive frequency and power, delay
-    /// slower post-layout, metrics finite under ±3σ variations.
-    #[test]
-    fn ro_physical_sanity(seed in 0u64..500) {
+/// Physical sanity for any seed: positive frequency and power, delay
+/// slower post-layout, metrics finite under ±3σ variations.
+#[test]
+fn ro_physical_sanity() {
+    check("ro_physical_sanity", CASES, |rng| {
+        let seed = rng.gen_index(500) as u64;
         let ro = RingOscillator::new(RoConfig::small(), seed);
         let n_s = ro.config().schematic_vars();
         let n_l = ro.config().post_layout_vars();
@@ -34,24 +42,29 @@ proptest! {
         let p = ro.metric(RoMetric::Power);
         let fs = f.evaluate(Stage::Schematic, &vec![0.0; n_s]);
         let fl = f.evaluate(Stage::PostLayout, &vec![0.0; n_l]);
-        prop_assert!(fs > 0.0 && fl > 0.0);
-        prop_assert!(fl < fs, "layout must be slower");
-        let x: Vec<f64> = (0..n_l).map(|i| if i % 2 == 0 { 3.0 } else { -3.0 }).collect();
+        assert!(fs > 0.0 && fl > 0.0);
+        assert!(fl < fs, "layout must be slower");
+        let x: Vec<f64> = (0..n_l)
+            .map(|i| if i % 2 == 0 { 3.0 } else { -3.0 })
+            .collect();
         let fv = f.evaluate(Stage::PostLayout, &x);
         let pv = p.evaluate(Stage::PostLayout, &x);
-        prop_assert!(fv.is_finite() && fv > 0.0);
-        prop_assert!(pv.is_finite() && pv > 0.0);
-    }
+        assert!(fv.is_finite() && fv > 0.0);
+        assert!(pv.is_finite() && pv > 0.0);
+    });
+}
 
-    /// SRAM read delay is positive, finite, and increases when the
-    /// accessed cell weakens (its dominant V_TH variable raised).
-    #[test]
-    fn sram_delay_monotone_in_cell_weakness(seed in 0u64..200) {
+/// SRAM read delay is positive, finite, and increases when the
+/// accessed cell weakens (its dominant V_TH variable raised).
+#[test]
+fn sram_delay_monotone_in_cell_weakness() {
+    check("sram_delay_monotone_in_cell_weakness", CASES, |rng| {
+        let seed = rng.gen_index(200) as u64;
         let s = SramReadPath::new(SramConfig::small(), seed);
         let d = s.read_delay();
         let n = s.config().schematic_vars();
         let base = d.evaluate(Stage::Schematic, &vec![0.0; n]);
-        prop_assert!(base > 0.0 && base.is_finite());
+        assert!(base > 0.0 && base.is_finite());
         let acc = s.var_space(Stage::Schematic).group("col0.cell0").unwrap();
         // The sign of the first weight is seed-dependent; the *magnitude*
         // of the delay change from a strong bump must be nonzero and the
@@ -61,18 +74,22 @@ proptest! {
         let up = d.evaluate(Stage::Schematic, &x);
         x[acc.range.start] = -3.0;
         let down = d.evaluate(Stage::Schematic, &x);
-        prop_assert!(up.is_finite() && down.is_finite());
-        prop_assert!((up - base).abs() + (down - base).abs() > 0.0);
+        assert!(up.is_finite() && down.is_finite());
+        assert!((up - base).abs() + (down - base).abs() > 0.0);
         // Opposite bumps move the delay in opposite directions.
-        prop_assert!((up - base) * (down - base) <= 0.0);
-    }
+        assert!((up - base) * (down - base) <= 0.0);
+    });
+}
 
-    /// The schematic stage never reads parasitic variables: evaluating
-    /// with any parasitic values at the post-layout stage differs from
-    /// zeroed parasitics, while the schematic result is unaffected by
-    /// trailing entries being absent.
-    #[test]
-    fn parasitics_are_layout_only(seed in 0u64..200, v in 0.5f64..3.0) {
+/// The schematic stage never reads parasitic variables: evaluating
+/// with any parasitic values at the post-layout stage differs from
+/// zeroed parasitics, while the schematic result is unaffected by
+/// trailing entries being absent.
+#[test]
+fn parasitics_are_layout_only() {
+    check("parasitics_are_layout_only", CASES, |rng| {
+        let seed = rng.gen_index(200) as u64;
+        let v = rng.gen_range(0.5..3.0);
         let ro = RingOscillator::new(RoConfig::small(), seed);
         let n_s = ro.config().schematic_vars();
         let n_l = ro.config().post_layout_vars();
@@ -83,8 +100,8 @@ proptest! {
             *slot = v;
         }
         let b = m.evaluate(Stage::PostLayout, &x);
-        prop_assert_ne!(a, b, "parasitics must matter post-layout");
+        assert_ne!(a, b, "parasitics must matter post-layout");
         let sch = m.evaluate(Stage::Schematic, &x[..n_s]);
-        prop_assert!(sch.is_finite());
-    }
+        assert!(sch.is_finite());
+    });
 }
