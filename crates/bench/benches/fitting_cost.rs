@@ -11,6 +11,7 @@ use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::hyper::{cross_validate_both, log_grid, CvConfig};
 use bmf_core::map_estimate::{map_estimate, SolverKind};
 use bmf_core::omp::{fit_omp_design, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_linalg::{Matrix, Vector};
 
@@ -75,13 +76,18 @@ fn main() {
                 &s.g,
                 &s.f,
                 &s.prior.with_kind(kind),
-                hyper,
-                SolverKind::Fast,
+                &FitOptions::new().hyper(hyper),
             )
             .expect("map")
         });
         h.bench(&format!("fitting_cost/bmf_map_direct/{k}"), || {
-            map_estimate(&s.g, &s.f, &s.prior, 1.0, SolverKind::Direct).expect("map")
+            map_estimate(
+                &s.g,
+                &s.f,
+                &s.prior,
+                &FitOptions::new().hyper(1.0).solver(SolverKind::Direct),
+            )
+            .expect("map")
         });
     }
 }

@@ -5,6 +5,7 @@
 
 use bmf_bench::timing::Harness;
 use bmf_core::map_estimate::{map_estimate, SolverKind};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::normal::StandardNormal;
@@ -33,13 +34,19 @@ fn main() {
     for &m in sizes {
         let (g, f, prior) = problem(k, m, 42);
         h.bench(&format!("map_solver/fast/{m}"), || {
-            map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast).expect("solve")
+            map_estimate(&g, &f, &prior, &FitOptions::new().hyper(1.0)).expect("solve")
         });
         // Direct solver only up to 1000 to keep bench wall time sane; the
         // gap is already decisive there.
         if m <= 1000 {
             h.bench(&format!("map_solver/direct/{m}"), || {
-                map_estimate(&g, &f, &prior, 1.0, SolverKind::Direct).expect("solve")
+                map_estimate(
+                    &g,
+                    &f,
+                    &prior,
+                    &FitOptions::new().hyper(1.0).solver(SolverKind::Direct),
+                )
+                .expect("solve")
             });
         }
     }

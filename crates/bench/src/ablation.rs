@@ -26,6 +26,7 @@ use bmf_core::fusion::BmfFitter;
 use bmf_core::hyper::{cross_validate_hyper, log_grid, CvConfig};
 use bmf_core::map_estimate::{map_estimate, SolverKind};
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_core::select::PriorSelection;
 use bmf_core::Result;
@@ -95,9 +96,12 @@ pub fn prior_quality_sweep(scale: Scale, seed: u64) -> Result<Report> {
             PriorSelection::Auto,
         ] {
             let fit = BmfFitter::new(basis.clone(), early.clone())?
-                .prior_selection(sel)
-                .folds(5)
-                .seed(derive_seed(seed, 7))
+                .with_options(
+                    FitOptions::new()
+                        .selection(sel)
+                        .folds(5)
+                        .seed(derive_seed(seed, 7)),
+                )
                 .fit(&train.points, &train.values)?;
             errs.push(
                 fit.model
@@ -161,9 +165,12 @@ pub fn prior_quality_sweep(scale: Scale, seed: u64) -> Result<Report> {
             PriorSelection::Auto,
         ] {
             let fit = BmfFitter::new(basis.clone(), early.clone())?
-                .prior_selection(sel)
-                .folds(5)
-                .seed(derive_seed(seed, 8))
+                .with_options(
+                    FitOptions::new()
+                        .selection(sel)
+                        .folds(5)
+                        .seed(derive_seed(seed, 8)),
+                )
                 .fit(&train.points, &train.values)?;
             errs.push(
                 fit.model
@@ -303,7 +310,12 @@ pub fn baseline_comparison(scale: Scale, seed: u64) -> Result<Report> {
         } else {
             (PriorKind::NonZeroMean, nzm.best_hyper)
         };
-        let alpha = map_estimate(&g, &f, &prior.with_kind(kind), hyper, SolverKind::Fast)?;
+        let alpha = map_estimate(
+            &g,
+            &f,
+            &prior.with_kind(kind),
+            &FitOptions::new().hyper(hyper),
+        )?;
         let bmf_err = score(&alpha)?;
 
         rows.push(vec![
@@ -374,7 +386,7 @@ pub fn hyper_sensitivity(scale: Scale, seed: u64) -> Result<Report> {
     let mut rows = Vec::new();
     let mut best_test = (0.0f64, f64::INFINITY);
     for &h in &grid {
-        let alpha = map_estimate(&g, &f, &prior, h, SolverKind::Fast)?;
+        let alpha = map_estimate(&g, &f, &prior, &FitOptions::new().hyper(h))?;
         let test_err = g_test.matvec(&alpha)?.sub(&f_test)?.norm2() / test_norm;
         if test_err < best_test.1 {
             best_test = (h, test_err);
@@ -404,7 +416,7 @@ pub fn hyper_sensitivity(scale: Scale, seed: u64) -> Result<Report> {
         best_test.0,
         pct(best_test.1),
         pct({
-            let alpha = map_estimate(&g, &f, &prior, outcome.best_hyper, SolverKind::Fast)?;
+            let alpha = map_estimate(&g, &f, &prior, &FitOptions::new().hyper(outcome.best_hyper))?;
             g_test.matvec(&alpha)?.sub(&f_test)?.norm2() / test_norm
         }),
     ));
@@ -442,8 +454,7 @@ pub fn fold_sensitivity(scale: Scale, seed: u64) -> Result<Report> {
     let mut rows = Vec::new();
     for folds in [2usize, 3, 5, 8] {
         let fit = BmfFitter::new(basis.clone(), early.clone())?
-            .folds(folds)
-            .seed(derive_seed(seed, 3))
+            .with_options(FitOptions::new().folds(folds).seed(derive_seed(seed, 3)))
             .fit(&train.points, &train.values)?;
         let err = fit
             .model
@@ -495,10 +506,15 @@ pub fn solver_scaling(scale: Scale, seed: u64) -> Result<Report> {
         let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &truth);
 
         let t0 = Instant::now();
-        let fast = map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast)?;
+        let fast = map_estimate(&g, &f, &prior, &FitOptions::new().hyper(1.0))?;
         let fast_s = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let direct = map_estimate(&g, &f, &prior, 1.0, SolverKind::Direct)?;
+        let direct = map_estimate(
+            &g,
+            &f,
+            &prior,
+            &FitOptions::new().hyper(1.0).solver(SolverKind::Direct),
+        )?;
         let direct_s = t0.elapsed().as_secs_f64();
         let diff = fast.sub(&direct)?.norm_inf();
         rows.push(vec![
@@ -564,8 +580,7 @@ pub fn nonlinear_study(scale: Scale, seed: u64) -> Result<Report> {
 
     // BMF on the quadratic basis.
     let fit2 = BmfFitter::new(basis2.clone(), early)?
-        .folds(5)
-        .seed(derive_seed(seed, 3))
+        .with_options(FitOptions::new().folds(5).seed(derive_seed(seed, 3)))
         .fit(&train, &train_vals)?;
     let bmf2_err = fit2
         .model
@@ -581,8 +596,7 @@ pub fn nonlinear_study(scale: Scale, seed: u64) -> Result<Report> {
     let basis1 = OrthonormalBasis::linear(vars);
     let early1: Vec<Option<f64>> = truth[..=vars].iter().map(|&t| Some(t * 1.05)).collect();
     let fit1 = BmfFitter::new(basis1, early1)?
-        .folds(5)
-        .seed(derive_seed(seed, 4))
+        .with_options(FitOptions::new().folds(5).seed(derive_seed(seed, 4)))
         .fit(&train, &train_vals)?;
     let bmf1_err = fit1
         .model
@@ -677,8 +691,7 @@ pub fn prior_mapping_study(scale: Scale, seed: u64) -> Result<Report> {
     let test = monte_carlo(&vos, Stage::PostLayout, 300, derive_seed(seed, 3));
 
     let fitter = BmfFitter::from_mapped_early_model(&expanded, &alpha_e, vec![])?
-        .folds(3)
-        .seed(derive_seed(seed, 4));
+        .with_options(FitOptions::new().folds(3).seed(derive_seed(seed, 4)));
     let fit = fitter.fit(&lay.points, &lay.values)?;
     let bmf_err = fit
         .model
@@ -749,8 +762,7 @@ pub fn missing_prior_study(scale: Scale, seed: u64) -> Result<Report> {
         .collect();
     early.extend(std::iter::repeat_n(None, extra));
     let with_missing = BmfFitter::new(basis, early)?
-        .folds(5)
-        .seed(derive_seed(seed, 3))
+        .with_options(FitOptions::new().folds(5).seed(derive_seed(seed, 3)))
         .fit(&train.points, &train.values)?;
     let err_missing = with_missing
         .model
@@ -769,8 +781,7 @@ pub fn missing_prior_study(scale: Scale, seed: u64) -> Result<Report> {
         .map(|&a| Some(a))
         .collect();
     let naive = BmfFitter::new(trunc_basis, trunc_early)?
-        .folds(5)
-        .seed(derive_seed(seed, 3))
+        .with_options(FitOptions::new().folds(5).seed(derive_seed(seed, 3)))
         .fit(&trunc_points, &train.values)?;
     let naive_model = naive.model;
     let trunc_test: Vec<Vec<f64>> = test

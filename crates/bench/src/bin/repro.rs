@@ -42,6 +42,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("ablation-kfold", "CV fold sensitivity"),
     ("ablation-baselines", "OMP vs LASSO vs LS vs BMF-PS"),
     ("nonlinear", "BMF with a degree-2 Hermite basis"),
+    ("batch", "batch fitting vs serial loop throughput"),
 ];
 
 struct Args {
@@ -212,6 +213,7 @@ fn run_experiment(id: &str, scale: Scale, seed: u64) -> Result<Report, String> {
         "ablation-kfold" => ablation::fold_sensitivity(scale, seed).map_err(err),
         "ablation-baselines" => ablation::baseline_comparison(scale, seed).map_err(err),
         "nonlinear" => ablation::nonlinear_study(scale, seed).map_err(err),
+        "batch" => bmf_bench::batch_study::batch_throughput(scale, seed).map_err(err),
         other => Err(format!("unknown experiment '{other}'\n{}", usage())),
     }
 }

@@ -13,8 +13,9 @@ use bmf_basis::basis::OrthonormalBasis;
 use bmf_circuits::sim::{monte_carlo, CostLedger};
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::hyper::{cross_validate_both, CvConfig};
-use bmf_core::map_estimate::{map_estimate, SolverKind};
+use bmf_core::map_estimate::map_estimate;
 use bmf_core::omp::{fit_omp_design, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::PriorKind;
 use bmf_core::Result;
 use bmf_linalg::Vector;
@@ -122,8 +123,7 @@ pub fn run_cost_comparison(
         &g_bmf,
         &f_bmf,
         &prior.with_kind(kind),
-        hyper,
-        SolverKind::Fast,
+        &FitOptions::new().hyper(hyper),
     )?;
     bmf_ledger.charge_fitting_seconds(t0.elapsed().as_secs_f64());
     let bmf_err = g_test.matvec(&alpha)?.sub(&f_test)?.norm2() / test_norm;

@@ -16,6 +16,7 @@ use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::hyper::{cross_validate_both, CvConfig};
 use bmf_core::map_estimate::{map_estimate, SolverKind};
 use bmf_core::omp::{fit_omp_design, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::PriorKind;
 use bmf_core::Result;
 use bmf_stat::histogram::Histogram;
@@ -251,16 +252,31 @@ pub fn fitting_cost_sweep(
         } else {
             (PriorKind::NonZeroMean, nzm.best_hyper)
         };
-        let _ = map_estimate(&g, &f, &prior.with_kind(kind), hyper, SolverKind::Fast)?;
+        let _ = map_estimate(
+            &g,
+            &f,
+            &prior.with_kind(kind),
+            &FitOptions::new().hyper(hyper),
+        )?;
         let bmf_fast_s = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        let _ = map_estimate(&g, &f, &prior.with_kind(kind), hyper, SolverKind::Fast)?;
+        let _ = map_estimate(
+            &g,
+            &f,
+            &prior.with_kind(kind),
+            &FitOptions::new().hyper(hyper),
+        )?;
         let fast_solve_s = t0.elapsed().as_secs_f64();
 
         let direct_s = if include_direct {
             let t0 = Instant::now();
-            let _ = map_estimate(&g, &f, &prior.with_kind(kind), hyper, SolverKind::Direct)?;
+            let _ = map_estimate(
+                &g,
+                &f,
+                &prior.with_kind(kind),
+                &FitOptions::new().hyper(hyper).solver(SolverKind::Direct),
+            )?;
             Some(t0.elapsed().as_secs_f64())
         } else {
             None

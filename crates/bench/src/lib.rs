@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod batch_study;
 pub mod costs;
 pub mod earlyfit;
 pub mod figures;

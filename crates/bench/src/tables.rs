@@ -13,8 +13,9 @@ use bmf_basis::basis::OrthonormalBasis;
 use bmf_circuits::sim::monte_carlo;
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::hyper::{cross_validate_both, CvConfig};
-use bmf_core::map_estimate::{map_estimate, SolverKind};
+use bmf_core::map_estimate::map_estimate;
 use bmf_core::omp::{fit_omp_design, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_core::Result;
 use bmf_linalg::{Matrix, Vector};
@@ -277,15 +278,13 @@ fn run_cell(
         g,
         f,
         &prior.with_kind(PriorKind::ZeroMean),
-        zm_cv.best_hyper,
-        SolverKind::Fast,
+        &FitOptions::new().hyper(zm_cv.best_hyper),
     )?;
     let alpha_nzm = map_estimate(
         g,
         f,
         &prior.with_kind(PriorKind::NonZeroMean),
-        nzm_cv.best_hyper,
-        SolverKind::Fast,
+        &FitOptions::new().hyper(nzm_cv.best_hyper),
     )?;
     let zm = score(&alpha_zm)?;
     let nzm = score(&alpha_nzm)?;

@@ -110,9 +110,9 @@ pub fn yield_monte_carlo(
 ///
 /// # Errors
 ///
-/// Returns [`BmfError::InvalidConfig`] when the model has any nonlinear
-/// term (use [`yield_monte_carlo`] there) or when a window spec is
-/// inverted.
+/// Returns [`BmfError::Config`] when the model has any nonlinear term
+/// (parameter `"model"`; use [`yield_monte_carlo`] there) or when a
+/// window spec is inverted (parameter `"spec"`).
 pub fn yield_closed_form_linear(model: &PerformanceModel, spec: &Spec) -> Result<f64> {
     let basis = model.basis();
     let mut mean = 0.0;
@@ -123,11 +123,10 @@ pub fn yield_closed_form_linear(model: &PerformanceModel, spec: &Spec) -> Result
         } else if term.total_degree() == 1 {
             var += a * a;
         } else if a != 0.0 {
-            return Err(BmfError::InvalidConfig {
-                detail: format!(
-                    "closed-form yield requires a linear model; term {term} is nonlinear"
-                ),
-            });
+            return Err(BmfError::config(
+                "model",
+                format!("closed-form yield requires a linear model; term {term} is nonlinear"),
+            ));
         }
     }
     let sigma = var.sqrt();
@@ -147,9 +146,10 @@ pub fn yield_closed_form_linear(model: &PerformanceModel, spec: &Spec) -> Result
         Spec::LowerBound(limit) => 1.0 - phi(limit - mean),
         Spec::Window { lo, hi } => {
             if hi < lo {
-                return Err(BmfError::InvalidConfig {
-                    detail: format!("inverted window spec: [{lo}, {hi}]"),
-                });
+                return Err(BmfError::config(
+                    "spec",
+                    format!("inverted window spec: [{lo}, {hi}]"),
+                ));
             }
             phi(hi - mean) - phi(lo - mean)
         }
@@ -181,8 +181,8 @@ pub struct Corner {
 ///
 /// # Errors
 ///
-/// Returns [`BmfError::InvalidConfig`] when the model has a zero gradient
-/// everywhere on the sphere (constant model).
+/// Returns [`BmfError::Config`] (parameter `"model"`) when the model has
+/// a zero gradient everywhere on the sphere (constant model).
 pub fn worst_case_corner(
     model: &PerformanceModel,
     sigma_radius: f64,
@@ -205,9 +205,10 @@ pub fn worst_case_corner(
         x = vec![sigma_radius / (n as f64).sqrt(); n];
         g = basis.model_gradient(model.coeffs(), &x);
         if norm(&g) == 0.0 {
-            return Err(BmfError::InvalidConfig {
-                detail: "model gradient vanishes; no corner direction exists".into(),
-            });
+            return Err(BmfError::config(
+                "model",
+                "model gradient vanishes; no corner direction exists",
+            ));
         }
     }
     project(&mut x, &g, sign, sigma_radius);
@@ -291,7 +292,7 @@ mod tests {
         let m = PerformanceModel::new(basis, coeffs).unwrap();
         assert!(matches!(
             yield_closed_form_linear(&m, &Spec::UpperBound(0.0)),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config { .. })
         ));
     }
 

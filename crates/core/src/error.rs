@@ -4,6 +4,10 @@ use std::fmt;
 use bmf_linalg::LinalgError;
 
 /// Errors produced by the BMF fitting pipeline.
+///
+/// The enum is `#[non_exhaustive]`: downstream `match` expressions must
+/// carry a wildcard arm so new variants can be added without a breaking
+/// release.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum BmfError {
@@ -33,24 +37,43 @@ pub enum BmfError {
         /// What needed them.
         context: &'static str,
     },
-    /// A hyper-parameter grid or configuration value is invalid.
-    InvalidConfig {
-        /// Description of the problem.
+    /// A configuration value is invalid. `parameter` names the offending
+    /// knob (e.g. `"grid"`, `"folds"`, `"hyper"`) so callers can react
+    /// programmatically instead of parsing the message.
+    Config {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// What is wrong with it.
         detail: String,
     },
+}
+
+impl BmfError {
+    /// Convenience constructor for [`BmfError::Config`].
+    pub(crate) fn config(parameter: &'static str, detail: impl Into<String>) -> Self {
+        BmfError::Config {
+            parameter,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for BmfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BmfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
-            BmfError::SampleShape { detail } => write!(f, "sample shape mismatch: {detail}"),
+            BmfError::SampleShape { detail } => {
+                write!(
+                    f,
+                    "sample shape mismatch between `points` and `values`: {detail}"
+                )
+            }
             BmfError::PriorShape {
                 basis_terms,
                 prior_entries,
             } => write!(
                 f,
-                "prior has {prior_entries} entries but the basis has {basis_terms} terms"
+                "`prior` has {prior_entries} entries but `basis` has {basis_terms} terms"
             ),
             BmfError::NotEnoughSamples {
                 available,
@@ -60,7 +83,9 @@ impl fmt::Display for BmfError {
                 f,
                 "{context} needs at least {required} samples, got {available}"
             ),
-            BmfError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            BmfError::Config { parameter, detail } => {
+                write!(f, "invalid value for `{parameter}`: {detail}")
+            }
         }
     }
 }
@@ -95,6 +120,20 @@ mod tests {
         };
         assert!(e2.to_string().contains("10"));
         assert!(e2.source().is_none());
+    }
+
+    #[test]
+    fn config_error_names_the_parameter() {
+        let e = BmfError::config("grid", "must be non-empty");
+        assert!(e.to_string().contains("`grid`"));
+        assert!(e.to_string().contains("must be non-empty"));
+        assert!(matches!(
+            e,
+            BmfError::Config {
+                parameter: "grid",
+                ..
+            }
+        ));
     }
 
     #[test]

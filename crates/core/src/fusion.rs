@@ -9,30 +9,64 @@
 //! 3. select the prior family and hyper-parameter by N-fold
 //!    cross-validation (§IV-D), then solve the MAP estimate with the fast
 //!    low-rank solver (step 5).
+//!
+//! Configuration lives in one [`FitOptions`] value shared with
+//! [`BatchFitter`](crate::batch::BatchFitter) and
+//! [`map_estimate`](crate::map_estimate::map_estimate), so a tuned setup
+//! carries across entry points unchanged.
 
 use bmf_basis::basis::OrthonormalBasis;
 use bmf_basis::expansion::ExpandedBasis;
 use bmf_linalg::Vector;
 
-use crate::hyper::CvConfig;
-use crate::map_estimate::{map_estimate, SolverKind};
+use crate::hyper::FoldPlan;
+use crate::map_estimate::{map_estimate_with, SolverKind};
 use crate::model::PerformanceModel;
+use crate::options::{validate_folds, validate_grid, FitOptions};
 use crate::prior::{Prior, PriorKind};
-use crate::select::{select_prior, PriorSelection, SelectionOutcome};
+use crate::select::{select_prior_on_plan, PriorSelection, SelectionOutcome};
 use crate::{BmfError, Result};
+
+/// Lightweight work counters accumulated during a fit.
+///
+/// Counting is exact, not sampled: every MAP solve and every Woodbury
+/// kernel factorization increments its counter. The batch engine adds
+/// cache accounting — a *hit* is a kernel another job already built for
+/// the same fold and prior, a *miss* is a kernel that had to be built.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FitCounters {
+    /// MAP systems solved (one per `(fold, grid, kind)` CV cell plus the
+    /// final full-data solve).
+    pub map_solves: usize,
+    /// Woodbury kernels factorized (one per usable fold, plus the final
+    /// full-data kernel).
+    pub kernels_built: usize,
+    /// Batch kernel-cache hits (kernels reused from another job).
+    pub kernel_cache_hits: usize,
+    /// Batch kernel-cache misses (kernels this job had to build).
+    pub kernel_cache_misses: usize,
+}
+
+impl FitCounters {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &FitCounters) {
+        self.map_solves += other.map_solves;
+        self.kernels_built += other.kernels_built;
+        self.kernel_cache_hits += other.kernel_cache_hits;
+        self.kernel_cache_misses += other.kernel_cache_misses;
+    }
+}
 
 /// Builder for a BMF late-stage fit.
 ///
 /// See the [crate-level example](crate) for basic use; the
 /// [`BmfFitter::from_mapped_early_model`] constructor covers the
-/// multifinger case.
+/// multifinger case. Configure via [`BmfFitter::with_options`].
 #[derive(Debug, Clone)]
 pub struct BmfFitter {
     basis: OrthonormalBasis,
     prior_values: Vec<Option<f64>>,
-    selection: PriorSelection,
-    solver: SolverKind,
-    cv: CvConfig,
+    options: FitOptions,
 }
 
 /// Everything a completed fit reports.
@@ -49,6 +83,8 @@ pub struct BmfFit {
     pub cv_error: f64,
     /// The full selection record (per-grid-point errors for both priors).
     pub selection: SelectionOutcome,
+    /// Work counters for this fit (solves, kernels built).
+    pub counters: FitCounters,
 }
 
 /// Serializable summary of a fit (for experiment reports).
@@ -93,9 +129,7 @@ impl BmfFitter {
         Ok(BmfFitter {
             basis,
             prior_values: early,
-            selection: PriorSelection::Auto,
-            solver: SolverKind::Fast,
-            cv: CvConfig::default(),
+            options: FitOptions::default(),
         })
     }
 
@@ -106,9 +140,7 @@ impl BmfFitter {
         BmfFitter {
             basis: early_model.basis().clone(),
             prior_values: early_model.coeffs().iter().map(|&a| Some(a)).collect(),
-            selection: PriorSelection::Auto,
-            solver: SolverKind::Fast,
-            cv: CvConfig::default(),
+            options: FitOptions::default(),
         }
     }
 
@@ -139,40 +171,68 @@ impl BmfFitter {
         Ok(BmfFitter {
             basis,
             prior_values: prior.early_values().to_vec(),
-            selection: PriorSelection::Auto,
-            solver: SolverKind::Fast,
-            cv: CvConfig::default(),
+            options: FitOptions::default(),
         })
     }
 
-    /// Sets the prior-family policy (default: [`PriorSelection::Auto`],
-    /// i.e. BMF-PS).
-    pub fn prior_selection(mut self, selection: PriorSelection) -> Self {
-        self.selection = selection;
+    /// Replaces the whole fitting configuration.
+    pub fn with_options(mut self, options: FitOptions) -> Self {
+        self.options = options;
         self
     }
 
-    /// Sets the MAP solver (default: [`SolverKind::Fast`]).
+    /// The current fitting configuration.
+    pub fn options(&self) -> &FitOptions {
+        &self.options
+    }
+
+    /// Sets the prior-family policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_options(FitOptions::new().selection(..))`"
+    )]
+    pub fn prior_selection(mut self, selection: PriorSelection) -> Self {
+        self.options.selection = selection;
+        self
+    }
+
+    /// Sets the MAP solver.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_options(FitOptions::new().solver(..))`"
+    )]
     pub fn solver(mut self, solver: SolverKind) -> Self {
-        self.solver = solver;
+        self.options.solver = solver;
         self
     }
 
     /// Sets the cross-validation fold count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_options(FitOptions::new().folds(..))`"
+    )]
     pub fn folds(mut self, folds: usize) -> Self {
-        self.cv.folds = folds;
+        self.options.folds = folds;
         self
     }
 
     /// Sets the hyper-parameter grid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_options(FitOptions::new().grid(..))`"
+    )]
     pub fn hyper_grid(mut self, grid: Vec<f64>) -> Self {
-        self.cv.grid = grid;
+        self.options.grid = grid;
         self
     }
 
     /// Sets the cross-validation shuffle seed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_options(FitOptions::new().seed(..))`"
+    )]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.cv.seed = seed;
+        self.options.seed = seed;
         self
     }
 
@@ -185,6 +245,8 @@ impl BmfFitter {
     ///
     /// # Errors
     ///
+    /// * [`BmfError::Config`] when the options' grid or fold count is
+    ///   invalid (the error names the parameter).
     /// * [`BmfError::SampleShape`] when points/values disagree or a point
     ///   has the wrong dimension (panics on dimension inside the basis —
     ///   length mismatches between points and values are errors).
@@ -197,41 +259,70 @@ impl BmfFitter {
                 detail: format!("{} points vs {} values", points.len(), values.len()),
             });
         }
+        validate_grid(&self.options.grid)?;
+        validate_folds(self.options.folds)?;
         let g = self
             .basis
             .design_matrix(points.iter().map(|p| p.as_slice()));
-
-        // Normalize the response (and the prior with it) so the problem is
-        // dimensionless: raw physical units (hertz, watts) would otherwise
-        // put the intercept prior variance tens of decades above the other
-        // coefficients, wrecking both the conditioning of the MAP system
-        // and the meaning of the fixed hyper-parameter grid. The relative
-        // error (eq. 59) and the returned coefficients are unaffected —
-        // coefficients are rescaled on the way out. The reported `hyper`
-        // lives in the normalized space.
-        let scale = response_scale(values);
-        let f = Vector::from_fn(values.len(), |i| values[i] / scale);
-        let prior = Prior::new(
-            PriorKind::ZeroMean,
-            self.prior_values
-                .iter()
-                .map(|v| v.map(|a| a / scale))
-                .collect(),
-        );
-
-        let selection = select_prior(&g, &f, &prior, self.selection, &self.cv)?;
-        let chosen = prior.with_kind(selection.kind);
-        let alpha = map_estimate(&g, &f, &chosen, selection.hyper, self.solver)?;
-        let coeffs: Vec<f64> = alpha.iter().map(|a| a * scale).collect();
-        let model = PerformanceModel::new(self.basis.clone(), coeffs)?;
-        Ok(BmfFit {
-            model,
-            prior_kind: selection.kind,
-            hyper: selection.hyper,
-            cv_error: selection.cv_error,
-            selection,
-        })
+        let plan = FoldPlan::new(&g, self.options.folds, self.options.seed)?;
+        let mut counters = FitCounters::default();
+        fit_prepared(
+            &g,
+            &plan,
+            &self.basis,
+            &self.prior_values,
+            values,
+            &self.options,
+            &mut counters,
+        )
     }
+}
+
+/// The shared fitting core: normalizes the response, selects prior family
+/// and hyper-parameter over a pre-built [`FoldPlan`], and solves the
+/// final full-data MAP system. [`BmfFitter::fit`] calls it with a fresh
+/// plan; [`crate::batch::BatchFitter`] runs the same primitives with the
+/// plan (and design matrix) shared across all jobs, so a one-job batch is
+/// bit-identical to this path.
+pub(crate) fn fit_prepared(
+    g: &bmf_linalg::Matrix,
+    plan: &FoldPlan,
+    basis: &OrthonormalBasis,
+    prior_values: &[Option<f64>],
+    values: &[f64],
+    options: &FitOptions,
+    counters: &mut FitCounters,
+) -> Result<BmfFit> {
+    // Normalize the response (and the prior with it) so the problem is
+    // dimensionless: raw physical units (hertz, watts) would otherwise
+    // put the intercept prior variance tens of decades above the other
+    // coefficients, wrecking both the conditioning of the MAP system
+    // and the meaning of the fixed hyper-parameter grid. The relative
+    // error (eq. 59) and the returned coefficients are unaffected —
+    // coefficients are rescaled on the way out. The reported `hyper`
+    // lives in the normalized space.
+    let scale = response_scale(values);
+    let f = Vector::from_fn(values.len(), |i| values[i] / scale);
+    let prior = Prior::new(
+        PriorKind::ZeroMean,
+        prior_values.iter().map(|v| v.map(|a| a / scale)).collect(),
+    );
+
+    let selection =
+        select_prior_on_plan(plan, &f, &prior, options.selection, &options.grid, counters)?;
+    let chosen = prior.with_kind(selection.kind);
+    let alpha = map_estimate_with(g, &f, &chosen, selection.hyper, options.solver)?;
+    counters.map_solves += 1;
+    let coeffs: Vec<f64> = alpha.iter().map(|a| a * scale).collect();
+    let model = PerformanceModel::new(basis.clone(), coeffs)?;
+    Ok(BmfFit {
+        model,
+        prior_kind: selection.kind,
+        hyper: selection.hyper,
+        cv_error: selection.cv_error,
+        selection,
+        counters: *counters,
+    })
 }
 
 /// RMS of the response values, used to normalize the fitting problem.
@@ -293,8 +384,7 @@ mod tests {
         let train_vals: Vec<f64> = train.iter().map(|p| eval(p)).collect();
         let fit = BmfFitter::new(basis, early)
             .unwrap()
-            .folds(4)
-            .seed(9)
+            .with_options(FitOptions::new().folds(4).seed(9))
             .fit(&train, &train_vals)
             .unwrap();
         let test = points(100, r, 2);
@@ -304,6 +394,10 @@ mod tests {
             .relative_error(test.iter().map(|p| p.as_slice()), &test_vals)
             .unwrap();
         assert!(err < 0.05, "BMF error too high: {err}");
+        // The fit accounts for its own work: at least one kernel per
+        // usable fold plus the final solve.
+        assert!(fit.counters.kernels_built >= 4);
+        assert!(fit.counters.map_solves > fit.counters.kernels_built);
     }
 
     #[test]
@@ -319,7 +413,7 @@ mod tests {
         let train_vals: Vec<f64> = train.iter().map(|p| eval(p)).collect();
         let fit = BmfFitter::new(basis, early)
             .unwrap()
-            .folds(4)
+            .with_options(FitOptions::new().folds(4))
             .fit(&train, &train_vals)
             .unwrap();
         let c = fit.model.coeffs();
@@ -334,7 +428,10 @@ mod tests {
         assert_eq!(fitter.basis().len(), 4);
         let train = points(10, 3, 4);
         let vals: Vec<f64> = train.iter().map(|p| early_model.predict(p) * 1.1).collect();
-        let fit = fitter.folds(3).fit(&train, &vals).unwrap();
+        let fit = fitter
+            .with_options(FitOptions::new().folds(3))
+            .fit(&train, &vals)
+            .unwrap();
         // Late model ~ 1.1 x early model.
         let p = [0.5, -0.5, 1.0];
         assert!((fit.model.predict(&p) - early_model.predict(&p) * 1.1).abs() < 0.1);
@@ -376,7 +473,7 @@ mod tests {
             .unwrap();
         let direct = BmfFitter::new(basis, early)
             .unwrap()
-            .solver(SolverKind::Direct)
+            .with_options(FitOptions::new().solver(SolverKind::Direct))
             .fit(&train, &vals)
             .unwrap();
         for (a, b) in fast.model.coeffs().iter().zip(direct.model.coeffs()) {
@@ -408,7 +505,7 @@ mod tests {
         let vals: Vec<f64> = train.iter().map(|p| eval(p)).collect();
         let fit = BmfFitter::new(basis, early)
             .unwrap()
-            .folds(4)
+            .with_options(FitOptions::new().folds(4))
             .fit(&train, &vals)
             .unwrap();
         let test = points(50, r, 9);
@@ -436,5 +533,53 @@ mod tests {
             fitter.fit(&[vec![0.0, 0.0]], &[1.0, 2.0]),
             Err(BmfError::SampleShape { .. })
         ));
+    }
+
+    #[test]
+    fn invalid_options_name_the_parameter() {
+        let basis = OrthonormalBasis::linear(2);
+        let fitter = BmfFitter::new(basis, vec![Some(1.0); 3]).unwrap();
+        let pts = points(8, 2, 11);
+        let vals = vec![1.0; 8];
+        let bad_grid = fitter
+            .clone()
+            .with_options(FitOptions::new().grid(vec![]))
+            .fit(&pts, &vals);
+        assert!(matches!(
+            bad_grid,
+            Err(BmfError::Config {
+                parameter: "grid",
+                ..
+            })
+        ));
+        let bad_folds = fitter
+            .with_options(FitOptions::new().folds(1))
+            .fit(&pts, &vals);
+        assert!(matches!(
+            bad_folds,
+            Err(BmfError::Config {
+                parameter: "folds",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_still_route() {
+        let basis = OrthonormalBasis::linear(2);
+        let fitter = BmfFitter::new(basis, vec![Some(1.0); 3])
+            .unwrap()
+            .prior_selection(PriorSelection::Fixed(PriorKind::ZeroMean))
+            .solver(SolverKind::Direct)
+            .folds(3)
+            .hyper_grid(vec![0.5, 1.0])
+            .seed(42);
+        let opts = fitter.options();
+        assert_eq!(opts.selection, PriorSelection::Fixed(PriorKind::ZeroMean));
+        assert_eq!(opts.solver, SolverKind::Direct);
+        assert_eq!(opts.folds, 3);
+        assert_eq!(opts.grid, vec![0.5, 1.0]);
+        assert_eq!(opts.seed, 42);
     }
 }

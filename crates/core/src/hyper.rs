@@ -8,17 +8,29 @@
 //! (eq. 59) on the held-out group; average over the N rotations; pick the
 //! grid value with the smallest mean error.
 //!
-//! Each fold builds one [`MapSweep`], so adding grid points costs only a
-//! K×K factorization each, not a full Θ(K²M) rebuild.
+//! Two layers of work-sharing keep the sweep cheap:
+//!
+//! * a [`FoldPlan`] materializes the per-fold row selections
+//!   (`G_train`/`G_val`) **once** — they are reused across every grid
+//!   point, both prior families, and (through
+//!   [`crate::batch::BatchFitter`]) every job of a batch fit;
+//! * each fold builds one [`MapSweep`], so adding grid points costs only
+//!   a K×K factorization each, not a full Θ(K²M) rebuild.
 
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::crossval::KFold;
 
+use crate::fusion::FitCounters;
 use crate::map_estimate::MapSweep;
-use crate::prior::Prior;
+use crate::options::{validate_folds, validate_grid};
+use crate::prior::{Prior, PriorKind};
 use crate::{BmfError, Result};
 
 /// Cross-validation configuration.
+///
+/// This is the cross-validation slice of
+/// [`FitOptions`](crate::options::FitOptions); the standalone
+/// `cross_validate_*` entry points keep accepting it directly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CvConfig {
     /// Number of folds (the paper's `N`).
@@ -71,12 +83,227 @@ pub struct CvOutcome {
     pub errors: Vec<(f64, f64)>,
 }
 
-/// Cross-validates the MAP hyper-parameter on an explicit design matrix.
+/// One fold's pre-selected design-matrix rows.
+///
+/// Building these is Θ(K·M) per fold; hoisting them out of the grid loop
+/// (and sharing them across batch jobs, which all see the same sample
+/// points) means the selection happens exactly once per `(G, folds,
+/// seed)` triple.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannedFold {
+    /// Row indices used for training in this fold.
+    pub(crate) train: Vec<usize>,
+    /// Row indices held out for validation.
+    pub(crate) validate: Vec<usize>,
+    /// `G` restricted to the training rows.
+    pub(crate) g_train: Matrix,
+    /// `G` restricted to the validation rows.
+    pub(crate) g_val: Matrix,
+}
+
+impl PlannedFold {
+    /// Gathers a fold-local `(f_train, f_val)` pair from a full response.
+    pub(crate) fn gather(&self, f: &Vector) -> (Vector, Vector) {
+        let f_train = Vector::from_fn(self.train.len(), |i| f[self.train[i]]);
+        let f_val = Vector::from_fn(self.validate.len(), |i| f[self.validate[i]]);
+        (f_train, f_val)
+    }
+}
+
+/// The per-fold row selections for one `(G, folds, seed)` triple.
+#[derive(Debug, Clone)]
+pub(crate) struct FoldPlan {
+    pub(crate) folds: Vec<PlannedFold>,
+}
+
+impl FoldPlan {
+    /// Splits `g`'s rows into `folds` seeded folds and materializes the
+    /// per-fold train/validation sub-matrices.
+    pub(crate) fn new(g: &Matrix, folds: usize, seed: u64) -> Result<Self> {
+        let k = g.nrows();
+        let kfold = KFold::new(k, folds, seed).map_err(|_| BmfError::NotEnoughSamples {
+            available: k,
+            required: folds,
+            context: "cross-validation folds",
+        })?;
+        let folds = kfold
+            .iter()
+            .map(|fold| PlannedFold {
+                g_train: select_rows(g, &fold.train),
+                g_val: select_rows(g, &fold.validate),
+                train: fold.train,
+                validate: fold.validate,
+            })
+            .collect();
+        Ok(FoldPlan { folds })
+    }
+}
+
+/// Validation errors of one fold: `errors[kind][grid]`, `None` where the
+/// (hyper-dependent) solve failed structurally. A fold that is too small
+/// for the missing-prior block is represented as `None` at the fold
+/// level (see [`sweep_fold`]).
+pub(crate) type FoldErrors = Vec<Vec<Option<f64>>>;
+
+/// Sweeps one fold over the whole grid for each requested prior family,
+/// reusing `sweep`'s Woodbury kernels for every `(grid, kind)` cell.
+///
+/// `counters.map_solves` is incremented per successful solve;
+/// kernel-build accounting belongs to whoever constructed `sweep`.
+pub(crate) fn sweep_fold(
+    sweep: &MapSweep,
+    f_train: &Vector,
+    g_val: &Matrix,
+    f_val: &Vector,
+    grid: &[f64],
+    kinds: &[PriorKind],
+    counters: &mut FitCounters,
+) -> Result<FoldErrors> {
+    let val_norm = f_val.norm2().max(f64::MIN_POSITIVE);
+    let mut errors: FoldErrors = vec![vec![None; grid.len()]; kinds.len()];
+    for (gi, &h) in grid.iter().enumerate() {
+        for (ki, &kind) in kinds.iter().enumerate() {
+            let alpha = match sweep.solve_with_kind(f_train, h, kind) {
+                Ok(a) => a,
+                Err(BmfError::Linalg(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            counters.map_solves += 1;
+            let pred = g_val.matvec(&alpha)?;
+            let err = pred.sub(f_val)?.norm2() / val_norm;
+            errors[ki][gi] = Some(err);
+        }
+    }
+    Ok(errors)
+}
+
+/// Builds the kernel for one fold, or `None` when the fold is too small
+/// for the missing-prior block (the fold is then skipped, matching the
+/// historical behaviour).
+pub(crate) fn build_fold_sweep(
+    fold: &PlannedFold,
+    prior_nzm: &Prior,
+    counters: &mut FitCounters,
+) -> Result<Option<MapSweep>> {
+    match MapSweep::new(&fold.g_train, prior_nzm) {
+        Ok(s) => {
+            counters.kernels_built += 1;
+            Ok(Some(s))
+        }
+        Err(BmfError::NotEnoughSamples { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Reduces per-fold error tables into one [`CvOutcome`] per prior family.
+///
+/// Accumulation runs fold-major in fold order, so the result is
+/// bit-identical to the historical single-pass loop — and to any
+/// parallel schedule that produced `fold_errors`, since the reduction
+/// order is fixed here.
+pub(crate) fn reduce_outcomes(
+    grid: &[f64],
+    num_kinds: usize,
+    fold_errors: &[Option<FoldErrors>],
+    available: usize,
+    required: usize,
+) -> Result<Vec<CvOutcome>> {
+    let mut sums = vec![vec![0.0f64; grid.len()]; num_kinds];
+    let mut counts = vec![vec![0usize; grid.len()]; num_kinds];
+    for fe in fold_errors.iter().flatten() {
+        for ki in 0..num_kinds {
+            for (gi, cell) in fe[ki].iter().enumerate() {
+                if let Some(err) = cell {
+                    sums[ki][gi] += err;
+                    counts[ki][gi] += 1;
+                }
+            }
+        }
+    }
+    let mut outcomes = Vec::with_capacity(num_kinds);
+    for ki in 0..num_kinds {
+        let mut errors = Vec::with_capacity(grid.len());
+        let mut best: Option<(f64, f64)> = None;
+        for (gi, &h) in grid.iter().enumerate() {
+            if counts[ki][gi] == 0 {
+                continue;
+            }
+            let mean = sums[ki][gi] / counts[ki][gi] as f64;
+            errors.push((h, mean));
+            if best.is_none_or(|(_, e)| mean < e) {
+                best = Some((h, mean));
+            }
+        }
+        let (best_hyper, best_error) = best.ok_or(BmfError::NotEnoughSamples {
+            available,
+            required,
+            context: "cross-validation (all folds degenerate)",
+        })?;
+        outcomes.push(CvOutcome {
+            best_hyper,
+            best_error,
+            errors,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Runs the full cross-validation sweep for the requested prior families
+/// over a pre-built [`FoldPlan`], sharing one kernel per fold across
+/// every `(grid, kind)` cell.
+pub(crate) fn cv_on_plan(
+    plan: &FoldPlan,
+    f: &Vector,
+    prior: &Prior,
+    grid: &[f64],
+    kinds: &[PriorKind],
+    counters: &mut FitCounters,
+) -> Result<Vec<CvOutcome>> {
+    // Kernels are built from the nonzero-mean view so prior means are
+    // cached; zero-mean solves reuse the same kernels with the mean
+    // dropped (the precisions — and thus the Woodbury kernels — are
+    // identical for both families).
+    let nzm = prior.with_kind(PriorKind::NonZeroMean);
+    let mut fold_errors: Vec<Option<FoldErrors>> = Vec::with_capacity(plan.folds.len());
+    for fold in &plan.folds {
+        let Some(sweep) = build_fold_sweep(fold, &nzm, counters)? else {
+            fold_errors.push(None);
+            continue;
+        };
+        let (f_train, f_val) = fold.gather(f);
+        fold_errors.push(Some(sweep_fold(
+            &sweep,
+            &f_train,
+            &fold.g_val,
+            &f_val,
+            grid,
+            kinds,
+            counters,
+        )?));
+    }
+    let available = f.len();
+    reduce_outcomes(grid, kinds.len(), &fold_errors, available, plan.folds.len())
+}
+
+fn validate_cv(g: &Matrix, f: &Vector, config: &CvConfig) -> Result<()> {
+    validate_grid(&config.grid)?;
+    validate_folds(config.folds)?;
+    let k = g.nrows();
+    if f.len() != k {
+        return Err(BmfError::SampleShape {
+            detail: format!("{k} design rows vs {} values", f.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Cross-validates the MAP hyper-parameter on an explicit design matrix,
+/// using the prior family `prior` carries.
 ///
 /// # Errors
 ///
-/// * [`BmfError::InvalidConfig`] for an empty or non-positive grid, or
-///   fewer than 2 folds.
+/// * [`BmfError::Config`] for an empty or non-positive grid (`"grid"`),
+///   or fewer than 2 folds (`"folds"`).
 /// * [`BmfError::NotEnoughSamples`] when `K < folds` or a fold leaves too
 ///   few samples to identify the missing-prior coefficients.
 /// * [`BmfError::Linalg`] when every grid value fails structurally.
@@ -86,84 +313,24 @@ pub fn cross_validate_hyper(
     prior: &Prior,
     config: &CvConfig,
 ) -> Result<CvOutcome> {
-    if config.grid.is_empty() || config.grid.iter().any(|&h| h <= 0.0 || !h.is_finite()) {
-        return Err(BmfError::InvalidConfig {
-            detail: "hyper-parameter grid must be non-empty and positive".into(),
-        });
-    }
-    if config.folds < 2 {
-        return Err(BmfError::InvalidConfig {
-            detail: format!("need at least 2 folds, got {}", config.folds),
-        });
-    }
-    let k = g.nrows();
-    if f.len() != k {
-        return Err(BmfError::SampleShape {
-            detail: format!("{k} design rows vs {} values", f.len()),
-        });
-    }
-    let kfold =
-        KFold::new(k, config.folds, config.seed).map_err(|_| BmfError::NotEnoughSamples {
-            available: k,
-            required: config.folds,
-            context: "cross-validation folds",
-        })?;
-
-    let mut sums = vec![0.0f64; config.grid.len()];
-    let mut counts = vec![0usize; config.grid.len()];
-    for fold in kfold.folds() {
-        let g_train = select_rows(g, &fold.train);
-        let f_train = Vector::from_fn(fold.train.len(), |i| f[fold.train[i]]);
-        let g_val = select_rows(g, &fold.validate);
-        let f_val = Vector::from_fn(fold.validate.len(), |i| f[fold.validate[i]]);
-        let val_norm = f_val.norm2().max(f64::MIN_POSITIVE);
-
-        let sweep = match MapSweep::new(&g_train, prior) {
-            Ok(s) => s,
-            // A fold may be too small for the missing-prior block; skip it.
-            Err(BmfError::NotEnoughSamples { .. }) => continue,
-            Err(e) => return Err(e),
-        };
-        for (gi, &h) in config.grid.iter().enumerate() {
-            let alpha = match sweep.solve(&f_train, h) {
-                Ok(a) => a,
-                Err(BmfError::Linalg(_)) => continue,
-                Err(e) => return Err(e),
-            };
-            let pred = g_val.matvec(&alpha)?;
-            let err = pred.sub(&f_val)?.norm2() / val_norm;
-            sums[gi] += err;
-            counts[gi] += 1;
-        }
-    }
-
-    let mut errors = Vec::with_capacity(config.grid.len());
-    let mut best: Option<(f64, f64)> = None;
-    for (gi, &h) in config.grid.iter().enumerate() {
-        if counts[gi] == 0 {
-            continue;
-        }
-        let mean = sums[gi] / counts[gi] as f64;
-        errors.push((h, mean));
-        if best.is_none_or(|(_, e)| mean < e) {
-            best = Some((h, mean));
-        }
-    }
-    let (best_hyper, best_error) = best.ok_or(BmfError::NotEnoughSamples {
-        available: k,
-        required: config.folds,
-        context: "cross-validation (all folds degenerate)",
-    })?;
-    Ok(CvOutcome {
-        best_hyper,
-        best_error,
-        errors,
-    })
+    validate_cv(g, f, config)?;
+    let plan = FoldPlan::new(g, config.folds, config.seed)?;
+    let mut counters = FitCounters::default();
+    let mut outcomes = cv_on_plan(
+        &plan,
+        f,
+        prior,
+        &config.grid,
+        &[prior.kind()],
+        &mut counters,
+    )?;
+    Ok(outcomes.pop().expect("one outcome per requested kind"))
 }
 
 /// Cross-validates *both* prior families over the grid in one pass,
-/// sharing the expensive per-fold Woodbury kernels (which depend only on
-/// the prior precisions, identical for the two families).
+/// sharing the per-fold row selections and the expensive Woodbury
+/// kernels (which depend only on the prior precisions, identical for the
+/// two families).
 ///
 /// Returns `(zero_mean, nonzero_mean)` outcomes. This is what BMF-PS uses
 /// internally; it is ~2× cheaper than calling
@@ -178,96 +345,17 @@ pub fn cross_validate_both(
     prior: &Prior,
     config: &CvConfig,
 ) -> Result<(CvOutcome, CvOutcome)> {
-    use crate::prior::PriorKind;
-
-    if config.grid.is_empty() || config.grid.iter().any(|&h| h <= 0.0 || !h.is_finite()) {
-        return Err(BmfError::InvalidConfig {
-            detail: "hyper-parameter grid must be non-empty and positive".into(),
-        });
-    }
-    if config.folds < 2 {
-        return Err(BmfError::InvalidConfig {
-            detail: format!("need at least 2 folds, got {}", config.folds),
-        });
-    }
-    let k = g.nrows();
-    if f.len() != k {
-        return Err(BmfError::SampleShape {
-            detail: format!("{k} design rows vs {} values", f.len()),
-        });
-    }
-    let kfold =
-        KFold::new(k, config.folds, config.seed).map_err(|_| BmfError::NotEnoughSamples {
-            available: k,
-            required: config.folds,
-            context: "cross-validation folds",
-        })?;
-
-    // Build sweeps from the nonzero-mean view so prior means are cached;
-    // the zero-mean solves reuse the same kernels with the mean dropped.
-    let nzm_prior = prior.with_kind(PriorKind::NonZeroMean);
-    let kinds = [PriorKind::ZeroMean, PriorKind::NonZeroMean];
-    let mut sums = [
-        vec![0.0f64; config.grid.len()],
-        vec![0.0f64; config.grid.len()],
-    ];
-    let mut counts = [
-        vec![0usize; config.grid.len()],
-        vec![0usize; config.grid.len()],
-    ];
-
-    for fold in kfold.folds() {
-        let g_train = select_rows(g, &fold.train);
-        let f_train = Vector::from_fn(fold.train.len(), |i| f[fold.train[i]]);
-        let g_val = select_rows(g, &fold.validate);
-        let f_val = Vector::from_fn(fold.validate.len(), |i| f[fold.validate[i]]);
-        let val_norm = f_val.norm2().max(f64::MIN_POSITIVE);
-
-        let sweep = match MapSweep::new(&g_train, &nzm_prior) {
-            Ok(s) => s,
-            Err(BmfError::NotEnoughSamples { .. }) => continue,
-            Err(e) => return Err(e),
-        };
-        for (gi, &h) in config.grid.iter().enumerate() {
-            for (ki, &kind) in kinds.iter().enumerate() {
-                let alpha = match sweep.solve_with_kind(&f_train, h, kind) {
-                    Ok(a) => a,
-                    Err(BmfError::Linalg(_)) => continue,
-                    Err(e) => return Err(e),
-                };
-                let pred = g_val.matvec(&alpha)?;
-                let err = pred.sub(&f_val)?.norm2() / val_norm;
-                sums[ki][gi] += err;
-                counts[ki][gi] += 1;
-            }
-        }
-    }
-
-    let mut outcomes = Vec::with_capacity(2);
-    for ki in 0..2 {
-        let mut errors = Vec::new();
-        let mut best: Option<(f64, f64)> = None;
-        for (gi, &h) in config.grid.iter().enumerate() {
-            if counts[ki][gi] == 0 {
-                continue;
-            }
-            let mean = sums[ki][gi] / counts[ki][gi] as f64;
-            errors.push((h, mean));
-            if best.is_none_or(|(_, e)| mean < e) {
-                best = Some((h, mean));
-            }
-        }
-        let (best_hyper, best_error) = best.ok_or(BmfError::NotEnoughSamples {
-            available: k,
-            required: config.folds,
-            context: "cross-validation (all folds degenerate)",
-        })?;
-        outcomes.push(CvOutcome {
-            best_hyper,
-            best_error,
-            errors,
-        });
-    }
+    validate_cv(g, f, config)?;
+    let plan = FoldPlan::new(g, config.folds, config.seed)?;
+    let mut counters = FitCounters::default();
+    let mut outcomes = cv_on_plan(
+        &plan,
+        f,
+        prior,
+        &config.grid,
+        &[PriorKind::ZeroMean, PriorKind::NonZeroMean],
+        &mut counters,
+    )?;
     let nzm = outcomes.pop().expect("two outcomes");
     let zm = outcomes.pop().expect("two outcomes");
     Ok((zm, nzm))
@@ -366,7 +454,10 @@ mod tests {
         };
         assert!(matches!(
             cross_validate_hyper(&g, &f, &prior, &empty),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config {
+                parameter: "grid",
+                ..
+            })
         ));
         let one_fold = CvConfig {
             folds: 1,
@@ -374,7 +465,10 @@ mod tests {
         };
         assert!(matches!(
             cross_validate_hyper(&g, &f, &prior, &one_fold),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config {
+                parameter: "folds",
+                ..
+            })
         ));
         let neg = CvConfig {
             grid: vec![-1.0],
@@ -382,7 +476,10 @@ mod tests {
         };
         assert!(matches!(
             cross_validate_hyper(&g, &f, &prior, &neg),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config {
+                parameter: "grid",
+                ..
+            })
         ));
     }
 
@@ -422,5 +519,24 @@ mod tests {
             cross_validate_hyper(&g, &f, &prior, &cfg),
             Err(BmfError::NotEnoughSamples { .. })
         ));
+    }
+
+    #[test]
+    fn fold_plan_selects_each_row_once_as_validation() {
+        let g = design(13, 4, 8);
+        let plan = FoldPlan::new(&g, 5, 3).unwrap();
+        let mut seen = vec![false; 13];
+        for fold in &plan.folds {
+            assert_eq!(fold.g_train.nrows(), fold.train.len());
+            assert_eq!(fold.g_val.nrows(), fold.validate.len());
+            for (i, &row) in fold.validate.iter().enumerate() {
+                assert!(!seen[row], "row {row} validated twice");
+                seen[row] = true;
+                for j in 0..4 {
+                    assert_eq!(fold.g_val[(i, j)], g[(row, j)]);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

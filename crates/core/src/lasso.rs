@@ -71,7 +71,8 @@ pub struct LassoFit {
 ///
 /// * [`BmfError::SampleShape`] when `f.len() != g.nrows()`.
 /// * [`BmfError::NotEnoughSamples`] with fewer than 4 samples.
-/// * [`BmfError::InvalidConfig`] for bad configuration values.
+/// * [`BmfError::Config`] for bad configuration values (the error names
+///   the offending parameter).
 pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<LassoFit> {
     let (k, m) = g.shape();
     if f.len() != k {
@@ -86,15 +87,23 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
             context: "LASSO",
         });
     }
-    if config.path_len == 0 || !(config.min_ratio > 0.0 && config.min_ratio < 1.0) {
-        return Err(BmfError::InvalidConfig {
-            detail: "LASSO path needs path_len >= 1 and 0 < min_ratio < 1".into(),
-        });
+    if config.path_len == 0 {
+        return Err(BmfError::config(
+            "path_len",
+            "LASSO path needs path_len >= 1",
+        ));
+    }
+    if !(config.min_ratio > 0.0 && config.min_ratio < 1.0) {
+        return Err(BmfError::config(
+            "min_ratio",
+            format!("must satisfy 0 < min_ratio < 1, got {}", config.min_ratio),
+        ));
     }
     if !(0.0..0.9).contains(&config.validation_fraction) {
-        return Err(BmfError::InvalidConfig {
-            detail: "validation_fraction must be in [0, 0.9)".into(),
-        });
+        return Err(BmfError::config(
+            "validation_fraction",
+            format!("must be in [0, 0.9), got {}", config.validation_fraction),
+        ));
     }
 
     // Train/validation split.
@@ -344,7 +353,7 @@ mod tests {
         };
         assert!(matches!(
             fit_lasso(&basis, &points, &values, &bad),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config { .. })
         ));
         assert!(matches!(
             fit_lasso(&basis, &points[..2], &values[..2], &LassoConfig::default()),

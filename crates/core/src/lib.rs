@@ -24,7 +24,12 @@
 //!   (`σ₀` or `η`, §IV-D);
 //! * [`select`] — prior selection (BMF-PS): cross-validate both priors
 //!   and keep the better one;
-//! * [`fusion::BmfFitter`] — the top-level Algorithm 1.
+//! * [`fusion::BmfFitter`] — the top-level Algorithm 1;
+//! * [`options::FitOptions`] — one configuration type shared by every
+//!   fitting entry point;
+//! * [`batch::BatchFitter`] — the parallel batch engine that fits many
+//!   performance metrics over one shared sample-point set, evaluating
+//!   the design matrix once and sharing cross-validation kernels.
 //!
 //! # Quickstart
 //!
@@ -46,7 +51,7 @@
 //! let values: Vec<f64> = points.iter().map(|p| truth(p)).collect();
 //!
 //! let fit = BmfFitter::new(basis, early.iter().map(|&a| Some(a)).collect())?
-//!     .seed(7)
+//!     .with_options(bmf_core::options::FitOptions::new().seed(7))
 //!     .fit(&points, &values)?;
 //! // Five samples suffice because the prior carries the structure.
 //! let pred = fit.model.predict(&[1.0, 0.0, 0.0]);
@@ -59,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 pub mod applications;
+pub mod batch;
 mod error;
 pub mod fusion;
 pub mod hyper;
@@ -67,6 +73,7 @@ pub mod least_squares;
 pub mod map_estimate;
 pub mod model;
 pub mod omp;
+pub mod options;
 pub mod prior;
 pub mod select;
 pub mod sequential;

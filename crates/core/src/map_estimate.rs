@@ -25,6 +25,7 @@
 
 use bmf_linalg::{woodbury, Matrix, Vector};
 
+use crate::options::FitOptions;
 use crate::prior::Prior;
 use crate::{BmfError, Result};
 
@@ -51,12 +52,16 @@ impl std::fmt::Display for SolverKind {
 /// * `g` — the K × M design matrix (eq. 9) of the late-stage samples,
 /// * `f` — the K late-stage performance values,
 /// * `prior` — the coefficient prior (length M),
-/// * `hyper` — `σ₀²` (zero-mean) or `η` (nonzero-mean), chosen by
-///   cross-validation in practice (§IV-D),
-/// * `solver` — direct or fast; results agree to rounding error.
+/// * `options` — the unified fit configuration; this entry point uses
+///   [`FitOptions::hyper`] (`σ₀²` for the zero-mean prior, `η` for the
+///   nonzero-mean one — chosen by cross-validation in practice, §IV-D)
+///   and [`FitOptions::solver`] (direct or fast; results agree to
+///   rounding error).
 ///
 /// # Errors
 ///
+/// * [`BmfError::Config`] when `options.hyper` is not positive and
+///   finite.
 /// * [`BmfError::PriorShape`] when `prior.len() != g.ncols()`.
 /// * [`BmfError::SampleShape`] when `f.len() != g.nrows()`.
 /// * [`BmfError::NotEnoughSamples`] when more coefficients lack priors
@@ -67,7 +72,8 @@ impl std::fmt::Display for SolverKind {
 ///
 /// ```
 /// use bmf_linalg::{Matrix, Vector};
-/// use bmf_core::map_estimate::{map_estimate, SolverKind};
+/// use bmf_core::map_estimate::map_estimate;
+/// use bmf_core::options::FitOptions;
 /// use bmf_core::prior::{Prior, PriorKind};
 ///
 /// # fn main() -> Result<(), bmf_core::BmfError> {
@@ -75,13 +81,25 @@ impl std::fmt::Display for SolverKind {
 /// let g = Matrix::from_rows(&[&[1.0, 1.0]])?;
 /// let f = Vector::from(vec![2.0]);
 /// let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &[2.0, 0.01]);
-/// let alpha = map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast)?;
+/// let alpha = map_estimate(&g, &f, &prior, &FitOptions::new().hyper(1.0))?;
 /// // The first coefficient absorbs almost everything.
 /// assert!(alpha[0] > 10.0 * alpha[1].abs());
 /// # Ok(())
 /// # }
 /// ```
-pub fn map_estimate(
+pub fn map_estimate(g: &Matrix, f: &Vector, prior: &Prior, options: &FitOptions) -> Result<Vector> {
+    if !(options.hyper > 0.0 && options.hyper.is_finite()) {
+        return Err(BmfError::config(
+            "hyper",
+            format!("must be positive and finite, got {}", options.hyper),
+        ));
+    }
+    map_estimate_with(g, f, prior, options.hyper, options.solver)
+}
+
+/// Positional core of [`map_estimate`], shared with the cross-validating
+/// fitters (which supply a CV-selected hyper-parameter per call).
+pub(crate) fn map_estimate_with(
     g: &Matrix,
     f: &Vector,
     prior: &Prior,
@@ -361,7 +379,7 @@ impl MapSweep {
 /// # Errors
 ///
 /// * The structural conditions of [`map_estimate`].
-/// * [`BmfError::InvalidConfig`] when the prior has missing entries
+/// * [`BmfError::Config`] when the prior has missing entries
 ///   (their posterior variance requires the augmented path — use
 ///   [`posterior_covariance`] at small M).
 pub fn posterior_variance_diag(g: &Matrix, prior: &Prior, hyper: f64) -> Result<Vec<f64>> {
@@ -373,9 +391,10 @@ pub fn posterior_variance_diag(g: &Matrix, prior: &Prior, hyper: f64) -> Result<
         });
     }
     if prior.num_missing() > 0 {
-        return Err(BmfError::InvalidConfig {
-            detail: "fast posterior variances require finite priors everywhere".into(),
-        });
+        return Err(BmfError::config(
+            "prior",
+            "fast posterior variances require finite priors everywhere",
+        ));
     }
     let precisions = prior.precisions(hyper);
     let d_inv: Vec<f64> = precisions.iter().map(|d| 1.0 / d).collect();
@@ -438,8 +457,8 @@ mod tests {
         let f = Vector::from_fn(8, |i| (i as f64).sin());
         let early: Vec<f64> = (0..30).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &early);
-        let a = map_estimate(&g, &f, &prior, 0.5, SolverKind::Direct).unwrap();
-        let b = map_estimate(&g, &f, &prior, 0.5, SolverKind::Fast).unwrap();
+        let a = map_estimate_with(&g, &f, &prior, 0.5, SolverKind::Direct).unwrap();
+        let b = map_estimate_with(&g, &f, &prior, 0.5, SolverKind::Fast).unwrap();
         let rel = a.sub(&b).unwrap().norm2() / a.norm2().max(1e-30);
         assert!(rel < 1e-8, "solver disagreement: {rel}");
     }
@@ -452,8 +471,8 @@ mod tests {
         early[3] = None;
         early[17] = None;
         let prior = Prior::new(PriorKind::NonZeroMean, early);
-        let a = map_estimate(&g, &f, &prior, 2.0, SolverKind::Direct).unwrap();
-        let b = map_estimate(&g, &f, &prior, 2.0, SolverKind::Fast).unwrap();
+        let a = map_estimate_with(&g, &f, &prior, 2.0, SolverKind::Direct).unwrap();
+        let b = map_estimate_with(&g, &f, &prior, 2.0, SolverKind::Fast).unwrap();
         let rel = a.sub(&b).unwrap().norm2() / a.norm2().max(1e-30);
         assert!(rel < 1e-8, "solver disagreement: {rel}");
     }
@@ -466,7 +485,7 @@ mod tests {
         let early = [1.0, -0.5, 0.25, 2.0, -1.5, 0.75];
         let f = g.matvec(&Vector::from(early.to_vec())).unwrap();
         let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
-        let a = map_estimate(&g, &f, &prior, 1e9, SolverKind::Fast).unwrap();
+        let a = map_estimate_with(&g, &f, &prior, 1e9, SolverKind::Fast).unwrap();
         for (ai, ei) in a.iter().zip(early.iter()) {
             assert!((ai - ei).abs() < 1e-4, "{ai} vs {ei}");
         }
@@ -479,7 +498,7 @@ mod tests {
         let truth = Vector::from(vec![1.0, -2.0, 0.5, 0.0, 3.0]);
         let f = g.matvec(&truth).unwrap();
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 5]);
-        let a = map_estimate(&g, &f, &prior, 1e-10, SolverKind::Direct).unwrap();
+        let a = map_estimate_with(&g, &f, &prior, 1e-10, SolverKind::Direct).unwrap();
         for (ai, ti) in a.iter().zip(truth.iter()) {
             assert!((ai - ti).abs() < 1e-5, "{ai} vs {ti}");
         }
@@ -508,7 +527,7 @@ mod tests {
             .map(|(i, t)| t * (1.0 + 0.1 * ((i as f64).sin())))
             .collect();
         let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
-        let a = map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast).unwrap();
+        let a = map_estimate_with(&g, &f, &prior, 1.0, SolverKind::Fast).unwrap();
         let err: f64 = a
             .iter()
             .zip(&truth)
@@ -529,7 +548,7 @@ mod tests {
             PriorKind::NonZeroMean,
             vec![Some(1.0), Some(0.5), None, Some(0.25)],
         );
-        let a = map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast).unwrap();
+        let a = map_estimate_with(&g, &f, &prior, 1.0, SolverKind::Fast).unwrap();
         assert!((a[2] + 2.0).abs() < 0.1, "missing-prior coeff {}", a[2]);
     }
 
@@ -542,7 +561,7 @@ mod tests {
             vec![None, None, None, Some(1.0), Some(1.0)],
         );
         assert!(matches!(
-            map_estimate(&g, &f, &prior, 1.0, SolverKind::Fast),
+            map_estimate_with(&g, &f, &prior, 1.0, SolverKind::Fast),
             Err(BmfError::NotEnoughSamples { .. })
         ));
     }
@@ -552,12 +571,12 @@ mod tests {
         let g = random_design(3, 4, 8);
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 3]); // wrong len
         assert!(matches!(
-            map_estimate(&g, &Vector::zeros(3), &prior, 1.0, SolverKind::Fast),
+            map_estimate_with(&g, &Vector::zeros(3), &prior, 1.0, SolverKind::Fast),
             Err(BmfError::PriorShape { .. })
         ));
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 4]);
         assert!(matches!(
-            map_estimate(&g, &Vector::zeros(5), &prior, 1.0, SolverKind::Fast),
+            map_estimate_with(&g, &Vector::zeros(5), &prior, 1.0, SolverKind::Fast),
             Err(BmfError::SampleShape { .. })
         ));
     }
@@ -574,7 +593,7 @@ mod tests {
             let sweep = MapSweep::new(&g, &prior).unwrap();
             for &h in &[1e-3, 0.1, 1.0, 30.0] {
                 let a = sweep.solve(&f, h).unwrap();
-                let b = map_estimate(&g, &f, &prior, h, SolverKind::Direct).unwrap();
+                let b = map_estimate_with(&g, &f, &prior, h, SolverKind::Direct).unwrap();
                 let rel = a.sub(&b).unwrap().norm2() / b.norm2().max(1e-30);
                 assert!(rel < 1e-7, "sweep mismatch at h={h} kind={kind:?}: {rel}");
             }
@@ -591,7 +610,7 @@ mod tests {
         );
         let sweep = MapSweep::new(&g, &prior).unwrap();
         let a = sweep.solve(&f, 0.7).unwrap();
-        let b = map_estimate(&g, &f, &prior, 0.7, SolverKind::Fast).unwrap();
+        let b = map_estimate_with(&g, &f, &prior, 0.7, SolverKind::Fast).unwrap();
         assert!(a.sub(&b).unwrap().norm2() < 1e-9 * b.norm2().max(1.0));
     }
 
@@ -624,7 +643,7 @@ mod tests {
         );
         assert!(matches!(
             posterior_variance_diag(&g, &prior, 1.0),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config { .. })
         ));
     }
 

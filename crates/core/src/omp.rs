@@ -64,7 +64,8 @@ pub struct OmpFit {
 /// * [`BmfError::SampleShape`] when `f.len() != g.nrows()`.
 /// * [`BmfError::NotEnoughSamples`] when fewer than 4 samples are given
 ///   (no meaningful train/validation split exists).
-/// * [`BmfError::InvalidConfig`] for a bad validation fraction.
+/// * [`BmfError::Config`] (parameter `"validation_fraction"`) for a bad
+///   validation fraction.
 pub fn fit_omp_design(g: &Matrix, f: &Vector, config: &OmpConfig) -> Result<OmpFit> {
     let (k, m) = g.shape();
     if f.len() != k {
@@ -80,12 +81,10 @@ pub fn fit_omp_design(g: &Matrix, f: &Vector, config: &OmpConfig) -> Result<OmpF
         });
     }
     if !(0.0..0.9).contains(&config.validation_fraction) {
-        return Err(BmfError::InvalidConfig {
-            detail: format!(
-                "validation_fraction must be in [0, 0.9), got {}",
-                config.validation_fraction
-            ),
-        });
+        return Err(BmfError::config(
+            "validation_fraction",
+            format!("must be in [0, 0.9), got {}", config.validation_fraction),
+        ));
     }
 
     // Train/validation split.
@@ -373,7 +372,7 @@ mod tests {
         };
         assert!(matches!(
             fit_omp(&basis, &points, &values, &cfg),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config { .. })
         ));
     }
 

@@ -9,7 +9,8 @@
 
 use bmf_linalg::{Matrix, Vector};
 
-use crate::hyper::{cross_validate_hyper, CvConfig, CvOutcome};
+use crate::fusion::FitCounters;
+use crate::hyper::{cross_validate_hyper, cv_on_plan, CvConfig, CvOutcome, FoldPlan};
 use crate::prior::{Prior, PriorKind};
 use crate::Result;
 
@@ -56,34 +57,94 @@ pub fn select_prior(
     match selection {
         PriorSelection::Fixed(kind) => {
             let out = cross_validate_hyper(g, f, &prior.with_kind(kind), config)?;
-            let (zero_mean, nonzero_mean) = match kind {
-                PriorKind::ZeroMean => (Some(out.clone()), None),
-                PriorKind::NonZeroMean => (None, Some(out.clone())),
-            };
-            Ok(SelectionOutcome {
-                kind,
-                hyper: out.best_hyper,
-                cv_error: out.best_error,
-                zero_mean,
-                nonzero_mean,
-            })
+            Ok(choose(selection, kind_outcomes(kind, out)))
         }
         PriorSelection::Auto => {
             let (zm, nzm) = crate::hyper::cross_validate_both(g, f, prior, config)?;
-            let (kind, hyper, cv_error) = if zm.best_error <= nzm.best_error {
+            Ok(choose(selection, (Some(zm), Some(nzm))))
+        }
+    }
+}
+
+/// The prior-family list a selection policy cross-validates, in the
+/// fixed engine order (zero-mean before nonzero-mean).
+pub(crate) fn kinds_for(selection: PriorSelection) -> Vec<PriorKind> {
+    match selection {
+        PriorSelection::Fixed(kind) => vec![kind],
+        PriorSelection::Auto => vec![PriorKind::ZeroMean, PriorKind::NonZeroMean],
+    }
+}
+
+fn kind_outcomes(kind: PriorKind, out: CvOutcome) -> (Option<CvOutcome>, Option<CvOutcome>) {
+    match kind {
+        PriorKind::ZeroMean => (Some(out), None),
+        PriorKind::NonZeroMean => (None, Some(out)),
+    }
+}
+
+/// Picks the winning `(kind, hyper)` from per-family CV outcomes —
+/// the decision rule of BMF-PS, shared by [`select_prior`],
+/// [`crate::fusion::BmfFitter`], and [`crate::batch::BatchFitter`].
+pub(crate) fn choose(
+    selection: PriorSelection,
+    outcomes: (Option<CvOutcome>, Option<CvOutcome>),
+) -> SelectionOutcome {
+    let (zero_mean, nonzero_mean) = outcomes;
+    let (kind, hyper, cv_error) = match (selection, &zero_mean, &nonzero_mean) {
+        (PriorSelection::Fixed(kind), Some(out), None)
+        | (PriorSelection::Fixed(kind), None, Some(out)) => (kind, out.best_hyper, out.best_error),
+        (_, Some(zm), Some(nzm)) => {
+            if zm.best_error <= nzm.best_error {
                 (PriorKind::ZeroMean, zm.best_hyper, zm.best_error)
             } else {
                 (PriorKind::NonZeroMean, nzm.best_hyper, nzm.best_error)
-            };
-            Ok(SelectionOutcome {
-                kind,
-                hyper,
-                cv_error,
-                zero_mean: Some(zm),
-                nonzero_mean: Some(nzm),
-            })
+            }
         }
+        _ => unreachable!("selection policy and outcome arity always agree"),
+    };
+    SelectionOutcome {
+        kind,
+        hyper,
+        cv_error,
+        zero_mean,
+        nonzero_mean,
     }
+}
+
+/// Plan-based selection used by the fitting engines: cross-validates the
+/// families `selection` requires over a pre-built [`FoldPlan`] (sharing
+/// fold matrices and Woodbury kernels), counting work into `counters`.
+pub(crate) fn select_prior_on_plan(
+    plan: &FoldPlan,
+    f: &Vector,
+    prior: &Prior,
+    selection: PriorSelection,
+    grid: &[f64],
+    counters: &mut FitCounters,
+) -> Result<SelectionOutcome> {
+    let kinds = kinds_for(selection);
+    let outcomes = cv_on_plan(plan, f, prior, grid, &kinds, counters)?;
+    Ok(choose_from_list(selection, outcomes))
+}
+
+/// Packs the per-family outcome list produced by
+/// [`cv_on_plan`] (ordered as [`kinds_for`] orders the families) and
+/// applies the decision rule.
+pub(crate) fn choose_from_list(
+    selection: PriorSelection,
+    mut outcomes: Vec<CvOutcome>,
+) -> SelectionOutcome {
+    let packed = match selection {
+        PriorSelection::Fixed(kind) => {
+            kind_outcomes(kind, outcomes.pop().expect("one outcome per kind"))
+        }
+        PriorSelection::Auto => {
+            let nzm = outcomes.pop().expect("two outcomes");
+            let zm = outcomes.pop().expect("two outcomes");
+            (Some(zm), Some(nzm))
+        }
+    };
+    choose(selection, packed)
 }
 
 #[cfg(test)]

@@ -61,13 +61,14 @@ impl SequentialBmf {
     ///
     /// # Errors
     ///
-    /// Returns [`BmfError::InvalidConfig`] when the prior has missing
-    /// entries (see module docs).
+    /// Returns [`BmfError::Config`] (parameter `"prior"`) when the prior
+    /// has missing entries (see module docs).
     pub fn new(prior: &Prior, hyper: f64) -> Result<Self> {
         if prior.num_missing() > 0 {
-            return Err(BmfError::InvalidConfig {
-                detail: "sequential BMF requires finite priors for every coefficient".into(),
-            });
+            return Err(BmfError::config(
+                "prior",
+                "sequential BMF requires finite priors for every coefficient",
+            ));
         }
         let precisions = prior.precisions(hyper);
         let d_inv: Vec<f64> = precisions.iter().map(|d| 1.0 / d).collect();
@@ -170,7 +171,7 @@ fn weighted_dot(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::map_estimate::{map_estimate, SolverKind};
+    use crate::map_estimate::{map_estimate_with, SolverKind};
     use crate::prior::PriorKind;
     use bmf_stat::normal::StandardNormal;
     use bmf_stat::rng::seeded;
@@ -197,7 +198,7 @@ mod tests {
             let g = Matrix::from_rows(&rows[..=k].iter().map(|r| r.as_slice()).collect::<Vec<_>>())
                 .unwrap();
             let f = Vector::from(&values[..=k]);
-            let batch = map_estimate(&g, &f, &prior, 2.0, SolverKind::Fast).unwrap();
+            let batch = map_estimate_with(&g, &f, &prior, 2.0, SolverKind::Fast).unwrap();
             let rel = online.sub(&batch).unwrap().norm2() / batch.norm2().max(1e-30);
             assert!(rel < 1e-9, "divergence at sample {k}: {rel}");
         }
@@ -221,7 +222,7 @@ mod tests {
         let prior = Prior::new(PriorKind::ZeroMean, vec![Some(1.0), None]);
         assert!(matches!(
             SequentialBmf::new(&prior, 1.0),
-            Err(BmfError::InvalidConfig { .. })
+            Err(BmfError::Config { .. })
         ));
     }
 

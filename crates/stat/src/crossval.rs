@@ -113,7 +113,17 @@ impl KFold {
 
     /// Returns all K folds.
     pub fn folds(&self) -> Vec<Fold> {
-        (0..self.k).map(|i| self.fold(i)).collect()
+        self.iter().collect()
+    }
+
+    /// Lazily iterates over all K folds in order.
+    ///
+    /// Equivalent to [`folds`](Self::folds) without the intermediate
+    /// `Vec<Fold>` — callers that turn each split into richer per-fold
+    /// state (materialized sub-matrices, a reusable fold plan) can stream
+    /// the splits and keep only their own representation.
+    pub fn iter(&self) -> impl Iterator<Item = Fold> + '_ {
+        (0..self.k).map(|i| self.fold(i))
     }
 
     /// Returns fold `i`.
@@ -195,6 +205,13 @@ mod tests {
             KFold::new(3, 5, 0),
             Err(KFoldError::MoreFoldsThanSamples { .. })
         ));
+    }
+
+    #[test]
+    fn iter_matches_folds() {
+        let kf = KFold::new(17, 4, 5).unwrap();
+        let streamed: Vec<Fold> = kf.iter().collect();
+        assert_eq!(streamed, kf.folds());
     }
 
     #[test]

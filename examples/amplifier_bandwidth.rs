@@ -14,6 +14,7 @@ use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::applications::{yield_monte_carlo, Spec};
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let amp = Amplifier::new(AmplifierConfig::default(), 99);
@@ -48,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
 
     let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior)?
-        .seed(4)
+        .with_options(FitOptions::new().seed(4))
         .fit(&lay.points, &lay.values)?;
     let bmf_err = fit
         .model

@@ -13,6 +13,7 @@ use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::applications::worst_case_corner;
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mirror = CurrentMirror::new(MirrorConfig::default(), 2026);
@@ -45,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
     let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior)?
-        .seed(8)
+        .with_options(FitOptions::new().seed(8))
         .fit(&lay.points, &lay.values)?;
     let err = fit
         .model

@@ -11,6 +11,7 @@ use bmf_circuits::sim::monte_carlo;
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_circuits::synthetic::{SyntheticCircuit, SyntheticConfig};
 use bmf_core::fusion::BmfFitter;
+use bmf_core::options::FitOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let early_vars = 60;
@@ -42,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut with_missing = known.clone();
     with_missing.extend(std::iter::repeat_n(None, extra));
     let fit = BmfFitter::new(OrthonormalBasis::linear(late_vars), with_missing)?
-        .seed(3)
+        .with_options(FitOptions::new().seed(3))
         .fit(&train.points, &train.values)?;
     let err_flat = fit
         .model
@@ -69,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|p| p[..early_vars].to_vec())
         .collect();
     let fit_naive = BmfFitter::new(OrthonormalBasis::linear(early_vars), known)?
-        .seed(3)
+        .with_options(FitOptions::new().seed(3))
         .fit(&trunc, &train.values)?;
     let trunc_test: Vec<Vec<f64>> = test
         .points

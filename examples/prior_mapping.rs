@@ -12,6 +12,7 @@ use bmf_circuits::sim::monte_carlo;
 use bmf_circuits::stage::Stage;
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dp = DiffPair::new(DiffPairConfig::default());
@@ -44,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lay = monte_carlo(&vos, Stage::PostLayout, k, 2);
     let test = monte_carlo(&vos, Stage::PostLayout, 400, 3);
     let fit = BmfFitter::from_mapped_early_model(&expanded, alpha_e, vec![])?
-        .folds(4)
-        .seed(11)
+        .with_options(FitOptions::new().folds(4).seed(11))
         .fit(&lay.points, &lay.values)?;
     let bmf_err = fit
         .model

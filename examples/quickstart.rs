@@ -16,6 +16,7 @@ use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_circuits::synthetic::{SyntheticCircuit, SyntheticConfig};
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The "circuit": 80 schematic variables, 8 extra post-layout
@@ -54,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     prior.extend(std::iter::repeat_n(None, late_vars - early_vars));
 
     let fit = BmfFitter::new(late_basis.clone(), prior)?
-        .seed(7)
+        .with_options(FitOptions::new().seed(7))
         .fit(&lay.points, &lay.values)?;
     let bmf_err = fit
         .model

@@ -12,6 +12,7 @@ use bmf_circuits::sram::{SramConfig, SramReadPath};
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_stat::histogram::Histogram;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -71,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
 
     let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior)?
-        .seed(9)
+        .with_options(FitOptions::new().seed(9))
         .fit(&lay.points, &lay.values)?;
     let bmf_err = fit
         .model

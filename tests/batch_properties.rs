@@ -1,0 +1,85 @@
+//! Property test: for random job counts, priors, and responses, the
+//! batch engine agrees bit-for-bit with a serial `BmfFitter` loop —
+//! under a randomized thread count, so the schedule varies too.
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_core::batch::{BatchFitter, BatchJob};
+use bmf_core::fusion::BmfFitter;
+use bmf_core::options::FitOptions;
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::prop;
+
+#[test]
+fn batch_equals_serial_loop_for_random_jobs() {
+    prop::check("batch == serial loop", 16, |rng| {
+        let r = 3 + rng.gen_index(5);
+        let k = 10 + rng.gen_index(8);
+        let num_jobs = 1 + rng.gen_index(5);
+        let threads = 1 + rng.gen_index(4);
+        let folds = 3 + rng.gen_index(2);
+        let seed = rng.next_u64();
+
+        let mut normal = StandardNormal::new();
+        let points: Vec<Vec<f64>> = (0..k).map(|_| normal.sample_vec(rng, r)).collect();
+
+        let basis = OrthonormalBasis::linear(r);
+        let opts = FitOptions::new().folds(folds).seed(seed).threads(threads);
+        let mut batch = BatchFitter::new(basis.clone()).with_options(opts.clone());
+        let mut jobs: Vec<(Vec<Option<f64>>, Vec<f64>)> = Vec::new();
+        for _ in 0..num_jobs {
+            let truth = prop::vec_in(rng, -2.0, 2.0, r + 1);
+            let values: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    truth[0]
+                        + p.iter()
+                            .enumerate()
+                            .map(|(i, x)| truth[i + 1] * x)
+                            .sum::<f64>()
+                })
+                .collect();
+            let early: Vec<Option<f64>> = truth
+                .iter()
+                .map(|t| (!rng.gen_bool(0.1)).then_some(t * 1.05))
+                .collect();
+            batch.push_job(BatchJob::new("job", early.clone(), values.clone()));
+            jobs.push((early, values));
+        }
+
+        let report = match batch.fit(&points) {
+            Ok(r) => r,
+            // Degenerate draws (e.g. too many missing priors per fold) must
+            // fail identically in the serial path; checked below.
+            Err(batch_err) => {
+                let (early, values) = &jobs[0];
+                let serial_err = BmfFitter::new(basis.clone(), early.clone())
+                    .unwrap()
+                    .with_options(opts.clone())
+                    .fit(&points, values);
+                assert!(
+                    serial_err.is_err() || jobs.len() > 1,
+                    "batch failed ({batch_err:?}) where the serial loop succeeds"
+                );
+                return;
+            }
+        };
+
+        for (j, (early, values)) in jobs.iter().enumerate() {
+            let serial = BmfFitter::new(basis.clone(), early.clone())
+                .unwrap()
+                .with_options(opts.clone())
+                .fit(&points, values)
+                .expect("serial fit must succeed when the batch did");
+            let batch_bits: Vec<u64> = report.fits[j]
+                .model
+                .coeffs()
+                .iter()
+                .map(|c| c.to_bits())
+                .collect();
+            let serial_bits: Vec<u64> = serial.model.coeffs().iter().map(|c| c.to_bits()).collect();
+            assert_eq!(batch_bits, serial_bits, "job {j} diverged");
+            assert_eq!(report.fits[j].prior_kind, serial.prior_kind);
+            assert_eq!(report.fits[j].hyper.to_bits(), serial.hyper.to_bits());
+        }
+    });
+}

@@ -8,6 +8,7 @@ use bmf_circuits::sim::{monte_carlo, monte_carlo_par, CostLedger};
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::PriorKind;
 use bmf_core::select::PriorSelection;
 
@@ -53,7 +54,7 @@ fn fused_model_beats_prior_free_baseline() {
         prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
         let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior)
             .expect("fitter")
-            .seed(5)
+            .with_options(FitOptions::new().seed(5))
             .fit(&lay.points, &lay.values)
             .expect("bmf fit");
         let bmf_err = fit
@@ -105,7 +106,7 @@ fn bmf_error_improves_with_more_samples() {
     for k in [40usize, 160] {
         let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior.clone())
             .expect("fitter")
-            .seed(9)
+            .with_options(FitOptions::new().seed(9))
             .fit(&lay.points[..k], &lay.values[..k])
             .expect("fit");
         errs.push(
@@ -149,8 +150,7 @@ fn prior_selection_is_consistent() {
     ] {
         let fit = BmfFitter::new(basis.clone(), prior.clone())
             .expect("fitter")
-            .prior_selection(sel)
-            .seed(3)
+            .with_options(FitOptions::new().selection(sel).seed(3))
             .fit(&lay.points, &lay.values)
             .expect("fit");
         cv_errors.push(fit.cv_error);

@@ -8,6 +8,7 @@ use bmf_circuits::sim::monte_carlo;
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::fusion::BmfFitter;
 use bmf_core::omp::{fit_omp, OmpConfig};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::{Prior, PriorKind};
 
 #[test]
@@ -44,8 +45,7 @@ fn mapped_prior_preserves_variance_and_fits() {
     let test = monte_carlo(&vos, Stage::PostLayout, 300, 3);
     let fit = BmfFitter::from_mapped_early_model(&expanded, alpha_e, vec![])
         .expect("fitter")
-        .folds(4)
-        .seed(5)
+        .with_options(FitOptions::new().folds(4).seed(5))
         .fit(&lay.points, &lay.values)
         .expect("fit");
     let err = fit

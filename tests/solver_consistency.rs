@@ -6,6 +6,7 @@
 //! its seed for replay via `BMF_PROP_CASE_SEED`.
 
 use bmf_core::map_estimate::{map_estimate, MapSweep, SolverKind};
+use bmf_core::options::FitOptions;
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::prop::{check, vec_in};
@@ -50,8 +51,13 @@ fn fast_equals_direct() {
         if prior.num_missing() > 6 {
             return; // fast solver requires missing count ≤ sample count
         }
-        let fast = map_estimate(&g, &f, &prior, hyper, SolverKind::Fast);
-        let direct = map_estimate(&g, &f, &prior, hyper, SolverKind::Direct);
+        let fast = map_estimate(&g, &f, &prior, &FitOptions::new().hyper(hyper));
+        let direct = map_estimate(
+            &g,
+            &f,
+            &prior,
+            &FitOptions::new().hyper(hyper).solver(SolverKind::Direct),
+        );
         match (fast, direct) {
             (Ok(a), Ok(b)) => {
                 let scale = b.norm2().max(1.0);
@@ -86,7 +92,7 @@ fn sweep_equals_one_shot() {
         };
         match (
             sweep.solve(&f, hyper),
-            map_estimate(&g, &f, &prior, hyper, SolverKind::Fast),
+            map_estimate(&g, &f, &prior, &FitOptions::new().hyper(hyper)),
         ) {
             (Ok(a), Ok(b)) => {
                 let scale = b.norm2().max(1.0);
@@ -106,7 +112,7 @@ fn interpolation_property_with_strong_data() {
         let g = design(rng, 12, 8);
         let f = Vector::from(vec_in(rng, -2.0, 2.0, 12));
         let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0; 8]);
-        let alpha = match map_estimate(&g, &f, &prior, 1e-9, SolverKind::Fast) {
+        let alpha = match map_estimate(&g, &f, &prior, &FitOptions::new().hyper(1e-9)) {
             Ok(a) => a,
             Err(_) => return,
         };
@@ -125,7 +131,7 @@ fn strong_prior_dominates_sparse_data() {
         let early = vec_in(rng, 0.1, 2.0, 10);
         let f = Vector::from(vec_in(rng, -2.0, 2.0, 3));
         let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
-        let alpha = map_estimate(&g, &f, &prior, 1e12, SolverKind::Fast).unwrap();
+        let alpha = map_estimate(&g, &f, &prior, &FitOptions::new().hyper(1e12)).unwrap();
         for (a, e) in alpha.iter().zip(&early) {
             assert!((a - e).abs() < 1e-3, "{a} vs {e}");
         }
