@@ -120,16 +120,29 @@ impl OrthonormalBasis {
     ///
     /// Panics when `x.len() != self.num_vars()`.
     pub fn row(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.terms.len()];
+        self.fill_row(x, &mut out);
+        out
+    }
+
+    /// Evaluates every term at `x` into a caller-owned row buffer
+    /// (fully overwritten) — the allocation-free core of [`Self::row`],
+    /// used by the design-matrix assembly loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.num_vars()` or
+    /// `out.len() != self.len()`.
+    pub fn fill_row(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.num_vars, "point dimension mismatch");
-        self.terms
-            .iter()
-            .map(|t| {
-                t.pairs()
-                    .iter()
-                    .map(|&(v, d)| hermite_normalized(d as usize, x[v]))
-                    .product()
-            })
-            .collect()
+        assert_eq!(out.len(), self.terms.len(), "row buffer length mismatch");
+        for (o, t) in out.iter_mut().zip(&self.terms) {
+            *o = t
+                .pairs()
+                .iter()
+                .map(|&(v, d)| hermite_normalized(d as usize, x[v]))
+                .product();
+        }
     }
 
     /// Builds the K × M design matrix `G` (eq. 9) for K sample points given
@@ -142,10 +155,13 @@ impl OrthonormalBasis {
     where
         I: IntoIterator<Item = &'a [f64]>,
     {
+        let m = self.len();
         let mut data: Vec<f64> = Vec::new();
         let mut rows = 0;
         for x in samples {
-            data.extend(self.row(x));
+            data.resize(data.len() + m, 0.0);
+            let start = data.len() - m;
+            self.fill_row(x, &mut data[start..]);
             rows += 1;
         }
         Matrix::from_row_major(rows, self.len(), data).expect("rows are uniform by construction")
@@ -159,7 +175,19 @@ impl OrthonormalBasis {
     /// dimension.
     pub fn evaluate_model(&self, coeffs: &[f64], x: &[f64]) -> f64 {
         assert_eq!(coeffs.len(), self.len(), "coefficient count mismatch");
-        self.row(x).iter().zip(coeffs).map(|(g, a)| g * a).sum()
+        assert_eq!(x.len(), self.num_vars, "point dimension mismatch");
+        self.terms
+            .iter()
+            .zip(coeffs)
+            .map(|(t, a)| {
+                let g: f64 = t
+                    .pairs()
+                    .iter()
+                    .map(|&(v, d)| hermite_normalized(d as usize, x[v]))
+                    .product();
+                g * a
+            })
+            .sum()
     }
 
     /// Analytic gradient `∇_x Σ_m coeffs[m]·g_m(x)`, using

@@ -276,19 +276,32 @@ impl ExpandedBasis {
     ///
     /// Panics when `schematic_coeffs.len() != self.num_schematic_terms()`.
     pub fn map_coefficients(&self, schematic_coeffs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.basis.len()];
+        self.map_coefficients_into(schematic_coeffs, &mut out);
+        out
+    }
+
+    /// [`Self::map_coefficients`] into a caller-owned buffer (fully
+    /// overwritten), for callers that re-map coefficients in a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `schematic_coeffs.len() != self.num_schematic_terms()`
+    /// or `out.len() != self.basis().len()`.
+    pub fn map_coefficients_into(&self, schematic_coeffs: &[f64], out: &mut [f64]) {
         assert_eq!(
             schematic_coeffs.len(),
             self.groups.len(),
             "coefficient count mismatch"
         );
-        let mut out = vec![0.0; self.basis.len()];
+        assert_eq!(out.len(), self.basis.len(), "output length mismatch");
+        out.fill(0.0);
         for (m, group) in self.groups.iter().enumerate() {
             let beta = schematic_coeffs[m] / (group.len() as f64).sqrt();
             for &t in group {
                 out[t] = beta;
             }
         }
-        out
     }
 }
 

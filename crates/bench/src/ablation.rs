@@ -366,9 +366,9 @@ pub fn hyper_sensitivity(scale: Scale, seed: u64) -> Result<Report> {
     let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 1));
     let test = monte_carlo(&circuit, Stage::PostLayout, 300, derive_seed(seed, 2));
     let g = basis.design_matrix(train.point_slices());
-    let f = Vector::from(train.values.clone());
+    let f = Vector::from(train.values);
     let g_test = basis.design_matrix(test.point_slices());
-    let f_test = Vector::from(test.values.clone());
+    let f_test = Vector::from(test.values);
     let test_norm = f_test.norm2();
 
     let grid = log_grid(1e-4, 1e4, 13);

@@ -43,6 +43,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("ablation-baselines", "OMP vs LASSO vs LS vs BMF-PS"),
     ("nonlinear", "BMF with a degree-2 Hermite basis"),
     ("batch", "batch fitting vs serial loop throughput"),
+    ("allocs", "heap allocations per cross-validated fit"),
 ];
 
 struct Args {
@@ -214,6 +215,7 @@ fn run_experiment(id: &str, scale: Scale, seed: u64) -> Result<Report, String> {
         "ablation-baselines" => ablation::baseline_comparison(scale, seed).map_err(err),
         "nonlinear" => ablation::nonlinear_study(scale, seed).map_err(err),
         "batch" => bmf_bench::batch_study::batch_throughput(scale, seed).map_err(err),
+        "allocs" => bmf_bench::allocs_study::allocation_study(scale, seed).map_err(err),
         other => Err(format!("unknown experiment '{other}'\n{}", usage())),
     }
 }

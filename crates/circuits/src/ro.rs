@@ -239,7 +239,7 @@ impl RingOscillator {
         let interdie_delay =
             decaying_weights(interdie.clone(), config.interdie_delay_sigma, 1.0, seed, 0);
         let interdie_leak = decaying_weights(interdie.clone(), 0.10, 1.2, seed, 1);
-        let interdie_cap = decaying_weights(interdie.clone(), 0.015, 1.5, seed, 2);
+        let interdie_cap = decaying_weights(interdie, 0.015, 1.5, seed, 2);
 
         let mut sch = Vec::with_capacity(config.stages);
         for (s, trs) in stage_mismatch.iter().enumerate() {
@@ -447,7 +447,6 @@ fn decaying_weights(
     let mut rng = seeded(derive_seed(seed, 77_000 + stream));
     let mut sampler = StandardNormal::new();
     let mut w: Vec<(usize, f64)> = range
-        .clone()
         .enumerate()
         .map(|(j, var)| {
             let u = sampler.sample(&mut rng);

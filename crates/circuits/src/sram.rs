@@ -454,7 +454,6 @@ fn decaying(
     let mut rng = seeded(derive_seed(seed, 66_000 + stream));
     let mut sampler = StandardNormal::new();
     let mut w: Vec<(usize, f64)> = range
-        .clone()
         .enumerate()
         .map(|(j, var)| {
             let u = sampler.sample(&mut rng);

@@ -219,6 +219,8 @@ pub fn worst_case_corner(
         if norm(&g) == 0.0 {
             break;
         }
+        // Clone: the projected trial point may be rejected, in which case
+        // the iteration must resume from the unmodified `x`.
         let mut next = x.clone();
         project(&mut next, &g, sign, sigma_radius);
         let next_value = model.predict(&next);

@@ -61,11 +61,12 @@ use bmf_linalg::Vector;
 
 use crate::fusion::{response_scale, BmfFit, FitCounters};
 use crate::hyper::{build_fold_sweep, reduce_outcomes, sweep_fold, FoldErrors, FoldPlan};
-use crate::map_estimate::{map_estimate_with, MapSweep};
+use crate::map_estimate::{map_estimate_ws, MapSweep};
 use crate::model::PerformanceModel;
 use crate::options::{validate_folds, validate_grid, FitOptions};
 use crate::prior::{Prior, PriorKind};
 use crate::select::{choose_from_list, kinds_for};
+use crate::workspace::SolveWorkspace;
 use crate::{BmfError, Result};
 
 /// One batch job: a response vector plus its early-stage prior, fitted
@@ -240,7 +241,7 @@ impl BatchFitter {
         let g = self
             .basis
             .design_matrix(points.iter().map(|p| p.as_slice()));
-        let plan = FoldPlan::new(&g, self.options.folds, self.options.seed)?;
+        let plan = FoldPlan::new(g.nrows(), self.options.folds, self.options.seed)?;
         let num_folds = plan.folds.len();
         let prepared: Vec<PreparedJob> = self.jobs.iter().map(PreparedJob::new).collect();
 
@@ -274,11 +275,12 @@ impl BatchFitter {
         // (pattern, fold) pair. `None` marks a fold too small for the
         // pattern's missing-prior block (skipped, as in the serial path).
         let t1 = Instant::now();
-        let kernels: Vec<Result<Option<MapSweep>>> =
+        let kernels: Vec<Result<Option<MapSweep<'_>>>> =
             run_indexed(threads, num_patterns * num_folds, |task| {
                 let (pi, fi) = (task / num_folds, task % num_folds);
                 let mut scratch = FitCounters::default();
                 build_fold_sweep(
+                    &g,
                     &plan.folds[fi],
                     &prepared[pattern_owner[pi]].prior,
                     &mut scratch,
@@ -287,77 +289,91 @@ impl BatchFitter {
         let kernels = first_error(kernels)?;
         timings.kernels = t1.elapsed();
 
-        // Phase 3 (parallel): one grid sweep per (job, fold) pair.
+        // Phase 3 (parallel): one grid sweep per (job, fold) pair, each
+        // worker reusing its own solve workspace across tasks.
         let t2 = Instant::now();
         let kinds = kinds_for(self.options.selection);
-        let swept: Vec<Result<(Option<FoldErrors>, FitCounters)>> =
-            run_indexed(threads, prepared.len() * num_folds, |task| {
+        let swept: Vec<Result<(Option<FoldErrors>, FitCounters)>> = run_indexed_with(
+            threads,
+            prepared.len() * num_folds,
+            SolveWorkspace::new,
+            |ws, task| {
                 let (j, fi) = (task / num_folds, task % num_folds);
                 let Some(sweep) = &kernels[pattern_of_job[j] * num_folds + fi] else {
                     return Ok((None, FitCounters::default()));
                 };
                 let mut counters = FitCounters::default();
                 let fold = &plan.folds[fi];
-                let (f_train, f_val) = fold.gather(&prepared[j].f);
                 let errors = sweep_fold(
                     sweep,
-                    &f_train,
-                    &fold.g_val,
-                    &f_val,
+                    &g,
+                    fold,
+                    &prepared[j].f,
                     &self.options.grid,
                     &kinds,
                     &mut counters,
+                    ws,
                 )?;
                 Ok((Some(errors), counters))
-            });
+            },
+        );
         let swept = first_error(swept)?;
         timings.sweep = t2.elapsed();
 
         // Phase 4 (parallel): per-job reduction (fold-major, fixed
         // order), prior selection, and the final full-data solve.
         let t3 = Instant::now();
-        let fits: Vec<Result<BmfFit>> = run_indexed(threads, prepared.len(), |j| {
-            let job = &prepared[j];
-            let mut counters = FitCounters::default();
-            let mut fold_errors: Vec<Option<FoldErrors>> = Vec::with_capacity(num_folds);
-            for fi in 0..num_folds {
-                let (errors, c) = &swept[j * num_folds + fi];
-                counters.merge(c);
-                fold_errors.push(errors.clone());
-                // Kernel accounting: the first job of each pattern built
-                // its kernels; later jobs reused them from the cache.
-                if kernels[pattern_of_job[j] * num_folds + fi].is_some() {
-                    if pattern_owner[pattern_of_job[j]] == j {
-                        counters.kernels_built += 1;
-                        counters.kernel_cache_misses += 1;
-                    } else {
-                        counters.kernel_cache_hits += 1;
+        let fits: Vec<Result<BmfFit>> =
+            run_indexed_with(threads, prepared.len(), SolveWorkspace::new, |ws, j| {
+                let job = &prepared[j];
+                let mut counters = FitCounters::default();
+                for fi in 0..num_folds {
+                    counters.merge(&swept[j * num_folds + fi].1);
+                    // Kernel accounting: the first job of each pattern built
+                    // its kernels; later jobs reused them from the cache.
+                    if kernels[pattern_of_job[j] * num_folds + fi].is_some() {
+                        if pattern_owner[pattern_of_job[j]] == j {
+                            counters.kernels_built += 1;
+                            counters.kernel_cache_misses += 1;
+                        } else {
+                            counters.kernel_cache_hits += 1;
+                        }
                     }
                 }
-            }
-            let outcomes = reduce_outcomes(
-                &self.options.grid,
-                kinds.len(),
-                &fold_errors,
-                job.f.len(),
-                num_folds,
-            )?;
-            let selection = choose_from_list(self.options.selection, outcomes);
-            let chosen = job.prior.with_kind(selection.kind);
-            let alpha =
-                map_estimate_with(&g, &job.f, &chosen, selection.hyper, self.options.solver)?;
-            counters.map_solves += 1;
-            let coeffs: Vec<f64> = alpha.iter().map(|a| a * job.scale).collect();
-            let model = PerformanceModel::new(self.basis.clone(), coeffs)?;
-            Ok(BmfFit {
-                model,
-                prior_kind: selection.kind,
-                hyper: selection.hyper,
-                cv_error: selection.cv_error,
-                selection,
-                counters,
-            })
-        });
+                // Error tables are reduced straight from the shared sweep
+                // results — fold-major in fold order, so the accumulation is
+                // bit-identical to the serial path.
+                let outcomes = reduce_outcomes(
+                    &self.options.grid,
+                    kinds.len(),
+                    (0..num_folds).map(|fi| swept[j * num_folds + fi].0.as_ref()),
+                    job.f.len(),
+                    num_folds,
+                )?;
+                let selection = choose_from_list(self.options.selection, outcomes);
+                let chosen = job.prior.with_kind(selection.kind);
+                let alpha = map_estimate_ws(
+                    &g,
+                    &job.f,
+                    &chosen,
+                    selection.hyper,
+                    self.options.solver,
+                    &mut ws.map,
+                )?;
+                counters.map_solves += 1;
+                let coeffs: Vec<f64> = alpha.iter().map(|a| a * job.scale).collect();
+                // Clone: once per job (not per grid cell) — each returned
+                // model owns its basis.
+                let model = PerformanceModel::new(self.basis.clone(), coeffs)?;
+                Ok(BmfFit {
+                    model,
+                    prior_kind: selection.kind,
+                    hyper: selection.hyper,
+                    cv_error: selection.cv_error,
+                    selection,
+                    counters,
+                })
+            });
         let fits = first_error(fits)?;
         timings.solve = t3.elapsed();
 
@@ -366,6 +382,8 @@ impl BatchFitter {
             counters.merge(&fit.counters);
         }
         Ok(BatchReport {
+            // Clone: the report owns its labels so the fitter's job list
+            // stays reusable for further fits.
             labels: self.jobs.iter().map(|j| j.label.clone()).collect(),
             fits,
             counters,
@@ -410,22 +428,41 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(threads, n, || (), |(), i| task(i))
+}
+
+/// [`run_indexed`] with per-worker mutable state: `init` runs once on
+/// each worker (and once on the serial path) and the resulting state is
+/// passed to every task that worker claims. Used to give each worker its
+/// own [`SolveWorkspace`], so scratch buffers are reused across tasks
+/// without any cross-thread sharing. Determinism is unaffected: every
+/// workspace-filling kernel fully overwrites its output, so a task's
+/// result never depends on which worker (or how warm a workspace) ran
+/// it.
+fn run_indexed_with<S, T, I, F>(threads: usize, n: usize, init: I, task: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = threads.clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(&task).collect();
+        let mut state = init();
+        return (0..n).map(|i| task(&mut state, i)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, task(i)));
+                        local.push((i, task(&mut state, i)));
                     }
                     local
                 })

@@ -20,11 +20,12 @@ use bmf_basis::expansion::ExpandedBasis;
 use bmf_linalg::Vector;
 
 use crate::hyper::FoldPlan;
-use crate::map_estimate::{map_estimate_with, SolverKind};
+use crate::map_estimate::{map_estimate_ws, SolverKind};
 use crate::model::PerformanceModel;
 use crate::options::{validate_folds, validate_grid, FitOptions};
 use crate::prior::{Prior, PriorKind};
 use crate::select::{select_prior_on_plan, PriorSelection, SelectionOutcome};
+use crate::workspace::SolveWorkspace;
 use crate::{BmfError, Result};
 
 /// Lightweight work counters accumulated during a fit.
@@ -138,6 +139,8 @@ impl BmfFitter {
     /// every coefficient has prior knowledge.
     pub fn from_early_model(early_model: &PerformanceModel) -> Self {
         BmfFitter {
+            // Clone: the fitter owns its basis independently of the
+            // borrowed early model.
             basis: early_model.basis().clone(),
             prior_values: early_model.coeffs().iter().map(|&a| Some(a)).collect(),
             options: FitOptions::default(),
@@ -264,7 +267,7 @@ impl BmfFitter {
         let g = self
             .basis
             .design_matrix(points.iter().map(|p| p.as_slice()));
-        let plan = FoldPlan::new(&g, self.options.folds, self.options.seed)?;
+        let plan = FoldPlan::new(g.nrows(), self.options.folds, self.options.seed)?;
         let mut counters = FitCounters::default();
         fit_prepared(
             &g,
@@ -308,12 +311,23 @@ pub(crate) fn fit_prepared(
         prior_values.iter().map(|v| v.map(|a| a / scale)).collect(),
     );
 
-    let selection =
-        select_prior_on_plan(plan, &f, &prior, options.selection, &options.grid, counters)?;
+    let mut ws = SolveWorkspace::for_problem(g.nrows(), g.ncols());
+    let selection = select_prior_on_plan(
+        g,
+        plan,
+        &f,
+        &prior,
+        options.selection,
+        &options.grid,
+        counters,
+        &mut ws,
+    )?;
     let chosen = prior.with_kind(selection.kind);
-    let alpha = map_estimate_with(g, &f, &chosen, selection.hyper, options.solver)?;
+    let alpha = map_estimate_ws(g, &f, &chosen, selection.hyper, options.solver, &mut ws.map)?;
     counters.map_solves += 1;
     let coeffs: Vec<f64> = alpha.iter().map(|a| a * scale).collect();
+    // Clone: once per fit (not per grid cell) — the returned model owns
+    // its basis.
     let model = PerformanceModel::new(basis.clone(), coeffs)?;
     Ok(BmfFit {
         model,

@@ -10,13 +10,15 @@
 //!
 //! Two layers of work-sharing keep the sweep cheap:
 //!
-//! * a [`FoldPlan`] materializes the per-fold row selections
-//!   (`G_train`/`G_val`) **once** — they are reused across every grid
-//!   point, both prior families, and (through
-//!   [`crate::batch::BatchFitter`]) every job of a batch fit;
+//! * a [`FoldPlan`] computes the per-fold row index tables **once**;
+//!   the fold "sub-matrices" are zero-copy row views of the one shared
+//!   design matrix, reused across every grid point, both prior
+//!   families, and (through [`crate::batch::BatchFitter`]) every job of
+//!   a batch fit;
 //! * each fold builds one [`MapSweep`], so adding grid points costs only
 //!   a K×K factorization each, not a full Θ(K²M) rebuild.
 
+use bmf_linalg::view::matvec_into;
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::crossval::KFold;
 
@@ -24,6 +26,7 @@ use crate::fusion::FitCounters;
 use crate::map_estimate::MapSweep;
 use crate::options::{validate_folds, validate_grid};
 use crate::prior::{Prior, PriorKind};
+use crate::workspace::{resize, SolveWorkspace};
 use crate::{BmfError, Result};
 
 /// Cross-validation configuration.
@@ -83,44 +86,29 @@ pub struct CvOutcome {
     pub errors: Vec<(f64, f64)>,
 }
 
-/// One fold's pre-selected design-matrix rows.
+/// One fold's row selection, as indices into the shared design matrix.
 ///
-/// Building these is Θ(K·M) per fold; hoisting them out of the grid loop
-/// (and sharing them across batch jobs, which all see the same sample
-/// points) means the selection happens exactly once per `(G, folds,
-/// seed)` triple.
+/// The fitting engines view `G` through these index tables
+/// ([`Matrix::rows_view`]) instead of materializing per-fold copies —
+/// the fold "sub-matrices" are zero-copy and always in sync with the
+/// one shared `G`.
 #[derive(Debug, Clone)]
 pub(crate) struct PlannedFold {
     /// Row indices used for training in this fold.
     pub(crate) train: Vec<usize>,
     /// Row indices held out for validation.
     pub(crate) validate: Vec<usize>,
-    /// `G` restricted to the training rows.
-    pub(crate) g_train: Matrix,
-    /// `G` restricted to the validation rows.
-    pub(crate) g_val: Matrix,
 }
 
-impl PlannedFold {
-    /// Gathers a fold-local `(f_train, f_val)` pair from a full response.
-    pub(crate) fn gather(&self, f: &Vector) -> (Vector, Vector) {
-        let f_train = Vector::from_fn(self.train.len(), |i| f[self.train[i]]);
-        let f_val = Vector::from_fn(self.validate.len(), |i| f[self.validate[i]]);
-        (f_train, f_val)
-    }
-}
-
-/// The per-fold row selections for one `(G, folds, seed)` triple.
+/// The per-fold row selections for one `(K, folds, seed)` triple.
 #[derive(Debug, Clone)]
 pub(crate) struct FoldPlan {
     pub(crate) folds: Vec<PlannedFold>,
 }
 
 impl FoldPlan {
-    /// Splits `g`'s rows into `folds` seeded folds and materializes the
-    /// per-fold train/validation sub-matrices.
-    pub(crate) fn new(g: &Matrix, folds: usize, seed: u64) -> Result<Self> {
-        let k = g.nrows();
+    /// Splits `k` sample rows into `folds` seeded folds.
+    pub(crate) fn new(k: usize, folds: usize, seed: u64) -> Result<Self> {
         let kfold = KFold::new(k, folds, seed).map_err(|_| BmfError::NotEnoughSamples {
             available: k,
             required: folds,
@@ -129,8 +117,6 @@ impl FoldPlan {
         let folds = kfold
             .iter()
             .map(|fold| PlannedFold {
-                g_train: select_rows(g, &fold.train),
-                g_val: select_rows(g, &fold.validate),
                 train: fold.train,
                 validate: fold.validate,
             })
@@ -148,44 +134,73 @@ pub(crate) type FoldErrors = Vec<Vec<Option<f64>>>;
 /// Sweeps one fold over the whole grid for each requested prior family,
 /// reusing `sweep`'s Woodbury kernels for every `(grid, kind)` cell.
 ///
-/// `counters.map_solves` is incremented per successful solve;
-/// kernel-build accounting belongs to whoever constructed `sweep`.
+/// The fold's responses are gathered into (and every per-cell solve runs
+/// out of) `ws`; the validation sub-matrix is a zero-copy row view of
+/// the shared `g`. `counters.map_solves` is incremented per successful
+/// solve; kernel-build accounting belongs to whoever constructed `sweep`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep_fold(
-    sweep: &MapSweep,
-    f_train: &Vector,
-    g_val: &Matrix,
-    f_val: &Vector,
+    sweep: &MapSweep<'_>,
+    g: &Matrix,
+    fold: &PlannedFold,
+    f: &Vector,
     grid: &[f64],
     kinds: &[PriorKind],
     counters: &mut FitCounters,
+    ws: &mut SolveWorkspace,
 ) -> Result<FoldErrors> {
-    let val_norm = f_val.norm2().max(f64::MIN_POSITIVE);
+    // Split the workspace so the fold buffers and the MAP scratch can be
+    // borrowed simultaneously (the solver never touches fold buffers).
+    let SolveWorkspace { map, fold: fs } = ws;
+    fs.f_train.clear();
+    fs.f_train.extend(fold.train.iter().map(|&i| f[i]));
+    fs.f_val.clear();
+    fs.f_val.extend(fold.validate.iter().map(|&i| f[i]));
+    let g_val = g.rows_view(&fold.validate);
+    let val_norm = fs
+        .f_val
+        .iter()
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
+    resize(&mut fs.alpha, g.ncols());
+    resize(&mut fs.pred, fold.validate.len());
     let mut errors: FoldErrors = vec![vec![None; grid.len()]; kinds.len()];
     for (gi, &h) in grid.iter().enumerate() {
         for (ki, &kind) in kinds.iter().enumerate() {
-            let alpha = match sweep.solve_with_kind(f_train, h, kind) {
-                Ok(a) => a,
+            match sweep.solve_kind_into(&fs.f_train, h, kind, map, &mut fs.alpha) {
+                Ok(()) => {}
                 Err(BmfError::Linalg(_)) => continue,
                 Err(e) => return Err(e),
-            };
+            }
             counters.map_solves += 1;
-            let pred = g_val.matvec(&alpha)?;
-            let err = pred.sub(f_val)?.norm2() / val_norm;
-            errors[ki][gi] = Some(err);
+            matvec_into(g_val, &fs.alpha, &mut fs.pred)?;
+            // Fused validation error: bit-identical to
+            // `pred.sub(f_val).norm2() / val_norm` (axpy with -1.0 is an
+            // exact IEEE subtraction, and the sum runs in index order).
+            let mut s = 0.0;
+            for (p, v) in fs.pred.iter().zip(&fs.f_val) {
+                let d = p - v;
+                s += d * d;
+            }
+            errors[ki][gi] = Some(s.sqrt() / val_norm);
         }
     }
     Ok(errors)
 }
 
-/// Builds the kernel for one fold, or `None` when the fold is too small
-/// for the missing-prior block (the fold is then skipped, matching the
+/// Builds the kernel for one fold — a zero-copy row view of the shared
+/// design matrix — or `None` when the fold is too small for the
+/// missing-prior block (the fold is then skipped, matching the
 /// historical behaviour).
-pub(crate) fn build_fold_sweep(
-    fold: &PlannedFold,
+pub(crate) fn build_fold_sweep<'a>(
+    g: &'a Matrix,
+    fold: &'a PlannedFold,
     prior_nzm: &Prior,
     counters: &mut FitCounters,
-) -> Result<Option<MapSweep>> {
-    match MapSweep::new(&fold.g_train, prior_nzm) {
+) -> Result<Option<MapSweep<'a>>> {
+    match MapSweep::from_view(g.rows_view(&fold.train), prior_nzm) {
         Ok(s) => {
             counters.kernels_built += 1;
             Ok(Some(s))
@@ -201,16 +216,19 @@ pub(crate) fn build_fold_sweep(
 /// bit-identical to the historical single-pass loop — and to any
 /// parallel schedule that produced `fold_errors`, since the reduction
 /// order is fixed here.
-pub(crate) fn reduce_outcomes(
+pub(crate) fn reduce_outcomes<'a, I>(
     grid: &[f64],
     num_kinds: usize,
-    fold_errors: &[Option<FoldErrors>],
+    fold_errors: I,
     available: usize,
     required: usize,
-) -> Result<Vec<CvOutcome>> {
+) -> Result<Vec<CvOutcome>>
+where
+    I: IntoIterator<Item = Option<&'a FoldErrors>>,
+{
     let mut sums = vec![vec![0.0f64; grid.len()]; num_kinds];
     let mut counts = vec![vec![0usize; grid.len()]; num_kinds];
-    for fe in fold_errors.iter().flatten() {
+    for fe in fold_errors.into_iter().flatten() {
         for ki in 0..num_kinds {
             for (gi, cell) in fe[ki].iter().enumerate() {
                 if let Some(err) = cell {
@@ -250,14 +268,18 @@ pub(crate) fn reduce_outcomes(
 
 /// Runs the full cross-validation sweep for the requested prior families
 /// over a pre-built [`FoldPlan`], sharing one kernel per fold across
-/// every `(grid, kind)` cell.
+/// every `(grid, kind)` cell. Fold sub-matrices are row views of the
+/// shared `g`; all per-cell scratch lives in `ws`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn cv_on_plan(
+    g: &Matrix,
     plan: &FoldPlan,
     f: &Vector,
     prior: &Prior,
     grid: &[f64],
     kinds: &[PriorKind],
     counters: &mut FitCounters,
+    ws: &mut SolveWorkspace,
 ) -> Result<Vec<CvOutcome>> {
     // Kernels are built from the nonzero-mean view so prior means are
     // cached; zero-mean solves reuse the same kernels with the mean
@@ -266,23 +288,22 @@ pub(crate) fn cv_on_plan(
     let nzm = prior.with_kind(PriorKind::NonZeroMean);
     let mut fold_errors: Vec<Option<FoldErrors>> = Vec::with_capacity(plan.folds.len());
     for fold in &plan.folds {
-        let Some(sweep) = build_fold_sweep(fold, &nzm, counters)? else {
+        let Some(sweep) = build_fold_sweep(g, fold, &nzm, counters)? else {
             fold_errors.push(None);
             continue;
         };
-        let (f_train, f_val) = fold.gather(f);
         fold_errors.push(Some(sweep_fold(
-            &sweep,
-            &f_train,
-            &fold.g_val,
-            &f_val,
-            grid,
-            kinds,
-            counters,
+            &sweep, g, fold, f, grid, kinds, counters, ws,
         )?));
     }
     let available = f.len();
-    reduce_outcomes(grid, kinds.len(), &fold_errors, available, plan.folds.len())
+    reduce_outcomes(
+        grid,
+        kinds.len(),
+        fold_errors.iter().map(Option::as_ref),
+        available,
+        plan.folds.len(),
+    )
 }
 
 fn validate_cv(g: &Matrix, f: &Vector, config: &CvConfig) -> Result<()> {
@@ -314,15 +335,18 @@ pub fn cross_validate_hyper(
     config: &CvConfig,
 ) -> Result<CvOutcome> {
     validate_cv(g, f, config)?;
-    let plan = FoldPlan::new(g, config.folds, config.seed)?;
+    let plan = FoldPlan::new(g.nrows(), config.folds, config.seed)?;
     let mut counters = FitCounters::default();
+    let mut ws = SolveWorkspace::for_problem(g.nrows(), g.ncols());
     let mut outcomes = cv_on_plan(
+        g,
         &plan,
         f,
         prior,
         &config.grid,
         &[prior.kind()],
         &mut counters,
+        &mut ws,
     )?;
     Ok(outcomes.pop().expect("one outcome per requested kind"))
 }
@@ -346,23 +370,22 @@ pub fn cross_validate_both(
     config: &CvConfig,
 ) -> Result<(CvOutcome, CvOutcome)> {
     validate_cv(g, f, config)?;
-    let plan = FoldPlan::new(g, config.folds, config.seed)?;
+    let plan = FoldPlan::new(g.nrows(), config.folds, config.seed)?;
     let mut counters = FitCounters::default();
+    let mut ws = SolveWorkspace::for_problem(g.nrows(), g.ncols());
     let mut outcomes = cv_on_plan(
+        g,
         &plan,
         f,
         prior,
         &config.grid,
         &[PriorKind::ZeroMean, PriorKind::NonZeroMean],
         &mut counters,
+        &mut ws,
     )?;
     let nzm = outcomes.pop().expect("two outcomes");
     let zm = outcomes.pop().expect("two outcomes");
     Ok((zm, nzm))
-}
-
-pub(crate) fn select_rows(g: &Matrix, rows: &[usize]) -> Matrix {
-    Matrix::from_fn(rows.len(), g.ncols(), |i, j| g[(rows[i], j)])
 }
 
 #[cfg(test)]
@@ -524,16 +547,18 @@ mod tests {
     #[test]
     fn fold_plan_selects_each_row_once_as_validation() {
         let g = design(13, 4, 8);
-        let plan = FoldPlan::new(&g, 5, 3).unwrap();
+        let plan = FoldPlan::new(13, 5, 3).unwrap();
         let mut seen = vec![false; 13];
         for fold in &plan.folds {
-            assert_eq!(fold.g_train.nrows(), fold.train.len());
-            assert_eq!(fold.g_val.nrows(), fold.validate.len());
+            let g_train = g.rows_view(&fold.train);
+            let g_val = g.rows_view(&fold.validate);
+            assert_eq!(g_train.nrows(), fold.train.len());
+            assert_eq!(g_val.nrows(), fold.validate.len());
             for (i, &row) in fold.validate.iter().enumerate() {
                 assert!(!seen[row], "row {row} validated twice");
                 seen[row] = true;
                 for j in 0..4 {
-                    assert_eq!(fold.g_val[(i, j)], g[(row, j)]);
+                    assert_eq!(g_val.get(i, j), g[(row, j)]);
                 }
             }
         }

@@ -9,6 +9,7 @@
 //! validation, warm-starting each solution from the previous one.
 
 use bmf_basis::basis::OrthonormalBasis;
+use bmf_linalg::view::matvec_into;
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::rng::seeded;
 
@@ -137,6 +138,8 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
     }
 
     let mut alpha = vec![0.0; m];
+    // Clone: the descent mutates the residual in place while `ft` is
+    // still needed for the convergence scale below.
     let mut residual = ft.clone();
     // If the intercept is free, initialize it to the training mean.
     if config.free_intercept && m > 0 && col_sq[0] > 0.0 {
@@ -149,6 +152,7 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
 
     let scale = ft.norm2().max(f64::MIN_POSITIVE);
     let mut best: Option<(f64, f64, Vec<f64>)> = None; // (val err, lambda, coeffs)
+    let mut pred = vec![0.0; val_idx.len()];
     for step in 0..config.path_len {
         let t = step as f64 / (config.path_len.saturating_sub(1)).max(1) as f64;
         let lambda = lambda_max * config.min_ratio.powf(t);
@@ -182,14 +186,24 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
                 break;
             }
         }
-        // Validation error at this λ.
+        // Validation error at this λ, predicting into the reused buffer.
+        // The fused difference reproduces `pred.sub(&fv)?.norm2()` bit for
+        // bit: axpy(-1.0) is exact IEEE subtraction and norm2 sums the
+        // squares in index order.
         let val_err = if val_idx.is_empty() {
             residual.norm2() / scale
         } else {
-            let pred = gv.matvec(&Vector::from(alpha.clone()))?;
-            pred.sub(&fv)?.norm2() / fv_norm
+            matvec_into(gv.as_view(), &alpha, &mut pred)?;
+            let mut sum = 0.0;
+            for (p, v) in pred.iter().zip(fv.iter()) {
+                let d = p - v;
+                sum += d * d;
+            }
+            sum.sqrt() / fv_norm
         };
         if best.as_ref().is_none_or(|(e, _, _)| val_err < *e) {
+            // Clone: only on improvement; `alpha` keeps mutating as the
+            // path continues, so the winner needs its own copy.
             best = Some((val_err, lambda, alpha.clone()));
         }
     }

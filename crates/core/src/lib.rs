@@ -77,6 +77,7 @@ pub mod options;
 pub mod prior;
 pub mod select;
 pub mod sequential;
+pub mod workspace;
 
 pub use error::BmfError;
 

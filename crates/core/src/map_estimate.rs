@@ -23,10 +23,15 @@
 //!   (zero diagonal precision) through the exact augmented formulation in
 //!   [`bmf_linalg::woodbury`].
 
-use bmf_linalg::{woodbury, Matrix, Vector};
+use bmf_linalg::view::{matvec_into, matvec_transpose_into, outer_gram_diag_into, MatRef};
+use bmf_linalg::{
+    cholesky_in_place, lu_factor_in_place, lu_solve_into, solve_lower_in_place,
+    solve_lower_transpose_in_place, view, woodbury, Matrix, Vector,
+};
 
 use crate::options::FitOptions;
 use crate::prior::Prior;
+use crate::workspace::{resize, MapScratch};
 use crate::{BmfError, Result};
 
 /// Which MAP solver to use.
@@ -106,6 +111,21 @@ pub(crate) fn map_estimate_with(
     hyper: f64,
     solver: SolverKind,
 ) -> Result<Vector> {
+    let mut ws = MapScratch::default();
+    map_estimate_ws(g, f, prior, hyper, solver, &mut ws)
+}
+
+/// Workspace-threaded core of [`map_estimate`]: all intermediates live in
+/// `ws` so repeated final solves (e.g. one per batch job) allocate only
+/// their coefficient vector.
+pub(crate) fn map_estimate_ws(
+    g: &Matrix,
+    f: &Vector,
+    prior: &Prior,
+    hyper: f64,
+    solver: SolverKind,
+    ws: &mut MapScratch,
+) -> Result<Vector> {
     let (k, m) = g.shape();
     if prior.len() != m {
         return Err(BmfError::PriorShape {
@@ -127,28 +147,33 @@ pub(crate) fn map_estimate_with(
     }
 
     let precisions = prior.precisions(hyper);
-    let mut rhs = g.matvec_transpose(f)?;
-    for (r, b0) in rhs
-        .as_mut_slice()
-        .iter_mut()
-        .zip(prior.rhs_contribution(hyper))
-    {
+    resize(&mut ws.rhs, m);
+    matvec_transpose_into(g.as_view(), f.as_slice(), &mut ws.rhs)?;
+    for (r, b0) in ws.rhs.iter_mut().zip(prior.rhs_contribution(hyper)) {
         *r += b0;
     }
 
+    let mut out = vec![0.0; m];
     match solver {
         SolverKind::Direct => {
-            let mut h = g.gram();
-            h.add_diagonal_mut(&precisions)?;
-            Ok(h.cholesky()?.solve(&rhs)?)
+            ws.core.reset_zeros(m, m);
+            view::gram_into(g.as_view(), ws.core.as_view_mut())?;
+            ws.core.add_diagonal_mut(&precisions)?;
+            cholesky_in_place(&mut ws.core)?;
+            out.copy_from_slice(&ws.rhs);
+            solve_lower_in_place(&ws.core, &mut out)?;
+            solve_lower_transpose_in_place(&ws.core, &mut out)?;
         }
-        SolverKind::Fast => Ok(woodbury::solve_diag_plus_gram_semidefinite(
+        SolverKind::Fast => woodbury::solve_diag_plus_gram_semidefinite_into(
             &precisions,
             1.0,
-            g,
-            &rhs,
-        )?),
+            g.as_view(),
+            &ws.rhs,
+            &mut ws.woodbury,
+            &mut out,
+        )?,
     }
+    Ok(Vector::from(out))
 }
 
 /// Pre-computed quantities for sweeping the hyper-parameter over a fixed
@@ -169,8 +194,10 @@ pub(crate) fn map_estimate_with(
 /// Θ(K²M) rebuild. The produced estimates are identical to
 /// [`map_estimate`] with [`SolverKind::Fast`].
 #[derive(Debug, Clone)]
-pub struct MapSweep {
-    g: Matrix,
+pub struct MapSweep<'g> {
+    /// Borrowed view of the design matrix — a fold sweep views a row
+    /// subset of the shared full-data `G` without copying it.
+    g: MatRef<'g>,
     /// `1/α_E,m²` for finite-prior columns, 0 for missing.
     a: Vec<f64>,
     /// Prior mean per column (0 for zero-mean priors and missing entries).
@@ -186,13 +213,24 @@ pub struct MapSweep {
     _private: (),
 }
 
-impl MapSweep {
+impl<'g> MapSweep<'g> {
     /// Builds the sweep cache for a fixed `(G, prior)` pair.
     ///
     /// # Errors
     ///
     /// Same structural conditions as [`map_estimate`].
-    pub fn new(g: &Matrix, prior: &Prior) -> Result<Self> {
+    pub fn new(g: &'g Matrix, prior: &Prior) -> Result<Self> {
+        Self::from_view(g.as_view(), prior)
+    }
+
+    /// Builds the sweep cache over a borrowed design-matrix view — the
+    /// zero-copy entry point used by the cross-validation engines, whose
+    /// per-fold training matrices are row-subset views of one shared `G`.
+    ///
+    /// # Errors
+    ///
+    /// Same structural conditions as [`map_estimate`].
+    pub fn from_view(g: MatRef<'g>, prior: &Prior) -> Result<Self> {
         let (k, m) = g.shape();
         if prior.len() != m {
             return Err(BmfError::PriorShape {
@@ -220,15 +258,17 @@ impl MapSweep {
             .iter()
             .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
             .collect();
-        let b_f = g.outer_gram_diag(&a_inv_f)?;
+        let mut b_f = Matrix::zeros(k, k);
+        outer_gram_diag_into(g, &a_inv_f, b_f.as_view_mut())?;
         let (b_z, tau) = if missing.is_empty() {
             (Matrix::zeros(0, 0), 1.0)
         } else {
             let indicator: Vec<f64> = (0..m)
                 .map(|i| if unit[i] == 0.0 { 1.0 } else { 0.0 })
                 .collect();
-            let b_z = g.outer_gram_diag(&indicator)?;
-            let tau = (b_z.diagonal().iter().sum::<f64>() / missing.len() as f64).max(1e-12);
+            let mut b_z = Matrix::zeros(k, k);
+            outer_gram_diag_into(g, &indicator, b_z.as_view_mut())?;
+            let tau = ((0..k).map(|i| b_z[(i, i)]).sum::<f64>() / missing.len() as f64).max(1e-12);
             (b_z, tau)
         };
         // Prior means (independent of hyper): alpha_E for NZM, 0 for ZM.
@@ -239,7 +279,7 @@ impl MapSweep {
             .map(|(&r, &d)| if d > 0.0 { r / d } else { 0.0 })
             .collect();
         Ok(MapSweep {
-            g: g.clone(),
+            g,
             a: unit,
             prior_mean,
             missing,
@@ -268,10 +308,10 @@ impl MapSweep {
         hyper: f64,
         kind: crate::prior::PriorKind,
     ) -> Result<Vector> {
-        match kind {
-            crate::prior::PriorKind::NonZeroMean => self.solve_inner(f, hyper, true),
-            crate::prior::PriorKind::ZeroMean => self.solve_inner(f, hyper, false),
-        }
+        let mut ws = MapScratch::default();
+        let mut out = vec![0.0; self.g.ncols()];
+        self.solve_kind_into(f.as_slice(), hyper, kind, &mut ws, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// Solves the MAP system for one hyper-parameter value and response
@@ -282,10 +322,36 @@ impl MapSweep {
     /// Returns [`BmfError::SampleShape`] on a length mismatch and
     /// [`BmfError::Linalg`] when the (hyper-dependent) core is singular.
     pub fn solve(&self, f: &Vector, hyper: f64) -> Result<Vector> {
-        self.solve_inner(f, hyper, true)
+        self.solve_with_kind(f, hyper, crate::prior::PriorKind::NonZeroMean)
     }
 
-    fn solve_inner(&self, f: &Vector, hyper: f64, use_mean: bool) -> Result<Vector> {
+    /// The allocation-free core of [`MapSweep::solve_with_kind`]: all
+    /// intermediates live in `ws`, the coefficients land in `out` (length
+    /// M, fully overwritten). The grid loops of cross-validation call
+    /// this once per `(hyper, family)` cell with one shared workspace.
+    pub(crate) fn solve_kind_into(
+        &self,
+        f: &[f64],
+        hyper: f64,
+        kind: crate::prior::PriorKind,
+        ws: &mut MapScratch,
+        out: &mut [f64],
+    ) -> Result<()> {
+        let use_mean = match kind {
+            crate::prior::PriorKind::NonZeroMean => true,
+            crate::prior::PriorKind::ZeroMean => false,
+        };
+        self.solve_inner_into(f, hyper, use_mean, ws, out)
+    }
+
+    fn solve_inner_into(
+        &self,
+        f: &[f64],
+        hyper: f64,
+        use_mean: bool,
+        ws: &mut MapScratch,
+        out: &mut [f64],
+    ) -> Result<()> {
         let (k, m) = self.g.shape();
         if f.len() != k {
             return Err(BmfError::SampleShape {
@@ -296,70 +362,100 @@ impl MapSweep {
             hyper > 0.0 && hyper.is_finite(),
             "hyper-parameter must be positive, got {hyper}"
         );
+        assert_eq!(out.len(), m, "coefficient buffer length mismatch");
+        let MapScratch {
+            rhs,
+            dt_inv,
+            t,
+            gt,
+            y,
+            u,
+            uy,
+            core,
+            perm,
+            woodbury: _,
+        } = ws;
         // rhs = G^T f + h·A·prior_mean (mean dropped for zero-mean use).
-        let mut rhs = self.g.matvec_transpose(f)?;
+        resize(rhs, m);
+        matvec_transpose_into(self.g, f, rhs)?;
         if use_mean {
-            for i in 0..m {
-                rhs[i] += hyper * self.a[i] * self.prior_mean[i];
+            for (r, (&a, &mean)) in rhs.iter_mut().zip(self.a.iter().zip(&self.prior_mean)) {
+                *r += hyper * a * mean;
             }
         }
         // D-tilde inverse diag: 1/(h·a_m) finite, 1/tau missing.
-        let dt_inv: Vec<f64> = self
-            .a
-            .iter()
-            .map(|&a| {
-                if a > 0.0 {
-                    1.0 / (hyper * a)
-                } else {
-                    1.0 / self.tau
-                }
-            })
-            .collect();
-        let t = Vector::from_fn(m, |i| dt_inv[i] * rhs[i]);
-        let gt = self.g.matvec(&t)?;
+        dt_inv.clear();
+        dt_inv.extend(self.a.iter().map(|&a| {
+            if a > 0.0 {
+                1.0 / (hyper * a)
+            } else {
+                1.0 / self.tau
+            }
+        }));
+        t.clear();
+        t.extend(rhs.iter().zip(dt_inv.iter()).map(|(&r, &d)| d * r));
+        resize(gt, k);
+        matvec_into(self.g, t, gt)?;
 
         if self.missing.is_empty() {
             // core = I + B_F / h.
-            let mut core = self.b_f.scaled(1.0 / hyper);
-            core.add_diagonal_mut(&vec![1.0; k])?;
-            let y = core.cholesky()?.solve(&gt)?;
-            let gty = self.g.matvec_transpose(&y)?;
-            return Ok(Vector::from_fn(m, |i| t[i] - dt_inv[i] * gty[i]));
+            core.reset_zeros(k, k);
+            core.as_mut_slice().copy_from_slice(self.b_f.as_slice());
+            let s = 1.0 / hyper;
+            for x in core.as_mut_slice() {
+                *x *= s;
+            }
+            for i in 0..k {
+                core[(i, i)] += 1.0;
+            }
+            cholesky_in_place(core)?;
+            resize(y, k);
+            y.copy_from_slice(gt);
+            solve_lower_in_place(core, y)?;
+            solve_lower_transpose_in_place(core, y)?;
+            resize(uy, m);
+            matvec_transpose_into(self.g, y, uy)?;
+            for i in 0..m {
+                out[i] = t[i] - dt_inv[i] * uy[i];
+            }
+            return Ok(());
         }
 
         // Augmented system (see bmf_linalg::woodbury docs): W has blocks
         // [I + B_F/h + B_Z/tau,  G_Z/tau; (G_Z/tau)^T, 0].
         let nz = self.missing.len();
         let n = k + nz;
-        let mut w = Matrix::zeros(n, n);
+        core.reset_zeros(n, n);
         for i in 0..k {
             for j in 0..k {
-                w[(i, j)] = self.b_f[(i, j)] / hyper + self.b_z[(i, j)] / self.tau;
+                core[(i, j)] = self.b_f[(i, j)] / hyper + self.b_z[(i, j)] / self.tau;
             }
-            w[(i, i)] += 1.0;
+            core[(i, i)] += 1.0;
         }
         for (jz, &z) in self.missing.iter().enumerate() {
             for i in 0..k {
-                let v = self.g[(i, z)] / self.tau;
-                w[(i, k + jz)] = v;
-                w[(k + jz, i)] = v;
+                let v = self.g.get(i, z) / self.tau;
+                core[(i, k + jz)] = v;
+                core[(k + jz, i)] = v;
             }
         }
-        let lu = w.lu()?;
-        let mut u = Vector::zeros(n);
-        for i in 0..k {
-            u[i] = gt[i];
-        }
+        lu_factor_in_place(core, perm)?;
+        resize(u, n);
+        u[..k].copy_from_slice(gt);
         for (jz, &z) in self.missing.iter().enumerate() {
             u[k + jz] = t[z];
         }
-        let y = lu.solve(&u)?;
-        let y1 = Vector::from(&y.as_slice()[..k]);
-        let mut uy = self.g.matvec_transpose(&y1)?;
+        resize(y, n);
+        lu_solve_into(core, perm, u, y)?;
+        resize(uy, m);
+        matvec_transpose_into(self.g, &y[..k], uy)?;
         for (jz, &z) in self.missing.iter().enumerate() {
             uy[z] += y[k + jz];
         }
-        Ok(Vector::from_fn(m, |i| t[i] - dt_inv[i] * uy[i]))
+        for i in 0..m {
+            out[i] = t[i] - dt_inv[i] * uy[i];
+        }
+        Ok(())
     }
 }
 

@@ -115,6 +115,8 @@ pub fn fit_omp_design(g: &Matrix, f: &Vector, config: &OmpConfig) -> Result<OmpF
         .max(1);
 
     let f_norm = f_train.norm2().max(f64::MIN_POSITIVE);
+    // Clone: the greedy loop shrinks the residual in place while the
+    // original responses stay available for the refits below.
     let mut residual = f_train.clone();
     let mut active: Vec<usize> = Vec::new();
     let mut in_active = vec![false; m];

@@ -167,6 +167,8 @@ impl FitOptions {
     pub fn cv_config(&self) -> CvConfig {
         CvConfig {
             folds: self.folds,
+            // Clone: the conversion yields an owned config; called once
+            // per entry point, never in a solve loop.
             grid: self.grid.clone(),
             seed: self.seed,
         }

@@ -12,6 +12,7 @@ use bmf_linalg::{Matrix, Vector};
 use crate::fusion::FitCounters;
 use crate::hyper::{cross_validate_hyper, cv_on_plan, CvConfig, CvOutcome, FoldPlan};
 use crate::prior::{Prior, PriorKind};
+use crate::workspace::SolveWorkspace;
 use crate::Result;
 
 /// How the prior family is chosen.
@@ -112,18 +113,22 @@ pub(crate) fn choose(
 }
 
 /// Plan-based selection used by the fitting engines: cross-validates the
-/// families `selection` requires over a pre-built [`FoldPlan`] (sharing
-/// fold matrices and Woodbury kernels), counting work into `counters`.
+/// families `selection` requires over a pre-built [`FoldPlan`] (viewing
+/// fold sub-matrices of the shared `g` and sharing Woodbury kernels),
+/// counting work into `counters`, with all scratch in `ws`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn select_prior_on_plan(
+    g: &Matrix,
     plan: &FoldPlan,
     f: &Vector,
     prior: &Prior,
     selection: PriorSelection,
     grid: &[f64],
     counters: &mut FitCounters,
+    ws: &mut SolveWorkspace,
 ) -> Result<SelectionOutcome> {
     let kinds = kinds_for(selection);
-    let outcomes = cv_on_plan(plan, f, prior, grid, &kinds, counters)?;
+    let outcomes = cv_on_plan(g, plan, f, prior, grid, &kinds, counters, ws)?;
     Ok(choose_from_list(selection, outcomes))
 }
 

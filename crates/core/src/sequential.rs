@@ -137,7 +137,9 @@ impl SequentialBmf {
     /// data).
     pub fn coefficients(&self) -> Result<Vector> {
         let m = self.d_inv.len();
-        // rhs = Gᵀf + prior_rhs; t = D⁻¹ rhs.
+        // rhs = Gᵀf + prior_rhs; t = D⁻¹ rhs. Clone: the accumulation
+        // must not disturb the cached prior term, which later queries
+        // reuse.
         let mut rhs = self.prior_rhs.clone();
         for (row, &f) in self.rows.iter().zip(&self.values) {
             for (r, &g) in rhs.iter_mut().zip(row) {

@@ -1,5 +1,52 @@
-use crate::triangular::{solve_lower, solve_lower_transpose};
+use crate::triangular::{solve_lower_in_place, solve_lower_transpose_in_place};
 use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Overwrites the square matrix `a` with its lower Cholesky factor `L`
+/// (upper triangle zeroed), allocating nothing.
+///
+/// Bit-identical to [`Cholesky::new`] on the same input: the
+/// out-of-place factorization only ever reads positions the in-place one
+/// has either not yet touched (the lower triangle of `a`, each read once
+/// before being overwritten) or already replaced with final `L` values.
+///
+/// # Errors
+///
+/// Same conditions as [`Cholesky::new`]. On error `a` holds a partially
+/// factorized mix of `L` values and original entries.
+pub fn cholesky_in_place(a: &mut Matrix) -> Result<()> {
+    let (n, c) = a.shape();
+    if n != c {
+        return Err(LinalgError::NotSquare { rows: n, cols: c });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "cholesky" });
+    }
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i, value: s });
+                }
+                a[(i, j)] = s.sqrt();
+            } else {
+                a[(i, j)] = s / a[(j, j)];
+            }
+        }
+    }
+    // The factorization never reads above the diagonal; zero it so the
+    // stored factor matches the owned convention (full square, zero
+    // upper triangle).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
 
 /// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite matrix.
 ///
@@ -42,31 +89,19 @@ impl Cholesky {
     ///   carries the pivot index and residual value.
     /// * [`LinalgError::NonFinite`] when `a` contains NaN or ±∞.
     pub fn new(a: &Matrix) -> Result<Self> {
-        let (n, c) = a.shape();
-        if n != c {
-            return Err(LinalgError::NotSquare { rows: n, cols: c });
-        }
-        if !a.is_finite() {
-            return Err(LinalgError::NonFinite { op: "cholesky" });
-        }
-        let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if s <= 0.0 {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: s });
-                    }
-                    l[(i, j)] = s.sqrt();
-                } else {
-                    l[(i, j)] = s / l[(j, j)];
-                }
-            }
-        }
+        // Clone-as-output: the copy becomes the owned factor storage.
+        let mut l = a.clone();
+        cholesky_in_place(&mut l)?;
         Ok(Cholesky { l })
+    }
+
+    /// Wraps an already-factorized lower triangle produced by
+    /// [`cholesky_in_place`], without refactorizing.
+    ///
+    /// The caller is responsible for `l` actually being such a factor;
+    /// solves against an arbitrary matrix will silently produce garbage.
+    pub fn from_factor(l: Matrix) -> Self {
+        Cholesky { l }
     }
 
     /// Dimension of the factorized matrix.
@@ -86,8 +121,21 @@ impl Cholesky {
     /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs
     /// from the factor dimension.
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
-        let y = solve_lower(&self.l, b)?;
-        solve_lower_transpose(&self.l, &y)
+        let mut x = b.clone();
+        self.solve_in_place(x.as_mut_slice())?;
+        Ok(x)
+    }
+
+    /// In-place variant of [`Cholesky::solve`]: overwrites `x` (initially
+    /// `b`) with the solution of `A x = b`, allocating nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::solve`]. On error `x` may hold
+    /// partially substituted values.
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        solve_lower_in_place(&self.l, x)?;
+        solve_lower_transpose_in_place(&self.l, x)
     }
 
     /// Solves `A X = B` column by column.
@@ -222,9 +270,9 @@ mod tests {
     #[test]
     fn log_det_matches_2x2_closed_form() {
         let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
-        let det = 4.0 * 3.0 - 2.0 * 2.0;
+        let det: f64 = 4.0 * 3.0 - 2.0 * 2.0;
         let chol = a.cholesky().unwrap();
-        assert!((chol.log_det() - (det as f64).ln()).abs() < 1e-12);
+        assert!((chol.log_det() - det.ln()).abs() < 1e-12);
     }
 
     #[test]

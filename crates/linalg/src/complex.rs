@@ -246,6 +246,7 @@ impl CMatrix {
                 rhs: (b.len(), 1),
             });
         }
+        // Clone-as-output: elimination consumes the copy in place.
         let mut a = self.data.clone();
         let mut x: Vec<C64> = b.to_vec();
         let scale = a.iter().fold(0.0f64, |m, z| m.max(z.abs())).max(1.0);
@@ -351,9 +352,9 @@ mod tests {
             [(0.1, 0.0), (1.5, -2.0), (0.7, 0.2)],
             [(0.0, 1.0), (0.0, 0.0), (3.0, 0.5)],
         ];
-        for i in 0..3 {
-            for j in 0..3 {
-                *a.get_mut(i, j) = C64::new(vals[i][j].0, vals[i][j].1);
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &(re, im)) in row.iter().enumerate() {
+                *a.get_mut(i, j) = C64::new(re, im);
             }
         }
         let x_true = [C64::new(1.0, -1.0), C64::new(0.5, 2.0), C64::new(-0.7, 0.1)];

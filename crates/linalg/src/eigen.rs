@@ -41,6 +41,7 @@ impl SymmetricEigen {
                 op: "eigen (matrix not symmetric)",
             });
         }
+        // Clone-as-output: Jacobi rotations consume the copy in place.
         let mut m = a.clone();
         let mut v = Matrix::identity(n);
         let tol = 1e-14 * scale;

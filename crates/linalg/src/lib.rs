@@ -44,16 +44,21 @@ mod lu;
 mod matrix;
 mod qr;
 mod triangular;
+pub mod view;
 pub mod woodbury;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{cholesky_in_place, Cholesky};
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
-pub use lu::Lu;
+pub use lu::{lu_factor_in_place, lu_solve_into, Lu};
 pub use matrix::Matrix;
 pub use qr::Qr;
-pub use triangular::{solve_lower, solve_lower_transpose, solve_upper};
+pub use triangular::{
+    solve_lower, solve_lower_in_place, solve_lower_transpose, solve_lower_transpose_in_place,
+    solve_upper, solve_upper_in_place,
+};
 pub use vector::Vector;
+pub use view::{MatMut, MatRef, VecMut, VecRef};
 
 mod vector;
 

@@ -44,60 +44,10 @@ impl Lu {
     ///   column.
     /// * [`LinalgError::NonFinite`] when `a` contains NaN or ±∞.
     pub fn new(a: &Matrix) -> Result<Self> {
-        let (n, c) = a.shape();
-        if n != c {
-            return Err(LinalgError::NotSquare { rows: n, cols: c });
-        }
-        if !a.is_finite() {
-            return Err(LinalgError::NonFinite { op: "lu" });
-        }
-        let scale = a
-            .as_slice()
-            .iter()
-            .fold(0.0f64, |m, x| m.max(x.abs()))
-            .max(1.0);
-        let tol = REL_PIVOT_TOL * scale;
-
+        // Clone-as-output: the copy becomes the owned factor storage.
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Find pivot row.
-            let mut p = k;
-            let mut best = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if best < tol {
-                return Err(LinalgError::Singular { pivot: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-                perm.swap(k, p);
-                sign = -sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let m = lu[(i, k)] / pivot;
-                lu[(i, k)] = m;
-                if m == 0.0 {
-                    continue;
-                }
-                for j in (k + 1)..n {
-                    let ukj = lu[(k, j)];
-                    lu[(i, j)] -= m * ukj;
-                }
-            }
-        }
+        let mut perm = Vec::new();
+        let sign = lu_factor_in_place(&mut lu, &mut perm)?;
         Ok(Lu { lu, perm, sign })
     }
 
@@ -121,24 +71,9 @@ impl Lu {
                 rhs: (b.len(), 1),
             });
         }
-        // Apply permutation, then forward substitution with unit-lower L.
-        let mut x = Vector::from_fn(n, |i| b[self.perm[i]]);
-        for i in 0..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s;
-        }
-        // Backward substitution with U.
-        for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s / self.lu[(i, i)];
-        }
-        Ok(x)
+        let mut x = vec![0.0; n];
+        lu_solve_into(&self.lu, &self.perm, b.as_slice(), &mut x)?;
+        Ok(Vector::from(x))
     }
 
     /// Determinant of `A`, as `sign · Π U[i][i]`.
@@ -163,6 +98,122 @@ impl Lu {
         }
         Ok(out)
     }
+}
+
+/// Overwrites the square matrix `a` with its packed LU factors
+/// (strictly-lower `L` with implied unit diagonal, upper `U`), fills
+/// `perm` with the row permutation, and returns its sign — allocating
+/// nothing beyond growing `perm` to dimension `n` once.
+///
+/// Bit-identical to [`Lu::new`] on the same input.
+///
+/// # Errors
+///
+/// Same conditions as [`Lu::new`]. On error `a` holds a partially
+/// eliminated matrix.
+pub fn lu_factor_in_place(a: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64> {
+    let (n, c) = a.shape();
+    if n != c {
+        return Err(LinalgError::NotSquare { rows: n, cols: c });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "lu" });
+    }
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, x| m.max(x.abs()))
+        .max(1.0);
+    let tol = REL_PIVOT_TOL * scale;
+
+    perm.clear();
+    perm.extend(0..n);
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Find pivot row.
+        let mut p = k;
+        let mut best = a[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = a[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best < tol {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = a[(k, j)];
+                a[(k, j)] = a[(p, j)];
+                a[(p, j)] = tmp;
+            }
+            perm.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = a[(k, k)];
+        for i in (k + 1)..n {
+            let m = a[(i, k)] / pivot;
+            a[(i, k)] = m;
+            if m == 0.0 {
+                continue;
+            }
+            for j in (k + 1)..n {
+                let ukj = a[(k, j)];
+                a[(i, j)] -= m * ukj;
+            }
+        }
+    }
+    Ok(sign)
+}
+
+/// Solves `A x = b` against factors produced by [`lu_factor_in_place`],
+/// writing the solution into the caller buffer `x` (fully overwritten).
+///
+/// Bit-identical to [`Lu::solve`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `b`, `x`, or `perm`
+/// do not match the factor dimension.
+pub fn lu_solve_into(lu: &Matrix, perm: &[usize], b: &[f64], x: &mut [f64]) -> Result<()> {
+    let n = lu.nrows();
+    if b.len() != n || perm.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lu solve",
+            lhs: (n, n),
+            rhs: (b.len(), 1),
+        });
+    }
+    if x.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lu solve (out)",
+            lhs: (n, n),
+            rhs: (x.len(), 1),
+        });
+    }
+    // Apply permutation, then forward substitution with unit-lower L.
+    for (i, o) in x.iter_mut().enumerate() {
+        *o = b[perm[i]];
+    }
+    for i in 0..n {
+        let mut s = x[i];
+        for j in 0..i {
+            s -= lu[(i, j)] * x[j];
+        }
+        x[i] = s;
+    }
+    // Backward substitution with U.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= lu[(i, j)] * x[j];
+        }
+        x[i] = s / lu[(i, i)];
+    }
+    Ok(())
 }
 
 #[cfg(test)]

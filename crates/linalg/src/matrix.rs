@@ -1,6 +1,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::view::{self, MatMut, MatRef};
 use crate::{Cholesky, LinalgError, Lu, Qr, Result, Vector};
 
 /// A dense row-major matrix of `f64` values.
@@ -141,6 +142,49 @@ impl Matrix {
         &self.data
     }
 
+    /// Borrows the row-major storage mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Reshapes to `rows × cols` with every element zero, reusing the
+    /// existing buffer when its capacity suffices.
+    ///
+    /// This is the workspace primitive: repeated solves of varying shape
+    /// reuse one `Matrix` without reallocating once it has grown to the
+    /// largest shape seen.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Borrows the matrix as an immutable [`MatRef`] view.
+    pub fn as_view(&self) -> MatRef<'_> {
+        MatRef::from_matrix(self)
+    }
+
+    /// Borrows the matrix as a mutable [`MatMut`] view.
+    pub fn as_view_mut(&mut self) -> MatMut<'_> {
+        MatMut::from_matrix(self)
+    }
+
+    /// Borrows the given rows, in order, as a [`MatRef`] view (view row
+    /// `i` reads `self.row(rows[i])`) — no elements are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn rows_view<'a>(&'a self, rows: &'a [usize]) -> MatRef<'a> {
+        self.as_view().select_rows(rows)
+    }
+
     /// Borrows row `i` as a slice.
     ///
     /// # Panics
@@ -189,17 +233,9 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] when `x.len() !=
     /// self.ncols()`.
     pub fn matvec(&self, x: &Vector) -> Result<Vector> {
-        if x.len() != self.cols {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matvec",
-                lhs: (self.rows, self.cols),
-                rhs: (x.len(), 1),
-            });
-        }
-        let xs = x.as_slice();
-        Ok(Vector::from_fn(self.rows, |i| {
-            self.row(i).iter().zip(xs).map(|(a, b)| a * b).sum()
-        }))
+        let mut out = vec![0.0; self.rows];
+        view::matvec_into(self.as_view(), x.as_slice(), &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -211,23 +247,8 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] when `x.len() !=
     /// self.nrows()`.
     pub fn matvec_transpose(&self, x: &Vector) -> Result<Vector> {
-        if x.len() != self.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matvec_transpose",
-                lhs: (self.cols, self.rows),
-                rhs: (x.len(), 1),
-            });
-        }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
-            if xi == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(i)) {
-                *o += xi * a;
-            }
-        }
+        view::matvec_transpose_into(self.as_view(), x.as_slice(), &mut out)?;
         Ok(Vector::from(out))
     }
 
@@ -240,27 +261,8 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] when inner dimensions
     /// disagree.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
-        if self.cols != other.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul",
-                lhs: (self.rows, self.cols),
-                rhs: (other.rows, other.cols),
-            });
-        }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += aik * b;
-                }
-            }
-        }
+        view::matmul_into(self.as_view(), other.as_view(), out.as_view_mut())?;
         Ok(out)
     }
 
@@ -270,25 +272,8 @@ impl Matrix {
     pub fn gram(&self) -> Matrix {
         let m = self.cols;
         let mut out = Matrix::zeros(m, m);
-        for k in 0..self.rows {
-            let r = self.row(k);
-            for i in 0..m {
-                let ri = r[i];
-                if ri == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * m..(i + 1) * m];
-                for j in i..m {
-                    orow[j] += ri * r[j];
-                }
-            }
-        }
-        // Mirror the upper triangle.
-        for i in 0..m {
-            for j in (i + 1)..m {
-                out.data[j * m + i] = out.data[i * m + j];
-            }
-        }
+        view::gram_into(self.as_view(), out.as_view_mut())
+            .expect("gram_into cannot fail: output allocated with matching shape");
         out
     }
 
@@ -303,27 +288,8 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] when `diag.len() !=
     /// self.ncols()`.
     pub fn outer_gram_diag(&self, diag: &[f64]) -> Result<Matrix> {
-        if diag.len() != self.cols {
-            return Err(LinalgError::DimensionMismatch {
-                op: "outer_gram_diag",
-                lhs: (self.rows, self.cols),
-                rhs: (diag.len(), 1),
-            });
-        }
-        let k = self.rows;
-        let mut out = Matrix::zeros(k, k);
-        for i in 0..k {
-            let ri = self.row(i);
-            for j in i..k {
-                let rj = self.row(j);
-                let mut s = 0.0;
-                for ((a, b), d) in ri.iter().zip(rj).zip(diag) {
-                    s += a * b * d;
-                }
-                out[(i, j)] = s;
-                out[(j, i)] = s;
-            }
-        }
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        view::outer_gram_diag_into(self.as_view(), diag, out.as_view_mut())?;
         Ok(out)
     }
 
@@ -340,6 +306,8 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
+        // Clone-as-output: the owned wrappers in this file copy the input
+        // into the result buffer and update it in place.
         let mut out = self.clone();
         for (a, b) in out.data.iter_mut().zip(&other.data) {
             *a += b;
@@ -469,6 +437,13 @@ impl Matrix {
     /// Panics when any index is out of bounds.
     pub fn select_columns(&self, indices: &[usize]) -> Matrix {
         Matrix::from_fn(self.rows, indices.len(), |i, j| self[(i, indices[j])])
+    }
+}
+
+impl Default for Matrix {
+    /// An empty 0 × 0 matrix (the initial state of workspace buffers).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 

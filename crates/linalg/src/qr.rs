@@ -60,6 +60,7 @@ impl Qr {
         if !a.is_finite() {
             return Err(LinalgError::NonFinite { op: "qr" });
         }
+        // Clone-as-output: the copy becomes the owned factor storage.
         let mut qr = a.clone();
         let mut tau = vec![0.0; n];
         for k in 0..n {

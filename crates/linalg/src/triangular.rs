@@ -9,16 +9,16 @@ use crate::{LinalgError, Matrix, Result, Vector};
 /// Pivots with magnitude below this threshold are treated as exact zeros.
 const PIVOT_TOL: f64 = 1e-300;
 
-fn check_square_system(l: &Matrix, b: &Vector, op: &'static str) -> Result<()> {
+fn check_square_system(l: &Matrix, len: usize, op: &'static str) -> Result<()> {
     let (r, c) = l.shape();
     if r != c {
         return Err(LinalgError::NotSquare { rows: r, cols: c });
     }
-    if b.len() != r {
+    if len != r {
         return Err(LinalgError::DimensionMismatch {
             op,
             lhs: (r, c),
-            rhs: (b.len(), 1),
+            rhs: (len, 1),
         });
     }
     Ok(())
@@ -44,9 +44,23 @@ fn check_square_system(l: &Matrix, b: &Vector, op: &'static str) -> Result<()> {
 /// # }
 /// ```
 pub fn solve_lower(l: &Matrix, b: &Vector) -> Result<Vector> {
-    check_square_system(l, b, "solve_lower")?;
-    let n = b.len();
+    // Clone-as-output: the owned wrappers in this file copy `b` into the
+    // solution vector and substitute in place.
     let mut x = b.clone();
+    solve_lower_in_place(l, x.as_mut_slice())?;
+    Ok(x)
+}
+
+/// In-place variant of [`solve_lower`]: overwrites `x` (initially `b`)
+/// with the solution of `L x = b`, allocating nothing.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lower`]. On error `x` may hold partially
+/// substituted values.
+pub fn solve_lower_in_place(l: &Matrix, x: &mut [f64]) -> Result<()> {
+    check_square_system(l, x.len(), "solve_lower")?;
+    let n = x.len();
     for i in 0..n {
         let row = l.row(i);
         let mut s = x[i];
@@ -59,7 +73,7 @@ pub fn solve_lower(l: &Matrix, b: &Vector) -> Result<Vector> {
         }
         x[i] = s / d;
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solves `U x = b` where `U` is upper triangular (backward substitution).
@@ -72,9 +86,21 @@ pub fn solve_lower(l: &Matrix, b: &Vector) -> Result<Vector> {
 /// zero, [`LinalgError::NotSquare`] or [`LinalgError::DimensionMismatch`] on
 /// shape violations.
 pub fn solve_upper(u: &Matrix, b: &Vector) -> Result<Vector> {
-    check_square_system(u, b, "solve_upper")?;
-    let n = b.len();
     let mut x = b.clone();
+    solve_upper_in_place(u, x.as_mut_slice())?;
+    Ok(x)
+}
+
+/// In-place variant of [`solve_upper`]: overwrites `x` (initially `b`)
+/// with the solution of `U x = b`, allocating nothing.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_upper`]. On error `x` may hold partially
+/// substituted values.
+pub fn solve_upper_in_place(u: &Matrix, x: &mut [f64]) -> Result<()> {
+    check_square_system(u, x.len(), "solve_upper")?;
+    let n = x.len();
     for i in (0..n).rev() {
         let row = u.row(i);
         let mut s = x[i];
@@ -87,7 +113,7 @@ pub fn solve_upper(u: &Matrix, b: &Vector) -> Result<Vector> {
         }
         x[i] = s / d;
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solves `Lᵀ x = b` reading only the lower triangle of `l`.
@@ -99,9 +125,21 @@ pub fn solve_upper(u: &Matrix, b: &Vector) -> Result<Vector> {
 ///
 /// Same conditions as [`solve_lower`].
 pub fn solve_lower_transpose(l: &Matrix, b: &Vector) -> Result<Vector> {
-    check_square_system(l, b, "solve_lower_transpose")?;
-    let n = b.len();
     let mut x = b.clone();
+    solve_lower_transpose_in_place(l, x.as_mut_slice())?;
+    Ok(x)
+}
+
+/// In-place variant of [`solve_lower_transpose`]: overwrites `x`
+/// (initially `b`) with the solution of `Lᵀ x = b`, allocating nothing.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lower_transpose`]. On error `x` may hold
+/// partially substituted values.
+pub fn solve_lower_transpose_in_place(l: &Matrix, x: &mut [f64]) -> Result<()> {
+    check_square_system(l, x.len(), "solve_lower_transpose")?;
+    let n = x.len();
     for i in (0..n).rev() {
         // Lᵀ[i][j] = L[j][i]; only j >= i contribute.
         let mut s = x[i];
@@ -114,7 +152,7 @@ pub fn solve_lower_transpose(l: &Matrix, b: &Vector) -> Result<Vector> {
         }
         x[i] = s / d;
     }
-    Ok(x)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -143,6 +143,8 @@ impl Vector {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] when lengths differ.
     pub fn add(&self, other: &Vector) -> Result<Vector> {
+        // Clone-as-output: the owned wrappers in this file copy the input
+        // into the result buffer and run the in-place kernel on it.
         let mut out = self.clone();
         out.axpy(1.0, other)?;
         Ok(out)

@@ -22,9 +22,13 @@
 //!   `σ_m = +∞` so only `σ_m⁻¹ = 0` enters). Uses an augmented low-rank
 //!   update that stays exact; see the function docs for the derivation.
 
-use crate::{Cholesky, LinalgError, Lu, Matrix, Result, Vector};
+use crate::cholesky::cholesky_in_place;
+use crate::lu::{lu_factor_in_place, lu_solve_into};
+use crate::triangular::{solve_lower_in_place, solve_lower_transpose_in_place};
+use crate::view::{matvec_into, matvec_transpose_into, outer_gram_diag_into, MatRef};
+use crate::{Cholesky, LinalgError, Matrix, Result, Vector};
 
-fn validate(prior_precision: &[f64], c: f64, g: &Matrix, rhs: &Vector) -> Result<()> {
+fn validate(prior_precision: &[f64], c: f64, g: MatRef<'_>, rhs: &[f64]) -> Result<()> {
     let (_k, m) = g.shape();
     if prior_precision.len() != m {
         return Err(LinalgError::DimensionMismatch {
@@ -95,12 +99,93 @@ pub fn solve_diag_plus_gram(
     g: &Matrix,
     rhs: &Vector,
 ) -> Result<Vector> {
-    validate(prior_precision, c, g, rhs)?;
+    validate(prior_precision, c, g.as_view(), rhs.as_slice())?;
     if let Some(z) = prior_precision.iter().position(|d| *d == 0.0) {
         return Err(LinalgError::Singular { pivot: z });
     }
-    let core = WoodburyCore::new(prior_precision, c, g)?;
-    core.solve(rhs)
+    let mut scratch = WoodburyScratch::new();
+    let mut out = vec![0.0; rhs.len()];
+    strictly_positive_into(
+        prior_precision,
+        c,
+        g.as_view(),
+        rhs.as_slice(),
+        &mut scratch,
+        &mut out,
+    )?;
+    Ok(Vector::from(out))
+}
+
+/// Reusable scratch buffers for the allocation-free Woodbury solvers.
+///
+/// A scratch sized once (by its first use at the largest shape) makes
+/// every later [`solve_diag_plus_gram_semidefinite_into`] call
+/// allocation-free. Buffers are resized per call and every kernel fully
+/// overwrites what it reads, so one scratch can serve systems of
+/// different shapes in any order.
+#[derive(Debug, Clone, Default)]
+pub struct WoodburyScratch {
+    zeros: Vec<usize>,
+    dt_inv: Vec<f64>,
+    /// K × K Cholesky core, or the augmented (K+|Z|)² LU system.
+    w: Matrix,
+    /// Block (1,1) of the augmented system before assembly into `w`.
+    b11: Matrix,
+    perm: Vec<usize>,
+    t: Vec<f64>,
+    u: Vec<f64>,
+    y: Vec<f64>,
+    uy: Vec<f64>,
+}
+
+impl WoodburyScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn resize(buf: &mut Vec<f64>, n: usize) {
+    buf.clear();
+    buf.resize(n, 0.0);
+}
+
+/// The strictly-positive Woodbury path of [`solve_diag_plus_gram`],
+/// writing into `out` using only `scratch` buffers. Assumes `validate`
+/// passed and no precision is zero.
+fn strictly_positive_into(
+    prior_precision: &[f64],
+    c: f64,
+    g: MatRef<'_>,
+    rhs: &[f64],
+    ws: &mut WoodburyScratch,
+    out: &mut [f64],
+) -> Result<()> {
+    let (k, m) = g.shape();
+    ws.dt_inv.clear();
+    ws.dt_inv.extend(prior_precision.iter().map(|d| 1.0 / d));
+    // Core c⁻¹I + G D⁻¹ Gᵀ, factorized in place.
+    ws.w.reset_zeros(k, k);
+    outer_gram_diag_into(g, &ws.dt_inv, ws.w.as_view_mut())?;
+    for i in 0..k {
+        ws.w[(i, i)] += 1.0 / c;
+    }
+    cholesky_in_place(&mut ws.w)?;
+    // t = D⁻¹ rhs
+    ws.t.clear();
+    ws.t.extend((0..m).map(|i| ws.dt_inv[i] * rhs[i]));
+    // y = (core)⁻¹ G t
+    resize(&mut ws.y, k);
+    matvec_into(g, &ws.t, &mut ws.y)?;
+    solve_lower_in_place(&ws.w, &mut ws.y)?;
+    solve_lower_transpose_in_place(&ws.w, &mut ws.y)?;
+    // x = t − D⁻¹ Gᵀ y
+    resize(&mut ws.uy, m);
+    matvec_transpose_into(g, &ws.y, &mut ws.uy)?;
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = ws.t[i] - ws.dt_inv[i] * ws.uy[i];
+    }
+    Ok(())
 }
 
 /// A pre-factorized Woodbury core for repeated solves against the same
@@ -132,6 +217,10 @@ impl WoodburyCore {
         Ok(WoodburyCore {
             d_inv,
             chol,
+            // Owns a copy of G so the factorized core can outlive the
+            // caller's borrow (it is stored across repeated solves, e.g.
+            // by the sequential estimator). One-shot solves go through
+            // the borrow-based `_into` path instead and never copy G.
             g: g.clone(),
         })
     }
@@ -197,28 +286,72 @@ pub fn solve_diag_plus_gram_semidefinite(
     g: &Matrix,
     rhs: &Vector,
 ) -> Result<Vector> {
+    let mut scratch = WoodburyScratch::new();
+    let mut out = vec![0.0; rhs.len()];
+    solve_diag_plus_gram_semidefinite_into(
+        prior_precision,
+        c,
+        g.as_view(),
+        rhs.as_slice(),
+        &mut scratch,
+        &mut out,
+    )?;
+    Ok(Vector::from(out))
+}
+
+/// Allocation-free variant of [`solve_diag_plus_gram_semidefinite`]:
+/// reads `G` through a borrowed [`MatRef`] view (which may be a
+/// non-contiguous row subset of a larger design matrix), works out of
+/// `scratch`, and writes the solution into `out`.
+///
+/// Bit-identical to the owned entry point — it *is* the implementation
+/// the owned entry point wraps. Handles the all-positive case directly
+/// (no delegation), so one scratch serves both regimes.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_diag_plus_gram_semidefinite`], plus
+/// [`LinalgError::DimensionMismatch`] when `out.len()` differs from the
+/// number of columns of `G`.
+pub fn solve_diag_plus_gram_semidefinite_into(
+    prior_precision: &[f64],
+    c: f64,
+    g: MatRef<'_>,
+    rhs: &[f64],
+    ws: &mut WoodburyScratch,
+    out: &mut [f64],
+) -> Result<()> {
     validate(prior_precision, c, g, rhs)?;
-    let zeros: Vec<usize> = prior_precision
-        .iter()
-        .enumerate()
-        .filter_map(|(i, d)| (*d == 0.0).then_some(i))
-        .collect();
-    if zeros.is_empty() {
-        return solve_diag_plus_gram(prior_precision, c, g, rhs);
-    }
     let (k, m) = g.shape();
-    let nz = zeros.len();
+    if out.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "woodbury (out length vs G cols)",
+            lhs: (out.len(), 1),
+            rhs: (m, 1),
+        });
+    }
+    ws.zeros.clear();
+    ws.zeros.extend(
+        prior_precision
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| (*d == 0.0).then_some(i)),
+    );
+    if ws.zeros.is_empty() {
+        return strictly_positive_into(prior_precision, c, g, rhs, ws, out);
+    }
+    let nz = ws.zeros.len();
     if nz > k {
         // More unconstrained coefficients than samples: H is singular.
-        return Err(LinalgError::Singular { pivot: zeros[k] });
+        return Err(LinalgError::Singular { pivot: ws.zeros[k] });
     }
 
     // Shift tau: mean of c * column norms over the zero-precision columns.
     let mut tau = 0.0;
-    for &z in &zeros {
+    for &z in &ws.zeros {
         let mut s = 0.0;
         for i in 0..k {
-            s += g[(i, z)] * g[(i, z)];
+            s += g.get(i, z) * g.get(i, z);
         }
         tau += c * s;
     }
@@ -228,52 +361,56 @@ pub fn solve_diag_plus_gram_semidefinite(
     }
 
     // D-tilde inverse.
-    let mut dt_inv: Vec<f64> = prior_precision.iter().map(|d| 1.0 / d).collect();
-    for &z in &zeros {
-        dt_inv[z] = 1.0 / tau;
+    ws.dt_inv.clear();
+    ws.dt_inv.extend(prior_precision.iter().map(|d| 1.0 / d));
+    for &z in &ws.zeros {
+        ws.dt_inv[z] = 1.0 / tau;
     }
 
     // Inner matrix W = C^-1 + U^T Dt^-1 U, size (k + nz).
     let n = k + nz;
-    let mut w = Matrix::zeros(n, n);
+    ws.w.reset_zeros(n, n);
     // Block (1,1): c^-1 I + G Dt^-1 G^T.
-    let block11 = g.outer_gram_diag(&dt_inv)?;
+    ws.b11.reset_zeros(k, k);
+    outer_gram_diag_into(g, &ws.dt_inv, ws.b11.as_view_mut())?;
     for i in 0..k {
         for j in 0..k {
-            w[(i, j)] = block11[(i, j)] + if i == j { 1.0 / c } else { 0.0 };
+            ws.w[(i, j)] = ws.b11[(i, j)] + if i == j { 1.0 / c } else { 0.0 };
         }
     }
     // Block (1,2) and (2,1): G Dt^-1 E  → column z scaled by 1/tau.
-    for (jz, &z) in zeros.iter().enumerate() {
+    for (jz, &z) in ws.zeros.iter().enumerate() {
         for i in 0..k {
-            let v = g[(i, z)] / tau;
-            w[(i, k + jz)] = v;
-            w[(k + jz, i)] = v;
+            let v = g.get(i, z) / tau;
+            ws.w[(i, k + jz)] = v;
+            ws.w[(k + jz, i)] = v;
         }
     }
     // Block (2,2): -tau^-1 I + E^T Dt^-1 E = -1/tau + 1/tau = 0. Left zero.
 
-    let lu = Lu::new(&w)?;
+    lu_factor_in_place(&mut ws.w, &mut ws.perm)?;
 
     // t = Dt^-1 rhs.
-    let t = Vector::from_fn(m, |i| dt_inv[i] * rhs[i]);
+    ws.t.clear();
+    ws.t.extend((0..m).map(|i| ws.dt_inv[i] * rhs[i]));
     // u = U^T t : first k entries G t, last nz entries t[z].
-    let gt = g.matvec(&t)?;
-    let mut u = Vector::zeros(n);
-    for i in 0..k {
-        u[i] = gt[i];
+    resize(&mut ws.u, n);
+    matvec_into(g, &ws.t, &mut ws.u[..k])?;
+    for (jz, &z) in ws.zeros.iter().enumerate() {
+        ws.u[k + jz] = ws.t[z];
     }
-    for (jz, &z) in zeros.iter().enumerate() {
-        u[k + jz] = t[z];
-    }
-    let y = lu.solve(&u)?;
+    resize(&mut ws.y, n);
+    lu_solve_into(&ws.w, &ws.perm, &ws.u, &mut ws.y)?;
     // Uy = G^T y1 + E y2.
-    let y1 = Vector::from(&y.as_slice()[..k]);
-    let mut uy = g.matvec_transpose(&y1)?;
-    for (jz, &z) in zeros.iter().enumerate() {
-        uy[z] += y[k + jz];
+    resize(&mut ws.uy, m);
+    matvec_transpose_into(g, &ws.y[..k], &mut ws.uy)?;
+    for (jz, &z) in ws.zeros.iter().enumerate() {
+        ws.uy[z] += ws.y[k + jz];
     }
-    Ok(Vector::from_fn(m, |i| t[i] - dt_inv[i] * uy[i]))
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = ws.t[i] - ws.dt_inv[i] * ws.uy[i];
+    }
+    Ok(())
 }
 
 #[cfg(test)]

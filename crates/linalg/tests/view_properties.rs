@@ -1,0 +1,380 @@
+//! Bitwise-equality property tests: every `_into` / in-place / view
+//! kernel must produce *identical bits* to its owned counterpart.
+//!
+//! The zero-copy refactor (DESIGN.md §9) is only safe because the view
+//! kernels replicate the owned kernels' exact loop order, skip
+//! conditions, and accumulation order; these tests pin that contract
+//! with `f64::to_bits` comparisons under random shapes, random strides,
+//! and non-contiguous row-subset views. Scratch buffers are deliberately
+//! reused across cases so any stale-state leak shows up as a bit
+//! mismatch.
+
+use bmf_linalg::woodbury::{
+    solve_diag_plus_gram_semidefinite, solve_diag_plus_gram_semidefinite_into, WoodburyScratch,
+};
+use bmf_linalg::{
+    cholesky_in_place, lu_factor_in_place, lu_solve_into, solve_lower, solve_lower_in_place,
+    solve_lower_transpose, solve_lower_transpose_in_place, solve_upper, solve_upper_in_place, view,
+    Cholesky, Lu, MatRef, Matrix, VecRef, Vector,
+};
+use bmf_stat::prop::{check, DEFAULT_CASES};
+use bmf_stat::rng::Rng;
+
+fn elem(rng: &mut Rng) -> f64 {
+    (rng.gen_range(-10.0..10.0) * 100.0).round() / 100.0
+}
+
+fn matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| elem(rng)).collect();
+    Matrix::from_row_major(rows, cols, data).expect("sized")
+}
+
+fn vec_random(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| elem(rng)).collect()
+}
+
+/// A random row-index table (duplicates allowed — a view permits them).
+fn subset(rng: &mut Rng, parent_rows: usize, len: usize) -> Vec<usize> {
+    (0..len).map(|_| rng.gen_index(parent_rows)).collect()
+}
+
+/// The owned counterpart of a row-subset view: an explicit copy.
+fn gather_rows(m: &Matrix, rows: &[usize]) -> Matrix {
+    Matrix::from_fn(rows.len(), m.ncols(), |i, j| m[(rows[i], j)])
+}
+
+#[track_caller]
+fn assert_bits_eq(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "bit mismatch at {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn matvec_into_bitwise_equals_owned_on_row_subsets() {
+    check(
+        "matvec_into_bitwise_equals_owned_on_row_subsets",
+        DEFAULT_CASES,
+        |rng| {
+            let rows = 1 + rng.gen_index(6);
+            let cols = 1 + rng.gen_index(6);
+            let m = matrix(rng, rows, cols);
+            let sub_len = 1 + rng.gen_index(6);
+            let idx = subset(rng, rows, sub_len);
+            let copied = gather_rows(&m, &idx);
+            let x = vec_random(rng, cols);
+
+            let owned = copied.matvec(&Vector::from(x.clone())).unwrap();
+            // Stale garbage in the output buffer must be fully overwritten.
+            let mut out = vec![f64::NAN; idx.len()];
+            view::matvec_into(m.rows_view(&idx), &x, &mut out).unwrap();
+            assert_bits_eq(&out, owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn matvec_transpose_into_bitwise_equals_owned_on_row_subsets() {
+    check(
+        "matvec_transpose_into_bitwise_equals_owned_on_row_subsets",
+        DEFAULT_CASES,
+        |rng| {
+            let rows = 1 + rng.gen_index(6);
+            let cols = 1 + rng.gen_index(6);
+            let m = matrix(rng, rows, cols);
+            let sub_len = 1 + rng.gen_index(6);
+            let idx = subset(rng, rows, sub_len);
+            let copied = gather_rows(&m, &idx);
+            let mut x = vec_random(rng, idx.len());
+            // Exercise the skip-zero shortcut on both paths.
+            if !x.is_empty() {
+                let z = rng.gen_index(x.len());
+                x[z] = 0.0;
+            }
+
+            let owned = copied.matvec_transpose(&Vector::from(x.clone())).unwrap();
+            let mut out = vec![f64::NAN; cols];
+            view::matvec_transpose_into(m.rows_view(&idx), &x, &mut out).unwrap();
+            assert_bits_eq(&out, owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn matmul_into_bitwise_equals_owned() {
+    check("matmul_into_bitwise_equals_owned", DEFAULT_CASES, |rng| {
+        let (m, k, n) = (
+            1 + rng.gen_index(5),
+            1 + rng.gen_index(5),
+            1 + rng.gen_index(5),
+        );
+        let a = matrix(rng, m, k);
+        let b = matrix(rng, k, n);
+        let owned = a.matmul(&b).unwrap();
+        let mut out = Matrix::from_fn(m, n, |_, _| f64::NAN);
+        view::matmul_into(a.as_view(), b.as_view(), out.as_view_mut()).unwrap();
+        assert_bits_eq(out.as_slice(), owned.as_slice());
+    });
+}
+
+#[test]
+fn gram_into_bitwise_equals_owned_on_row_subsets() {
+    check(
+        "gram_into_bitwise_equals_owned_on_row_subsets",
+        DEFAULT_CASES,
+        |rng| {
+            let rows = 1 + rng.gen_index(6);
+            let cols = 1 + rng.gen_index(5);
+            let m = matrix(rng, rows, cols);
+            let sub_len = 1 + rng.gen_index(6);
+            let idx = subset(rng, rows, sub_len);
+            let owned = gather_rows(&m, &idx).gram();
+            let mut out = Matrix::from_fn(cols, cols, |_, _| f64::NAN);
+            view::gram_into(m.rows_view(&idx), out.as_view_mut()).unwrap();
+            assert_bits_eq(out.as_slice(), owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn outer_gram_diag_into_bitwise_equals_owned_on_row_subsets() {
+    check(
+        "outer_gram_diag_into_bitwise_equals_owned_on_row_subsets",
+        DEFAULT_CASES,
+        |rng| {
+            let rows = 1 + rng.gen_index(6);
+            let cols = 1 + rng.gen_index(5);
+            let m = matrix(rng, rows, cols);
+            let sub_len = 1 + rng.gen_index(6);
+            let idx = subset(rng, rows, sub_len);
+            let diag: Vec<f64> = (0..cols).map(|_| rng.gen_range(0.1..5.0)).collect();
+            let owned = gather_rows(&m, &idx).outer_gram_diag(&diag).unwrap();
+            let k = idx.len();
+            let mut out = Matrix::from_fn(k, k, |_, _| f64::NAN);
+            view::outer_gram_diag_into(m.rows_view(&idx), &diag, out.as_view_mut()).unwrap();
+            assert_bits_eq(out.as_slice(), owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn strided_views_bitwise_equal_dense_copies() {
+    check(
+        "strided_views_bitwise_equal_dense_copies",
+        DEFAULT_CASES,
+        |rng| {
+            // Embed an r × c matrix as the leading columns of a wider
+            // r × stride buffer, then view it with that row stride.
+            let rows = 1 + rng.gen_index(5);
+            let cols = 1 + rng.gen_index(4);
+            let stride = cols + rng.gen_index(4);
+            let backing = vec_random(rng, rows * stride);
+            let v = MatRef::strided(&backing, rows, cols, stride).unwrap();
+            let dense = v.to_matrix();
+
+            let x = vec_random(rng, cols);
+            let owned = dense.matvec(&Vector::from(x.clone())).unwrap();
+            let mut out = vec![f64::NAN; rows];
+            view::matvec_into(v, &x, &mut out).unwrap();
+            assert_bits_eq(&out, owned.as_slice());
+
+            let mut g = Matrix::from_fn(cols, cols, |_, _| f64::NAN);
+            view::gram_into(v, g.as_view_mut()).unwrap();
+            assert_bits_eq(g.as_slice(), dense.gram().as_slice());
+        },
+    );
+}
+
+#[test]
+fn cholesky_in_place_bitwise_equals_owned_factor() {
+    check(
+        "cholesky_in_place_bitwise_equals_owned_factor",
+        DEFAULT_CASES,
+        |rng| {
+            let n = 1 + rng.gen_index(5);
+            let b = matrix(rng, n + 1, n);
+            let mut a = b.gram();
+            a.add_diagonal_mut(&vec![1.0; n]).unwrap();
+
+            let owned = Cholesky::new(&a).unwrap();
+            let mut in_place = a.clone();
+            cholesky_in_place(&mut in_place).unwrap();
+            assert_bits_eq(in_place.as_slice(), owned.factor().as_slice());
+
+            // The wrapped factor solves identically to the owned path.
+            let rhs = vec_random(rng, n);
+            let x_owned = owned.solve(&Vector::from(rhs.clone())).unwrap();
+            let wrapped = Cholesky::from_factor(in_place);
+            let mut x = rhs;
+            wrapped.solve_in_place(&mut x).unwrap();
+            assert_bits_eq(&x, x_owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn triangular_in_place_bitwise_equals_owned() {
+    check(
+        "triangular_in_place_bitwise_equals_owned",
+        DEFAULT_CASES,
+        |rng| {
+            let n = 1 + rng.gen_index(5);
+            // Dominant diagonal keeps the pivots safely above the tolerance.
+            let mut l = matrix(rng, n, n);
+            for i in 0..n {
+                l[(i, i)] = 2.0 + l[(i, i)].abs();
+            }
+            let b = Vector::from(vec_random(rng, n));
+
+            let owned = solve_lower(&l, &b).unwrap();
+            let mut x = b.as_slice().to_vec();
+            solve_lower_in_place(&l, &mut x).unwrap();
+            assert_bits_eq(&x, owned.as_slice());
+
+            let owned = solve_upper(&l, &b).unwrap();
+            let mut x = b.as_slice().to_vec();
+            solve_upper_in_place(&l, &mut x).unwrap();
+            assert_bits_eq(&x, owned.as_slice());
+
+            let owned = solve_lower_transpose(&l, &b).unwrap();
+            let mut x = b.as_slice().to_vec();
+            solve_lower_transpose_in_place(&l, &mut x).unwrap();
+            assert_bits_eq(&x, owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn lu_in_place_bitwise_equals_owned_solve() {
+    check(
+        "lu_in_place_bitwise_equals_owned_solve",
+        DEFAULT_CASES,
+        |rng| {
+            let n = 1 + rng.gen_index(5);
+            let mut a = matrix(rng, n, n);
+            for i in 0..n {
+                a[(i, i)] += if a[(i, i)] >= 0.0 { 3.0 } else { -3.0 };
+            }
+            let b = vec_random(rng, n);
+
+            let owned = Lu::new(&a).unwrap();
+            let x_owned = owned.solve(&Vector::from(b.clone())).unwrap();
+
+            let mut packed = a.clone();
+            let mut perm = Vec::new();
+            lu_factor_in_place(&mut packed, &mut perm).unwrap();
+            let mut x = vec![f64::NAN; n];
+            lu_solve_into(&packed, &perm, &b, &mut x).unwrap();
+            assert_bits_eq(&x, x_owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn woodbury_into_bitwise_equals_owned_with_reused_scratch() {
+    // ONE scratch across every case: stale state from a previous shape
+    // must never change a result.
+    let mut scratch = WoodburyScratch::new();
+    let mut out = Vec::new();
+    check(
+        "woodbury_into_bitwise_equals_owned_with_reused_scratch",
+        DEFAULT_CASES,
+        |rng| {
+            let k = 2 + rng.gen_index(4);
+            let m = k + 1 + rng.gen_index(8);
+            let g = matrix(rng, k, m);
+            let mut d: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..5.0)).collect();
+            // Sometimes a semidefinite system (zero precisions), sometimes
+            // strictly positive — both paths share the scratch.
+            for _ in 0..rng.gen_index(3) {
+                let z = rng.gen_index(m);
+                d[z] = 0.0;
+            }
+            let rhs = vec_random(rng, m);
+
+            let owned = solve_diag_plus_gram_semidefinite(&d, 1.0, &g, &Vector::from(rhs.clone()));
+            out.clear();
+            out.resize(m, f64::NAN);
+            let viewed = solve_diag_plus_gram_semidefinite_into(
+                &d,
+                1.0,
+                g.as_view(),
+                &rhs,
+                &mut scratch,
+                &mut out,
+            );
+            match (owned, viewed) {
+                (Ok(a), Ok(())) => assert_bits_eq(&out, a.as_slice()),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("owned {a:?} vs into {b:?} disagree on fallibility"),
+            }
+        },
+    );
+}
+
+#[test]
+fn woodbury_into_on_row_subset_equals_owned_on_copy() {
+    let mut scratch = WoodburyScratch::new();
+    check(
+        "woodbury_into_on_row_subset_equals_owned_on_copy",
+        DEFAULT_CASES,
+        |rng| {
+            let rows = 3 + rng.gen_index(4);
+            let m = 8 + rng.gen_index(6);
+            let g = matrix(rng, rows, m);
+            let sub_len = 2 + rng.gen_index(3);
+            let idx = subset(rng, rows, sub_len);
+            let copied = gather_rows(&g, &idx);
+            let d: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..5.0)).collect();
+            let rhs = vec_random(rng, m);
+
+            let owned =
+                solve_diag_plus_gram_semidefinite(&d, 1.0, &copied, &Vector::from(rhs.clone()))
+                    .unwrap();
+            let mut out = vec![f64::NAN; m];
+            solve_diag_plus_gram_semidefinite_into(
+                &d,
+                1.0,
+                g.rows_view(&idx),
+                &rhs,
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            assert_bits_eq(&out, owned.as_slice());
+        },
+    );
+}
+
+#[test]
+fn vec_views_bitwise_equal_vector_reductions() {
+    check(
+        "vec_views_bitwise_equal_vector_reductions",
+        DEFAULT_CASES,
+        |rng| {
+            let n = 1 + rng.gen_index(8);
+            let stride = 1 + rng.gen_index(3);
+            let backing = vec_random(rng, n * stride);
+            let v = VecRef::strided(&backing, n, stride).unwrap();
+            let dense = Vector::from(v.to_vec());
+            let other = Vector::from(vec_random(rng, n));
+
+            assert_eq!(
+                v.norm2().to_bits(),
+                dense.norm2().to_bits(),
+                "norm2 differs"
+            );
+            assert_eq!(
+                v.dot(VecRef::from_slice(other.as_slice()))
+                    .unwrap()
+                    .to_bits(),
+                dense.dot(&other).unwrap().to_bits(),
+                "dot differs"
+            );
+        },
+    );
+}

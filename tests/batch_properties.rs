@@ -51,13 +51,14 @@ fn batch_equals_serial_loop_for_random_jobs() {
             // Degenerate draws (e.g. too many missing priors per fold) must
             // fail identically in the serial path; checked below.
             Err(batch_err) => {
-                let (early, values) = &jobs[0];
-                let serial_err = BmfFitter::new(basis.clone(), early.clone())
+                let multi = jobs.len() > 1;
+                let (early, values) = jobs.swap_remove(0);
+                let serial_err = BmfFitter::new(basis, early)
                     .unwrap()
-                    .with_options(opts.clone())
-                    .fit(&points, values);
+                    .with_options(opts)
+                    .fit(&points, &values);
                 assert!(
-                    serial_err.is_err() || jobs.len() > 1,
+                    serial_err.is_err() || multi,
                     "batch failed ({batch_err:?}) where the serial loop succeeds"
                 );
                 return;
