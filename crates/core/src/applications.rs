@@ -61,9 +61,10 @@ pub struct YieldEstimate {
 
 /// Estimates parametric yield by Monte-Carlo on the fitted model.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `samples == 0`.
+/// Returns [`BmfError::Config`] (parameter `"samples"`) when
+/// `samples == 0`.
 ///
 /// # Example
 ///
@@ -74,7 +75,7 @@ pub struct YieldEstimate {
 ///
 /// # fn main() -> Result<(), bmf_core::BmfError> {
 /// let model = PerformanceModel::new(OrthonormalBasis::linear(1), vec![0.0, 1.0])?;
-/// let y = yield_monte_carlo(&model, &Spec::UpperBound(0.0), 20_000, 1);
+/// let y = yield_monte_carlo(&model, &Spec::UpperBound(0.0), 20_000, 1)?;
 /// assert!((y.value - 0.5).abs() < 0.02); // P(N(0,1) <= 0) = 1/2
 /// # Ok(())
 /// # }
@@ -84,8 +85,10 @@ pub fn yield_monte_carlo(
     spec: &Spec,
     samples: usize,
     seed: u64,
-) -> YieldEstimate {
-    assert!(samples > 0, "need at least one sample");
+) -> Result<YieldEstimate> {
+    if samples == 0 {
+        return Err(BmfError::config("samples", "need at least one sample"));
+    }
     let n_vars = model.basis().num_vars();
     let mut rng = seeded(seed);
     let mut sampler = StandardNormal::new();
@@ -98,11 +101,11 @@ pub fn yield_monte_carlo(
         }
     }
     let p = pass as f64 / samples as f64;
-    YieldEstimate {
+    Ok(YieldEstimate {
         value: p,
         std_err: (p * (1.0 - p) / samples as f64).sqrt(),
         samples,
-    }
+    })
 }
 
 /// Exact yield of a *linear* model: under `x ~ N(0, I)` the performance is
@@ -175,24 +178,24 @@ pub struct Corner {
 /// the classical corner formula); for mildly nonlinear models a few
 /// iterations converge to a stationary point on the sphere.
 ///
-/// # Panics
-///
-/// Panics when `sigma_radius` is not positive.
-///
 /// # Errors
 ///
 /// Returns [`BmfError::Config`] (parameter `"model"`) when the model has
-/// a zero gradient everywhere on the sphere (constant model).
+/// a zero gradient everywhere on the sphere (constant model), or
+/// (parameter `"sigma_radius"`) when the radius is not positive and
+/// finite.
 pub fn worst_case_corner(
     model: &PerformanceModel,
     sigma_radius: f64,
     maximize: bool,
     max_iters: usize,
 ) -> Result<Corner> {
-    assert!(
-        sigma_radius > 0.0 && sigma_radius.is_finite(),
-        "sigma radius must be positive"
-    );
+    if !(sigma_radius > 0.0 && sigma_radius.is_finite()) {
+        return Err(BmfError::config(
+            "sigma_radius",
+            format!("must be positive and finite, got {sigma_radius}"),
+        ));
+    }
     let basis = model.basis();
     let n = basis.num_vars();
     let sign = if maximize { 1.0 } else { -1.0 };
@@ -277,7 +280,7 @@ mod tests {
         let m = linear_model(vec![0.5, 1.0, -0.5, 0.25]);
         let spec = Spec::Window { lo: -1.0, hi: 2.0 };
         let exact = yield_closed_form_linear(&m, &spec).unwrap();
-        let mc = yield_monte_carlo(&m, &spec, 50_000, 9);
+        let mc = yield_monte_carlo(&m, &spec, 50_000, 9).unwrap();
         assert!(
             (mc.value - exact).abs() < 4.0 * mc.std_err + 1e-3,
             "mc {} vs exact {exact}",

@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 use bmf_basis::basis::OrthonormalBasis;
 use bmf_linalg::Vector;
 
-use crate::fusion::{response_scale, BmfFit, FitCounters};
+use crate::fusion::{response_scale, BmfFit, FitCounters, ResilienceReport};
 use crate::hyper::{build_fold_sweep, reduce_outcomes, sweep_fold, FoldErrors, FoldPlan};
 use crate::map_estimate::{map_estimate_ws, MapSweep};
 use crate::model::PerformanceModel;
@@ -132,6 +132,10 @@ pub struct BatchReport {
     pub labels: Vec<String>,
     /// Work counters summed over every job.
     pub counters: FitCounters,
+    /// Degradation-ladder summary aggregated over every job: the worst
+    /// final-solve rung/ridge, the smallest reciprocal-condition
+    /// estimate, and batch-wide degraded-solve totals.
+    pub resilience: ResilienceReport,
     /// Per-phase wall time.
     pub timings: PhaseTimings,
     /// Worker threads the pool actually used.
@@ -216,6 +220,7 @@ impl BatchFitter {
         if self.jobs.is_empty() {
             return Err(BmfError::config("jobs", "batch needs at least one job"));
         }
+        crate::screen::points(points, self.basis.num_vars())?;
         for job in &self.jobs {
             if job.prior.len() != self.basis.len() {
                 return Err(BmfError::PriorShape {
@@ -233,6 +238,8 @@ impl BatchFitter {
                     ),
                 });
             }
+            crate::screen::finite_values("response values", &job.values)?;
+            crate::screen::finite_early("prior early coefficients", &job.prior)?;
         }
 
         // Phase 1 (serial): shared design matrix, fold plan, and per-job
@@ -350,9 +357,9 @@ impl BatchFitter {
                     job.f.len(),
                     num_folds,
                 )?;
-                let selection = choose_from_list(self.options.selection, outcomes);
+                let selection = choose_from_list(self.options.selection, outcomes)?;
                 let chosen = job.prior.with_kind(selection.kind);
-                let alpha = map_estimate_ws(
+                let (alpha, final_res) = map_estimate_ws(
                     &g,
                     &job.f,
                     &chosen,
@@ -361,6 +368,7 @@ impl BatchFitter {
                     &mut ws.map,
                 )?;
                 counters.map_solves += 1;
+                counters.record_resilience(&final_res);
                 let coeffs: Vec<f64> = alpha.iter().map(|a| a * job.scale).collect();
                 // Clone: once per job (not per grid cell) — each returned
                 // model owns its basis.
@@ -371,6 +379,7 @@ impl BatchFitter {
                     hyper: selection.hyper,
                     cv_error: selection.cv_error,
                     selection,
+                    resilience: ResilienceReport::new(&final_res, &counters),
                     counters,
                 })
             });
@@ -381,12 +390,25 @@ impl BatchFitter {
         for fit in &fits {
             counters.merge(&fit.counters);
         }
+        // Batch-wide resilience: worst final-solve rung/ridge, smallest
+        // rcond, totals from the merged counters.
+        let mut resilience = ResilienceReport {
+            degraded_solves: counters.degraded_solves,
+            max_rung: counters.max_ladder_rung,
+            ..ResilienceReport::default()
+        };
+        for fit in &fits {
+            resilience.rung = resilience.rung.max(fit.resilience.rung);
+            resilience.ridge = resilience.ridge.max(fit.resilience.ridge);
+            resilience.rcond = resilience.rcond.min(fit.resilience.rcond);
+        }
         Ok(BatchReport {
             // Clone: the report owns its labels so the fitter's job list
             // stays reusable for further fits.
             labels: self.jobs.iter().map(|j| j.label.clone()).collect(),
             fits,
             counters,
+            resilience,
             timings,
             threads,
         })
@@ -470,7 +492,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("batch worker panicked"))
+            // A worker can only panic if a task panicked; re-raise the
+            // original payload on the caller's thread instead of masking
+            // it behind a generic join error.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -479,7 +504,9 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every task index claimed exactly once"))
+        // The atomic cursor hands out each index in 0..n exactly once, so
+        // every slot is filled by construction.
+        .map(|s| s.unwrap_or_else(|| unreachable!("every task index is claimed exactly once")))
         .collect()
 }
 

@@ -46,6 +46,21 @@ pub enum BmfError {
         /// What is wrong with it.
         detail: String,
     },
+    /// An input contained NaN or ±∞ where finite data is required. Raised
+    /// by the boundary screening at every public fitting entry point, so
+    /// contaminated measurements fail fast with a named input instead of
+    /// propagating into the solvers.
+    NonFiniteInput {
+        /// Which input contained the non-finite value.
+        what: &'static str,
+    },
+    /// An internal invariant was violated — a bug in this crate, not in
+    /// the caller's inputs. Returned instead of panicking so the
+    /// panic-free contract holds even for library defects.
+    Internal {
+        /// Description of the violated invariant.
+        detail: &'static str,
+    },
 }
 
 impl BmfError {
@@ -85,6 +100,12 @@ impl fmt::Display for BmfError {
             ),
             BmfError::Config { parameter, detail } => {
                 write!(f, "invalid value for `{parameter}`: {detail}")
+            }
+            BmfError::NonFiniteInput { what } => {
+                write!(f, "non-finite value (NaN or infinity) in {what}")
+            }
+            BmfError::Internal { detail } => {
+                write!(f, "internal invariant violated (library bug): {detail}")
             }
         }
     }
@@ -140,5 +161,14 @@ mod tests {
     fn error_is_send_sync() {
         fn check<T: Send + Sync>() {}
         check::<BmfError>();
+    }
+
+    #[test]
+    fn non_finite_input_names_the_input() {
+        let e = BmfError::NonFiniteInput {
+            what: "sample points",
+        };
+        assert!(e.to_string().contains("sample points"));
+        assert!(e.to_string().contains("non-finite"));
     }
 }

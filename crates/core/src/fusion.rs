@@ -17,7 +17,7 @@
 
 use bmf_basis::basis::OrthonormalBasis;
 use bmf_basis::expansion::ExpandedBasis;
-use bmf_linalg::Vector;
+use bmf_linalg::{Resilience, Vector};
 
 use crate::hyper::FoldPlan;
 use crate::map_estimate::{map_estimate_ws, SolverKind};
@@ -46,6 +46,14 @@ pub struct FitCounters {
     pub kernel_cache_hits: usize,
     /// Batch kernel-cache misses (kernels this job had to build).
     pub kernel_cache_misses: usize,
+    /// Solves that needed the degradation ladder (rung > 0).
+    pub degraded_solves: usize,
+    /// Total ladder rungs climbed, summed over all solves.
+    pub ladder_escalations: usize,
+    /// SPD solves rescued by the final LU rung of the ladder.
+    pub lu_fallbacks: usize,
+    /// Worst ladder rung used by any solve of this fit.
+    pub max_ladder_rung: u32,
 }
 
 impl FitCounters {
@@ -55,6 +63,67 @@ impl FitCounters {
         self.kernels_built += other.kernels_built;
         self.kernel_cache_hits += other.kernel_cache_hits;
         self.kernel_cache_misses += other.kernel_cache_misses;
+        self.degraded_solves += other.degraded_solves;
+        self.ladder_escalations += other.ladder_escalations;
+        self.lu_fallbacks += other.lu_fallbacks;
+        self.max_ladder_rung = self.max_ladder_rung.max(other.max_ladder_rung);
+    }
+
+    /// Folds one solve's [`Resilience`] record into the counters.
+    pub fn record_resilience(&mut self, res: &Resilience) {
+        if res.is_degraded() {
+            self.degraded_solves += 1;
+        }
+        self.ladder_escalations += res.rung as usize;
+        if res.lu_fallback {
+            self.lu_fallbacks += 1;
+        }
+        self.max_ladder_rung = self.max_ladder_rung.max(res.rung);
+    }
+}
+
+/// How hard the solver degradation ladder had to work during a fit.
+///
+/// `rung`/`ridge`/`rcond` describe the *final* full-data MAP solve — the
+/// one that produced the returned coefficients; `degraded_solves` and
+/// `max_rung` aggregate over every solve of the fit, including the
+/// cross-validation cells. A clean fit reports `rung == 0`,
+/// `ridge == 0.0`, and `degraded_solves == 0`, and its coefficients are
+/// bit-identical to a build without the ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceReport {
+    /// Ladder rung used by the final full-data solve (0 = clean).
+    pub rung: u32,
+    /// Ridge added to the final solve's system diagonal (0.0 = none).
+    pub ridge: f64,
+    /// Reciprocal-condition estimate of the final solve's factorization.
+    pub rcond: f64,
+    /// Solves (CV cells + final) that needed the ladder at all.
+    pub degraded_solves: usize,
+    /// Worst ladder rung used anywhere in the fit.
+    pub max_rung: u32,
+}
+
+impl ResilienceReport {
+    pub(crate) fn new(final_solve: &Resilience, counters: &FitCounters) -> Self {
+        ResilienceReport {
+            rung: final_solve.rung,
+            ridge: final_solve.ridge,
+            rcond: final_solve.rcond,
+            degraded_solves: counters.degraded_solves,
+            max_rung: counters.max_ladder_rung,
+        }
+    }
+
+    /// `true` when any solve of the fit left rung 0.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_solves > 0
+    }
+}
+
+impl Default for ResilienceReport {
+    fn default() -> Self {
+        ResilienceReport::new(&Resilience::default(), &FitCounters::default())
     }
 }
 
@@ -86,6 +155,9 @@ pub struct BmfFit {
     pub selection: SelectionOutcome,
     /// Work counters for this fit (solves, kernels built).
     pub counters: FitCounters,
+    /// Degradation-ladder summary: rung/ridge/rcond of the final solve
+    /// plus degraded-solve aggregates over the whole fit.
+    pub resilience: ResilienceReport,
 }
 
 /// Serializable summary of a fit (for experiment reports).
@@ -255,13 +327,19 @@ impl BmfFitter {
     ///   length mismatches between points and values are errors).
     /// * [`BmfError::NotEnoughSamples`] when K is too small for the folds
     ///   or the missing-prior block.
-    /// * [`BmfError::Linalg`] on numerical failure.
+    /// * [`BmfError::NonFiniteInput`] when a point, value, or prior
+    ///   coefficient is NaN/±∞.
+    /// * [`BmfError::Linalg`] on numerical failure the degradation ladder
+    ///   could not absorb.
     pub fn fit(&self, points: &[Vec<f64>], values: &[f64]) -> Result<BmfFit> {
         if points.len() != values.len() {
             return Err(BmfError::SampleShape {
                 detail: format!("{} points vs {} values", points.len(), values.len()),
             });
         }
+        crate::screen::points(points, self.basis.num_vars())?;
+        crate::screen::finite_values("response values", values)?;
+        crate::screen::finite_early("prior early coefficients", &self.prior_values)?;
         validate_grid(&self.options.grid)?;
         validate_folds(self.options.folds)?;
         let g = self
@@ -323,8 +401,10 @@ pub(crate) fn fit_prepared(
         &mut ws,
     )?;
     let chosen = prior.with_kind(selection.kind);
-    let alpha = map_estimate_ws(g, &f, &chosen, selection.hyper, options.solver, &mut ws.map)?;
+    let (alpha, final_res) =
+        map_estimate_ws(g, &f, &chosen, selection.hyper, options.solver, &mut ws.map)?;
     counters.map_solves += 1;
+    counters.record_resilience(&final_res);
     let coeffs: Vec<f64> = alpha.iter().map(|a| a * scale).collect();
     // Clone: once per fit (not per grid cell) — the returned model owns
     // its basis.
@@ -336,6 +416,7 @@ pub(crate) fn fit_prepared(
         cv_error: selection.cv_error,
         selection,
         counters: *counters,
+        resilience: ResilienceReport::new(&final_res, counters),
     })
 }
 

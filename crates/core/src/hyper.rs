@@ -170,7 +170,10 @@ pub(crate) fn sweep_fold(
     for (gi, &h) in grid.iter().enumerate() {
         for (ki, &kind) in kinds.iter().enumerate() {
             match sweep.solve_kind_into(&fs.f_train, h, kind, map, &mut fs.alpha) {
-                Ok(()) => {}
+                // A degraded cell still contributes its validation error —
+                // the ladder made it solvable — but the escalation is
+                // recorded so the fit can report it.
+                Ok(res) => counters.record_resilience(&res),
                 Err(BmfError::Linalg(_)) => continue,
                 Err(e) => return Err(e),
             }
@@ -306,7 +309,7 @@ pub(crate) fn cv_on_plan(
     )
 }
 
-fn validate_cv(g: &Matrix, f: &Vector, config: &CvConfig) -> Result<()> {
+fn validate_cv(g: &Matrix, f: &Vector, prior: &Prior, config: &CvConfig) -> Result<()> {
     validate_grid(&config.grid)?;
     validate_folds(config.folds)?;
     let k = g.nrows();
@@ -315,6 +318,9 @@ fn validate_cv(g: &Matrix, f: &Vector, config: &CvConfig) -> Result<()> {
             detail: format!("{k} design rows vs {} values", f.len()),
         });
     }
+    crate::screen::finite_matrix("design matrix", g)?;
+    crate::screen::finite_values("response values", f.as_slice())?;
+    crate::screen::finite_prior(prior)?;
     Ok(())
 }
 
@@ -334,7 +340,7 @@ pub fn cross_validate_hyper(
     prior: &Prior,
     config: &CvConfig,
 ) -> Result<CvOutcome> {
-    validate_cv(g, f, config)?;
+    validate_cv(g, f, prior, config)?;
     let plan = FoldPlan::new(g.nrows(), config.folds, config.seed)?;
     let mut counters = FitCounters::default();
     let mut ws = SolveWorkspace::for_problem(g.nrows(), g.ncols());
@@ -348,7 +354,9 @@ pub fn cross_validate_hyper(
         &mut counters,
         &mut ws,
     )?;
-    Ok(outcomes.pop().expect("one outcome per requested kind"))
+    outcomes.pop().ok_or(BmfError::Internal {
+        detail: "cross-validation produced no outcome for the requested prior kind",
+    })
 }
 
 /// Cross-validates *both* prior families over the grid in one pass,
@@ -369,7 +377,7 @@ pub fn cross_validate_both(
     prior: &Prior,
     config: &CvConfig,
 ) -> Result<(CvOutcome, CvOutcome)> {
-    validate_cv(g, f, config)?;
+    validate_cv(g, f, prior, config)?;
     let plan = FoldPlan::new(g.nrows(), config.folds, config.seed)?;
     let mut counters = FitCounters::default();
     let mut ws = SolveWorkspace::for_problem(g.nrows(), g.ncols());
@@ -383,8 +391,11 @@ pub fn cross_validate_both(
         &mut counters,
         &mut ws,
     )?;
-    let nzm = outcomes.pop().expect("two outcomes");
-    let zm = outcomes.pop().expect("two outcomes");
+    let missing = BmfError::Internal {
+        detail: "cross-validation produced fewer outcomes than prior kinds",
+    };
+    let nzm = outcomes.pop().ok_or(missing.clone())?;
+    let zm = outcomes.pop().ok_or(missing)?;
     Ok((zm, nzm))
 }
 

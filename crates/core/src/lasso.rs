@@ -106,6 +106,8 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
             format!("must be in [0, 0.9), got {}", config.validation_fraction),
         ));
     }
+    crate::screen::finite_matrix("design matrix", g)?;
+    crate::screen::finite_values("response values", f.as_slice())?;
 
     // Train/validation split.
     let mut order: Vec<usize> = (0..k).collect();
@@ -207,7 +209,9 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
             best = Some((val_err, lambda, alpha.clone()));
         }
     }
-    let (validation_error, lambda, coeffs) = best.expect("path is non-empty");
+    let (validation_error, lambda, coeffs) = best.ok_or(BmfError::Internal {
+        detail: "lasso λ path produced no candidate",
+    })?;
     let active = coeffs.iter().filter(|a| a.abs() > 0.0).count();
     Ok(LassoFit {
         coeffs,
@@ -233,6 +237,7 @@ pub fn fit_lasso(
             detail: format!("{} points vs {} values", points.len(), values.len()),
         });
     }
+    crate::screen::points(points, basis.num_vars())?;
     let g = basis.design_matrix(points.iter().map(|p| p.as_slice()));
     let f = Vector::from(values);
     let fit = fit_lasso_design(&g, &f, config)?;

@@ -15,6 +15,7 @@ use crate::{BmfError, Result};
 /// * [`BmfError::NotEnoughSamples`] when `K < M` (the system would be
 ///   underdetermined — use [`crate::omp`] or [`crate::fusion`] instead).
 /// * [`BmfError::SampleShape`] when points and values disagree.
+/// * [`BmfError::NonFiniteInput`] when a point or value is NaN/±∞.
 /// * [`BmfError::Linalg`] when the design matrix is rank deficient.
 ///
 /// # Example
@@ -50,6 +51,8 @@ pub fn fit_least_squares(
             context: "least-squares fitting",
         });
     }
+    crate::screen::points(points, basis.num_vars())?;
+    crate::screen::finite_values("response values", values)?;
     let g = basis.design_matrix(points.iter().map(|p| p.as_slice()));
     let f = Vector::from(values);
     let coeffs = g.qr()?.solve_least_squares(&f)?;
@@ -62,14 +65,17 @@ pub fn fit_least_squares(
 ///
 /// # Errors
 ///
-/// Propagates [`BmfError::Linalg`] on rank deficiency and
-/// [`BmfError::SampleShape`] on shape mismatch.
+/// Propagates [`BmfError::Linalg`] on rank deficiency,
+/// [`BmfError::SampleShape`] on shape mismatch, and
+/// [`BmfError::NonFiniteInput`] on NaN/±∞ entries.
 pub fn solve_least_squares(g: &Matrix, f: &Vector) -> Result<Vector> {
     if g.nrows() != f.len() {
         return Err(BmfError::SampleShape {
             detail: format!("{} design rows vs {} values", g.nrows(), f.len()),
         });
     }
+    crate::screen::finite_matrix("design matrix", g)?;
+    crate::screen::finite_values("response values", f.as_slice())?;
     Ok(g.qr()?.solve_least_squares(f)?)
 }
 

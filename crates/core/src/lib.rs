@@ -62,6 +62,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod applications;
 pub mod batch;
@@ -75,6 +76,7 @@ pub mod model;
 pub mod omp;
 pub mod options;
 pub mod prior;
+mod screen;
 pub mod select;
 pub mod sequential;
 pub mod workspace;

@@ -25,8 +25,8 @@
 
 use bmf_linalg::view::{matvec_into, matvec_transpose_into, outer_gram_diag_into, MatRef};
 use bmf_linalg::{
-    cholesky_in_place, lu_factor_in_place, lu_solve_into, solve_lower_in_place,
-    solve_lower_transpose_in_place, view, woodbury, Matrix, Vector,
+    factor_lu_ladder, factor_spd_ladder, ladder_solve_in_place, lu_solve_into, view, woodbury,
+    LadderPolicy, LinalgError, Matrix, Resilience, Vector,
 };
 
 use crate::options::FitOptions;
@@ -71,7 +71,14 @@ impl std::fmt::Display for SolverKind {
 /// * [`BmfError::SampleShape`] when `f.len() != g.nrows()`.
 /// * [`BmfError::NotEnoughSamples`] when more coefficients lack priors
 ///   than there are samples (the posterior is improper).
-/// * [`BmfError::Linalg`] when the system is singular.
+/// * [`BmfError::NonFiniteInput`] when `g` or `f` contain NaN or ±∞.
+/// * [`BmfError::Linalg`] when the system cannot be solved even after
+///   the degradation ladder ([`bmf_linalg::LinalgError::Unsolvable`]).
+///
+/// An ill-conditioned but rescuable system does *not* error: the solver
+/// climbs the degradation ladder of [`bmf_linalg::resilience`] and the
+/// solve succeeds in degraded form. Use [`map_estimate_with_report`] to
+/// observe the ladder rung, ridge, and condition estimate.
 ///
 /// # Example
 ///
@@ -93,17 +100,39 @@ impl std::fmt::Display for SolverKind {
 /// # }
 /// ```
 pub fn map_estimate(g: &Matrix, f: &Vector, prior: &Prior, options: &FitOptions) -> Result<Vector> {
+    map_estimate_with_report(g, f, prior, options).map(|(alpha, _)| alpha)
+}
+
+/// Like [`map_estimate`], additionally returning the degradation-ladder
+/// outcome of the solve: the rung used (0 = clean), the ridge added to
+/// the system diagonal, and a reciprocal-condition estimate of the
+/// accepted factorization.
+///
+/// # Errors
+///
+/// Same conditions as [`map_estimate`].
+pub fn map_estimate_with_report(
+    g: &Matrix,
+    f: &Vector,
+    prior: &Prior,
+    options: &FitOptions,
+) -> Result<(Vector, Resilience)> {
     if !(options.hyper > 0.0 && options.hyper.is_finite()) {
         return Err(BmfError::config(
             "hyper",
             format!("must be positive and finite, got {}", options.hyper),
         ));
     }
-    map_estimate_with(g, f, prior, options.hyper, options.solver)
+    crate::screen::finite_matrix("design matrix", g)?;
+    crate::screen::finite_values("response values", f.as_slice())?;
+    crate::screen::finite_prior(prior)?;
+    let mut ws = MapScratch::default();
+    map_estimate_ws(g, f, prior, options.hyper, options.solver, &mut ws)
 }
 
-/// Positional core of [`map_estimate`], shared with the cross-validating
-/// fitters (which supply a CV-selected hyper-parameter per call).
+/// Positional core of [`map_estimate`] without the boundary screening;
+/// kept for in-crate tests that compare solver paths on raw inputs.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn map_estimate_with(
     g: &Matrix,
     f: &Vector,
@@ -112,12 +141,13 @@ pub(crate) fn map_estimate_with(
     solver: SolverKind,
 ) -> Result<Vector> {
     let mut ws = MapScratch::default();
-    map_estimate_ws(g, f, prior, hyper, solver, &mut ws)
+    map_estimate_ws(g, f, prior, hyper, solver, &mut ws).map(|(alpha, _)| alpha)
 }
 
 /// Workspace-threaded core of [`map_estimate`]: all intermediates live in
 /// `ws` so repeated final solves (e.g. one per batch job) allocate only
-/// their coefficient vector.
+/// their coefficient vector. Returns the coefficients together with the
+/// degradation-ladder outcome of the factorization.
 pub(crate) fn map_estimate_ws(
     g: &Matrix,
     f: &Vector,
@@ -125,7 +155,7 @@ pub(crate) fn map_estimate_ws(
     hyper: f64,
     solver: SolverKind,
     ws: &mut MapScratch,
-) -> Result<Vector> {
+) -> Result<(Vector, Resilience)> {
     let (k, m) = g.shape();
     if prior.len() != m {
         return Err(BmfError::PriorShape {
@@ -138,10 +168,10 @@ pub(crate) fn map_estimate_ws(
             detail: format!("{k} design rows vs {} values", f.len()),
         });
     }
-    if prior.num_missing() > k {
+    if prior.num_zero_precision() > k {
         return Err(BmfError::NotEnoughSamples {
             available: k,
-            required: prior.num_missing(),
+            required: prior.num_zero_precision(),
             context: "missing-prior coefficients",
         });
     }
@@ -154,15 +184,20 @@ pub(crate) fn map_estimate_ws(
     }
 
     let mut out = vec![0.0; m];
-    match solver {
+    let resilience = match solver {
         SolverKind::Direct => {
             ws.core.reset_zeros(m, m);
             view::gram_into(g.as_view(), ws.core.as_view_mut())?;
             ws.core.add_diagonal_mut(&precisions)?;
-            cholesky_in_place(&mut ws.core)?;
+            let (kind, res) = factor_spd_ladder(
+                &mut ws.core,
+                &mut ws.perm,
+                &mut ws.ladder,
+                &LadderPolicy::default(),
+            )?;
             out.copy_from_slice(&ws.rhs);
-            solve_lower_in_place(&ws.core, &mut out)?;
-            solve_lower_transpose_in_place(&ws.core, &mut out)?;
+            ladder_solve_in_place(kind, &ws.core, &ws.perm, &mut ws.ladder, &mut out)?;
+            res
         }
         SolverKind::Fast => woodbury::solve_diag_plus_gram_semidefinite_into(
             &precisions,
@@ -172,8 +207,8 @@ pub(crate) fn map_estimate_ws(
             &mut ws.woodbury,
             &mut out,
         )?,
-    }
-    Ok(Vector::from(out))
+    };
+    Ok((Vector::from(out), resilience))
 }
 
 /// Pre-computed quantities for sweeping the hyper-parameter over a fixed
@@ -238,13 +273,14 @@ impl<'g> MapSweep<'g> {
                 prior_entries: prior.len(),
             });
         }
-        if prior.num_missing() > k {
+        if prior.num_zero_precision() > k {
             return Err(BmfError::NotEnoughSamples {
                 available: k,
-                required: prior.num_missing(),
+                required: prior.num_zero_precision(),
                 context: "missing-prior coefficients",
             });
         }
+        crate::screen::finite_prior(prior)?;
         // Unit-hyper precisions give A directly.
         let unit = prior.precisions(1.0);
         let missing: Vec<usize> = unit
@@ -329,6 +365,7 @@ impl<'g> MapSweep<'g> {
     /// intermediates live in `ws`, the coefficients land in `out` (length
     /// M, fully overwritten). The grid loops of cross-validation call
     /// this once per `(hyper, family)` cell with one shared workspace.
+    /// Returns the degradation-ladder outcome of the factorization.
     pub(crate) fn solve_kind_into(
         &self,
         f: &[f64],
@@ -336,7 +373,7 @@ impl<'g> MapSweep<'g> {
         kind: crate::prior::PriorKind,
         ws: &mut MapScratch,
         out: &mut [f64],
-    ) -> Result<()> {
+    ) -> Result<Resilience> {
         let use_mean = match kind {
             crate::prior::PriorKind::NonZeroMean => true,
             crate::prior::PriorKind::ZeroMean => false,
@@ -351,18 +388,28 @@ impl<'g> MapSweep<'g> {
         use_mean: bool,
         ws: &mut MapScratch,
         out: &mut [f64],
-    ) -> Result<()> {
+    ) -> Result<Resilience> {
         let (k, m) = self.g.shape();
         if f.len() != k {
             return Err(BmfError::SampleShape {
                 detail: format!("{k} design rows vs {} values", f.len()),
             });
         }
-        assert!(
-            hyper > 0.0 && hyper.is_finite(),
-            "hyper-parameter must be positive, got {hyper}"
-        );
-        assert_eq!(out.len(), m, "coefficient buffer length mismatch");
+        if !(hyper > 0.0 && hyper.is_finite()) {
+            return Err(BmfError::config(
+                "hyper",
+                format!("must be positive and finite, got {hyper}"),
+            ));
+        }
+        if out.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "map sweep (coefficient buffer)",
+                lhs: (m, 1),
+                rhs: (out.len(), 1),
+            }
+            .into());
+        }
+        crate::screen::finite_values("response values", f)?;
         let MapScratch {
             rhs,
             dt_inv,
@@ -373,6 +420,7 @@ impl<'g> MapSweep<'g> {
             uy,
             core,
             perm,
+            ladder,
             woodbury: _,
         } = ws;
         // rhs = G^T f + h·A·prior_mean (mean dropped for zero-mean use).
@@ -408,17 +456,17 @@ impl<'g> MapSweep<'g> {
             for i in 0..k {
                 core[(i, i)] += 1.0;
             }
-            cholesky_in_place(core)?;
+            let (kind, resilience) =
+                factor_spd_ladder(core, perm, ladder, &LadderPolicy::default())?;
             resize(y, k);
             y.copy_from_slice(gt);
-            solve_lower_in_place(core, y)?;
-            solve_lower_transpose_in_place(core, y)?;
+            ladder_solve_in_place(kind, core, perm, ladder, y)?;
             resize(uy, m);
             matvec_transpose_into(self.g, y, uy)?;
             for i in 0..m {
                 out[i] = t[i] - dt_inv[i] * uy[i];
             }
-            return Ok(());
+            return Ok(resilience);
         }
 
         // Augmented system (see bmf_linalg::woodbury docs): W has blocks
@@ -439,7 +487,7 @@ impl<'g> MapSweep<'g> {
                 core[(k + jz, i)] = v;
             }
         }
-        lu_factor_in_place(core, perm)?;
+        let resilience = factor_lu_ladder(core, perm, ladder, &LadderPolicy::default())?;
         resize(u, n);
         u[..k].copy_from_slice(gt);
         for (jz, &z) in self.missing.iter().enumerate() {
@@ -455,7 +503,7 @@ impl<'g> MapSweep<'g> {
         for i in 0..m {
             out[i] = t[i] - dt_inv[i] * uy[i];
         }
-        Ok(())
+        Ok(resilience)
     }
 }
 
@@ -486,12 +534,14 @@ pub fn posterior_variance_diag(g: &Matrix, prior: &Prior, hyper: f64) -> Result<
             prior_entries: prior.len(),
         });
     }
-    if prior.num_missing() > 0 {
+    if prior.num_zero_precision() > 0 {
         return Err(BmfError::config(
             "prior",
-            "fast posterior variances require finite priors everywhere",
+            "fast posterior variances require strictly positive prior precisions everywhere",
         ));
     }
+    crate::screen::finite_matrix("design matrix", g)?;
+    crate::screen::finite_prior(prior)?;
     let precisions = prior.precisions(hyper);
     let d_inv: Vec<f64> = precisions.iter().map(|d| 1.0 / d).collect();
     let mut core = g.outer_gram_diag(&d_inv)?;
@@ -529,6 +579,8 @@ pub fn posterior_covariance(g: &Matrix, prior: &Prior, hyper: f64) -> Result<Mat
             prior_entries: prior.len(),
         });
     }
+    crate::screen::finite_matrix("design matrix", g)?;
+    crate::screen::finite_prior(prior)?;
     let mut h = g.gram();
     h.add_diagonal_mut(&prior.precisions(hyper))?;
     Ok(h.cholesky()?.inverse()?)

@@ -86,6 +86,8 @@ pub fn fit_omp_design(g: &Matrix, f: &Vector, config: &OmpConfig) -> Result<OmpF
             format!("must be in [0, 0.9), got {}", config.validation_fraction),
         ));
     }
+    crate::screen::finite_matrix("design matrix", g)?;
+    crate::screen::finite_values("response values", f.as_slice())?;
 
     // Train/validation split.
     let mut order: Vec<usize> = (0..k).collect();
@@ -233,6 +235,7 @@ pub fn fit_omp(
             detail: format!("{} points vs {} values", points.len(), values.len()),
         });
     }
+    crate::screen::points(points, basis.num_vars())?;
     let g = basis.design_matrix(points.iter().map(|p| p.as_slice()));
     let f = Vector::from(values);
     let fit = fit_omp_design(&g, &f, config)?;

@@ -41,7 +41,11 @@ impl std::fmt::Display for PriorKind {
 
 /// Relative floor applied to tiny early coefficients when forming prior
 /// *precisions*: an exactly-zero `α_E,m` would otherwise pin the late
-/// coefficient infinitely hard. The floor is `REL_FLOOR · max_m |α_E,m|`.
+/// coefficient infinitely hard. The floor is `REL_FLOOR · max_m |α_E,m|`
+/// — and when that floor itself is degenerate (an all-zero or
+/// sub-epsilon prior, where even the floored precision would overflow),
+/// every entry routes through the missing-prior zero-precision path of
+/// §IV-B instead.
 const REL_FLOOR: f64 = 1e-8;
 
 /// A per-coefficient Gaussian prior derived from early-stage coefficients.
@@ -139,40 +143,71 @@ impl Prior {
         &self.early
     }
 
-    /// Number of coefficients with missing prior knowledge.
+    /// Number of coefficients with missing prior knowledge (`None`
+    /// entries). Degenerate-but-present entries are *not* counted here;
+    /// see [`Prior::num_zero_precision`] for the count the solvers use.
     pub fn num_missing(&self) -> usize {
         self.early.iter().filter(|e| e.is_none()).count()
     }
 
-    /// Floored magnitude of entry `m` (see [`REL_FLOOR`]), or `None` for a
-    /// missing prior.
-    fn floored_magnitude(&self, m: usize, floor: f64) -> Option<f64> {
+    /// Number of coefficients contributing zero prior precision: missing
+    /// entries, plus — when the prior *scale* is degenerate (every early
+    /// coefficient zero or sub-epsilon, see [`Prior::floor`]) — all
+    /// present entries, which are then routed through the missing-prior
+    /// path of §IV-B. This — not [`Prior::num_missing`] — is what the
+    /// solvers must compare against the sample budget, since every
+    /// zero-precision coefficient has to be identified from data alone.
+    pub fn num_zero_precision(&self) -> usize {
+        let floor = self.floor();
+        (0..self.len())
+            .filter(|&m| self.effective_magnitude(m, floor).is_none())
+            .count()
+    }
+
+    /// Magnitude of entry `m` when it carries usable prior information,
+    /// floored at `floor` so an individual tiny coefficient in an
+    /// otherwise healthy prior keeps a huge-but-finite precision (the
+    /// historical behaviour, bit-identical for every prior with a usable
+    /// scale). Returns `None` for missing priors — and for *every* entry
+    /// when the scale itself is degenerate (`floor² == 0`: an all-zero
+    /// or sub-epsilon prior, whose floored precision would overflow to
+    /// infinity); those route through the zero-precision path of §IV-B
+    /// so the data, not a meaningless prior, determines the fit.
+    fn effective_magnitude(&self, m: usize, floor: f64) -> Option<f64> {
+        if floor * floor == 0.0 {
+            return None;
+        }
         self.early[m].map(|a| a.abs().max(floor))
     }
 
+    /// Prior floor `REL_FLOOR · max_m |α_E,m|`; zero exactly when the
+    /// prior carries no usable scale (all entries missing, zero, or so
+    /// small the floored precision would not be representable).
     fn floor(&self) -> f64 {
         let max = self
             .early
             .iter()
             .flatten()
             .fold(0.0f64, |acc, a| acc.max(a.abs()));
-        if max > 0.0 {
-            REL_FLOOR * max
-        } else {
-            REL_FLOOR
-        }
+        REL_FLOOR * max
     }
 
     /// Prior precision diagonal for the unified MAP system
     /// `(diag(precision) + GᵀG)·α = rhs` (see [`crate::map_estimate`]):
-    /// entry `m` is `hyper / α_E,m²`, or `0` for missing priors.
+    /// entry `m` is `hyper / max(|α_E,m|, floor)²`, or `0` for missing
+    /// priors — and for *every* entry when the prior scale is degenerate
+    /// (all-zero or sub-epsilon early coefficients), which then route
+    /// through the missing-prior path of §IV-B rather than producing an
+    /// infinite precision.
     ///
     /// For the zero-mean prior `hyper = σ₀²`; for the nonzero-mean prior
     /// `hyper = η = σ₀²/λ²` (eq. 34).
     ///
     /// # Panics
     ///
-    /// Panics when `hyper` is not positive and finite.
+    /// Panics when `hyper` is not positive and finite. (All fitting
+    /// entry points validate the hyper-parameter before reaching this
+    /// accessor.)
     pub fn precisions(&self, hyper: f64) -> Vec<f64> {
         assert!(
             hyper > 0.0 && hyper.is_finite(),
@@ -180,7 +215,7 @@ impl Prior {
         );
         let floor = self.floor();
         (0..self.len())
-            .map(|m| match self.floored_magnitude(m, floor) {
+            .map(|m| match self.effective_magnitude(m, floor) {
                 Some(a) => hyper / (a * a),
                 None => 0.0,
             })
@@ -198,7 +233,7 @@ impl Prior {
                 let floor = self.floor();
                 (0..self.len())
                     .map(
-                        |m| match (self.early[m], self.floored_magnitude(m, floor)) {
+                        |m| match (self.early[m], self.effective_magnitude(m, floor)) {
                             (Some(a), Some(_)) => precisions[m] * a,
                             _ => 0.0,
                         },
@@ -270,10 +305,37 @@ mod tests {
 
     #[test]
     fn zero_early_coefficient_is_floored_not_infinite() {
+        // An individual zero entry in an otherwise healthy prior keeps
+        // the historical floored (huge but finite) precision — sparse
+        // early models must not inflate the zero-precision count past
+        // the sample budget.
         let p = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0, 0.0]);
         let prec = p.precisions(1.0);
         assert!(prec[1].is_finite());
         assert!(prec[1] > prec[0]);
+        assert_eq!(p.num_missing(), 0);
+        assert_eq!(p.num_zero_precision(), 0);
+    }
+
+    #[test]
+    fn sub_floor_coefficient_is_floored_to_prior_scale() {
+        // 1e-12 relative to a max of 1.0 is far below REL_FLOOR = 1e-8:
+        // the magnitude is floored at 1e-8, so precision = hyper/1e-16.
+        let p = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0, 1e-12]);
+        assert!((p.precisions(1.0)[1] - 1e16).abs() / 1e16 < 1e-12);
+        assert_eq!(p.num_zero_precision(), 0);
+        // At or above the floor the true magnitude is used unchanged.
+        let q = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0, 1e-7]);
+        assert_eq!(q.num_zero_precision(), 0);
+        assert!((q.precisions(1.0)[1] - 1e14).abs() / 1e14 < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_prior_is_entirely_zero_precision() {
+        let p = Prior::from_coeffs(PriorKind::NonZeroMean, &[0.0, 0.0, 0.0]);
+        assert_eq!(p.num_zero_precision(), 3);
+        assert!(p.precisions(1.0).iter().all(|&d| d == 0.0));
+        assert!(p.rhs_contribution(1.0).iter().all(|&r| r == 0.0));
     }
 
     #[test]

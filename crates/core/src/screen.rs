@@ -1,0 +1,106 @@
+//! Boundary screening: non-finite and dimension validation shared by
+//! every public fitting entry point.
+//!
+//! Layout-extracted data can carry NaN/∞ (failed simulations, parse
+//! errors), and those values would otherwise flow silently through the
+//! linear algebra — a NaN response, for example, never trips a
+//! factorization error because the factorization only sees the design
+//! matrix. Screening at the boundary turns every such input into a
+//! structured [`BmfError::NonFiniteInput`] that names the offending
+//! input, which is the first half of the crate's panic-free contract
+//! (the solver degradation ladder in [`bmf_linalg::resilience`] is the
+//! other half).
+
+use bmf_linalg::Matrix;
+
+use crate::prior::Prior;
+use crate::{BmfError, Result};
+
+/// Rejects NaN/±∞ anywhere in `xs`.
+pub(crate) fn finite_values(what: &'static str, xs: &[f64]) -> Result<()> {
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(BmfError::NonFiniteInput { what });
+    }
+    Ok(())
+}
+
+/// Rejects NaN/±∞ anywhere in `m`.
+pub(crate) fn finite_matrix(what: &'static str, m: &Matrix) -> Result<()> {
+    if !m.is_finite() {
+        return Err(BmfError::NonFiniteInput { what });
+    }
+    Ok(())
+}
+
+/// Rejects NaN/±∞ among the *present* entries of an optional coefficient
+/// list (`None` = missing prior, which is always fine).
+pub(crate) fn finite_early(what: &'static str, early: &[Option<f64>]) -> Result<()> {
+    if early.iter().flatten().any(|a| !a.is_finite()) {
+        return Err(BmfError::NonFiniteInput { what });
+    }
+    Ok(())
+}
+
+/// Rejects NaN/±∞ among the present early coefficients of `prior`.
+/// (A NaN early value would otherwise be silently routed through the
+/// zero-precision path, masking the contamination as "missing prior".)
+pub(crate) fn finite_prior(prior: &Prior) -> Result<()> {
+    finite_early("prior early coefficients", prior.early_values())
+}
+
+/// Validates every sample point against the basis input dimension and
+/// screens its coordinates for NaN/±∞. Performed *before* the design
+/// matrix is built, because the basis evaluator treats a wrong-dimension
+/// point as a programming error.
+pub(crate) fn points(points: &[Vec<f64>], dim: usize) -> Result<()> {
+    for (i, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(BmfError::SampleShape {
+                detail: format!("point {i} has dimension {}, basis expects {dim}", p.len()),
+            });
+        }
+        if p.iter().any(|x| !x.is_finite()) {
+            return Err(BmfError::NonFiniteInput {
+                what: "sample points",
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::PriorKind;
+
+    #[test]
+    fn finite_values_accepts_clean_and_rejects_nan_inf() {
+        assert!(finite_values("values", &[1.0, -2.0, 0.0]).is_ok());
+        assert!(matches!(
+            finite_values("values", &[1.0, f64::NAN]),
+            Err(BmfError::NonFiniteInput { what: "values" })
+        ));
+        assert!(finite_values("values", &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn points_validate_dimension_then_finiteness() {
+        assert!(points(&[vec![1.0, 2.0]], 2).is_ok());
+        assert!(matches!(
+            points(&[vec![1.0]], 2),
+            Err(BmfError::SampleShape { .. })
+        ));
+        assert!(matches!(
+            points(&[vec![1.0, f64::NAN]], 2),
+            Err(BmfError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn prior_screening_ignores_missing_entries() {
+        let ok = Prior::new(PriorKind::ZeroMean, vec![Some(1.0), None]);
+        assert!(finite_prior(&ok).is_ok());
+        let bad = Prior::new(PriorKind::ZeroMean, vec![Some(f64::NAN), None]);
+        assert!(finite_prior(&bad).is_err());
+    }
+}

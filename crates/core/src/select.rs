@@ -13,7 +13,7 @@ use crate::fusion::FitCounters;
 use crate::hyper::{cross_validate_hyper, cv_on_plan, CvConfig, CvOutcome, FoldPlan};
 use crate::prior::{Prior, PriorKind};
 use crate::workspace::SolveWorkspace;
-use crate::Result;
+use crate::{BmfError, Result};
 
 /// How the prior family is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,11 +58,11 @@ pub fn select_prior(
     match selection {
         PriorSelection::Fixed(kind) => {
             let out = cross_validate_hyper(g, f, &prior.with_kind(kind), config)?;
-            Ok(choose(selection, kind_outcomes(kind, out)))
+            choose(selection, kind_outcomes(kind, out))
         }
         PriorSelection::Auto => {
             let (zm, nzm) = crate::hyper::cross_validate_both(g, f, prior, config)?;
-            Ok(choose(selection, (Some(zm), Some(nzm))))
+            choose(selection, (Some(zm), Some(nzm)))
         }
     }
 }
@@ -89,7 +89,7 @@ fn kind_outcomes(kind: PriorKind, out: CvOutcome) -> (Option<CvOutcome>, Option<
 pub(crate) fn choose(
     selection: PriorSelection,
     outcomes: (Option<CvOutcome>, Option<CvOutcome>),
-) -> SelectionOutcome {
+) -> Result<SelectionOutcome> {
     let (zero_mean, nonzero_mean) = outcomes;
     let (kind, hyper, cv_error) = match (selection, &zero_mean, &nonzero_mean) {
         (PriorSelection::Fixed(kind), Some(out), None)
@@ -101,15 +101,19 @@ pub(crate) fn choose(
                 (PriorKind::NonZeroMean, nzm.best_hyper, nzm.best_error)
             }
         }
-        _ => unreachable!("selection policy and outcome arity always agree"),
+        _ => {
+            return Err(BmfError::Internal {
+                detail: "selection policy and CV outcome arity disagree",
+            })
+        }
     };
-    SelectionOutcome {
+    Ok(SelectionOutcome {
         kind,
         hyper,
         cv_error,
         zero_mean,
         nonzero_mean,
-    }
+    })
 }
 
 /// Plan-based selection used by the fitting engines: cross-validates the
@@ -129,7 +133,7 @@ pub(crate) fn select_prior_on_plan(
 ) -> Result<SelectionOutcome> {
     let kinds = kinds_for(selection);
     let outcomes = cv_on_plan(g, plan, f, prior, grid, &kinds, counters, ws)?;
-    Ok(choose_from_list(selection, outcomes))
+    choose_from_list(selection, outcomes)
 }
 
 /// Packs the per-family outcome list produced by
@@ -138,14 +142,15 @@ pub(crate) fn select_prior_on_plan(
 pub(crate) fn choose_from_list(
     selection: PriorSelection,
     mut outcomes: Vec<CvOutcome>,
-) -> SelectionOutcome {
+) -> Result<SelectionOutcome> {
+    let missing = BmfError::Internal {
+        detail: "cross-validation produced fewer outcomes than prior kinds",
+    };
     let packed = match selection {
-        PriorSelection::Fixed(kind) => {
-            kind_outcomes(kind, outcomes.pop().expect("one outcome per kind"))
-        }
+        PriorSelection::Fixed(kind) => kind_outcomes(kind, outcomes.pop().ok_or(missing)?),
         PriorSelection::Auto => {
-            let nzm = outcomes.pop().expect("two outcomes");
-            let zm = outcomes.pop().expect("two outcomes");
+            let nzm = outcomes.pop().ok_or(missing.clone())?;
+            let zm = outcomes.pop().ok_or(missing)?;
             (Some(zm), Some(nzm))
         }
     };

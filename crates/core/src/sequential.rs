@@ -61,13 +61,23 @@ impl SequentialBmf {
     ///
     /// # Errors
     ///
-    /// Returns [`BmfError::Config`] (parameter `"prior"`) when the prior
-    /// has missing entries (see module docs).
+    /// * [`BmfError::Config`] (parameter `"prior"`) when the prior has
+    ///   missing or zero/sub-epsilon entries (either would change the
+    ///   core structure per sample; see module docs), or (parameter
+    ///   `"hyper"`) when the hyper-parameter is not positive and finite.
+    /// * [`BmfError::NonFiniteInput`] when a prior coefficient is NaN/±∞.
     pub fn new(prior: &Prior, hyper: f64) -> Result<Self> {
-        if prior.num_missing() > 0 {
+        if !(hyper > 0.0 && hyper.is_finite()) {
+            return Err(BmfError::config(
+                "hyper",
+                format!("must be positive and finite, got {hyper}"),
+            ));
+        }
+        crate::screen::finite_prior(prior)?;
+        if prior.num_zero_precision() > 0 {
             return Err(BmfError::config(
                 "prior",
-                "sequential BMF requires finite priors for every coefficient",
+                "sequential BMF requires a nonzero finite prior for every coefficient",
             ));
         }
         let precisions = prior.precisions(hyper);
@@ -98,6 +108,8 @@ impl SequentialBmf {
     ///
     /// * [`BmfError::SampleShape`] when `row.len()` differs from the
     ///   coefficient count.
+    /// * [`BmfError::NonFiniteInput`] when the row or value is NaN/±∞
+    ///   (the estimator state is left untouched).
     /// * [`BmfError::Linalg`] when the extended core loses positive
     ///   definiteness (numerically impossible for exact arithmetic; a
     ///   defensive error path).
@@ -106,6 +118,12 @@ impl SequentialBmf {
         if row.len() != m {
             return Err(BmfError::SampleShape {
                 detail: format!("row has {} entries, model has {m}", row.len()),
+            });
+        }
+        crate::screen::finite_values("sample row", row)?;
+        if !value.is_finite() {
+            return Err(BmfError::NonFiniteInput {
+                what: "sample value",
             });
         }
         // New core column: w_i = g_i D⁻¹ g_newᵀ; diagonal 1 + g_new D⁻¹ g_newᵀ.

@@ -15,7 +15,7 @@
 //! reuse one scratch across randomized shapes to pin this down.
 
 use bmf_linalg::woodbury::WoodburyScratch;
-use bmf_linalg::Matrix;
+use bmf_linalg::{LadderScratch, Matrix};
 
 /// Caller-owned scratch for a whole cross-validated fit.
 ///
@@ -81,8 +81,11 @@ pub(crate) struct MapScratch {
     /// The assembled core system (K×K, (K+missing)², or M×M for the
     /// direct solver), factorized in place.
     pub(crate) core: Matrix,
-    /// LU pivot permutation for the augmented core.
+    /// LU pivot permutation for the augmented core (and for the LU rung
+    /// of the degradation ladder).
     pub(crate) perm: Vec<usize>,
+    /// Snapshot/rhs buffers for the solver degradation ladder.
+    pub(crate) ladder: LadderScratch,
     /// Scratch for `bmf_linalg::woodbury`'s `_into` entry points.
     pub(crate) woodbury: WoodburyScratch,
 }

@@ -197,6 +197,10 @@ impl Cholesky {
     /// # Errors
     ///
     /// * [`LinalgError::DimensionMismatch`] when `w.len() != self.dim()`.
+    /// * [`LinalgError::NonFinite`] when `w` or `d` contain NaN or ±∞ —
+    ///   screened up front so contaminated inputs are not misreported as
+    ///   a loss of positive definiteness (NaN slips through the `s <= 0`
+    ///   pivot check).
     /// * [`LinalgError::NotPositiveDefinite`] when the extended matrix is
     ///   not positive definite.
     pub fn extend(&mut self, w: &Vector, d: f64) -> Result<()> {
@@ -206,6 +210,11 @@ impl Cholesky {
                 op: "cholesky extend",
                 lhs: (n, n),
                 rhs: (w.len(), 1),
+            });
+        }
+        if !d.is_finite() || !w.is_finite() {
+            return Err(LinalgError::NonFinite {
+                op: "cholesky extend",
             });
         }
         // New row l satisfies L l = w; new diagonal sqrt(d - l·l).
@@ -347,6 +356,33 @@ mod tests {
             chol.extend(&Vector::from(vec![2.0, 0.0]), 1.0),
             Err(LinalgError::NotPositiveDefinite { .. })
         ));
+    }
+
+    #[test]
+    fn extend_screens_non_finite_inputs() {
+        // Regression: a NaN-contaminated update used to fall through the
+        // `s <= 0.0` pivot check (NaN compares false) and be stored as a
+        // NaN diagonal — or, with d = -inf, be reported as
+        // NotPositiveDefinite, masking the real cause.
+        let mut chol = Matrix::identity(2).cholesky().unwrap();
+        assert!(matches!(
+            chol.extend(&Vector::from(vec![f64::NAN, 0.0]), 1.0),
+            Err(LinalgError::NonFinite {
+                op: "cholesky extend"
+            })
+        ));
+        assert!(matches!(
+            chol.extend(&Vector::from(vec![0.0, 0.0]), f64::NAN),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            chol.extend(&Vector::from(vec![0.0, 0.0]), f64::NEG_INFINITY),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        // The factor must be untouched by the rejected updates.
+        assert_eq!(chol.dim(), 2);
+        chol.extend(&Vector::from(vec![0.5, 0.0]), 2.0).unwrap();
+        assert_eq!(chol.dim(), 3);
     }
 
     #[test]

@@ -88,7 +88,13 @@ impl SymmetricEigen {
         }
         // Sort descending by eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite"));
+        // NaN diagonals (screened upstream) compare Equal: the stable sort
+        // keeps their relative order instead of panicking mid-diagnostic.
+        order.sort_by(|&i, &j| {
+            m[(j, j)]
+                .partial_cmp(&m[(i, i)])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
         let vectors = Matrix::from_fn(n, n, |r, cidx| v[(r, order[cidx])]);
         Ok(SymmetricEigen { values, vectors })

@@ -50,6 +50,16 @@ pub enum LinalgError {
         /// Human-readable name of the operation that was attempted.
         op: &'static str,
     },
+    /// Every rung of the solver degradation ladder failed: the system could
+    /// not be factorized even after bounded ridge escalation, and the final
+    /// LU attempt was rejected by the pivot-condition check.
+    Unsolvable {
+        /// Human-readable name of the operation that was attempted.
+        op: &'static str,
+        /// Reciprocal-condition estimate of the last attempted
+        /// factorization (0.0 when even LU reported a zero pivot).
+        rcond: f64,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -74,6 +84,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "non-finite value encountered in {op}")
             }
             LinalgError::Empty { op } => write!(f, "empty operand in {op}"),
+            LinalgError::Unsolvable { op, rcond } => write!(
+                f,
+                "system unsolvable in {op}: degradation ladder exhausted (rcond {rcond:e})"
+            ),
         }
     }
 }
@@ -110,5 +124,16 @@ mod tests {
             value: -1e-3,
         };
         assert!(e.to_string().contains("pivot 7"));
+    }
+
+    #[test]
+    fn unsolvable_reports_rcond() {
+        let e = LinalgError::Unsolvable {
+            op: "map estimate",
+            rcond: 1e-17,
+        };
+        let s = e.to_string();
+        assert!(s.contains("map estimate"));
+        assert!(s.contains("ladder"));
     }
 }

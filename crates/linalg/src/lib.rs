@@ -35,6 +35,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cholesky;
 pub mod complex;
@@ -43,6 +44,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+pub mod resilience;
 mod triangular;
 pub mod view;
 pub mod woodbury;
@@ -53,6 +55,10 @@ pub use error::LinalgError;
 pub use lu::{lu_factor_in_place, lu_solve_into, Lu};
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use resilience::{
+    factor_lu_ladder, factor_spd_ladder, ladder_solve_in_place, FactorKind, LadderPolicy,
+    LadderScratch, Resilience,
+};
 pub use triangular::{
     solve_lower, solve_lower_in_place, solve_lower_transpose, solve_lower_transpose_in_place,
     solve_upper, solve_upper_in_place,

@@ -273,7 +273,7 @@ impl Matrix {
         let m = self.cols;
         let mut out = Matrix::zeros(m, m);
         view::gram_into(self.as_view(), out.as_view_mut())
-            .expect("gram_into cannot fail: output allocated with matching shape");
+            .unwrap_or_else(|_| unreachable!("output allocated with matching shape"));
         out
     }
 

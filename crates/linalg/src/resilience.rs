@@ -1,0 +1,605 @@
+//! Solver degradation ladder: Cholesky → jittered Cholesky → pivoted LU.
+//!
+//! The BMF fitting stack solves symmetric (semi-)definite systems whose
+//! conditioning is controlled by data the library does not choose: tiny
+//! early-stage coefficients blow up prior precisions, rank-deficient design
+//! matrices make the Gram term singular, and duplicated samples collapse
+//! pivots to rounding noise. Rather than erroring at the first failed
+//! factorization, the ladder retries with a bounded geometric ridge and
+//! finally falls back to pivoted LU, reporting exactly how far it had to
+//! escalate:
+//!
+//! * **Rung 0** — plain Cholesky (or plain LU for indefinite systems).
+//!   Accepted whenever the factorization succeeds, so inputs that solved
+//!   before the ladder existed produce bit-identical results.
+//! * **Rungs 1..=J** — restore the matrix and retry with a ridge
+//!   `initial_ridge_rel · scale · growth^(rung-1)` added to the diagonal,
+//!   where `scale` is the mean absolute diagonal of the original matrix.
+//! * **Final rung** — pivoted LU on the *un-ridged* matrix, accepted only
+//!   when the reciprocal-condition estimate clears
+//!   [`LadderPolicy::rcond_floor`]; otherwise the system is declared
+//!   [`LinalgError::Unsolvable`].
+//!
+//! Any rung above 0 is a *degraded* solve: the caller gets an answer to a
+//! deliberately perturbed (or less numerically stable) problem, and the
+//! returned [`Resilience`] records the rung, the ridge actually added, and
+//! the reciprocal-condition estimate of the accepted factorization.
+//!
+//! The ladder never escalates on [`LinalgError::NonFinite`]: jitter cannot
+//! repair NaN/∞ inputs, so those propagate unchanged.
+
+use crate::cholesky::cholesky_in_place;
+use crate::lu::{lu_factor_in_place, lu_solve_into};
+use crate::triangular::{solve_lower_in_place, solve_lower_transpose_in_place};
+use crate::{LinalgError, Matrix, Result};
+
+/// Tuning knobs for the degradation ladder.
+///
+/// The defaults span ridges from `1e-10·scale` to `1e-3·scale` over seven
+/// jitter rungs — wide enough to rescue rounding-level indefiniteness at
+/// rung 1 while keeping the worst-case perturbation visible in the report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderPolicy {
+    /// Number of jittered-Cholesky rungs tried before falling back to LU.
+    pub max_jitter_rungs: u32,
+    /// First ridge, relative to the mean absolute diagonal of the matrix.
+    pub initial_ridge_rel: f64,
+    /// Geometric growth factor between consecutive jitter rungs.
+    pub ridge_growth: f64,
+    /// Minimum reciprocal-condition estimate for the final LU rung to be
+    /// accepted instead of reporting [`LinalgError::Unsolvable`].
+    pub rcond_floor: f64,
+}
+
+impl Default for LadderPolicy {
+    fn default() -> Self {
+        LadderPolicy {
+            max_jitter_rungs: 7,
+            initial_ridge_rel: 1e-10,
+            ridge_growth: 10.0,
+            rcond_floor: 1e-14,
+        }
+    }
+}
+
+/// How one ladder invocation resolved: the rung accepted, the ridge added
+/// to the diagonal (0 unless a jitter rung won), and a cheap
+/// reciprocal-condition estimate of the accepted factorization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resilience {
+    /// Ladder rung that produced the accepted factorization: 0 for the
+    /// plain factorization, `1..=max_jitter_rungs` for jittered Cholesky,
+    /// `max_jitter_rungs + 1` for the LU fallback.
+    pub rung: u32,
+    /// Ridge actually added to the diagonal (absolute, not relative).
+    pub ridge: f64,
+    /// Reciprocal-condition estimate from the factor diagonal:
+    /// `(min/max L_ii)²` for Cholesky, `min/max |U_ii|` for LU.
+    pub rcond: f64,
+    /// Whether the SPD ladder fell all the way through to pivoted LU.
+    pub lu_fallback: bool,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience::clean(1.0)
+    }
+}
+
+impl Resilience {
+    /// A rung-0 outcome with the given reciprocal-condition estimate.
+    pub fn clean(rcond: f64) -> Self {
+        Resilience {
+            rung: 0,
+            ridge: 0.0,
+            rcond,
+            lu_fallback: false,
+        }
+    }
+
+    /// True when any rung above 0 was needed (the solve is approximate or
+    /// numerically less stable than the clean path).
+    pub fn is_degraded(&self) -> bool {
+        self.rung > 0
+    }
+
+    /// Pointwise worst case of two outcomes: max rung/ridge, min rcond.
+    /// Used to aggregate per-solve outcomes into per-fit reports.
+    pub fn worst(self, other: Resilience) -> Resilience {
+        Resilience {
+            rung: self.rung.max(other.rung),
+            ridge: self.ridge.max(other.ridge),
+            rcond: self.rcond.min(other.rcond),
+            lu_fallback: self.lu_fallback || other.lu_fallback,
+        }
+    }
+}
+
+/// Which factorization the ladder settled on, deciding how the packed
+/// factor must be solved against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorKind {
+    /// Lower-triangular Cholesky factor; solve via two triangular sweeps.
+    Cholesky,
+    /// Packed LU with row permutation; solve via [`lu_solve_into`].
+    Lu,
+}
+
+/// Reusable scratch for the ladder: a snapshot of the matrix for retries
+/// and a right-hand-side buffer for the LU in-place solve.
+#[derive(Debug, Default, Clone)]
+pub struct LadderScratch {
+    backup: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+impl LadderScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// across invocations.
+    pub fn new() -> Self {
+        LadderScratch::default()
+    }
+}
+
+/// Reciprocal-condition estimate of an SPD matrix from its Cholesky factor:
+/// `(min L_ii / max L_ii)²`. Cheap (reads the diagonal) and adequate for
+/// reporting; not a substitute for a true condition number.
+pub fn rcond_from_cholesky(l: &Matrix) -> f64 {
+    diag_ratio(l).powi(2)
+}
+
+/// Reciprocal-condition estimate from packed LU factors:
+/// `min |U_ii| / max |U_ii|`.
+pub fn rcond_from_lu(lu: &Matrix) -> f64 {
+    diag_ratio(lu)
+}
+
+fn diag_ratio(a: &Matrix) -> f64 {
+    let n = a.nrows();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for i in 0..n {
+        let d = a[(i, i)].abs();
+        min = min.min(d);
+        max = max.max(d);
+    }
+    if max == 0.0 {
+        0.0
+    } else {
+        min / max
+    }
+}
+
+fn snapshot(a: &Matrix, scratch: &mut LadderScratch) {
+    scratch.backup.clear();
+    scratch.backup.extend_from_slice(a.as_slice());
+}
+
+fn restore(a: &mut Matrix, scratch: &LadderScratch) {
+    a.as_mut_slice().copy_from_slice(&scratch.backup);
+}
+
+/// Mean absolute diagonal of the snapshot, the ridge scale. Falls back to
+/// 1.0 for an all-zero diagonal so the ridge is still nonzero.
+fn ridge_scale(scratch: &LadderScratch, n: usize) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += scratch.backup[i * n + i].abs();
+    }
+    let mean = acc / n as f64;
+    if mean > 0.0 && mean.is_finite() {
+        mean
+    } else {
+        1.0
+    }
+}
+
+/// Adds `ridge` to the diagonal of `a`.
+fn add_ridge(a: &mut Matrix, ridge: f64) {
+    let n = a.nrows();
+    for i in 0..n {
+        a[(i, i)] += ridge;
+    }
+}
+
+/// Factorizes the symmetric positive (semi-)definite matrix `a` in place,
+/// climbing the degradation ladder as needed. On success `a` holds either
+/// a Cholesky factor or packed LU factors (see the returned
+/// [`FactorKind`]); solve against it with [`ladder_solve_in_place`].
+///
+/// Rung 0 calls [`cholesky_in_place`] on the unmodified matrix, so inputs
+/// that factorize cleanly behave bit-identically to the pre-ladder path.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] / [`LinalgError::NonFinite`] — invalid
+///   input; the ladder does not escalate on these.
+/// * [`LinalgError::Unsolvable`] — every rung failed, or the final LU
+///   factorization's reciprocal-condition estimate fell below
+///   [`LadderPolicy::rcond_floor`].
+pub fn factor_spd_ladder(
+    a: &mut Matrix,
+    perm: &mut Vec<usize>,
+    scratch: &mut LadderScratch,
+    policy: &LadderPolicy,
+) -> Result<(FactorKind, Resilience)> {
+    let (n, c) = a.shape();
+    if n != c {
+        return Err(LinalgError::NotSquare { rows: n, cols: c });
+    }
+    snapshot(a, scratch);
+    match cholesky_in_place(a) {
+        Ok(()) => {
+            let rcond = rcond_from_cholesky(a);
+            return Ok((FactorKind::Cholesky, Resilience::clean(rcond)));
+        }
+        Err(LinalgError::NotPositiveDefinite { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    if n > 0 {
+        let scale = ridge_scale(scratch, n);
+        let mut ridge = policy.initial_ridge_rel * scale;
+        for rung in 1..=policy.max_jitter_rungs {
+            restore(a, scratch);
+            add_ridge(a, ridge);
+            match cholesky_in_place(a) {
+                Ok(()) => {
+                    let rcond = rcond_from_cholesky(a);
+                    return Ok((
+                        FactorKind::Cholesky,
+                        Resilience {
+                            rung,
+                            ridge,
+                            rcond,
+                            lu_fallback: false,
+                        },
+                    ));
+                }
+                Err(LinalgError::NotPositiveDefinite { .. }) => ridge *= policy.ridge_growth,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    // Final rung: pivoted LU on the un-ridged matrix, gated on a
+    // pivot-condition check so garbage factors are not silently accepted.
+    restore(a, scratch);
+    let lu_rung = policy.max_jitter_rungs + 1;
+    match lu_factor_in_place(a, perm) {
+        Ok(_sign) => {
+            let rcond = rcond_from_lu(a);
+            if rcond >= policy.rcond_floor {
+                Ok((
+                    FactorKind::Lu,
+                    Resilience {
+                        rung: lu_rung,
+                        ridge: 0.0,
+                        rcond,
+                        lu_fallback: true,
+                    },
+                ))
+            } else {
+                Err(LinalgError::Unsolvable {
+                    op: "spd ladder",
+                    rcond,
+                })
+            }
+        }
+        Err(LinalgError::Singular { .. }) => Err(LinalgError::Unsolvable {
+            op: "spd ladder",
+            rcond: 0.0,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// LU-based ladder for square systems that are indefinite by construction
+/// (the augmented missing-prior systems of §IV-B): rung 0 is plain pivoted
+/// LU; rungs `1..=max_jitter_rungs` retry with a geometric diagonal ridge.
+/// The factor in `a` is always LU — solve with [`lu_solve_into`] against
+/// `perm`, or via [`ladder_solve_in_place`] with [`FactorKind::Lu`].
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] / [`LinalgError::NonFinite`] — invalid
+///   input; no escalation.
+/// * [`LinalgError::Unsolvable`] — singular at every rung.
+pub fn factor_lu_ladder(
+    a: &mut Matrix,
+    perm: &mut Vec<usize>,
+    scratch: &mut LadderScratch,
+    policy: &LadderPolicy,
+) -> Result<Resilience> {
+    let (n, c) = a.shape();
+    if n != c {
+        return Err(LinalgError::NotSquare { rows: n, cols: c });
+    }
+    snapshot(a, scratch);
+    match lu_factor_in_place(a, perm) {
+        Ok(_sign) => return Ok(Resilience::clean(rcond_from_lu(a))),
+        Err(LinalgError::Singular { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    if n > 0 {
+        let scale = ridge_scale(scratch, n);
+        let mut ridge = policy.initial_ridge_rel * scale;
+        for rung in 1..=policy.max_jitter_rungs {
+            restore(a, scratch);
+            add_ridge(a, ridge);
+            match lu_factor_in_place(a, perm) {
+                Ok(_sign) => {
+                    return Ok(Resilience {
+                        rung,
+                        ridge,
+                        rcond: rcond_from_lu(a),
+                        lu_fallback: false,
+                    })
+                }
+                Err(LinalgError::Singular { .. }) => ridge *= policy.ridge_growth,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(LinalgError::Unsolvable {
+        op: "lu ladder",
+        rcond: 0.0,
+    })
+}
+
+/// Solves `A x = b` in place against a factor produced by
+/// [`factor_spd_ladder`] or [`factor_lu_ladder`], overwriting `x` (which
+/// holds `b` on entry) with the solution.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `x` (or `perm`, for
+/// [`FactorKind::Lu`]) does not match the factor dimension, and
+/// [`LinalgError::Singular`] from the triangular sweeps on a zero factor
+/// diagonal.
+pub fn ladder_solve_in_place(
+    kind: FactorKind,
+    factor: &Matrix,
+    perm: &[usize],
+    scratch: &mut LadderScratch,
+    x: &mut [f64],
+) -> Result<()> {
+    match kind {
+        FactorKind::Cholesky => {
+            solve_lower_in_place(factor, x)?;
+            solve_lower_transpose_in_place(factor, x)
+        }
+        FactorKind::Lu => {
+            scratch.rhs.clear();
+            scratch.rhs.extend_from_slice(x);
+            lu_solve_into(factor, perm, &scratch.rhs, x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vector;
+
+    fn spd(n: usize) -> Matrix {
+        // Diagonally dominant symmetric matrix: strictly positive definite.
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                (n as f64) + 1.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        })
+    }
+
+    #[test]
+    fn clean_spd_stays_on_rung_zero_bitwise() {
+        let a = spd(5);
+        let mut plain = a.clone();
+        cholesky_in_place(&mut plain).unwrap();
+
+        let mut laddered = a.clone();
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let (kind, res) = factor_spd_ladder(
+            &mut laddered,
+            &mut perm,
+            &mut scratch,
+            &LadderPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(kind, FactorKind::Cholesky);
+        assert_eq!(res.rung, 0);
+        assert_eq!(res.ridge, 0.0);
+        assert!(!res.is_degraded());
+        assert!(res.rcond > 0.0 && res.rcond <= 1.0);
+        let same = plain
+            .as_slice()
+            .iter()
+            .zip(laddered.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "rung 0 must be bit-identical to plain Cholesky");
+    }
+
+    #[test]
+    fn singular_psd_rescued_by_jitter_rung() {
+        // Rank-1 PSD matrix v vᵀ: Cholesky fails at pivot 1, a tiny ridge
+        // restores definiteness.
+        let v = [1.0, 2.0, 3.0];
+        let mut a = Matrix::from_fn(3, 3, |i, j| v[i] * v[j]);
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let (kind, res) =
+            factor_spd_ladder(&mut a, &mut perm, &mut scratch, &LadderPolicy::default()).unwrap();
+        assert_eq!(kind, FactorKind::Cholesky);
+        assert!(res.is_degraded());
+        assert!(res.rung >= 1);
+        assert!(res.ridge > 0.0);
+    }
+
+    #[test]
+    fn degraded_solve_has_small_residual_on_consistent_system() {
+        // A = B Bᵀ with B 4x2 (rank 2), b = A·x_true is consistent.
+        let b_mat =
+            Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0], &[2.0, -1.0], &[1.0, 1.0]]).unwrap();
+        let a = b_mat.matmul(&b_mat.transpose()).unwrap();
+        let x_true = Vector::from(vec![1.0, -2.0, 0.5, 3.0]);
+        let rhs = a.matvec(&x_true).unwrap();
+
+        let mut factor = a.clone();
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let (kind, res) = factor_spd_ladder(
+            &mut factor,
+            &mut perm,
+            &mut scratch,
+            &LadderPolicy::default(),
+        )
+        .unwrap();
+        assert!(res.is_degraded());
+        let mut x = rhs.as_slice().to_vec();
+        ladder_solve_in_place(kind, &factor, &perm, &mut scratch, &mut x).unwrap();
+        let x = Vector::from(x);
+        let resid = a.matvec(&x).unwrap().sub(&rhs).unwrap().norm2();
+        assert!(
+            resid / rhs.norm2() < 1e-6,
+            "relative residual {} too large at rung {}",
+            resid / rhs.norm2(),
+            res.rung
+        );
+    }
+
+    #[test]
+    fn hopeless_matrix_reports_unsolvable() {
+        // All-zero matrix: Cholesky and every ridge rung of LU still see a
+        // structurally singular system only when the ridge also fails; the
+        // zero matrix is rescued by ridge (ridge·I is SPD), so use an
+        // asymmetric NaN-free but truly unfactorizable case instead: a
+        // matrix whose rows repeat exactly and whose diagonal ridge is
+        // cancelled is hard to build — the honest hopeless case for the
+        // SPD ladder is one where even LU is singular AND all Cholesky
+        // ridges fail. A matrix with a huge negative eigenvalue does it:
+        // ridges up to ~1e-3·scale cannot flip -scale.
+        let mut a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        // LU succeeds on this (it is nonsingular), so it lands on the LU
+        // rung rather than Unsolvable.
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let (kind, res) =
+            factor_spd_ladder(&mut a, &mut perm, &mut scratch, &LadderPolicy::default()).unwrap();
+        assert_eq!(kind, FactorKind::Lu);
+        assert!(res.lu_fallback);
+        assert_eq!(res.rung, LadderPolicy::default().max_jitter_rungs + 1);
+
+        // Truly unsolvable: indefinite AND exactly singular.
+        let mut z = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1e6]]).unwrap();
+        // Make it singular: second row a multiple of the first, with a
+        // negative diagonal so no bounded ridge can rescue Cholesky.
+        z[(1, 0)] = 1.0;
+        z[(1, 1)] = 1.0;
+        z[(0, 0)] = -1.0;
+        z[(0, 1)] = -1.0;
+        let err = factor_spd_ladder(&mut z, &mut perm, &mut scratch, &LadderPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::Unsolvable { .. }));
+    }
+
+    #[test]
+    fn non_finite_input_propagates_without_escalation() {
+        let mut a = spd(3);
+        a[(1, 1)] = f64::NAN;
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let err = factor_spd_ladder(&mut a, &mut perm, &mut scratch, &LadderPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn lu_ladder_clean_path_matches_plain_lu() {
+        let a =
+            Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, 1.0, -1.0], &[1.0, 0.0, 4.0]]).unwrap();
+        let mut plain = a.clone();
+        let mut plain_perm = Vec::new();
+        lu_factor_in_place(&mut plain, &mut plain_perm).unwrap();
+
+        let mut laddered = a.clone();
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let res = factor_lu_ladder(
+            &mut laddered,
+            &mut perm,
+            &mut scratch,
+            &LadderPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(res.rung, 0);
+        assert_eq!(perm, plain_perm);
+        let same = plain
+            .as_slice()
+            .iter()
+            .zip(laddered.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same);
+    }
+
+    #[test]
+    fn lu_ladder_rescues_exactly_singular_system() {
+        // Duplicated rows: exactly singular, a diagonal ridge separates
+        // them.
+        let mut a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], &[0.0, 1.0, 0.0]]).unwrap();
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let res =
+            factor_lu_ladder(&mut a, &mut perm, &mut scratch, &LadderPolicy::default()).unwrap();
+        assert!(res.is_degraded());
+        assert!(res.ridge > 0.0);
+    }
+
+    #[test]
+    fn zero_matrix_lu_ladder_is_degraded_not_unsolvable() {
+        // ridge·I is trivially nonsingular, so the ladder reports a
+        // degraded solve of the regularized system.
+        let mut a = Matrix::zeros(3, 3);
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let res =
+            factor_lu_ladder(&mut a, &mut perm, &mut scratch, &LadderPolicy::default()).unwrap();
+        assert!(res.is_degraded());
+    }
+
+    #[test]
+    fn worst_aggregates_pointwise() {
+        let a = Resilience {
+            rung: 2,
+            ridge: 1e-8,
+            rcond: 1e-3,
+            lu_fallback: false,
+        };
+        let b = Resilience {
+            rung: 1,
+            ridge: 1e-6,
+            rcond: 1e-9,
+            lu_fallback: true,
+        };
+        let w = a.worst(b);
+        assert_eq!(w.rung, 2);
+        assert_eq!(w.ridge, 1e-6);
+        assert_eq!(w.rcond, 1e-9);
+        assert!(w.lu_fallback);
+    }
+
+    #[test]
+    fn empty_matrix_is_clean() {
+        let mut a = Matrix::zeros(0, 0);
+        let mut perm = Vec::new();
+        let mut scratch = LadderScratch::new();
+        let (kind, res) =
+            factor_spd_ladder(&mut a, &mut perm, &mut scratch, &LadderPolicy::default()).unwrap();
+        assert_eq!(kind, FactorKind::Cholesky);
+        assert_eq!(res.rung, 0);
+    }
+}

@@ -22,9 +22,11 @@
 //!   `σ_m = +∞` so only `σ_m⁻¹ = 0` enters). Uses an augmented low-rank
 //!   update that stays exact; see the function docs for the derivation.
 
-use crate::cholesky::cholesky_in_place;
-use crate::lu::{lu_factor_in_place, lu_solve_into};
-use crate::triangular::{solve_lower_in_place, solve_lower_transpose_in_place};
+use crate::lu::lu_solve_into;
+use crate::resilience::{
+    factor_lu_ladder, factor_spd_ladder, ladder_solve_in_place, LadderPolicy, LadderScratch,
+    Resilience,
+};
 use crate::view::{matvec_into, matvec_transpose_into, outer_gram_diag_into, MatRef};
 use crate::{Cholesky, LinalgError, Matrix, Result, Vector};
 
@@ -72,8 +74,10 @@ fn validate(prior_precision: &[f64], c: f64, g: MatRef<'_>, rhs: &[f64]) -> Resu
 ///   inputs are not finite.
 /// * [`LinalgError::Singular`] when some precision is exactly zero (use
 ///   [`solve_diag_plus_gram_semidefinite`] for that case).
-/// * [`LinalgError::NotPositiveDefinite`] if the K × K core loses positive
-///   definiteness (pathological scaling).
+/// * [`LinalgError::Unsolvable`] if the K × K core cannot be factorized
+///   even after the degradation ladder of [`crate::resilience`] (a core
+///   that merely loses positive definiteness to rounding is instead
+///   solved on a jittered or LU rung and reported as degraded).
 ///
 /// # Example
 ///
@@ -136,6 +140,8 @@ pub struct WoodburyScratch {
     u: Vec<f64>,
     y: Vec<f64>,
     uy: Vec<f64>,
+    /// Degradation-ladder snapshot/rhs buffers (see [`crate::resilience`]).
+    ladder: LadderScratch,
 }
 
 impl WoodburyScratch {
@@ -152,7 +158,10 @@ fn resize(buf: &mut Vec<f64>, n: usize) {
 
 /// The strictly-positive Woodbury path of [`solve_diag_plus_gram`],
 /// writing into `out` using only `scratch` buffers. Assumes `validate`
-/// passed and no precision is zero.
+/// passed and no precision is zero. The K × K core is factorized through
+/// the degradation ladder; the returned [`Resilience`] records which rung
+/// was needed (rung 0 on well-posed inputs, bit-identical to plain
+/// Cholesky).
 fn strictly_positive_into(
     prior_precision: &[f64],
     c: f64,
@@ -160,7 +169,7 @@ fn strictly_positive_into(
     rhs: &[f64],
     ws: &mut WoodburyScratch,
     out: &mut [f64],
-) -> Result<()> {
+) -> Result<Resilience> {
     let (k, m) = g.shape();
     ws.dt_inv.clear();
     ws.dt_inv.extend(prior_precision.iter().map(|d| 1.0 / d));
@@ -170,22 +179,26 @@ fn strictly_positive_into(
     for i in 0..k {
         ws.w[(i, i)] += 1.0 / c;
     }
-    cholesky_in_place(&mut ws.w)?;
+    let (kind, resilience) = factor_spd_ladder(
+        &mut ws.w,
+        &mut ws.perm,
+        &mut ws.ladder,
+        &LadderPolicy::default(),
+    )?;
     // t = D⁻¹ rhs
     ws.t.clear();
     ws.t.extend((0..m).map(|i| ws.dt_inv[i] * rhs[i]));
     // y = (core)⁻¹ G t
     resize(&mut ws.y, k);
     matvec_into(g, &ws.t, &mut ws.y)?;
-    solve_lower_in_place(&ws.w, &mut ws.y)?;
-    solve_lower_transpose_in_place(&ws.w, &mut ws.y)?;
+    ladder_solve_in_place(kind, &ws.w, &ws.perm, &mut ws.ladder, &mut ws.y)?;
     // x = t − D⁻¹ Gᵀ y
     resize(&mut ws.uy, m);
     matvec_transpose_into(g, &ws.y, &mut ws.uy)?;
     for (i, o) in out.iter_mut().enumerate() {
         *o = ws.t[i] - ws.dt_inv[i] * ws.uy[i];
     }
-    Ok(())
+    Ok(resilience)
 }
 
 /// A pre-factorized Woodbury core for repeated solves against the same
@@ -308,11 +321,17 @@ pub fn solve_diag_plus_gram_semidefinite(
 /// the owned entry point wraps. Handles the all-positive case directly
 /// (no delegation), so one scratch serves both regimes.
 ///
+/// The inner factorization runs through the degradation ladder of
+/// [`crate::resilience`]; the returned [`Resilience`] reports the rung,
+/// ridge, and reciprocal-condition estimate (rung 0 with zero ridge on
+/// well-posed inputs, bit-identical to the pre-ladder behavior).
+///
 /// # Errors
 ///
 /// Same conditions as [`solve_diag_plus_gram_semidefinite`], plus
 /// [`LinalgError::DimensionMismatch`] when `out.len()` differs from the
-/// number of columns of `G`.
+/// number of columns of `G`, and [`LinalgError::Unsolvable`] when every
+/// ladder rung fails.
 pub fn solve_diag_plus_gram_semidefinite_into(
     prior_precision: &[f64],
     c: f64,
@@ -320,7 +339,7 @@ pub fn solve_diag_plus_gram_semidefinite_into(
     rhs: &[f64],
     ws: &mut WoodburyScratch,
     out: &mut [f64],
-) -> Result<()> {
+) -> Result<Resilience> {
     validate(prior_precision, c, g, rhs)?;
     let (k, m) = g.shape();
     if out.len() != m {
@@ -388,7 +407,14 @@ pub fn solve_diag_plus_gram_semidefinite_into(
     }
     // Block (2,2): -tau^-1 I + E^T Dt^-1 E = -1/tau + 1/tau = 0. Left zero.
 
-    lu_factor_in_place(&mut ws.w, &mut ws.perm)?;
+    // The augmented system is indefinite by construction, so its ladder
+    // starts at plain pivoted LU and escalates through diagonal ridges.
+    let resilience = factor_lu_ladder(
+        &mut ws.w,
+        &mut ws.perm,
+        &mut ws.ladder,
+        &LadderPolicy::default(),
+    )?;
 
     // t = Dt^-1 rhs.
     ws.t.clear();
@@ -410,7 +436,7 @@ pub fn solve_diag_plus_gram_semidefinite_into(
     for (i, o) in out.iter_mut().enumerate() {
         *o = ws.t[i] - ws.dt_inv[i] * ws.uy[i];
     }
-    Ok(())
+    Ok(resilience)
 }
 
 #[cfg(test)]

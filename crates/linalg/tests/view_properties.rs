@@ -308,7 +308,7 @@ fn woodbury_into_bitwise_equals_owned_with_reused_scratch() {
                 &mut out,
             );
             match (owned, viewed) {
-                (Ok(a), Ok(())) => assert_bits_eq(&out, a.as_slice()),
+                (Ok(a), Ok(_res)) => assert_bits_eq(&out, a.as_slice()),
                 (Err(_), Err(_)) => {}
                 (a, b) => panic!("owned {a:?} vs into {b:?} disagree on fallibility"),
             }

@@ -1,0 +1,213 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The panic-free contract of the fitting stack ("every call returns `Ok`
+//! — possibly degraded — or a structured error, never panics") is only as
+//! strong as the adversarial inputs it is tested against. This module
+//! packages the fault families the contract must survive — NaN/∞
+//! contamination, singular Gram matrices, all-zero priors, duplicated
+//! rows, and K ≪ rank designs — behind one seeded [`FaultInjector`], so
+//! the fault-injection suite (`crates/core/tests/fault_injection.rs`) is
+//! bit-reproducible: the same seed always corrupts the same entries with
+//! the same values.
+//!
+//! Injectors operate on the plain `Vec`-level sample representation the
+//! fitting entry points accept (points, values, optional priors), keeping
+//! this crate free of any linear-algebra dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use bmf_stat::faults::FaultInjector;
+//!
+//! let mut inj = FaultInjector::new(7);
+//! let mut values = vec![1.0, 2.0, 3.0];
+//! let hit = inj.poison_nan(&mut values);
+//! assert!(values[hit].is_nan());
+//! assert_eq!(values.iter().filter(|v| v.is_nan()).count(), 1);
+//! ```
+
+use crate::rng::{seeded, Rng};
+
+/// A seeded source of adversarial input corruptions.
+///
+/// Every method draws its target indices (and, where applicable, values)
+/// from the injector's own deterministic RNG, so a fault schedule is a
+/// pure function of the construction seed and the call sequence.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: Rng,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a fixed seed (same seed ⇒ same faults).
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { rng: seeded(seed) }
+    }
+
+    /// Overwrites one randomly chosen entry with NaN; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` is empty (a harness misuse, not a library path).
+    pub fn poison_nan(&mut self, xs: &mut [f64]) -> usize {
+        let i = self.rng.gen_index(xs.len());
+        xs[i] = f64::NAN;
+        i
+    }
+
+    /// Overwrites one randomly chosen entry with ±∞ (random sign);
+    /// returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` is empty.
+    pub fn poison_inf(&mut self, xs: &mut [f64]) -> usize {
+        let i = self.rng.gen_index(xs.len());
+        xs[i] = if self.rng.gen_bool(0.5) {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+        i
+    }
+
+    /// Poisons one coordinate of one randomly chosen sample point with
+    /// NaN; returns `(point, coordinate)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty or the chosen point has no
+    /// coordinates.
+    pub fn poison_point_nan(&mut self, points: &mut [Vec<f64>]) -> (usize, usize) {
+        let p = self.rng.gen_index(points.len());
+        let c = self.rng.gen_index(points[p].len());
+        points[p][c] = f64::NAN;
+        (p, c)
+    }
+
+    /// Collapses every sample point onto one randomly chosen source row,
+    /// making the Gram matrix `GᵀG` exactly rank one (singular for any
+    /// basis with more than one term); returns the source index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty.
+    pub fn collapse_to_rank_one(&mut self, points: &mut [Vec<f64>]) -> usize {
+        let src = self.rng.gen_index(points.len());
+        let row = points[src].clone();
+        for p in points.iter_mut() {
+            p.clone_from(&row);
+        }
+        src
+    }
+
+    /// Copies one randomly chosen `(point, value)` pair over another
+    /// (distinct, when possible) position — the "duplicated rows" fault:
+    /// the design keeps full size but loses one row of information.
+    /// Returns `(source, destination)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` and `values` disagree in length or are empty.
+    pub fn duplicate_row(&mut self, points: &mut [Vec<f64>], values: &mut [f64]) -> (usize, usize) {
+        assert_eq!(points.len(), values.len(), "points/values length mismatch");
+        let src = self.rng.gen_index(points.len());
+        let mut dst = self.rng.gen_index(points.len());
+        if points.len() > 1 && dst == src {
+            dst = (src + 1) % points.len();
+        }
+        let row = points[src].clone();
+        points[dst] = row;
+        values[dst] = values[src];
+        (src, dst)
+    }
+
+    /// Zeroes every present prior coefficient — the degenerate
+    /// (sub-epsilon variance) prior that must route through the
+    /// missing-prior zero-precision path instead of erroring.
+    pub fn zero_prior(&mut self, prior: &mut [Option<f64>]) {
+        for p in prior.iter_mut().flatten() {
+            *p = 0.0;
+        }
+    }
+
+    /// Truncates the sample set to `k` rows (keeping a random contiguous
+    /// window) — the K ≪ rank fault where the data cannot identify the
+    /// model on its own.
+    pub fn truncate_samples(
+        &mut self,
+        points: &mut Vec<Vec<f64>>,
+        values: &mut Vec<f64>,
+        k: usize,
+    ) {
+        assert_eq!(points.len(), values.len(), "points/values length mismatch");
+        if k >= points.len() {
+            return;
+        }
+        let start = self.rng.gen_index(points.len() - k + 1);
+        points.drain(..start);
+        points.truncate(k);
+        values.drain(..start);
+        values.truncate(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultInjector::new(42);
+        let mut b = FaultInjector::new(42);
+        let mut xa = vec![0.0; 16];
+        let mut xb = vec![0.0; 16];
+        assert_eq!(a.poison_nan(&mut xa), b.poison_nan(&mut xb));
+        assert_eq!(a.poison_inf(&mut xa), b.poison_inf(&mut xb));
+        assert_eq!(
+            xa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            xb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn collapse_makes_all_rows_equal() {
+        let mut inj = FaultInjector::new(1);
+        let mut pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let src = inj.collapse_to_rank_one(&mut pts);
+        assert!(pts.iter().all(|p| p == &pts[0]));
+        assert!(src < 5);
+    }
+
+    #[test]
+    fn duplicate_row_copies_point_and_value() {
+        let mut inj = FaultInjector::new(2);
+        let mut pts: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let mut vals: Vec<f64> = (0..4).map(|i| 10.0 + i as f64).collect();
+        let (src, dst) = inj.duplicate_row(&mut pts, &mut vals);
+        assert_ne!(src, dst);
+        assert_eq!(pts[src], pts[dst]);
+        assert_eq!(vals[src], vals[dst]);
+    }
+
+    #[test]
+    fn zero_prior_preserves_missing_entries() {
+        let mut inj = FaultInjector::new(3);
+        let mut prior = vec![Some(1.5), None, Some(-0.25)];
+        inj.zero_prior(&mut prior);
+        assert_eq!(prior, vec![Some(0.0), None, Some(0.0)]);
+    }
+
+    #[test]
+    fn truncate_keeps_k_aligned_pairs() {
+        let mut inj = FaultInjector::new(4);
+        let mut pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let mut vals: Vec<f64> = (0..10).map(|i| i as f64 * 2.0).collect();
+        inj.truncate_samples(&mut pts, &mut vals, 3);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(vals.len(), 3);
+        for (p, v) in pts.iter().zip(&vals) {
+            assert_eq!(p[0] * 2.0, *v, "points/values misaligned after truncation");
+        }
+    }
+}

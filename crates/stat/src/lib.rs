@@ -16,7 +16,9 @@
 //! * [`summary`] — mean/variance/skewness/kurtosis and quantiles,
 //! * [`crossval`] — seeded K-fold index splitting,
 //! * [`prop`] — the in-tree property-test harness (seeded cases with
-//!   failure-seed reporting).
+//!   failure-seed reporting),
+//! * [`faults`] — deterministic fault injection (NaN/∞ contamination,
+//!   singular designs, degenerate priors) for the robustness suites.
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod crossval;
+pub mod faults;
 pub mod histogram;
 pub mod kstest;
 pub mod normal;

@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Downstream use: parametric yield against a bandwidth spec, from the
     // *model* (thousands of cheap evaluations).
     let spec = Spec::LowerBound(nom_lay * 0.93);
-    let y_model = yield_monte_carlo(&fit.model, &spec, 20_000, 5);
+    let y_model = yield_monte_carlo(&fit.model, &spec, 20_000, 5)?;
     // Reference: brute-force yield from the actual circuit.
     let brute = monte_carlo(&bw, Stage::PostLayout, 2_000, 6);
     let y_true =
