@@ -164,6 +164,7 @@ impl OrthonormalBasis {
             self.fill_row(x, &mut data[start..]);
             rows += 1;
         }
+        // bmf-lint: allow(no-panic-paths) -- every row is written with self.len() entries just above
         Matrix::from_row_major(rows, self.len(), data).expect("rows are uniform by construction")
     }
 
@@ -205,7 +206,7 @@ impl OrthonormalBasis {
         assert_eq!(x.len(), self.num_vars, "point dimension mismatch");
         let mut grad = vec![0.0; self.num_vars];
         for (term, &a) in self.terms.iter().zip(coeffs) {
-            if a == 0.0 || term.is_constant() {
+            if bmf_linalg::is_exact_zero(a) || term.is_constant() {
                 continue;
             }
             let pairs = term.pairs();
@@ -217,7 +218,7 @@ impl OrthonormalBasis {
             // Product rule over the factors.
             for (di, &(dv, dd)) in pairs.iter().enumerate() {
                 let mut g = hermite_normalized_derivative(dd as usize, x[dv]);
-                if g == 0.0 {
+                if bmf_linalg::is_exact_zero(g) {
                     continue;
                 }
                 for (j, &(v, d)) in pairs.iter().enumerate() {

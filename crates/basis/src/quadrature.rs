@@ -53,6 +53,7 @@ impl GaussHermite {
             j[(k - 1, k)] = b;
             j[(k, k - 1)] = b;
         }
+        // bmf-lint: allow(no-panic-paths) -- the Jacobi matrix is built symmetric three lines up
         let eig = SymmetricEigen::new(&j).expect("Jacobi matrix is symmetric");
         // Weights: first-row components squared (total mass 1 for the
         // normalized normal weight).
@@ -62,7 +63,7 @@ impl GaussHermite {
                 (eig.values[i], v0 * v0)
             })
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite nodes"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         GaussHermite {
             nodes: pairs.iter().map(|p| p.0).collect(),
             weights: pairs.iter().map(|p| p.1).collect(),

@@ -181,7 +181,7 @@ impl CurrentMirror {
 }
 
 fn weights(range: std::ops::Range<usize>, sigma: f64, seed: u64, stream: u64) -> Vec<(usize, f64)> {
-    if range.is_empty() || sigma == 0.0 {
+    if range.is_empty() || bmf_linalg::is_exact_zero(sigma) {
         return Vec::new();
     }
     let mut rng = seeded(derive_seed(seed, 500 + stream));

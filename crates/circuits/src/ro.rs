@@ -441,7 +441,7 @@ fn decaying_weights(
     seed: u64,
     stream: u64,
 ) -> Vec<(usize, f64)> {
-    if range.is_empty() || sigma == 0.0 {
+    if range.is_empty() || bmf_linalg::is_exact_zero(sigma) {
         return Vec::new();
     }
     let mut rng = seeded(derive_seed(seed, 77_000 + stream));

@@ -152,6 +152,7 @@ pub fn monte_carlo_par(
             }));
         }
         for h in handles {
+            // bmf-lint: allow(no-panic-paths) -- re-raising a worker panic on join is the only sane propagation
             results.push(h.join().expect("sampler thread panicked"));
         }
     });

@@ -448,7 +448,7 @@ fn decaying(
     seed: u64,
     stream: u64,
 ) -> Vec<(usize, f64)> {
-    if range.is_empty() || sigma == 0.0 {
+    if range.is_empty() || bmf_linalg::is_exact_zero(sigma) {
         return Vec::new();
     }
     let mut rng = seeded(derive_seed(seed, 66_000 + stream));

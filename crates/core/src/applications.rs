@@ -89,6 +89,7 @@ pub fn yield_monte_carlo(
     if samples == 0 {
         return Err(BmfError::config("samples", "need at least one sample"));
     }
+    crate::screen::finite_values("model coefficients", model.coeffs())?;
     let n_vars = model.basis().num_vars();
     let mut rng = seeded(seed);
     let mut sampler = StandardNormal::new();
@@ -117,6 +118,7 @@ pub fn yield_monte_carlo(
 /// (parameter `"model"`; use [`yield_monte_carlo`] there) or when a
 /// window spec is inverted (parameter `"spec"`).
 pub fn yield_closed_form_linear(model: &PerformanceModel, spec: &Spec) -> Result<f64> {
+    crate::screen::finite_values("model coefficients", model.coeffs())?;
     let basis = model.basis();
     let mut mean = 0.0;
     let mut var = 0.0;
@@ -125,7 +127,7 @@ pub fn yield_closed_form_linear(model: &PerformanceModel, spec: &Spec) -> Result
             mean += a;
         } else if term.total_degree() == 1 {
             var += a * a;
-        } else if a != 0.0 {
+        } else if bmf_linalg::is_exact_nonzero(a) {
             return Err(BmfError::config(
                 "model",
                 format!("closed-form yield requires a linear model; term {term} is nonlinear"),
@@ -134,7 +136,7 @@ pub fn yield_closed_form_linear(model: &PerformanceModel, spec: &Spec) -> Result
     }
     let sigma = var.sqrt();
     let phi = |t: f64| -> f64 {
-        if sigma == 0.0 {
+        if bmf_linalg::is_exact_zero(sigma) {
             if t >= 0.0 {
                 1.0
             } else {
@@ -196,6 +198,7 @@ pub fn worst_case_corner(
             format!("must be positive and finite, got {sigma_radius}"),
         ));
     }
+    crate::screen::finite_values("model coefficients", model.coeffs())?;
     let basis = model.basis();
     let n = basis.num_vars();
     let sign = if maximize { 1.0 } else { -1.0 };
@@ -203,11 +206,11 @@ pub fn worst_case_corner(
     // Start from the gradient at the origin.
     let mut x = vec![0.0; n];
     let mut g = basis.model_gradient(model.coeffs(), &x);
-    if norm(&g) == 0.0 {
+    if bmf_linalg::is_exact_zero(norm(&g)) {
         // Degenerate at the origin (e.g. pure even model): nudge.
         x = vec![sigma_radius / (n as f64).sqrt(); n];
         g = basis.model_gradient(model.coeffs(), &x);
-        if norm(&g) == 0.0 {
+        if bmf_linalg::is_exact_zero(norm(&g)) {
             return Err(BmfError::config(
                 "model",
                 "model gradient vanishes; no corner direction exists",
@@ -219,7 +222,7 @@ pub fn worst_case_corner(
 
     for _ in 0..max_iters.max(1) {
         let g = basis.model_gradient(model.coeffs(), &x);
-        if norm(&g) == 0.0 {
+        if bmf_linalg::is_exact_zero(norm(&g)) {
             break;
         }
         // Clone: the projected trial point may be rejected, in which case

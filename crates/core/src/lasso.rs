@@ -135,7 +135,7 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
         }
         lambda_max = lambda_max.max(corr0[j].abs());
     }
-    if lambda_max == 0.0 {
+    if bmf_linalg::is_exact_zero(lambda_max) {
         lambda_max = 1.0;
     }
 
@@ -162,7 +162,7 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
         for _ in 0..config.max_sweeps {
             let mut max_delta = 0.0f64;
             for j in 0..m {
-                if col_sq[j] == 0.0 {
+                if bmf_linalg::is_exact_zero(col_sq[j]) {
                     continue;
                 }
                 // rho = g_j^T residual + col_sq * alpha_j (partial refit).
@@ -176,7 +176,7 @@ pub fn fit_lasso_design(g: &Matrix, f: &Vector, config: &LassoConfig) -> Result<
                     soft_threshold(rho, lambda) / col_sq[j]
                 };
                 let delta = new - alpha[j];
-                if delta != 0.0 {
+                if bmf_linalg::is_exact_nonzero(delta) {
                     for i in 0..kt {
                         residual[i] -= delta * gt[(i, j)];
                     }

@@ -286,7 +286,7 @@ impl<'g> MapSweep<'g> {
         let missing: Vec<usize> = unit
             .iter()
             .enumerate()
-            .filter_map(|(i, &d)| (d == 0.0).then_some(i))
+            .filter_map(|(i, &d)| bmf_linalg::is_exact_zero(d).then_some(i))
             .collect();
         // A^-1 over finite columns (0 on missing columns so they drop out
         // of B_F).
@@ -300,7 +300,13 @@ impl<'g> MapSweep<'g> {
             (Matrix::zeros(0, 0), 1.0)
         } else {
             let indicator: Vec<f64> = (0..m)
-                .map(|i| if unit[i] == 0.0 { 1.0 } else { 0.0 })
+                .map(|i| {
+                    if bmf_linalg::is_exact_zero(unit[i]) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             let mut b_z = Matrix::zeros(k, k);
             outer_gram_diag_into(g, &indicator, b_z.as_view_mut())?;
@@ -392,12 +398,14 @@ impl<'g> MapSweep<'g> {
         let (k, m) = self.g.shape();
         if f.len() != k {
             return Err(BmfError::SampleShape {
+                // bmf-lint: allow(no-alloc-in-into-kernels) -- error construction: allocates only on the failure path
                 detail: format!("{k} design rows vs {} values", f.len()),
             });
         }
         if !(hyper > 0.0 && hyper.is_finite()) {
             return Err(BmfError::config(
                 "hyper",
+                // bmf-lint: allow(no-alloc-in-into-kernels) -- error construction: allocates only on the failure path
                 format!("must be positive and finite, got {hyper}"),
             ));
         }

@@ -131,7 +131,7 @@ pub fn fit_omp_design(g: &Matrix, f: &Vector, config: &OmpConfig) -> Result<OmpF
         let mut best_j = None;
         let mut best_c = 0.0;
         for j in 0..m {
-            if in_active[j] || col_norms[j] == 0.0 {
+            if in_active[j] || bmf_linalg::is_exact_zero(col_norms[j]) {
                 continue;
             }
             let c = (corr[j] / col_norms[j]).abs();

@@ -174,7 +174,7 @@ impl Prior {
     /// infinity); those route through the zero-precision path of §IV-B
     /// so the data, not a meaningless prior, determines the fit.
     fn effective_magnitude(&self, m: usize, floor: f64) -> Option<f64> {
-        if floor * floor == 0.0 {
+        if bmf_linalg::is_exact_zero(floor * floor) {
             return None;
         }
         self.early[m].map(|a| a.abs().max(floor))
@@ -256,7 +256,7 @@ impl Prior {
         let precisions = self.precisions(hyper);
         let mut lp = 0.0;
         for m in 0..self.len() {
-            if precisions[m] == 0.0 {
+            if bmf_linalg::is_exact_zero(precisions[m]) {
                 continue;
             }
             let mean = match self.kind {

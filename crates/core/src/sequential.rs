@@ -153,6 +153,7 @@ impl SequentialBmf {
     /// Returns [`BmfError::Linalg`] on numerical failure. Calling this
     /// with zero samples returns the prior mean (the MAP estimate with no
     /// data).
+    // bmf-lint: allow(screen-before-math) -- every sample row was screened on ingestion; this only folds cached screened data
     pub fn coefficients(&self) -> Result<Vector> {
         let m = self.d_inv.len();
         // rhs = Gᵀf + prior_rhs; t = D⁻¹ rhs. Clone: the accumulation

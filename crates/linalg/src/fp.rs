@@ -1,0 +1,45 @@
+//! Named floating-point predicates.
+//!
+//! Bare `x == 0.0` in numerical code is ambiguous: is it a deliberate
+//! exact-representation test or a tolerance bug? The workspace's
+//! `no-float-eq` lint bans raw float-literal comparisons in library code
+//! and points here instead: these predicates *document* that the exact
+//! comparison is intended.
+
+/// True when `x` is exactly `±0.0`.
+///
+/// This is an *exact* bit-level sentinel test, not a tolerance check: the
+/// fitting stack uses exact zeros as structural markers (zero-precision
+/// prior rows in the §IV-B missing-prior path, unhit pivots, empty
+/// column norms), where values merely *near* zero must not match.
+/// `NaN` is not zero.
+#[inline]
+pub fn is_exact_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// True when `x` is anything but exact `±0.0` (including `NaN`).
+///
+/// The negation of [`is_exact_zero`], named so call sites read as intent
+/// rather than as a float-equality hazard.
+#[inline]
+pub fn is_exact_nonzero(x: f64) -> bool {
+    x != 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_zero_semantics() {
+        assert!(is_exact_zero(0.0));
+        assert!(is_exact_zero(-0.0));
+        assert!(!is_exact_zero(f64::MIN_POSITIVE));
+        assert!(!is_exact_zero(-1e-300));
+        assert!(!is_exact_zero(f64::NAN));
+        assert!(is_exact_nonzero(f64::NAN));
+        assert!(is_exact_nonzero(1e-300));
+        assert!(!is_exact_nonzero(-0.0));
+    }
+}

@@ -41,6 +41,7 @@ mod cholesky;
 pub mod complex;
 pub mod eigen;
 mod error;
+pub mod fp;
 mod lu;
 mod matrix;
 mod qr;
@@ -52,6 +53,7 @@ pub mod woodbury;
 pub use cholesky::{cholesky_in_place, Cholesky};
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
+pub use fp::{is_exact_nonzero, is_exact_zero};
 pub use lu::{lu_factor_in_place, lu_solve_into, Lu};
 pub use matrix::Matrix;
 pub use qr::Qr;

@@ -157,7 +157,7 @@ pub fn lu_factor_in_place(a: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64> 
         for i in (k + 1)..n {
             let m = a[(i, k)] / pivot;
             a[(i, k)] = m;
-            if m == 0.0 {
+            if crate::fp::is_exact_zero(m) {
                 continue;
             }
             for j in (k + 1)..n {

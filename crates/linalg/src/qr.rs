@@ -70,7 +70,7 @@ impl Qr {
                 norm2 += qr[(i, k)] * qr[(i, k)];
             }
             let norm = norm2.sqrt();
-            if norm == 0.0 {
+            if crate::fp::is_exact_zero(norm) {
                 tau[k] = 0.0;
                 continue;
             }
@@ -116,7 +116,7 @@ impl Qr {
     fn apply_q_transpose(&self, b: &mut Vector) {
         let (m, n) = self.qr.shape();
         for k in 0..n {
-            if self.tau[k] == 0.0 {
+            if crate::fp::is_exact_zero(self.tau[k]) {
                 continue;
             }
             let mut s = b[k];

@@ -166,7 +166,7 @@ fn diag_ratio(a: &Matrix) -> f64 {
         min = min.min(d);
         max = max.max(d);
     }
-    if max == 0.0 {
+    if crate::fp::is_exact_zero(max) {
         0.0
     } else {
         min / max

@@ -554,7 +554,7 @@ pub fn matvec_transpose_into(a: MatRef<'_>, x: &[f64], out: &mut [f64]) -> Resul
     }
     out.fill(0.0);
     for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
+        if crate::fp::is_exact_zero(xi) {
             continue;
         }
         for (o, &v) in out.iter_mut().zip(a.row(i)) {
@@ -593,7 +593,7 @@ pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, mut out: MatMut<'_>) -> Result<
     for i in 0..a.nrows() {
         let arow = a.row(i);
         for (k, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
+            if crate::fp::is_exact_zero(aik) {
                 continue;
             }
             let brow = b.row(k);
@@ -630,7 +630,7 @@ pub fn gram_into(a: MatRef<'_>, mut out: MatMut<'_>) -> Result<()> {
         let r = a.row(k);
         for i in 0..m {
             let ri = r[i];
-            if ri == 0.0 {
+            if crate::fp::is_exact_zero(ri) {
                 continue;
             }
             let orow = out.row_mut(i);

@@ -104,7 +104,10 @@ pub fn solve_diag_plus_gram(
     rhs: &Vector,
 ) -> Result<Vector> {
     validate(prior_precision, c, g.as_view(), rhs.as_slice())?;
-    if let Some(z) = prior_precision.iter().position(|d| *d == 0.0) {
+    if let Some(z) = prior_precision
+        .iter()
+        .position(|d| crate::fp::is_exact_zero(*d))
+    {
         return Err(LinalgError::Singular { pivot: z });
     }
     let mut scratch = WoodburyScratch::new();
@@ -354,7 +357,7 @@ pub fn solve_diag_plus_gram_semidefinite_into(
         prior_precision
             .iter()
             .enumerate()
-            .filter_map(|(i, d)| (*d == 0.0).then_some(i)),
+            .filter_map(|(i, d)| crate::fp::is_exact_zero(*d).then_some(i)),
     );
     if ws.zeros.is_empty() {
         return strictly_positive_into(prior_precision, c, g, rhs, ws, out);
@@ -374,6 +377,7 @@ pub fn solve_diag_plus_gram_semidefinite_into(
         }
         tau += c * s;
     }
+    // bmf-lint: allow(no-lossy-cast-in-kernels) -- nz counts zero-precision rows, bounded by M << 2^53, so the cast is exact
     tau /= nz as f64;
     if tau.is_nan() || tau <= 0.0 {
         tau = 1.0;

@@ -1,0 +1,453 @@
+//! A token-level lexer for Rust source.
+//!
+//! The rules in this crate reason about *tokens*, never raw bytes, so a
+//! `panic!` inside a string literal or a `.unwrap()` inside a comment can
+//! never produce a finding — the exact false-positive class the old
+//! grep-based gate in `scripts/check_hermetic.sh` suffered from.
+//!
+//! The lexer is intentionally smaller than a full Rust lexer: it only
+//! needs to classify identifiers, literals (including raw strings and
+//! byte strings), comments (line, block — nested — and doc), lifetimes,
+//! and punctuation, each with a byte span and a line/column. It does not
+//! validate the source; unterminated literals are closed at end of file.
+
+/// The coarse classification a token receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A numeric literal (`1`, `0.5`, `1e-3`, `0xff`, `2.0f32`).
+    Number,
+    /// A string literal, including byte strings (`"..."`, `b"..."`).
+    Str,
+    /// A raw string literal (`r"..."`, `r#"..."#`, `br#"..."#`).
+    RawStr,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `// ...` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// A `/* ... */` comment (nested blocks are handled), including doc
+    /// block comments.
+    BlockComment,
+    /// Any punctuation token; multi-character operators such as `==`,
+    /// `!=`, `::`, and `->` are emitted as a single token.
+    Punct,
+}
+
+/// One lexed token: a classification plus its location in the source.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Returns true when a [`TokenKind::Number`] literal is a floating-point
+/// literal: it contains a decimal point, a (non-hex) exponent, or an
+/// explicit `f32`/`f64` suffix.
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    // `1e3` / `2E-5`: an exponent marker after at least one digit.
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if (b == b'e' || b == b'E') && i > 0 && bytes[i - 1].is_ascii_digit() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Multi-character punctuation, longest first so maximal-munch matching is
+/// a simple prefix scan.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "::", "->", "=>", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(b) = self.bytes.get(self.pos) {
+            if *b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a flat token stream. Whitespace is skipped; comments
+/// are kept (the suppression scanner needs them). The lexer never fails:
+/// malformed input degrades to `Punct` tokens or end-of-file-terminated
+/// literals.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = c.peek(0) {
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        let (start, line, col) = (c.pos, c.line, c.col);
+        let kind = lex_one(&mut c, b);
+        out.push(Token {
+            kind,
+            start,
+            end: c.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_one(c: &mut Cursor<'_>, b: u8) -> TokenKind {
+    match b {
+        b'/' if c.peek(1) == Some(b'/') => {
+            while let Some(nb) = c.peek(0) {
+                if nb == b'\n' {
+                    break;
+                }
+                c.bump();
+            }
+            TokenKind::LineComment
+        }
+        b'/' if c.peek(1) == Some(b'*') => {
+            c.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (c.peek(0), c.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        c.bump_n(2);
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        c.bump_n(2);
+                    }
+                    (Some(_), _) => c.bump(),
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'r' | b'b' if starts_raw_string(c) => lex_raw_string(c),
+        b'b' if c.peek(1) == Some(b'"') => {
+            c.bump();
+            lex_string(c)
+        }
+        b'b' if c.peek(1) == Some(b'\'') => {
+            c.bump();
+            lex_char(c)
+        }
+        b'"' => lex_string(c),
+        b'\'' => lex_lifetime_or_char(c),
+        _ if b.is_ascii_digit() => lex_number(c),
+        _ if is_ident_start(b) => {
+            while let Some(nb) = c.peek(0) {
+                if !is_ident_continue(nb) {
+                    break;
+                }
+                c.bump();
+            }
+            TokenKind::Ident
+        }
+        _ => {
+            let rest = &c.src[c.pos..];
+            for mp in MULTI_PUNCT {
+                if rest.starts_with(mp) {
+                    c.bump_n(mp.len());
+                    return TokenKind::Punct;
+                }
+            }
+            c.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// `r"`, `r#`, `br"`, `br#` all open raw strings.
+fn starts_raw_string(c: &Cursor<'_>) -> bool {
+    let (one, two) = (c.peek(1), c.peek(2));
+    match c.peek(0) {
+        Some(b'r') => matches!(one, Some(b'"') | Some(b'#')),
+        Some(b'b') => one == Some(b'r') && matches!(two, Some(b'"') | Some(b'#')),
+        _ => false,
+    }
+}
+
+fn lex_raw_string(c: &mut Cursor<'_>) -> TokenKind {
+    if c.peek(0) == Some(b'b') {
+        c.bump();
+    }
+    c.bump(); // the `r`
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek(0) == Some(b'"') {
+        c.bump();
+        'outer: while let Some(nb) = c.peek(0) {
+            c.bump();
+            if nb == b'"' {
+                for i in 0..hashes {
+                    if c.peek(i) != Some(b'#') {
+                        continue 'outer;
+                    }
+                }
+                c.bump_n(hashes);
+                break;
+            }
+        }
+    }
+    TokenKind::RawStr
+}
+
+fn lex_string(c: &mut Cursor<'_>) -> TokenKind {
+    c.bump(); // opening quote
+    while let Some(nb) = c.peek(0) {
+        if nb == b'\\' {
+            c.bump_n(2);
+        } else if nb == b'"' {
+            c.bump();
+            break;
+        } else {
+            c.bump();
+        }
+    }
+    TokenKind::Str
+}
+
+fn lex_char(c: &mut Cursor<'_>) -> TokenKind {
+    c.bump(); // opening quote
+    while let Some(nb) = c.peek(0) {
+        if nb == b'\\' {
+            c.bump_n(2);
+        } else if nb == b'\'' {
+            c.bump();
+            break;
+        } else {
+            c.bump();
+        }
+    }
+    TokenKind::Char
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` (char literal): an escape is
+/// always a char literal; otherwise a closing quote right after one
+/// character makes it a char literal, anything else is a lifetime.
+fn lex_lifetime_or_char(c: &mut Cursor<'_>) -> TokenKind {
+    match (c.peek(1), c.peek(2)) {
+        (Some(b'\\'), _) => lex_char(c),
+        (Some(nb), Some(b'\'')) if nb != b'\'' => {
+            c.bump_n(3);
+            TokenKind::Char
+        }
+        (Some(nb), _) if is_ident_start(nb) => {
+            c.bump(); // the quote
+            while let Some(ib) = c.peek(0) {
+                if !is_ident_continue(ib) {
+                    break;
+                }
+                c.bump();
+            }
+            TokenKind::Lifetime
+        }
+        _ => lex_char(c),
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>) -> TokenKind {
+    let hex = c.peek(0) == Some(b'0') && matches!(c.peek(1), Some(b'x') | Some(b'X'));
+    while let Some(nb) = c.peek(0) {
+        if nb.is_ascii_alphanumeric() || nb == b'_' {
+            // `1e-3`: a sign directly after an exponent marker belongs to
+            // the literal (but never in hex literals).
+            let exp = !hex && (nb == b'e' || nb == b'E');
+            c.bump();
+            if exp && matches!(c.peek(0), Some(b'+') | Some(b'-')) {
+                if matches!(c.peek(1), Some(d) if d.is_ascii_digit()) {
+                    c.bump();
+                }
+            }
+        } else if nb == b'.' {
+            // A dot continues the literal only when followed by a digit
+            // (`1.5`) or by nothing identifier-like that is not another
+            // dot (`1.` but not `1..2` and not `1.max(2)`).
+            match c.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    c.bump();
+                }
+                Some(b'.') => break,
+                Some(d) if is_ident_start(d) => break,
+                _ => {
+                    c.bump();
+                    break;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    TokenKind::Number
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r#"let s = "panic!(x)"; // .unwrap() here
+/* panic! */ let t = 1;"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("panic")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("panic")));
+        // No Ident token named panic/unwrap escapes the literals.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "panic" || t == "unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"has "quotes" and panic!"#;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("quotes")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let u = '_'; let esc = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'x'", "'_'", "'\\n'"]);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(is_float_literal("1.0"));
+        assert!(is_float_literal("1e-3"));
+        assert!(is_float_literal("2.5f64"));
+        assert!(is_float_literal("3f32"));
+        assert!(!is_float_literal("1"));
+        assert!(!is_float_literal("0x1e3"));
+        assert!(!is_float_literal("1_000"));
+    }
+
+    #[test]
+    fn numbers_stop_before_ranges_and_methods() {
+        let toks = kinds("let a = 1..2; let b = 1.max(2); let c = 1.5e3;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["1", "2", "1", "2", "1.5e3"]);
+    }
+
+    #[test]
+    fn multi_char_punct_is_one_token() {
+        let src = "a == b != c :: d -> e";
+        let puncts: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "let a = 1;\n  let b = 2;";
+        let toks = lex(src);
+        let b_tok = toks.iter().find(|t| t.text(src) == "b").unwrap();
+        assert_eq!(b_tok.line, 2);
+        assert_eq!(b_tok.col, 7);
+    }
+}

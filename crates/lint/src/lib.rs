@@ -1,0 +1,154 @@
+//! `bmf-lint`: in-tree static analysis for the BMF workspace.
+//!
+//! The workspace makes three structural promises — bit-identical results
+//! at any thread count, panic-free library code, and zero-allocation
+//! `_into`/`_in_place` kernels — that used to be policed by grep lines
+//! and scattered clippy attributes. This crate replaces that with a
+//! token-level analyzer (no false positives from comments or string
+//! literals) and a rule engine with a committed, diff-aware baseline:
+//! pre-existing justified findings are pinned in `lint-baseline.toml`,
+//! and only *new* findings fail the gate.
+//!
+//! Pipeline: [`lexer`] tokenizes, [`scan::FileModel`] recovers structure
+//! (test spans, fn bodies, inner attributes, suppressions), [`rules`]
+//! produce [`findings::Finding`]s, [`baseline`] diffs them against the
+//! pinned set, and [`report`] renders human or JSON output.
+//!
+//! Inline suppressions take the form
+//! `// bmf-lint: allow(<rule>) -- <reason>` on the offending line or the
+//! line above; the reason string is mandatory.
+//!
+//! ```
+//! use bmf_lint::lint_source;
+//!
+//! let findings = lint_source(
+//!     "crates/core/src/example.rs",
+//!     "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "no-panic-paths");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod baseline;
+pub mod findings;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use findings::{line_snippet, Finding};
+use rules::all_rules;
+use scan::FileModel;
+use std::fs;
+use std::path::Path;
+
+/// One source file presented to the rules: its workspace-relative path
+/// (rules scope themselves by crate from it) and its full text.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Entire file contents.
+    pub text: String,
+}
+
+/// Lints a single file's source text under the given workspace-relative
+/// path label. Returns the surviving findings, sorted by
+/// `(file, line, col, rule)`: rule output minus well-formed suppressions,
+/// plus a `malformed-suppression` finding for every suppression comment
+/// that lacks its reason or names an unknown rule.
+pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
+    let file = SourceFile {
+        path: path.to_string(),
+        text: text.to_string(),
+    };
+    let model = FileModel::build(&file.text);
+    let mut raw = Vec::new();
+    for rule in all_rules() {
+        rule.check(&file, &model, &mut raw);
+    }
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !model.suppressed(&f.rule, f.line))
+        .collect();
+
+    let known: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+    for m in &model.malformed {
+        out.push(Finding {
+            rule: "malformed-suppression".to_string(),
+            file: file.path.clone(),
+            line: m.line,
+            col: m.col,
+            message: m.problem.clone(),
+            snippet: line_snippet(&file.text, m.line),
+        });
+    }
+    for s in &model.suppressions {
+        if !known.contains(&s.rule.as_str()) {
+            out.push(Finding {
+                rule: "malformed-suppression".to_string(),
+                file: file.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!("suppression names unknown rule `{}`", s.rule),
+                snippet: line_snippet(&file.text, s.line),
+            });
+        }
+    }
+    out.sort_by_key(Finding::sort_key);
+    out
+}
+
+/// Lints every library source file in the workspace rooted at `root`.
+/// Findings come back sorted by `(file, line, col, rule)`.
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure (unreadable directory
+/// or file).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = workspace::collect_sources(root)
+        .map_err(|e| format!("cannot enumerate sources under {}: {e}", root.display()))?;
+    let mut out = Vec::new();
+    for rel in files {
+        let text = fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel}: {e}"))?;
+        out.extend(lint_source(&rel, &text));
+    }
+    out.sort_by_key(Finding::sort_key);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_silences_a_finding() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // bmf-lint: allow(no-panic-paths) -- demo\n    x.unwrap()\n}\n";
+        let findings = lint_source("crates/core/src/example.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unknown_rule_suppressions_are_flagged() {
+        let src = "// bmf-lint: allow(no-such-rule) -- reason\nfn f() {}\n";
+        let findings = lint_source("crates/core/src/example.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "malformed-suppression");
+    }
+
+    #[test]
+    fn findings_are_sorted() {
+        let src = "fn f(a: Option<u32>, b: f64) -> u32 {\n    if b == 1.0 { return 0; }\n    a.unwrap()\n}\n";
+        let findings = lint_source("crates/core/src/example.rs", src);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert_eq!(findings.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! The `bmf-lint` binary: lints the workspace against the committed
+//! baseline and exits nonzero on new findings.
+//!
+//! ```text
+//! bmf-lint [--root DIR] [--baseline FILE] [--format human|json]
+//!          [--write-baseline] [--deny-stale] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new findings (or stale baseline entries
+//! under `--deny-stale`), `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use bmf_lint::baseline::{self, BaselineEntry};
+use bmf_lint::report;
+use bmf_lint::rules::all_rules;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+    deny_stale: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        write_baseline: false,
+        deny_stale: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a file")?));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("human") => opts.json = false,
+                other => return Err(format!("--format must be human or json, got {other:?}")),
+            },
+            _ if arg.starts_with("--format=") => match &arg["--format=".len()..] {
+                "json" => opts.json = true,
+                "human" => opts.json = false,
+                other => return Err(format!("--format must be human or json, got `{other}`")),
+            },
+            "--write-baseline" => opts.write_baseline = true,
+            "--deny-stale" => opts.deny_stale = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "bmf-lint [--root DIR] [--baseline FILE] [--format human|json]\n\
+                     \x20        [--write-baseline] [--deny-stale] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    if opts.list_rules {
+        for rule in all_rules() {
+            println!("{:28} {}", rule.id(), rule.describe());
+        }
+        return Ok(true);
+    }
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.toml"));
+    let findings = bmf_lint::lint_workspace(&opts.root)?;
+
+    if opts.write_baseline {
+        let entries: Vec<BaselineEntry> = findings
+            .iter()
+            .map(|f| BaselineEntry {
+                rule: f.rule.clone(),
+                file: f.file.clone(),
+                fingerprint: f.fingerprint(),
+                note: "TODO: justify or fix".to_string(),
+            })
+            .collect();
+        std::fs::write(&baseline_path, baseline::render(&entries))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "bmf-lint: wrote {} entr(ies) to {} — fill in the notes",
+            entries.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let pinned = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+    } else {
+        Vec::new()
+    };
+
+    let diff = baseline::diff(findings, &pinned);
+    let rendered = if opts.json {
+        report::json(&diff)
+    } else {
+        report::human(&diff)
+    };
+    print!("{rendered}");
+
+    let failed = !diff.new.is_empty() || (opts.deny_stale && !diff.stale.is_empty());
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("bmf-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bmf-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Reporters: human-readable text and machine-readable JSON.
+//!
+//! Both renderings are byte-deterministic for a given workspace state:
+//! findings are pre-sorted by `(file, line, col, rule)`, stale entries by
+//! their baseline sort key, and the JSON writer emits keys in a fixed
+//! order with no floating-point values. CI diffs the JSON bytes across
+//! runs, so determinism here is itself under test.
+
+use crate::baseline::{BaselineDiff, BaselineEntry};
+use crate::findings::Finding;
+
+/// Renders the human report: one `file:line:col: [rule] message` block per
+/// new finding, stale-entry notices, and a one-line summary.
+pub fn human(diff: &BaselineDiff) -> String {
+    let mut out = String::new();
+    for f in &diff.new {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            f.file, f.line, f.col, f.rule, f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    for e in &diff.stale {
+        out.push_str(&format!(
+            "stale baseline entry: rule={} file={} fingerprint={} ({}) — the pinned finding \
+             is gone; delete the entry\n",
+            e.rule, e.file, e.fingerprint, e.note
+        ));
+    }
+    out.push_str(&format!(
+        "bmf-lint: {} new finding(s), {} baselined, {} stale baseline entr(ies)\n",
+        diff.new.len(),
+        diff.baselined,
+        diff.stale.len()
+    ));
+    out
+}
+
+/// Renders the JSON report. Schema:
+///
+/// ```json
+/// {"version":1,
+///  "new":[{"rule":..,"file":..,"line":..,"col":..,"message":..,
+///          "snippet":..,"fingerprint":..}],
+///  "baselined":N,
+///  "stale":[{"rule":..,"file":..,"fingerprint":..,"note":..}]}
+/// ```
+pub fn json(diff: &BaselineDiff) -> String {
+    let mut out = String::from("{\"version\":1,\"new\":[");
+    for (i, f) in diff.new.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_finding(f));
+    }
+    out.push_str(&format!("],\"baselined\":{},\"stale\":[", diff.baselined));
+    for (i, e) in diff.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_stale(e));
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+fn json_finding(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"snippet\":{},\
+         \"fingerprint\":{}}}",
+        escape(&f.rule),
+        escape(&f.file),
+        f.line,
+        f.col,
+        escape(&f.message),
+        escape(&f.snippet),
+        escape(&f.fingerprint())
+    )
+}
+
+fn json_stale(e: &BaselineEntry) -> String {
+    format!(
+        "{{\"rule\":{},\"file\":{},\"fingerprint\":{},\"note\":{}}}",
+        escape(&e.rule),
+        escape(&e.file),
+        escape(&e.fingerprint),
+        escape(&e.note)
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineDiff;
+
+    #[test]
+    fn json_escapes_and_is_stable() {
+        let f = Finding {
+            rule: "no-float-eq".to_string(),
+            file: "crates/core/src/x.rs".to_string(),
+            line: 3,
+            col: 8,
+            message: "quote \" and backslash \\".to_string(),
+            snippet: "if x == 0.0 {\t}".to_string(),
+        };
+        let diff = BaselineDiff {
+            new: vec![f],
+            baselined: 2,
+            stale: vec![],
+        };
+        let a = json(&diff);
+        let b = json(&diff);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\""));
+        assert!(a.contains("\\\\"));
+        assert!(a.contains("\\t"));
+        assert!(a.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn human_summarizes_counts() {
+        let diff = BaselineDiff {
+            new: vec![],
+            baselined: 4,
+            stale: vec![],
+        };
+        let text = human(&diff);
+        assert!(text.contains("0 new finding(s), 4 baselined, 0 stale"));
+    }
+}

@@ -1,0 +1,82 @@
+//! `no-alloc-in-into-kernels`: functions named `*_into` / `*_in_place`
+//! advertise "writes into caller-provided storage, allocates nothing" —
+//! that contract is what took the fitting stack from ~2.4k to ~100
+//! allocations per fit (DESIGN.md §9) and it is load-bearing for the
+//! alloc-budget assertions the benches enforce in CI. Any allocating
+//! construct inside such a function is either a regression or needs an
+//! explicit suppression explaining why it is outside the hot loop.
+
+use super::{finding_at, in_crates, Rule, FITTING_CRATES};
+use crate::findings::Finding;
+use crate::scan::FileModel;
+use crate::SourceFile;
+
+/// See the module docs.
+pub struct NoAllocInIntoKernels;
+
+fn is_into_kernel(name: &str) -> bool {
+    name.ends_with("_into") || name.ends_with("_in_place")
+}
+
+impl Rule for NoAllocInIntoKernels {
+    fn id(&self) -> &'static str {
+        "no-alloc-in-into-kernels"
+    }
+
+    fn describe(&self) -> &'static str {
+        "allocating constructs (Vec::new, vec!, to_vec, clone, collect, ...) in *_into/*_in_place fns"
+    }
+
+    fn check(&self, file: &SourceFile, model: &FileModel, out: &mut Vec<Finding>) {
+        if !in_crates(&file.path, FITTING_CRATES) {
+            return;
+        }
+        for ci in 0..model.code.len() {
+            let Some(tok) = model.code_tok(ci) else {
+                continue;
+            };
+            if model.in_test(tok.start) {
+                continue;
+            }
+            let Some(f) = model.enclosing_fn(tok.start) else {
+                continue;
+            };
+            if !is_into_kernel(&f.name) {
+                continue;
+            }
+            let text = model.code_text(&file.text, ci);
+            let next = model.code_text(&file.text, ci + 1);
+            let prev = if ci > 0 {
+                model.code_text(&file.text, ci - 1)
+            } else {
+                ""
+            };
+            let construct: Option<&str> = match text {
+                // Vec::new / Vec::with_capacity / Box::new / String::new.
+                "Vec" | "Box" | "String" if next == "::" => {
+                    let method = model.code_text(&file.text, ci + 2);
+                    matches!(method, "new" | "with_capacity" | "from")
+                        .then_some("constructor allocation")
+                }
+                "vec" if next == "!" => Some("`vec!` literal"),
+                "format" if next == "!" => Some("`format!` string allocation"),
+                "to_vec" | "to_owned" | "clone" | "collect" if prev == "." && next == "(" => {
+                    Some("allocating method call")
+                }
+                _ => None,
+            };
+            if let Some(what) = construct {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    tok,
+                    format!(
+                        "{what} (`{text}`) inside zero-allocation kernel `{}`; write into \
+                         caller-provided scratch instead",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The rule catalog.
+//!
+//! Each rule is a small token-pattern matcher over a [`FileModel`]. Rules
+//! are scoped by crate (derived from the workspace-relative path): the
+//! fitting-stack guarantees apply to the library crates, the determinism
+//! rules additionally police `bmf-lint` itself, and the tool crate
+//! `bmf-bench` is exempt from panic-freedom (benchmark binaries may abort).
+
+pub mod alloc_kernels;
+pub mod float_eq;
+pub mod forbid_unsafe;
+pub mod lossy_cast;
+pub mod nondet;
+pub mod panic_paths;
+pub mod partial_cmp;
+pub mod screen_first;
+
+use crate::findings::{line_snippet, Finding};
+use crate::lexer::Token;
+use crate::scan::FileModel;
+use crate::SourceFile;
+
+/// A lint rule: an identifier plus a check over one file.
+pub trait Rule {
+    /// The rule's stable name, as used in baselines and suppressions.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the docs.
+    fn describe(&self) -> &'static str;
+    /// Appends findings for `file` to `out`.
+    fn check(&self, file: &SourceFile, model: &FileModel, out: &mut Vec<Finding>);
+}
+
+/// Every rule, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(panic_paths::NoPanicPaths),
+        Box::new(float_eq::NoFloatEq),
+        Box::new(partial_cmp::NoPartialCmpUnwrap),
+        Box::new(lossy_cast::NoLossyCastInKernels),
+        Box::new(alloc_kernels::NoAllocInIntoKernels),
+        Box::new(forbid_unsafe::ForbidUnsafeMissing),
+        Box::new(nondet::NoNondeterministicSources),
+        Box::new(screen_first::ScreenBeforeMath),
+    ]
+}
+
+/// Crates carrying the panic-free / screened fitting-stack guarantees.
+/// `root` is the umbrella crate at `src/`.
+pub(crate) const FITTING_CRATES: &[&str] = &["basis", "circuits", "core", "linalg", "stat", "root"];
+
+/// Crates whose outputs must be bit-reproducible — the fitting stack plus
+/// the lint itself (its reports are diffed byte-for-byte in CI).
+pub(crate) const DETERMINISM_CRATES: &[&str] = &[
+    "basis", "circuits", "core", "linalg", "stat", "root", "lint",
+];
+
+/// Maps a workspace-relative path to its crate short name:
+/// `crates/core/src/x.rs` → `core`, `src/lib.rs` → `root`.
+pub(crate) fn crate_of(path: &str) -> Option<&str> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if path.starts_with("src/") {
+        return Some("root");
+    }
+    None
+}
+
+/// True when `path` belongs to one of `crates`.
+pub(crate) fn in_crates(path: &str, crates: &[&str]) -> bool {
+    crate_of(path).is_some_and(|c| crates.contains(&c))
+}
+
+/// Builds a finding at `tok`, filling in the snippet from the source.
+pub(crate) fn finding_at(
+    rule: &'static str,
+    file: &SourceFile,
+    tok: &Token,
+    message: String,
+) -> Finding {
+    Finding {
+        rule: rule.to_string(),
+        file: file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: line_snippet(&file.text, tok.line),
+    }
+}
+
+/// Shared iteration helper: yields each code-index whose token is an
+/// identifier equal to `word`, skipping test spans.
+pub(crate) fn each_nontest_ident<'m>(
+    file: &'m SourceFile,
+    model: &'m FileModel,
+    word: &'m str,
+) -> impl Iterator<Item = usize> + 'm {
+    (0..model.code.len()).filter(move |&ci| {
+        model.code_text(&file.text, ci) == word
+            && model.code_tok(ci).is_some_and(|t| {
+                t.kind == crate::lexer::TokenKind::Ident && !model.in_test(t.start)
+            })
+    })
+}

@@ -1,0 +1,72 @@
+//! `no-panic-paths`: the fitting stack promises "structured error or
+//! degraded `Ok`, never a panic" (README "Robustness", PR 4). Library
+//! code must not contain `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`, `.unwrap()`, or `.expect(...)` outside test code.
+//!
+//! This replaces the line-oriented grep gate that used to live in
+//! `scripts/check_hermetic.sh`: operating on tokens means occurrences in
+//! comments and string literals are invisible, and `#[cfg(test)]` items
+//! anywhere in the file are exempt (the grep stopped scanning at the
+//! *first* `#[cfg(test)]`, silently skipping code after an early test
+//! module).
+
+use super::{each_nontest_ident, finding_at, in_crates, Rule, FITTING_CRATES};
+use crate::findings::Finding;
+use crate::scan::FileModel;
+use crate::SourceFile;
+
+/// See the module docs.
+pub struct NoPanicPaths;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+impl Rule for NoPanicPaths {
+    fn id(&self) -> &'static str {
+        "no-panic-paths"
+    }
+
+    fn describe(&self) -> &'static str {
+        "panic!/unreachable!/todo!/unimplemented!/.unwrap()/.expect() in non-test library code"
+    }
+
+    fn check(&self, file: &SourceFile, model: &FileModel, out: &mut Vec<Finding>) {
+        if !in_crates(&file.path, FITTING_CRATES) {
+            return;
+        }
+        for mac in PANIC_MACROS {
+            for ci in each_nontest_ident(file, model, mac) {
+                if model.code_text(&file.text, ci + 1) == "!" {
+                    if let Some(tok) = model.code_tok(ci) {
+                        out.push(finding_at(
+                            self.id(),
+                            file,
+                            tok,
+                            format!("`{mac}!` in library code; return a structured error instead"),
+                        ));
+                    }
+                }
+            }
+        }
+        for method in PANIC_METHODS {
+            for ci in each_nontest_ident(file, model, method) {
+                let is_call = ci > 0
+                    && model.code_text(&file.text, ci - 1) == "."
+                    && model.code_text(&file.text, ci + 1) == "(";
+                if is_call {
+                    if let Some(tok) = model.code_tok(ci) {
+                        out.push(finding_at(
+                            self.id(),
+                            file,
+                            tok,
+                            format!(
+                                "`.{method}()` in library code; propagate the error or handle \
+                                 the `None`/`Err` arm explicitly"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

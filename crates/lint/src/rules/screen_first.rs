@@ -1,0 +1,131 @@
+//! `screen-before-math`: PR 4 put boundary screening (`bmf_core::screen`)
+//! at every public entry point so NaN/∞ inputs are rejected with a
+//! structured error before any arithmetic can smear them through a
+//! factorization. This rule pins that discipline structurally: in the
+//! entry-point modules of `bmf_core`, every public fallible function
+//! (`pub fn ... -> Result<...>`) that performs arithmetic must call into
+//! `screen::` *before* its first arithmetic operator.
+//!
+//! Pure delegators (no arithmetic of their own) are exempt — they inherit
+//! screening from the function they forward to. Private helpers are
+//! exempt: they run behind an already-screened boundary.
+
+use super::{finding_at, Rule};
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::scan::{FileModel, FnSpan};
+use crate::SourceFile;
+
+/// See the module docs.
+pub struct ScreenBeforeMath;
+
+/// The `bmf_core` modules whose `pub fn`s are user-facing entry points.
+const ENTRY_MODULES: &[&str] = &[
+    "fusion.rs",
+    "batch.rs",
+    "map_estimate.rs",
+    "least_squares.rs",
+    "lasso.rs",
+    "omp.rs",
+    "hyper.rs",
+    "sequential.rs",
+    "applications.rs",
+];
+
+impl Rule for ScreenBeforeMath {
+    fn id(&self) -> &'static str {
+        "screen-before-math"
+    }
+
+    fn describe(&self) -> &'static str {
+        "public fallible bmf_core entry points must call screen:: before arithmetic"
+    }
+
+    fn check(&self, file: &SourceFile, model: &FileModel, out: &mut Vec<Finding>) {
+        let Some(rest) = file.path.strip_prefix("crates/core/src/") else {
+            return;
+        };
+        if !ENTRY_MODULES.contains(&rest) {
+            return;
+        }
+        for f in &model.fns {
+            if !f.is_pub || !f.returns_result || f.body.0 == f.body.1 || model.in_test(f.body.0) {
+                continue;
+            }
+            let first_math = first_arithmetic(file, model, f);
+            let first_screen = first_screen_call(file, model, f);
+            let Some(math_ci) = first_math else { continue };
+            let ok = first_screen.is_some_and(|s| s < math_ci);
+            if ok {
+                continue;
+            }
+            let Some(anchor) = model.code_tok(math_ci) else {
+                continue;
+            };
+            let what = if first_screen.is_some() {
+                "performs arithmetic before its `screen::` call"
+            } else {
+                "performs arithmetic but never calls `screen::`"
+            };
+            let mut finding = finding_at(
+                self.id(),
+                file,
+                anchor,
+                format!(
+                    "public entry point `{}` {what}; screen inputs first so NaN/∞ \
+                     fail as structured errors, not poisoned math",
+                    f.name
+                ),
+            );
+            // Report at the fn, fingerprint on the fn name: stable under
+            // body edits that keep the violation.
+            finding.line = f.line;
+            finding.snippet = format!("<entry point fn {}>", f.name);
+            out.push(finding);
+        }
+    }
+}
+
+/// Code-index of the first binary arithmetic operator in `f`'s body, if
+/// any. A punct in `+ - * / %` (or the compound-assign forms) counts as
+/// arithmetic when its left neighbor is value-like, which separates
+/// binary `-`/`*` from unary negation and dereference.
+fn first_arithmetic(file: &SourceFile, model: &FileModel, f: &FnSpan) -> Option<usize> {
+    for ci in 0..model.code.len() {
+        let tok = model.code_tok(ci)?;
+        if tok.start < f.body.0 || tok.start >= f.body.1 {
+            continue;
+        }
+        let text = tok.text(&file.text);
+        let compound = matches!(text, "+=" | "-=" | "*=" | "/=" | "%=");
+        let binary = matches!(text, "+" | "-" | "*" | "/" | "%");
+        if compound {
+            return Some(ci);
+        }
+        if binary && ci > 0 {
+            let prev = model.code_tok(ci - 1)?;
+            let value_like = matches!(prev.kind, TokenKind::Ident | TokenKind::Number)
+                || matches!(prev.text(&file.text), ")" | "]");
+            // Keyword-terminated contexts (`return -x`, `in 0..n`) are
+            // not binary uses even though the keyword lexes as Ident.
+            let prev_text = prev.text(&file.text);
+            let keyword = matches!(prev_text, "return" | "in" | "if" | "else" | "match" | "=>");
+            if value_like && !keyword {
+                return Some(ci);
+            }
+        }
+    }
+    None
+}
+
+/// Code-index of the first `screen ::` path segment in `f`'s body.
+fn first_screen_call(file: &SourceFile, model: &FileModel, f: &FnSpan) -> Option<usize> {
+    (0..model.code.len()).find(|&ci| {
+        model.code_tok(ci).is_some_and(|t| {
+            t.start >= f.body.0
+                && t.start < f.body.1
+                && t.kind == TokenKind::Ident
+                && t.text(&file.text) == "screen"
+        }) && model.code_text(&file.text, ci + 1) == "::"
+    })
+}

@@ -1,0 +1,506 @@
+//! Structural scan over the token stream.
+//!
+//! Turns the flat token list from [`crate::lexer`] into a [`FileModel`]
+//! the rules can query: which byte ranges are test-only code
+//! (`#[cfg(test)]` items and `#[test]` functions), where each `fn` body
+//! starts and ends (and what the function is called), which inner
+//! attributes (`#![...]`) the file carries, and which
+//! `// bmf-lint: allow(<rule>) -- <reason>` suppression comments exist.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A function item: its name, visibility, signature facts, and body span.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Whether the function is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Whether the signature's return type mentions `Result`.
+    pub returns_result: bool,
+    /// Byte range of the body, *including* the braces. `start == end`
+    /// for bodyless declarations (trait methods, extern fns).
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One inline suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// 1-based line the comment sits on. The suppression applies to
+    /// findings on this line (trailing comment) and the next line
+    /// (comment above the offending statement).
+    pub line: u32,
+}
+
+/// A suppression comment that does not follow the required
+/// `bmf-lint: allow(<rule>) -- <reason>` shape (most commonly: a missing
+/// reason string). These become findings of their own.
+#[derive(Debug, Clone)]
+pub struct MalformedSuppression {
+    /// 1-based line of the malformed comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// Why the comment was rejected.
+    pub problem: String,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` items or `#[test]` functions.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Every `fn` item found, outermost first in source order.
+    pub fns: Vec<FnSpan>,
+    /// Inner attributes (`#![...]`), rendered with their tokens joined
+    /// without whitespace, e.g. `forbid(unsafe_code)`.
+    pub inner_attrs: Vec<String>,
+    /// Well-formed inline suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Ill-formed inline suppressions (reported as findings).
+    pub malformed: Vec<MalformedSuppression>,
+}
+
+impl FileModel {
+    /// Builds the model for one file's source text.
+    pub fn build(src: &str) -> FileModel {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut model = FileModel {
+            tokens,
+            code,
+            test_spans: Vec::new(),
+            fns: Vec::new(),
+            inner_attrs: Vec::new(),
+            suppressions: Vec::new(),
+            malformed: Vec::new(),
+        };
+        model.scan_attributes(src);
+        model.scan_fns(src);
+        model.scan_suppressions(src);
+        model
+    }
+
+    /// True when the byte offset falls inside test-only code.
+    pub fn in_test(&self, byte: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// The innermost function whose body contains the byte offset.
+    pub fn enclosing_fn(&self, byte: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| byte >= f.body.0 && byte < f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// The text of the code token at code-index `ci`, or `""` past the end.
+    pub fn code_text<'a>(&self, src: &'a str, ci: usize) -> &'a str {
+        match self.code.get(ci) {
+            Some(&ti) => self.tokens[ti].text(src),
+            None => "",
+        }
+    }
+
+    /// The token at code-index `ci`.
+    pub fn code_tok(&self, ci: usize) -> Option<&Token> {
+        self.code.get(ci).map(|&ti| &self.tokens[ti])
+    }
+
+    // --- attribute / test-span scanning ----------------------------------
+
+    fn scan_attributes(&mut self, src: &str) {
+        let mut ci = 0usize;
+        while ci < self.code.len() {
+            if self.code_text(src, ci) != "#" {
+                ci += 1;
+                continue;
+            }
+            if self.code_text(src, ci + 1) == "!" && self.code_text(src, ci + 2) == "[" {
+                // Inner attribute: #![ ... ]
+                let end = self.matching_bracket(src, ci + 2);
+                let rendered = self.render(src, ci + 3, end);
+                self.inner_attrs.push(rendered);
+                ci = end + 1;
+                continue;
+            }
+            if self.code_text(src, ci + 1) == "[" {
+                // Outer attribute chain: one or more #[...], then an item.
+                let attr_start_byte = match self.code_tok(ci) {
+                    Some(t) => t.start,
+                    None => break,
+                };
+                let mut any_test = false;
+                let mut cur = ci;
+                while self.code_text(src, cur) == "#" && self.code_text(src, cur + 1) == "[" {
+                    let end = self.matching_bracket(src, cur + 1);
+                    let rendered = self.render(src, cur + 2, end);
+                    if rendered == "test" || is_cfg_test(&rendered) {
+                        any_test = true;
+                    }
+                    cur = end + 1;
+                }
+                if any_test {
+                    let item_end = self.item_end_byte(src, cur);
+                    self.test_spans.push((attr_start_byte, item_end));
+                }
+                ci = cur;
+                continue;
+            }
+            ci += 1;
+        }
+    }
+
+    /// Code-index of the `]` matching the `[` at code-index `open`.
+    fn matching_bracket(&self, src: &str, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut ci = open;
+        while ci < self.code.len() {
+            match self.code_text(src, ci) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Joins the code tokens in `[from, to)` with no separators.
+    fn render(&self, src: &str, from: usize, to: usize) -> String {
+        let mut out = String::new();
+        for ci in from..to.min(self.code.len()) {
+            out.push_str(self.code_text(src, ci));
+        }
+        out
+    }
+
+    /// Byte offset one past the end of the item starting at code-index
+    /// `ci`: the matching `}` of its first top-level brace, or the first
+    /// top-level `;` for braceless items (`use`, `mod x;`, ...).
+    fn item_end_byte(&self, src: &str, ci: usize) -> usize {
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut cur = ci;
+        while cur < self.code.len() {
+            match self.code_text(src, cur) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => {
+                    return self.code_tok(cur).map(|t| t.end).unwrap_or(src.len());
+                }
+                "{" if paren == 0 && bracket == 0 => {
+                    let close = self.matching_brace(src, cur);
+                    return self.code_tok(close).map(|t| t.end).unwrap_or(src.len());
+                }
+                _ => {}
+            }
+            cur += 1;
+        }
+        src.len()
+    }
+
+    /// Code-index of the `}` matching the `{` at code-index `open`.
+    fn matching_brace(&self, src: &str, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut ci = open;
+        while ci < self.code.len() {
+            match self.code_text(src, ci) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    // --- fn scanning ------------------------------------------------------
+
+    fn scan_fns(&mut self, src: &str) {
+        let mut spans = Vec::new();
+        for ci in 0..self.code.len() {
+            if self.code_text(src, ci) != "fn" {
+                continue;
+            }
+            let Some(name_tok) = self.code_tok(ci + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                // `fn(...)` pointer types, `Fn(...)` bounds, etc.
+                continue;
+            }
+            let name = name_tok.text(src).to_string();
+            let is_pub = self.fn_is_pub(src, ci);
+            // Walk the signature to the body `{` or a `;` (no body).
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut returns_result = false;
+            let mut saw_arrow = false;
+            let mut cur = ci + 2;
+            let mut body = (0usize, 0usize);
+            while cur < self.code.len() {
+                let text = self.code_text(src, cur);
+                match text {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "->" if paren == 0 && bracket == 0 => saw_arrow = true,
+                    ";" if paren == 0 && bracket == 0 => break,
+                    "{" if paren == 0 && bracket == 0 => {
+                        let close = self.matching_brace(src, cur);
+                        let start = self.code_tok(cur).map(|t| t.start).unwrap_or(0);
+                        let end = self.code_tok(close).map(|t| t.end).unwrap_or(src.len());
+                        body = (start, end);
+                        break;
+                    }
+                    _ => {
+                        if saw_arrow && text == "Result" {
+                            returns_result = true;
+                        }
+                    }
+                }
+                cur += 1;
+            }
+            let line = self.code_tok(ci).map(|t| t.line).unwrap_or(1);
+            spans.push(FnSpan {
+                name,
+                is_pub,
+                returns_result,
+                body,
+                line,
+            });
+        }
+        self.fns = spans;
+    }
+
+    /// Looks back over the modifier tokens preceding `fn` for a bare
+    /// `pub`. Restricted visibility (`pub(crate)`, `pub(super)`, ...) is
+    /// *not* public: those functions sit behind an already-screened
+    /// module boundary.
+    fn fn_is_pub(&self, src: &str, fn_ci: usize) -> bool {
+        const MODIFIERS: &[&str] = &[
+            "const", "unsafe", "async", "extern", "crate", "super", "self", "in", "(", ")",
+        ];
+        let mut back = 1usize;
+        while back <= 10 && back <= fn_ci {
+            let text = self.code_text(src, fn_ci - back);
+            if text == "pub" {
+                return self.code_text(src, fn_ci - back + 1) != "(";
+            }
+            let is_abi_string = self
+                .code_tok(fn_ci - back)
+                .map(|t| t.kind == TokenKind::Str)
+                .unwrap_or(false);
+            if !MODIFIERS.contains(&text) && !is_abi_string {
+                return false;
+            }
+            back += 1;
+        }
+        false
+    }
+
+    // --- suppression scanning --------------------------------------------
+
+    fn scan_suppressions(&mut self, src: &str) {
+        const MARKER: &str = "bmf-lint:";
+        for tok in &self.tokens {
+            if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let text = tok.text(src);
+            if is_doc_comment(text) {
+                // Doc comments *describe* the suppression syntax (this
+                // crate's own docs do); only plain comments suppress.
+                continue;
+            }
+            let Some(pos) = text.find(MARKER) else {
+                continue;
+            };
+            let rest = text[pos + MARKER.len()..].trim_start();
+            match parse_allow(rest) {
+                Ok(rule) => self.suppressions.push(Suppression {
+                    rule,
+                    line: tok.line,
+                }),
+                Err(problem) => self.malformed.push(MalformedSuppression {
+                    line: tok.line,
+                    col: tok.col,
+                    problem,
+                }),
+            }
+        }
+    }
+
+    /// True when a well-formed suppression for `rule` covers `line`.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.rule == rule && (s.line == line || s.line + 1 == line))
+    }
+}
+
+/// True for rustdoc comments: `///` (but not `////`), `//!`, `/**` (but
+/// not `/***`), `/*!`.
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+        || text.starts_with("/*!")
+}
+
+/// Parses the tail of a suppression comment: `allow(<rule>) -- <reason>`.
+fn parse_allow(rest: &str) -> Result<String, String> {
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>) -- <reason>` after `bmf-lint:`".to_string());
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("unclosed `allow(` in suppression".to_string());
+    };
+    let rule = inner[..close].trim().to_string();
+    if rule.is_empty() {
+        return Err("empty rule name in `allow()`".to_string());
+    }
+    let tail = inner[close + 1..].trim_start();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    // Block comments may carry a trailing `*/`; a reason of only that is
+    // still empty.
+    let reason = reason.trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return Err(format!(
+            "suppression for `{rule}` is missing its reason (`-- <reason>` is required)"
+        ));
+    }
+    Ok(rule)
+}
+
+/// True when a rendered attribute body is a `cfg(...)` whose condition
+/// mentions the bare `test` predicate (covers `cfg(test)` and composites
+/// like `cfg(any(test, feature="x"))`).
+fn is_cfg_test(rendered: &str) -> bool {
+    let Some(body) = rendered.strip_prefix("cfg(") else {
+        return false;
+    };
+    // Token-joined rendering has no spaces, so `test` appears delimited
+    // by punctuation only.
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    while let Some(pos) = body[i..].find("test") {
+        let at = i + pos;
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let after = at + 4;
+        let after_ok =
+            after >= bytes.len() || !bytes[after].is_ascii_alphanumeric() && bytes[after] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        i = at + 4;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_items_are_test_spans() {
+        let src = "fn live() { work(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n";
+        let m = FileModel::build(src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(m.in_test(unwrap_at));
+        let work_at = src.find("work").unwrap();
+        assert!(!m.in_test(work_at));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_span() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn live() {}\n";
+        let m = FileModel::build(src);
+        assert!(m.in_test(src.find("assert").unwrap()));
+        assert!(!m.in_test(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn fn_spans_carry_name_visibility_and_result() {
+        let src = "pub fn solve(a: f64) -> Result<f64, E> { inner() }\nfn inner() -> f64 { 1.0 }\n";
+        let m = FileModel::build(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "solve");
+        assert!(m.fns[0].is_pub);
+        assert!(m.fns[0].returns_result);
+        assert!(!m.fns[1].is_pub);
+        assert!(!m.fns[1].returns_result);
+    }
+
+    #[test]
+    fn nested_fns_resolve_to_innermost() {
+        let src = "fn outer() { fn inner() { mark(); } inner(); }";
+        let m = FileModel::build(src);
+        let mark_at = src.find("mark").unwrap();
+        assert_eq!(
+            m.enclosing_fn(mark_at).map(|f| f.name.as_str()),
+            Some("inner")
+        );
+    }
+
+    #[test]
+    fn inner_attrs_are_rendered() {
+        let src = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\nfn f() {}\n";
+        let m = FileModel::build(src);
+        assert_eq!(
+            m.inner_attrs,
+            vec!["forbid(unsafe_code)", "deny(missing_docs)"]
+        );
+    }
+
+    #[test]
+    fn suppressions_need_reasons() {
+        let good = "// bmf-lint: allow(no-float-eq) -- exact sentinel comparison\nlet x = 1;";
+        let m = FileModel::build(good);
+        assert_eq!(m.suppressions.len(), 1);
+        assert!(m.suppressed("no-float-eq", 1));
+        assert!(m.suppressed("no-float-eq", 2));
+        assert!(!m.suppressed("no-float-eq", 3));
+        assert!(!m.suppressed("no-panic-paths", 2));
+
+        let bad = "// bmf-lint: allow(no-float-eq)\nlet x = 1;";
+        let m = FileModel::build(bad);
+        assert!(m.suppressions.is_empty());
+        assert_eq!(m.malformed.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_matcher_is_token_aware() {
+        assert!(is_cfg_test("cfg(test)"));
+        assert!(is_cfg_test("cfg(any(test,feature=\"x\"))"));
+        assert!(!is_cfg_test("cfg(feature=\"testing\")"));
+        assert!(!is_cfg_test("cfg(attest)"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic workspace file discovery.
+//!
+//! Collects every `.rs` file under `crates/*/src` plus the umbrella
+//! crate's `src/`, sorted by path, so rule evaluation order (and thus the
+//! report byte stream) is independent of directory-entry order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Returns the workspace-relative paths (with `/` separators) of every
+/// library source file to lint, sorted.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut files: Vec<String> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_entries(&crates_dir)? {
+            let src = krate.join("src");
+            if src.is_dir() {
+                walk(root, &src, &mut files)?;
+            }
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        walk(root, &umbrella, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    Ok(entries)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for path in sorted_entries(dir)? {
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_this_workspace_sorted() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_sources(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/core/src/lib.rs"));
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert!(files.iter().all(|f| f.ends_with(".rs")));
+    }
+}

@@ -1,0 +1,4 @@
+//! A library crate root (linted as crates/demo/src/lib.rs) that forgot
+//! its `#![forbid(unsafe_code)]` attribute.
+
+pub fn noop() {}

@@ -1,0 +1,7 @@
+// Negative fixture: a well-formed suppression — known rule plus the
+// mandatory reason — silences the finding and raises nothing itself.
+
+pub fn checked(x: Option<u32>) -> u32 {
+    // bmf-lint: allow(no-panic-paths) -- fixture demonstrates the syntax
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+// Positive fixture: a suppression without its mandatory reason, and one
+// naming a rule that does not exist.
+
+// bmf-lint: allow(no-panic-paths)
+pub fn missing_reason() {}
+
+// bmf-lint: allow(not-a-rule) -- the rule name is wrong
+pub fn unknown_rule() {}

@@ -1,0 +1,12 @@
+// Negative fixture: the kernel touches caller storage only; allocating
+// constructors live in a non-kernel builder, where they are allowed.
+
+pub fn axpy_into(y: &mut [f64], a: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+pub fn workspace(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

@@ -1,0 +1,9 @@
+// Positive fixture: a `vec!` allocation inside a `_into` kernel that
+// advertises "writes into caller-provided storage only".
+
+pub fn accumulate_into(out: &mut [f64], xs: &[f64]) {
+    let tmp = vec![0.0; xs.len()];
+    for (o, (t, x)) in out.iter_mut().zip(tmp.iter().zip(xs)) {
+        *o = *t + *x;
+    }
+}

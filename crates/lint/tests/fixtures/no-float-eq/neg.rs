@@ -1,0 +1,11 @@
+// Negative fixture: the exact comparison lives behind a named `is_*`
+// predicate, and mentions of `x == 0.0` in strings are invisible to the
+// token-level scan.
+
+pub fn is_exact_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn describe() -> &'static str {
+    "compares x == 0.0 exactly"
+}

@@ -1,0 +1,6 @@
+// Positive fixture: raw float-literal comparison outside a named
+// predicate helper.
+
+pub fn degenerate(sigma: f64) -> bool {
+    sigma == 0.0
+}

@@ -1,0 +1,17 @@
+// Negative fixture: kernels stay cast-free; the same cast is fine in a
+// non-kernel diagnostic helper, where it is benign.
+
+pub fn scale_into(y: &mut [f64], s: f64) {
+    for v in y.iter_mut() {
+        *v *= s;
+    }
+}
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n > 0.5 {
+        xs.iter().sum::<f64>() / n
+    } else {
+        0.0
+    }
+}

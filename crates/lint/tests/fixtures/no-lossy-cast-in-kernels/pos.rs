@@ -1,0 +1,9 @@
+// Positive fixture (linted as crates/linalg/src/fixture.rs): a
+// float<->int cast inside a kernel-shaped function.
+
+pub fn matvec_into(y: &mut [f64], n: usize) {
+    let scale = n as f64;
+    for v in y.iter_mut() {
+        *v *= scale;
+    }
+}

@@ -1,0 +1,15 @@
+// Negative fixture: BTreeMap iterates deterministically, and `Instant`
+// is deliberately allowed — phase timings are diagnostics that never
+// feed back into numerical results.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+pub fn tally(keys: &[u32]) -> (BTreeMap<u32, usize>, Duration) {
+    let started = Instant::now();
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    (m, started.elapsed())
+}

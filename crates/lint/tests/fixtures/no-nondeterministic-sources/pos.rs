@@ -1,0 +1,12 @@
+// Positive fixture: HashMap iteration order inherits per-process
+// RandomState seeds, breaking bit-reproducibility.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,15 @@
+// Negative fixture: errors are propagated as values; unwrap is confined
+// to test code, which the rule exempts.
+
+pub fn first(xs: &[f64]) -> Result<f64, String> {
+    xs.first().copied().ok_or_else(|| "empty sample".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1.0f64];
+        let _ = xs.first().copied().unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+// Positive fixture (linted as crates/core/src/fixture.rs): panic paths
+// in non-test library code.
+
+pub fn first(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}
+
+pub fn checked(flag: bool) -> u32 {
+    if flag {
+        panic!("boom");
+    }
+    0
+}

@@ -1,0 +1,10 @@
+// Negative fixture: `f64::total_cmp` gives a total, panic-free order;
+// `partial_cmp` without the trailing unwrap/expect is also fine.
+
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn compare(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,5 @@
+// Positive fixture: this sort panics on the first NaN comparison.
+
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,22 @@
+// Negative fixture: screening precedes the first arithmetic op; pure
+// delegators (no arithmetic of their own) and private helpers behind the
+// screened boundary are exempt.
+
+use crate::screen;
+
+pub fn fuse(xs: &[f64]) -> Result<f64, String> {
+    screen::finite_values("fusion input", xs)?;
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    Ok(acc)
+}
+
+pub fn fuse_default(xs: &[f64]) -> Result<f64, String> {
+    fuse(xs)
+}
+
+fn accumulate(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() * 0.5
+}

@@ -1,0 +1,11 @@
+// Positive fixture (linted as crates/core/src/fusion.rs): a public
+// fallible entry point does arithmetic with no prior boundary screening,
+// so NaN inputs would smear through the math instead of failing fast.
+
+pub fn fuse(xs: &[f64]) -> Result<f64, String> {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    Ok(acc)
+}

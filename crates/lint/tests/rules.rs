@@ -1,0 +1,133 @@
+//! Golden fixture tests: every rule in the catalog has one positive
+//! fixture that fires it and one negative fixture that stays completely
+//! clean, under `tests/fixtures/<rule>/{pos,neg}.rs`. The path label
+//! passed to `lint_source` places each fixture in the crate the rule
+//! scopes itself to.
+
+use bmf_lint::lint_source;
+use bmf_lint::rules::all_rules;
+
+struct Case {
+    rule: &'static str,
+    label: &'static str,
+    pos: &'static str,
+    neg: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        rule: "no-panic-paths",
+        label: "crates/core/src/fixture.rs",
+        pos: include_str!("fixtures/no-panic-paths/pos.rs"),
+        neg: include_str!("fixtures/no-panic-paths/neg.rs"),
+    },
+    Case {
+        rule: "no-float-eq",
+        label: "crates/core/src/fixture.rs",
+        pos: include_str!("fixtures/no-float-eq/pos.rs"),
+        neg: include_str!("fixtures/no-float-eq/neg.rs"),
+    },
+    Case {
+        rule: "no-partial-cmp-unwrap",
+        label: "crates/stat/src/fixture.rs",
+        pos: include_str!("fixtures/no-partial-cmp-unwrap/pos.rs"),
+        neg: include_str!("fixtures/no-partial-cmp-unwrap/neg.rs"),
+    },
+    Case {
+        rule: "no-lossy-cast-in-kernels",
+        label: "crates/linalg/src/fixture.rs",
+        pos: include_str!("fixtures/no-lossy-cast-in-kernels/pos.rs"),
+        neg: include_str!("fixtures/no-lossy-cast-in-kernels/neg.rs"),
+    },
+    Case {
+        rule: "no-alloc-in-into-kernels",
+        label: "crates/core/src/fixture.rs",
+        pos: include_str!("fixtures/no-alloc-in-into-kernels/pos.rs"),
+        neg: include_str!("fixtures/no-alloc-in-into-kernels/neg.rs"),
+    },
+    Case {
+        rule: "forbid-unsafe-missing",
+        label: "crates/demo/src/lib.rs",
+        pos: include_str!("fixtures/forbid-unsafe-missing/pos.rs"),
+        neg: include_str!("fixtures/forbid-unsafe-missing/neg.rs"),
+    },
+    Case {
+        rule: "no-nondeterministic-sources",
+        label: "crates/core/src/fixture.rs",
+        pos: include_str!("fixtures/no-nondeterministic-sources/pos.rs"),
+        neg: include_str!("fixtures/no-nondeterministic-sources/neg.rs"),
+    },
+    Case {
+        rule: "screen-before-math",
+        label: "crates/core/src/fusion.rs",
+        pos: include_str!("fixtures/screen-before-math/pos.rs"),
+        neg: include_str!("fixtures/screen-before-math/neg.rs"),
+    },
+    // Not a catalog rule: the scanner itself reports broken suppression
+    // comments under this pseudo-rule, so it gets the same golden pair.
+    Case {
+        rule: "malformed-suppression",
+        label: "crates/core/src/fixture.rs",
+        pos: include_str!("fixtures/malformed-suppression/pos.rs"),
+        neg: include_str!("fixtures/malformed-suppression/neg.rs"),
+    },
+];
+
+fn case(rule: &str) -> &'static Case {
+    CASES
+        .iter()
+        .find(|c| c.rule == rule)
+        .unwrap_or_else(|| panic!("no fixture case for rule `{rule}`"))
+}
+
+#[test]
+fn every_catalog_rule_has_a_fixture_pair() {
+    for rule in all_rules() {
+        let c = case(rule.id());
+        assert!(
+            !c.pos.is_empty() && !c.neg.is_empty(),
+            "empty fixture for `{}`",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn positive_fixtures_fire_their_rule() {
+    for c in CASES {
+        let findings = lint_source(c.label, c.pos);
+        let fired: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(
+            fired.contains(&c.rule),
+            "pos fixture for `{}` fired {fired:?} but not the rule itself",
+            c.rule
+        );
+        for f in &findings {
+            assert!(f.line >= 1 && f.col >= 1, "finding without a span: {f:?}");
+            assert!(!f.message.is_empty(), "finding without a message: {f:?}");
+        }
+    }
+}
+
+#[test]
+fn negative_fixtures_are_completely_clean() {
+    for c in CASES {
+        let findings = lint_source(c.label, c.neg);
+        assert!(
+            findings.is_empty(),
+            "neg fixture for `{}` raised findings: {findings:#?}",
+            c.rule
+        );
+    }
+}
+
+#[test]
+fn rule_scoping_follows_crate_paths() {
+    // The same offending source is invisible outside the crates a rule
+    // guards: bmf-bench may panic, and kernel-cast policing is
+    // linalg-only.
+    let panic_src = case("no-panic-paths").pos;
+    assert!(lint_source("crates/bench/src/fixture.rs", panic_src).is_empty());
+    let cast_src = case("no-lossy-cast-in-kernels").pos;
+    assert!(lint_source("crates/core/src/fixture.rs", cast_src).is_empty());
+}

@@ -48,7 +48,7 @@ pub fn ks_test_normal(sample: &[f64], mean: f64, std_dev: f64) -> KsResult {
     assert!(!sample.is_empty(), "KS test needs data");
     let dist = Normal::new(mean, std_dev);
     let mut xs = sample.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS sample"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len();
     let nf = n as f64;
     let mut d = 0.0f64;

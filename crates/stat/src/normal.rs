@@ -7,6 +7,12 @@
 
 use crate::rng::Rng;
 
+/// Exact `±0.0` sentinel test (named so the `no-float-eq` lint can see
+/// the comparison is deliberate; `bmf-stat` has no `bmf-linalg` dep).
+fn is_exact_zero(x: f64) -> bool {
+    x == 0.0
+}
+
 /// 1/√(2π), the normalization constant of the standard normal pdf.
 const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
 
@@ -202,7 +208,7 @@ impl Normal {
     /// Probability density at `x`. A point mass returns `+∞` at its mean and
     /// `0` elsewhere.
     pub fn pdf(&self, x: f64) -> f64 {
-        if self.std_dev == 0.0 {
+        if is_exact_zero(self.std_dev) {
             return if x == self.mean { f64::INFINITY } else { 0.0 };
         }
         pdf((x - self.mean) / self.std_dev) / self.std_dev
@@ -210,7 +216,7 @@ impl Normal {
 
     /// Cumulative probability at `x`.
     pub fn cdf(&self, x: f64) -> f64 {
-        if self.std_dev == 0.0 {
+        if is_exact_zero(self.std_dev) {
             return if x < self.mean { 0.0 } else { 1.0 };
         }
         cdf((x - self.mean) / self.std_dev)

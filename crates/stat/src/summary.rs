@@ -100,7 +100,7 @@ impl Summary {
 
     /// Sample skewness `g₁` (0 when degenerate).
     pub fn skewness(&self) -> f64 {
-        if self.n < 3 || self.m2 == 0.0 {
+        if self.n < 3 || is_exact_zero(self.m2) {
             0.0
         } else {
             let n = self.n as f64;
@@ -110,7 +110,7 @@ impl Summary {
 
     /// Excess kurtosis `g₂` (0 when degenerate).
     pub fn excess_kurtosis(&self) -> f64 {
-        if self.n < 4 || self.m2 == 0.0 {
+        if self.n < 4 || is_exact_zero(self.m2) {
             0.0
         } else {
             let n = self.n as f64;
@@ -130,7 +130,7 @@ impl Summary {
 
     /// Coefficient of variation `σ/|μ|` (0 when the mean is zero).
     pub fn coefficient_of_variation(&self) -> f64 {
-        if self.mean == 0.0 {
+        if is_exact_zero(self.mean) {
             0.0
         } else {
             self.std_dev() / self.mean.abs()
@@ -189,7 +189,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty sample");
     assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let h = (sorted.len() as f64 - 1.0) * q;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -220,6 +220,12 @@ pub fn relative_l2_error(predicted: &[f64], reference: &[f64]) -> f64 {
     let den: f64 = reference.iter().map(|b| b * b).sum();
     assert!(den > 0.0, "reference vector is zero");
     (num / den).sqrt()
+}
+
+/// Exact `±0.0` sentinel test (named so the `no-float-eq` lint can see
+/// the comparison is deliberate; `bmf-stat` has no `bmf-linalg` dep).
+fn is_exact_zero(x: f64) -> bool {
+    x == 0.0
 }
 
 #[cfg(test)]

@@ -51,25 +51,16 @@ for manifest in Cargo.toml crates/*/Cargo.toml; do
     fi
 done
 
-# --- 3. Panic-free fitting stack: no panic!/unwrap() in library code ------
-# The fitting crates promise "structured error or degraded Ok, never a
-# panic" (README "Robustness"). Library sources of bmf-core/bmf-linalg
-# must not introduce panic!() or .unwrap(); scanning stops at the first
-# `#[cfg(test)]` in each file — unit tests are exempt, as are line
-# comments. `.expect()` is covered by the clippy::expect_used deny in the
-# crates' lib.rs, which CI runs with -D warnings.
-for src in crates/core/src/*.rs crates/linalg/src/*.rs; do
-    bad=$(awk '
-        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
-        /^[[:space:]]*\/\// { next }
-        /panic!\(|\.unwrap\(\)/ { printf "%d: %s\n", NR, $0 }
-    ' "$src")
-    if [[ -n "$bad" ]]; then
-        echo "FAIL: panic!/unwrap() in non-test library code of $src:" >&2
-        echo "$bad" >&2
-        fail=1
-    fi
-done
+# --- 3. Invariant lint: bmf-lint over the whole workspace ------------------
+# Replaces the old awk panic-scan with the token-level in-tree linter
+# (crates/lint). It enforces panic-freedom of the fitting stack plus the
+# determinism, float-comparison, cast, allocation, and screening rules
+# described in DESIGN.md §11. Pre-existing justified findings live in
+# lint-baseline.toml; only NEW findings (or stale baseline entries) fail.
+if ! cargo run -q -p bmf-lint --offline --locked -- --root . --deny-stale; then
+    echo "FAIL: bmf-lint found new (or stale-baselined) findings (above)" >&2
+    fail=1
+fi
 
 if [[ $fail -ne 0 ]]; then
     echo "hermeticity check FAILED" >&2

@@ -4,6 +4,8 @@
 //! a single dependency. Downstream users should depend on the individual
 //! crates (`bmf-core`, `bmf-circuits`, ...) directly.
 
+#![forbid(unsafe_code)]
+
 pub use bmf_basis as basis;
 pub use bmf_circuits as circuits;
 pub use bmf_core as core;
