@@ -28,5 +28,6 @@ pub mod earlyfit;
 pub mod figures;
 pub mod report;
 pub mod scale;
+pub mod service_load;
 pub mod tables;
 pub mod timing;

@@ -23,7 +23,10 @@
 //! * [`sim`] — the Monte-Carlo engine with a *simulated-cost ledger* so the
 //!   paper's cost tables (IV/VI) can be reproduced in shape;
 //! * [`synthetic`] — a fully controlled early/late model-pair generator
-//!   for unit tests and ablations.
+//!   for unit tests and ablations;
+//! * [`traffic`] — a deterministic open-loop request-stream generator
+//!   (seeded exponential arrivals, mixed fit/predict/evict traffic with
+//!   hot/cold job skew) that drives the fitting-as-a-service benchmarks.
 //!
 //! Every circuit exposes an early (schematic) and a late (post-layout)
 //! stage of the *same* underlying truth: post-layout adds systematic
@@ -57,3 +60,4 @@ pub mod spice;
 pub mod sram;
 pub mod stage;
 pub mod synthetic;
+pub mod traffic;

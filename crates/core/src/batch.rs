@@ -190,6 +190,19 @@ impl BatchFitter {
         self.jobs.push(job);
     }
 
+    /// Replaces the whole job list (chainable). The service-layer
+    /// coalescer uses this to hand a pre-assembled request group to the
+    /// batch engine in one move instead of pushing job by job.
+    pub fn with_jobs(mut self, jobs: Vec<BatchJob>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The queued jobs, in submission order.
+    pub fn jobs(&self) -> &[BatchJob] {
+        &self.jobs
+    }
+
     /// Number of queued jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()

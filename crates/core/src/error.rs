@@ -61,6 +61,16 @@ pub enum BmfError {
         /// Description of the violated invariant.
         detail: &'static str,
     },
+    /// A service lookup named a key that is not (or no longer) registered
+    /// — a prediction against an evicted model, or a fit referencing an
+    /// unregistered point set. `what` names the registry ("model",
+    /// "point set") so callers can distinguish a cold cache from a typo.
+    NotFound {
+        /// Which registry missed.
+        what: &'static str,
+        /// The key that was looked up.
+        key: String,
+    },
 }
 
 impl BmfError {
@@ -106,6 +116,9 @@ impl fmt::Display for BmfError {
             }
             BmfError::Internal { detail } => {
                 write!(f, "internal invariant violated (library bug): {detail}")
+            }
+            BmfError::NotFound { what, key } => {
+                write!(f, "no {what} named `{key}` is registered")
             }
         }
     }
@@ -161,6 +174,17 @@ mod tests {
     fn error_is_send_sync() {
         fn check<T: Send + Sync>() {}
         check::<BmfError>();
+    }
+
+    #[test]
+    fn not_found_names_registry_and_key() {
+        let e = BmfError::NotFound {
+            what: "model",
+            key: "ro/power".into(),
+        };
+        assert!(e.to_string().contains("model"));
+        assert!(e.to_string().contains("`ro/power`"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -20,11 +20,11 @@ use bmf_basis::expansion::ExpandedBasis;
 use bmf_linalg::{Resilience, Vector};
 
 use crate::hyper::FoldPlan;
-use crate::map_estimate::{map_estimate_ws, SolverKind};
+use crate::map_estimate::map_estimate_ws;
 use crate::model::PerformanceModel;
 use crate::options::{validate_folds, validate_grid, FitOptions};
 use crate::prior::{Prior, PriorKind};
-use crate::select::{select_prior_on_plan, PriorSelection, SelectionOutcome};
+use crate::select::{select_prior_on_plan, SelectionOutcome};
 use crate::workspace::SolveWorkspace;
 use crate::{BmfError, Result};
 
@@ -261,56 +261,6 @@ impl BmfFitter {
         &self.options
     }
 
-    /// Sets the prior-family policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_options(FitOptions::new().selection(..))`"
-    )]
-    pub fn prior_selection(mut self, selection: PriorSelection) -> Self {
-        self.options.selection = selection;
-        self
-    }
-
-    /// Sets the MAP solver.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_options(FitOptions::new().solver(..))`"
-    )]
-    pub fn solver(mut self, solver: SolverKind) -> Self {
-        self.options.solver = solver;
-        self
-    }
-
-    /// Sets the cross-validation fold count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_options(FitOptions::new().folds(..))`"
-    )]
-    pub fn folds(mut self, folds: usize) -> Self {
-        self.options.folds = folds;
-        self
-    }
-
-    /// Sets the hyper-parameter grid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_options(FitOptions::new().grid(..))`"
-    )]
-    pub fn hyper_grid(mut self, grid: Vec<f64>) -> Self {
-        self.options.grid = grid;
-        self
-    }
-
-    /// Sets the cross-validation shuffle seed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_options(FitOptions::new().seed(..))`"
-    )]
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.options.seed = seed;
-        self
-    }
-
     /// The late-stage basis this fitter will fit over.
     pub fn basis(&self) -> &OrthonormalBasis {
         &self.basis
@@ -437,6 +387,8 @@ pub fn response_scale(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::map_estimate::SolverKind;
+    use crate::select::PriorSelection;
     use bmf_basis::expansion::FingerExpansion;
     use bmf_basis::multi_index::MultiIndex;
     use bmf_stat::normal::StandardNormal;
@@ -660,16 +612,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_shims_still_route() {
+    fn with_options_routes_every_knob() {
         let basis = OrthonormalBasis::linear(2);
         let fitter = BmfFitter::new(basis, vec![Some(1.0); 3])
             .unwrap()
-            .prior_selection(PriorSelection::Fixed(PriorKind::ZeroMean))
-            .solver(SolverKind::Direct)
-            .folds(3)
-            .hyper_grid(vec![0.5, 1.0])
-            .seed(42);
+            .with_options(
+                FitOptions::new()
+                    .selection(PriorSelection::Fixed(PriorKind::ZeroMean))
+                    .solver(SolverKind::Direct)
+                    .folds(3)
+                    .grid(vec![0.5, 1.0])
+                    .seed(42),
+            );
         let opts = fitter.options();
         assert_eq!(opts.selection, PriorSelection::Fixed(PriorKind::ZeroMean));
         assert_eq!(opts.solver, SolverKind::Direct);

@@ -29,7 +29,10 @@
 //!   fitting entry point;
 //! * [`batch::BatchFitter`] — the parallel batch engine that fits many
 //!   performance metrics over one shared sample-point set, evaluating
-//!   the design matrix once and sharing cross-validation kernels.
+//!   the design matrix once and sharing cross-validation kernels;
+//! * [`service::FitService`] — the long-lived serving facade: a sharded
+//!   model registry, an MPSC fit queue, and a coalescer that groups
+//!   concurrent requests sharing a point set into one batch run.
 //!
 //! # Quickstart
 //!
@@ -79,6 +82,7 @@ pub mod prior;
 mod screen;
 pub mod select;
 pub mod sequential;
+pub mod service;
 pub mod workspace;
 
 pub use error::BmfError;

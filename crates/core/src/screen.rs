@@ -32,6 +32,16 @@ pub(crate) fn finite_matrix(what: &'static str, m: &Matrix) -> Result<()> {
     Ok(())
 }
 
+/// Rejects NaN/±∞ anywhere in a set of sample rows. Dimension checks
+/// happen separately (against a basis): the service registers point sets
+/// before knowing which basis will fit over them.
+pub(crate) fn finite_rows(what: &'static str, rows: &[Vec<f64>]) -> Result<()> {
+    if rows.iter().any(|r| r.iter().any(|x| !x.is_finite())) {
+        return Err(BmfError::NonFiniteInput { what });
+    }
+    Ok(())
+}
+
 /// Rejects NaN/±∞ among the *present* entries of an optional coefficient
 /// list (`None` = missing prior, which is always fine).
 pub(crate) fn finite_early(what: &'static str, early: &[Option<f64>]) -> Result<()> {

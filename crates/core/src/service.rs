@@ -1,0 +1,861 @@
+//! Fitting-as-a-service: a long-lived request-serving facade over the
+//! batch engine.
+//!
+//! A characterization *flow* is not one fit — it is a stream of
+//! requests: fit this metric from those samples, predict a performance
+//! number for that candidate, drop the stale model for a re-spun block.
+//! [`FitService`] turns [`BatchFitter`](crate::batch::BatchFitter) into
+//! that long-lived engine:
+//!
+//! * a **sharded model registry** holds fitted models keyed by job id,
+//!   with explicit [`evict`](FitService::evict) /
+//!   [`reload`](FitService::reload); predictions are answered lock-light
+//!   — a shard mutex is held only long enough to clone an [`Arc`] handle,
+//!   never across the polynomial evaluation;
+//! * an **MPSC work queue** accepts fit requests from any thread
+//!   ([`FitService`] is `Sync`); [`drain`](FitService::drain) feeds the
+//!   queue to the existing `std::thread::scope` worker pool inside the
+//!   batch engine;
+//! * a **coalescer** groups queued requests that share a registered point
+//!   set and basis into one `BatchFitter` run, so the shared design
+//!   matrix, fold plan, and Woodbury kernel cache are paid once per
+//!   group instead of once per request.
+//!
+//! # Determinism
+//!
+//! For a fixed submission sequence, results are **bit-identical to
+//! direct library calls at any pool size**: the coalescer only regroups
+//! requests, and the batch engine guarantees each job's fit is
+//! bit-identical to a serial [`BmfFitter`](crate::fusion::BmfFitter)
+//! run. Group processing order is fixed by content fingerprints
+//! (`BTreeMap`), never by arrival timing or thread schedule, and drained
+//! outcomes are returned in ticket (submission) order.
+//!
+//! # Failure isolation
+//!
+//! Requests are screened at submission (shape + finiteness), so a
+//! malformed request is rejected before it can poison a batch. When a
+//! coalesced batch still fails numerically, the coalescer degrades to
+//! per-request fits — a one-job batch reproduces the serial path exactly
+//! — so one pathological request cannot fail its neighbors; only the
+//! guilty ticket carries the structured error. Every fitted outcome
+//! surfaces its own [`ResilienceReport`], preserving the PR 4 panic-free
+//! discipline end to end.
+//!
+//! ```
+//! use bmf_basis::basis::OrthonormalBasis;
+//! use bmf_core::options::FitOptions;
+//! use bmf_core::service::{FitRequest, FitService, ServiceConfig};
+//!
+//! # fn main() -> Result<(), bmf_core::BmfError> {
+//! let service = FitService::new(ServiceConfig::default())?;
+//! let points: Vec<Vec<f64>> = (0..8)
+//!     .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.61).cos()])
+//!     .collect();
+//! let gain: Vec<f64> = points.iter().map(|p| 1.0 + 0.5 * p[0]).collect();
+//! let ps = service.register_points(points)?;
+//!
+//! let basis = OrthonormalBasis::linear(2);
+//! service.submit_fit(FitRequest {
+//!     job_id: "gain".into(),
+//!     basis,
+//!     points: ps,
+//!     prior: vec![Some(1.0), Some(0.5), Some(0.0)],
+//!     values: gain,
+//! })?;
+//! let report = service.drain();
+//! assert_eq!(report.outcomes.len(), 1);
+//! let pred = service.predict("gain", &[0.0, 0.0])?;
+//! assert!(pred.is_finite());
+//! service.evict("gain")?;
+//! assert!(service.predict("gain", &[0.0, 0.0]).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use bmf_basis::basis::OrthonormalBasis;
+
+use crate::batch::{BatchFitter, BatchJob, BatchReport, PhaseTimings};
+use crate::fusion::{BmfFit, FitCounters, ResilienceReport};
+use crate::model::PerformanceModel;
+use crate::options::FitOptions;
+use crate::{BmfError, Result};
+
+/// Number of registry shards used by [`ServiceConfig::default`].
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Maximum fit requests coalesced into one batch run by
+/// [`ServiceConfig::default`].
+pub const DEFAULT_MAX_COALESCE: usize = 64;
+
+/// Configuration for a [`FitService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Model-registry shard count (clamped to at least 1). More shards
+    /// spread predict-path lock traffic across independent mutexes.
+    pub shards: usize,
+    /// Upper bound on fit requests coalesced into a single batch run
+    /// (clamped to at least 1). Bounds per-drain latency under bursts.
+    pub max_coalesce: usize,
+    /// Fitting configuration shared by every coalesced batch (folds,
+    /// grid, solver, worker threads, ...).
+    pub options: FitOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: DEFAULT_SHARDS,
+            max_coalesce: DEFAULT_MAX_COALESCE,
+            options: FitOptions::default(),
+        }
+    }
+}
+
+/// Opaque handle to a registered shared point set.
+///
+/// Registration is content-addressed: registering byte-identical points
+/// twice yields the same id, so independent producers coalesce
+/// naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointSetId(u64);
+
+/// Opaque, monotonically increasing receipt for a submitted fit request.
+/// Drained outcomes are returned in ticket order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(u64);
+
+/// One fit request: a job id (registry key), the late-stage basis, a
+/// registered shared point set, the early-stage prior, and the observed
+/// response values.
+#[derive(Debug, Clone)]
+pub struct FitRequest {
+    /// Registry key under which the fitted model is stored.
+    pub job_id: String,
+    /// Late-stage basis to fit over. Requests sharing both `points` and
+    /// an identical basis coalesce into one batch run.
+    pub basis: OrthonormalBasis,
+    /// Handle from [`FitService::register_points`].
+    pub points: PointSetId,
+    /// Per-term early-coefficient knowledge (`None` = missing prior).
+    pub prior: Vec<Option<f64>>,
+    /// Late-stage response values, one per shared sample point.
+    pub values: Vec<f64>,
+}
+
+/// A successfully served fit.
+#[derive(Debug, Clone)]
+pub struct ServedFit {
+    /// The completed fit, including its per-request [`ResilienceReport`]
+    /// and work counters.
+    pub fit: BmfFit,
+    /// How many requests shared the batch run this fit rode in (1 = it
+    /// ran alone).
+    pub coalesced: usize,
+}
+
+/// Outcome of one drained fit request.
+#[derive(Debug, Clone)]
+pub struct FitOutcome {
+    /// The receipt returned by [`FitService::submit_fit`].
+    pub ticket: Ticket,
+    /// The request's job id.
+    pub job_id: String,
+    /// Index into [`DrainReport::batches`] of the run that served this
+    /// request; `None` when the request failed before producing a fit.
+    pub batch: Option<usize>,
+    /// The fit, or the request's own structured error.
+    pub result: Result<ServedFit>,
+}
+
+/// One coalesced batch run executed during a drain.
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Jobs fitted in this run.
+    pub jobs: usize,
+    /// Work counters summed over the run (kernel cache hits/misses, MAP
+    /// solves, ladder activity).
+    pub counters: FitCounters,
+    /// Per-phase wall time of the run.
+    pub timings: PhaseTimings,
+    /// Degradation-ladder summary aggregated over the run.
+    pub resilience: ResilienceReport,
+    /// `true` when this run was an isolation refit after a coalesced
+    /// batch failed as a whole.
+    pub isolated: bool,
+}
+
+/// Everything one [`FitService::drain`] call reports.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Per-request outcomes in ticket (submission) order.
+    pub outcomes: Vec<FitOutcome>,
+    /// The coalesced batch runs, in deterministic (fingerprint, chunk)
+    /// order.
+    pub batches: Vec<BatchSummary>,
+}
+
+impl DrainReport {
+    /// Number of requests whose result is `Ok`.
+    pub fn served(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+}
+
+/// Monotonic service-wide work counters; see [`FitService::counters`].
+///
+/// All counts are exact and, for a fixed request sequence, independent of
+/// thread count and wall-clock timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Fit requests completed with an `Ok` fit.
+    pub fits_ok: u64,
+    /// Fit requests that drained to a structured error.
+    pub fits_failed: u64,
+    /// Batch runs executed (coalesced groups plus isolation refits).
+    pub batches: u64,
+    /// Fit requests that shared their batch run with at least one other
+    /// request.
+    pub coalesced_fits: u64,
+    /// Largest number of requests coalesced into a single batch run.
+    pub max_batch: u64,
+    /// Single-request refits forced by a whole-batch failure.
+    pub isolation_refits: u64,
+    /// Woodbury kernels reused across coalesced jobs (from the batch
+    /// engine's shared kernel cache).
+    pub kernel_cache_hits: u64,
+    /// Woodbury kernels that had to be built.
+    pub kernel_cache_misses: u64,
+    /// MAP systems solved across all batch runs.
+    pub map_solves: u64,
+    /// Fits whose degradation ladder engaged (rung > 0 anywhere).
+    pub degraded_fits: u64,
+    /// Predictions served from the registry.
+    pub predicts: u64,
+    /// Predictions that missed the registry (no model under the key).
+    pub predict_misses: u64,
+    /// Successful evictions.
+    pub evictions: u64,
+    /// Evictions of keys that were not registered.
+    pub evict_misses: u64,
+    /// Models installed directly via [`FitService::reload`].
+    pub reloads: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicCounters {
+    fits_ok: AtomicU64,
+    fits_failed: AtomicU64,
+    batches: AtomicU64,
+    coalesced_fits: AtomicU64,
+    max_batch: AtomicU64,
+    isolation_refits: AtomicU64,
+    kernel_cache_hits: AtomicU64,
+    kernel_cache_misses: AtomicU64,
+    map_solves: AtomicU64,
+    degraded_fits: AtomicU64,
+    predicts: AtomicU64,
+    predict_misses: AtomicU64,
+    evictions: AtomicU64,
+    evict_misses: AtomicU64,
+    reloads: AtomicU64,
+}
+
+/// A registered shared point set.
+#[derive(Debug)]
+struct PointSet {
+    dim: usize,
+    rows: Vec<Vec<f64>>,
+}
+
+/// A queued fit request plus its receipt and precomputed grouping key.
+#[derive(Debug)]
+struct Pending {
+    ticket: Ticket,
+    basis_fp: u64,
+    request: FitRequest,
+}
+
+/// The request-serving facade; see the [module docs](self).
+#[derive(Debug)]
+pub struct FitService {
+    config: ServiceConfig,
+    point_sets: Mutex<BTreeMap<u64, Arc<PointSet>>>,
+    shards: Vec<Mutex<BTreeMap<String, Arc<PerformanceModel>>>>,
+    queue: Mutex<VecDeque<Pending>>,
+    tickets: AtomicU64,
+    counters: AtomicCounters,
+}
+
+/// Locks a mutex, recovering from poisoning: a poisoned lock only means
+/// another thread panicked mid-update, and every critical section here
+/// leaves the map in a consistent state at any panic point (single
+/// insert/remove/pop operations), so continuing with the inner value
+/// preserves the panic-free serving contract.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl FitService {
+    /// Creates a service.
+    ///
+    /// `shards` and `max_coalesce` are clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::Config`] when `config.options` is invalid (the
+    /// error names the offending parameter).
+    pub fn new(config: ServiceConfig) -> Result<Self> {
+        config.options.validate()?;
+        let mut config = config;
+        config.shards = config.shards.max(1);
+        config.max_coalesce = config.max_coalesce.max(1);
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(BTreeMap::new()))
+            .collect();
+        Ok(FitService {
+            config,
+            point_sets: Mutex::new(BTreeMap::new()),
+            shards,
+            queue: Mutex::new(VecDeque::new()),
+            tickets: AtomicU64::new(0),
+            counters: AtomicCounters::default(),
+        })
+    }
+
+    /// The service configuration (after clamping).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Registers a shared point set and returns its content-addressed
+    /// handle. Re-registering identical points returns the same id
+    /// without storing a second copy.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::NonFiniteInput`] when any coordinate is NaN/±∞.
+    /// * [`BmfError::Config`] (`"points"`) when the set is empty or rows
+    ///   disagree in dimension.
+    pub fn register_points(&self, points: Vec<Vec<f64>>) -> Result<PointSetId> {
+        crate::screen::finite_rows("sample points", &points)?;
+        let Some(first) = points.first() else {
+            return Err(BmfError::config("points", "point set must be non-empty"));
+        };
+        let dim = first.len();
+        if points.iter().any(|p| p.len() != dim) {
+            return Err(BmfError::config(
+                "points",
+                "all points in a set must share one dimension",
+            ));
+        }
+        let id = fingerprint_points(&points);
+        let mut sets = lock(&self.point_sets);
+        sets.entry(id)
+            .or_insert_with(|| Arc::new(PointSet { dim, rows: points }));
+        Ok(PointSetId(id))
+    }
+
+    /// Number of sample points in a registered set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::NotFound`] for an unregistered handle.
+    pub fn point_count(&self, id: PointSetId) -> Result<usize> {
+        Ok(self.point_set(id)?.rows.len())
+    }
+
+    /// Enqueues a fit request, validating it at the boundary so a
+    /// malformed request is rejected *now* — never later, where it could
+    /// fail a coalesced batch.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::NonFiniteInput`] for NaN/±∞ values or prior entries.
+    /// * [`BmfError::NotFound`] for an unregistered point-set handle.
+    /// * [`BmfError::PriorShape`] / [`BmfError::SampleShape`] for
+    ///   prior/basis and value/point-count mismatches.
+    pub fn submit_fit(&self, request: FitRequest) -> Result<Ticket> {
+        crate::screen::finite_values("response values", &request.values)?;
+        crate::screen::finite_early("prior early coefficients", &request.prior)?;
+        let points = self.point_set(request.points)?;
+        if request.prior.len() != request.basis.len() {
+            return Err(BmfError::PriorShape {
+                basis_terms: request.basis.len(),
+                prior_entries: request.prior.len(),
+            });
+        }
+        if points.dim != request.basis.num_vars() {
+            return Err(BmfError::SampleShape {
+                detail: format!(
+                    "job `{}`: point set {:?} has dimension {}, basis expects {}",
+                    request.job_id,
+                    request.points,
+                    points.dim,
+                    request.basis.num_vars()
+                ),
+            });
+        }
+        if request.values.len() != points.rows.len() {
+            return Err(BmfError::SampleShape {
+                detail: format!(
+                    "job `{}` has {} values but its point set has {} points",
+                    request.job_id,
+                    request.values.len(),
+                    points.rows.len()
+                ),
+            });
+        }
+        let ticket = Ticket(self.tickets.fetch_add(1, Ordering::Relaxed));
+        let basis_fp = fingerprint_basis(&request.basis);
+        lock(&self.queue).push_back(Pending {
+            ticket,
+            basis_fp,
+            request,
+        });
+        Ok(ticket)
+    }
+
+    /// Fit requests currently queued (submitted but not yet drained).
+    pub fn queued(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Drains the whole queue: coalesces requests by (point set, basis),
+    /// runs each group through the batch engine's worker pool, installs
+    /// the fitted models in the registry, and returns per-request
+    /// outcomes in ticket order.
+    ///
+    /// Failures are per-request — they surface in
+    /// [`FitOutcome::result`], never as a drain-level error — so a bad
+    /// request cannot wedge the queue.
+    pub fn drain(&self) -> DrainReport {
+        let pending: Vec<Pending> = lock(&self.queue).drain(..).collect();
+        self.serve(pending)
+    }
+
+    /// Looks up the model currently registered under `job_id`. The shard
+    /// lock is held only for the `Arc` clone, so callers evaluate the
+    /// polynomial without blocking writers.
+    pub fn model(&self, job_id: &str) -> Option<Arc<PerformanceModel>> {
+        lock(self.shard_for(job_id)).get(job_id).cloned()
+    }
+
+    /// Predicts the registered model for `job_id` at `x`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::NonFiniteInput`] when `x` contains NaN/±∞.
+    /// * [`BmfError::NotFound`] when no model is registered under the key
+    ///   (including after an evict).
+    /// * [`BmfError::SampleShape`] when `x` has the wrong dimension.
+    pub fn predict(&self, job_id: &str, x: &[f64]) -> Result<f64> {
+        crate::screen::finite_values("prediction point", x)?;
+        let Some(model) = self.model(job_id) else {
+            self.counters.predict_misses.fetch_add(1, Ordering::Relaxed);
+            return Err(BmfError::NotFound {
+                what: "model",
+                key: job_id.to_string(),
+            });
+        };
+        if x.len() != model.basis().num_vars() {
+            return Err(BmfError::SampleShape {
+                detail: format!(
+                    "prediction point has dimension {}, model `{job_id}` expects {}",
+                    x.len(),
+                    model.basis().num_vars()
+                ),
+            });
+        }
+        self.counters.predicts.fetch_add(1, Ordering::Relaxed);
+        Ok(model.predict(x))
+    }
+
+    /// Removes the model registered under `job_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::NotFound`] when the key holds no model, so an
+    /// operator script can distinguish "evicted" from "was never there".
+    pub fn evict(&self, job_id: &str) -> Result<()> {
+        let removed = lock(self.shard_for(job_id)).remove(job_id);
+        if removed.is_some() {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            self.counters.evict_misses.fetch_add(1, Ordering::Relaxed);
+            Err(BmfError::NotFound {
+                what: "model",
+                key: job_id.to_string(),
+            })
+        }
+    }
+
+    /// Installs (or replaces) a model directly, bypassing fitting — the
+    /// warm-start path for models persisted by an earlier process.
+    pub fn reload(&self, job_id: &str, model: PerformanceModel) {
+        lock(self.shard_for(job_id)).insert(job_id.to_string(), Arc::new(model));
+        self.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of models currently registered across all shards.
+    pub fn registered_models(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// A snapshot of the service-wide counters.
+    pub fn counters(&self) -> ServiceCounters {
+        let c = &self.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceCounters {
+            fits_ok: get(&c.fits_ok),
+            fits_failed: get(&c.fits_failed),
+            batches: get(&c.batches),
+            coalesced_fits: get(&c.coalesced_fits),
+            max_batch: get(&c.max_batch),
+            isolation_refits: get(&c.isolation_refits),
+            kernel_cache_hits: get(&c.kernel_cache_hits),
+            kernel_cache_misses: get(&c.kernel_cache_misses),
+            map_solves: get(&c.map_solves),
+            degraded_fits: get(&c.degraded_fits),
+            predicts: get(&c.predicts),
+            predict_misses: get(&c.predict_misses),
+            evictions: get(&c.evictions),
+            evict_misses: get(&c.evict_misses),
+            reloads: get(&c.reloads),
+        }
+    }
+
+    fn point_set(&self, id: PointSetId) -> Result<Arc<PointSet>> {
+        lock(&self.point_sets)
+            .get(&id.0)
+            .cloned()
+            .ok_or_else(|| BmfError::NotFound {
+                what: "point set",
+                key: format!("{:#018x}", id.0),
+            })
+    }
+
+    fn shard_for(&self, job_id: &str) -> &Mutex<BTreeMap<String, Arc<PerformanceModel>>> {
+        let i = fnv1a(0, job_id.as_bytes()) as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Coalesces and runs a drained request list; see [`drain`](Self::drain).
+    fn serve(&self, pending: Vec<Pending>) -> DrainReport {
+        // Group by (point set, basis): every request in a group shares
+        // the batch engine's design matrix, fold plan, and kernel cache.
+        // BTreeMap fixes the processing order by content, not arrival.
+        let mut groups: BTreeMap<(u64, u64), Vec<Pending>> = BTreeMap::new();
+        for p in pending {
+            groups
+                .entry((p.request.points.0, p.basis_fp))
+                .or_default()
+                .push(p);
+        }
+        let mut report = DrainReport::default();
+        for ((points_id, _), mut group) in groups {
+            let rows = match self.point_set(PointSetId(points_id)) {
+                Ok(ps) => ps,
+                Err(e) => {
+                    // Point sets are never evicted, so a submitted request
+                    // can't lose its set; handled for completeness.
+                    for p in group {
+                        self.counters.fits_failed.fetch_add(1, Ordering::Relaxed);
+                        report.outcomes.push(FitOutcome {
+                            ticket: p.ticket,
+                            job_id: p.request.job_id,
+                            batch: None,
+                            result: Err(e.clone()),
+                        });
+                    }
+                    continue;
+                }
+            };
+            while !group.is_empty() {
+                let tail = group.split_off(group.len().min(self.config.max_coalesce));
+                self.run_chunk(&rows.rows, group, &mut report);
+                group = tail;
+            }
+        }
+        report.outcomes.sort_unstable_by_key(|o| o.ticket);
+        report
+    }
+
+    /// Runs one coalesced chunk; on whole-batch failure, degrades to
+    /// per-request isolation refits.
+    fn run_chunk(&self, rows: &[Vec<f64>], chunk: Vec<Pending>, report: &mut DrainReport) {
+        let Some(first) = chunk.first() else { return };
+        let jobs: Vec<BatchJob> = chunk
+            .iter()
+            // Clone: the batch engine owns its jobs while the request
+            // (job id) must survive into the outcome.
+            .map(|p| {
+                BatchJob::new(
+                    p.request.job_id.clone(),
+                    p.request.prior.clone(),
+                    p.request.values.clone(),
+                )
+            })
+            .collect();
+        let fitter = BatchFitter::new(first.request.basis.clone())
+            .with_options(self.config.options.clone())
+            .with_jobs(jobs);
+        match fitter.fit(rows) {
+            Ok(batch) => self.absorb(chunk, batch, false, report),
+            Err(_) => {
+                // Whole-batch failure: refit each request alone so only
+                // the guilty ticket errors. A one-job batch runs the same
+                // kernels in the same order as the direct serial path, so
+                // surviving neighbors stay bit-identical to it.
+                for p in chunk {
+                    self.counters
+                        .isolation_refits
+                        .fetch_add(1, Ordering::Relaxed);
+                    let solo = BatchFitter::new(p.request.basis.clone())
+                        .with_options(self.config.options.clone())
+                        .with_jobs(vec![BatchJob::new(
+                            p.request.job_id.clone(),
+                            p.request.prior.clone(),
+                            p.request.values.clone(),
+                        )]);
+                    match solo.fit(rows) {
+                        Ok(batch) => self.absorb(vec![p], batch, true, report),
+                        Err(e) => {
+                            self.counters.fits_failed.fetch_add(1, Ordering::Relaxed);
+                            report.outcomes.push(FitOutcome {
+                                ticket: p.ticket,
+                                job_id: p.request.job_id,
+                                batch: None,
+                                result: Err(e),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs a completed batch's models and records its outcomes.
+    fn absorb(
+        &self,
+        chunk: Vec<Pending>,
+        batch: BatchReport,
+        isolated: bool,
+        report: &mut DrainReport,
+    ) {
+        let n = chunk.len();
+        let c = &self.counters;
+        c.batches.fetch_add(1, Ordering::Relaxed);
+        if n > 1 {
+            c.coalesced_fits.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        c.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+        c.kernel_cache_hits
+            .fetch_add(batch.counters.kernel_cache_hits as u64, Ordering::Relaxed);
+        c.kernel_cache_misses
+            .fetch_add(batch.counters.kernel_cache_misses as u64, Ordering::Relaxed);
+        c.map_solves
+            .fetch_add(batch.counters.map_solves as u64, Ordering::Relaxed);
+        let batch_index = report.batches.len();
+        report.batches.push(BatchSummary {
+            jobs: n,
+            counters: batch.counters,
+            timings: batch.timings,
+            resilience: batch.resilience,
+            isolated,
+        });
+        for (p, fit) in chunk.into_iter().zip(batch.fits) {
+            c.fits_ok.fetch_add(1, Ordering::Relaxed);
+            if fit.resilience.is_degraded() {
+                c.degraded_fits.fetch_add(1, Ordering::Relaxed);
+            }
+            // Clone: the registry keeps its own handle while the fit —
+            // model included — is returned to the submitter.
+            lock(self.shard_for(&p.request.job_id))
+                .insert(p.request.job_id.clone(), Arc::new(fit.model.clone()));
+            report.outcomes.push(FitOutcome {
+                ticket: p.ticket,
+                job_id: p.request.job_id,
+                batch: Some(batch_index),
+                result: Ok(ServedFit { fit, coalesced: n }),
+            });
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, chained through `state` (pass 0 to start).
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = if state == 0 { FNV_OFFSET } else { state };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_u64(state: u64, value: u64) -> u64 {
+    fnv1a(state, &value.to_le_bytes())
+}
+
+/// Content fingerprint of a point set: dimensions plus every coordinate's
+/// exact bit pattern, so "same id" means "bit-identical design matrix".
+fn fingerprint_points(points: &[Vec<f64>]) -> u64 {
+    let mut h = fnv1a_u64(0, points.len() as u64);
+    for row in points {
+        h = fnv1a_u64(h, row.len() as u64);
+        for &x in row {
+            h = fnv1a_u64(h, x.to_bits());
+        }
+    }
+    h
+}
+
+/// Structural fingerprint of a basis: variable count plus each term's
+/// (variable, degree) pairs.
+fn fingerprint_basis(basis: &OrthonormalBasis) -> u64 {
+    let mut h = fnv1a_u64(0, basis.num_vars() as u64);
+    h = fnv1a_u64(h, basis.len() as u64);
+    for term in basis.terms() {
+        for &(var, deg) in term.pairs() {
+            h = fnv1a_u64(h, var as u64);
+            h = fnv1a_u64(h, u64::from(deg));
+        }
+        // Term separator so [(0,1)],[(1,1)] differs from [(0,1),(1,1)].
+        h = fnv1a_u64(h, u64::MAX);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.61).cos()])
+            .collect()
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FitService>();
+    }
+
+    #[test]
+    fn point_registration_is_content_addressed() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let a = svc.register_points(demo_points(8)).unwrap();
+        let b = svc.register_points(demo_points(8)).unwrap();
+        assert_eq!(a, b);
+        let c = svc.register_points(demo_points(9)).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(svc.point_count(a).unwrap(), 8);
+    }
+
+    #[test]
+    fn register_rejects_empty_ragged_and_nonfinite() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        assert!(matches!(
+            svc.register_points(vec![]),
+            Err(BmfError::Config {
+                parameter: "points",
+                ..
+            })
+        ));
+        assert!(matches!(
+            svc.register_points(vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(BmfError::Config {
+                parameter: "points",
+                ..
+            })
+        ));
+        assert!(matches!(
+            svc.register_points(vec![vec![f64::NAN]]),
+            Err(BmfError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn submit_validates_at_the_boundary() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let ps = svc.register_points(demo_points(8)).unwrap();
+        let basis = OrthonormalBasis::linear(2);
+        let bad_prior = svc.submit_fit(FitRequest {
+            job_id: "j".into(),
+            basis: basis.clone(),
+            points: ps,
+            prior: vec![Some(1.0)],
+            values: vec![0.0; 8],
+        });
+        assert!(matches!(bad_prior, Err(BmfError::PriorShape { .. })));
+        let bad_values = svc.submit_fit(FitRequest {
+            job_id: "j".into(),
+            basis: basis.clone(),
+            points: ps,
+            prior: vec![Some(1.0); 3],
+            values: vec![0.0; 5],
+        });
+        assert!(matches!(bad_values, Err(BmfError::SampleShape { .. })));
+        let bad_dim = svc.submit_fit(FitRequest {
+            job_id: "j".into(),
+            basis: OrthonormalBasis::linear(3),
+            points: ps,
+            prior: vec![Some(1.0); 4],
+            values: vec![0.0; 8],
+        });
+        assert!(matches!(bad_dim, Err(BmfError::SampleShape { .. })));
+        assert_eq!(svc.queued(), 0);
+    }
+
+    #[test]
+    fn unknown_point_set_is_not_found() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let err = svc
+            .submit_fit(FitRequest {
+                job_id: "j".into(),
+                basis: OrthonormalBasis::linear(2),
+                points: PointSetId(42),
+                prior: vec![Some(1.0); 3],
+                values: vec![0.0; 8],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BmfError::NotFound {
+                what: "point set",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fingerprints_separate_term_boundaries() {
+        use bmf_basis::multi_index::MultiIndex;
+        let a = OrthonormalBasis::from_terms(
+            2,
+            vec![
+                MultiIndex::from_pairs(&[(0, 1)]),
+                MultiIndex::from_pairs(&[(1, 1)]),
+            ],
+        );
+        let b = OrthonormalBasis::from_terms(2, vec![MultiIndex::from_pairs(&[(0, 1), (1, 1)])]);
+        assert_ne!(fingerprint_basis(&a), fingerprint_basis(&b));
+    }
+
+    #[test]
+    fn drain_on_empty_queue_is_empty() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let report = svc.drain();
+        assert!(report.outcomes.is_empty());
+        assert!(report.batches.is_empty());
+    }
+}

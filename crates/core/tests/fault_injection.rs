@@ -361,6 +361,184 @@ fn batch_results_bit_identical_across_thread_counts_under_faults() {
     }
 }
 
+/// A service configured like the load generator's, with a registered
+/// clean point set and one healthy fitted job, for the service-front
+/// fault cases below.
+fn service_with_fitted_job(
+    r: usize,
+    k: usize,
+) -> (
+    bmf_core::service::FitService,
+    bmf_core::service::PointSetId,
+    Vec<Vec<f64>>,
+) {
+    use bmf_core::service::{FitRequest, FitService, ServiceConfig};
+    let service = FitService::new(ServiceConfig {
+        options: FitOptions::new().folds(4).seed(7),
+        ..ServiceConfig::default()
+    })
+    .expect("service config");
+    let points = sample_points(k, r, 31);
+    let ps = service
+        .register_points(points.clone())
+        .expect("clean points");
+    let (truth, early) = truth_and_early(r);
+    let values = linear_values(&points, &truth);
+    service
+        .submit_fit(FitRequest {
+            job_id: "healthy".into(),
+            basis: OrthonormalBasis::linear(r),
+            points: ps,
+            prior: early,
+            values,
+        })
+        .expect("clean submit");
+    let report = service.drain();
+    assert_eq!(report.served(), 1);
+    (service, ps, points)
+}
+
+#[test]
+fn service_front_screens_poisoned_payloads_at_submit() {
+    use bmf_core::service::FitRequest;
+    let r = 4;
+    let (service, ps, points) = service_with_fitted_job(r, 12);
+    let (truth, early) = truth_and_early(r);
+    let mut inj = FaultInjector::new(19);
+
+    // Poisoned response values never reach the queue.
+    let mut values = linear_values(&points, &truth);
+    inj.poison_nan(&mut values);
+    let res = no_panic("submit_fit with NaN values", || {
+        service.submit_fit(FitRequest {
+            job_id: "bad-values".into(),
+            basis: OrthonormalBasis::linear(r),
+            points: ps,
+            prior: early.clone(),
+            values,
+        })
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+
+    // Poisoned prior likewise.
+    let mut bad_early = early.clone();
+    bad_early[2] = Some(f64::INFINITY);
+    let res = no_panic("submit_fit with Inf prior", || {
+        service.submit_fit(FitRequest {
+            job_id: "bad-prior".into(),
+            basis: OrthonormalBasis::linear(r),
+            points: ps,
+            prior: bad_early,
+            values: linear_values(&points, &truth),
+        })
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+
+    // Poisoned point sets are rejected at registration.
+    let mut bad_points = points.clone();
+    inj.poison_point_nan(&mut bad_points);
+    let res = no_panic("register_points with NaN point", || {
+        service.register_points(bad_points)
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+
+    // Nothing queued, the healthy model still serves.
+    assert_eq!(service.queued(), 0);
+    let probe = vec![0.0; r];
+    assert!(service.predict("healthy", &probe).is_ok());
+}
+
+#[test]
+fn service_predict_screens_probe_points_and_misses_structurally() {
+    let r = 4;
+    let (service, _, _) = service_with_fitted_job(r, 12);
+
+    let res = no_panic("predict with NaN probe", || {
+        service.predict("healthy", &[f64::NAN, 0.0, 0.0, 0.0])
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+    let res = no_panic("predict with wrong dimension", || {
+        service.predict("healthy", &[0.0; 2])
+    });
+    assert!(matches!(res, Err(BmfError::SampleShape { .. })));
+    let res = no_panic("predict on unknown job", || {
+        service.predict("never-fitted", &[0.0; 4])
+    });
+    assert!(matches!(res, Err(BmfError::NotFound { what: "model", .. })));
+    // Screens fire before the registry: the NaN probe on an unknown job
+    // is reported as non-finite, not as a miss.
+    let res = no_panic("predict NaN probe on unknown job", || {
+        service.predict("never-fitted", &[f64::NAN; 4])
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+}
+
+#[test]
+fn service_drain_degrades_structurally_on_adversarial_batches() {
+    use bmf_core::service::{FitRequest, FitService, ServiceConfig};
+    // Duplicated rows (rank-deficient but solvable) coalesced with an
+    // under-determined zero-prior request: the drain must never panic,
+    // the solvable request fits (possibly degraded, with its resilience
+    // report attached), the impossible one fails alone.
+    let r = 20;
+    let service = FitService::new(ServiceConfig {
+        options: FitOptions::new().folds(4).seed(7),
+        ..ServiceConfig::default()
+    })
+    .expect("service config");
+    let mut points = sample_points(12, r, 32);
+    let (truth, early) = truth_and_early(r);
+    let mut values = linear_values(&points, &truth);
+    let mut inj = FaultInjector::new(20);
+    for _ in 0..3 {
+        inj.duplicate_row(&mut points, &mut values);
+    }
+    let ps = service
+        .register_points(points)
+        .expect("degenerate rows are finite");
+    service
+        .submit_fit(FitRequest {
+            job_id: "dup-rows".into(),
+            basis: OrthonormalBasis::linear(r),
+            points: ps,
+            prior: early.clone(),
+            values: values.clone(),
+        })
+        .expect("finite payload");
+    let mut zero_early = early;
+    inj.zero_prior(&mut zero_early);
+    service
+        .submit_fit(FitRequest {
+            job_id: "no-prior".into(),
+            basis: OrthonormalBasis::linear(r),
+            points: ps,
+            prior: zero_early,
+            values,
+        })
+        .expect("finite payload");
+
+    let report = match catch_unwind(AssertUnwindSafe(|| service.drain())) {
+        Ok(r) => r,
+        Err(_) => panic!("drain panicked on adversarial batch"),
+    };
+    assert_eq!(report.outcomes.len(), 2);
+    let dup = &report.outcomes[0];
+    assert_eq!(dup.job_id, "dup-rows");
+    let served = dup.result.as_ref().expect("prior-backed fit survives");
+    assert!(served.fit.model.coeffs().iter().all(|c| c.is_finite()));
+    assert!(served.fit.resilience.rcond.is_finite());
+    let doomed = &report.outcomes[1];
+    assert!(
+        matches!(doomed.result, Err(BmfError::NotEnoughSamples { .. })),
+        "expected structured failure, got {:?}",
+        doomed.result.as_ref().map(|s| s.fit.summary())
+    );
+    let c = service.counters();
+    assert_eq!(c.fits_ok + c.fits_failed, 2);
+    assert!(service.model("dup-rows").is_some());
+    assert!(service.model("no-prior").is_none());
+}
+
 #[test]
 fn clean_inputs_report_rung_zero_and_no_ridge() {
     // The flip side of the contract: on well-posed inputs the ladder

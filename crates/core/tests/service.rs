@@ -1,0 +1,397 @@
+//! Integration suite for `bmf_core::service`: the serving path must be
+//! bit-identical to direct library calls, deterministic under any
+//! submission interleaving and thread count, and panic-free with
+//! structured errors on every miss or failure.
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_core::batch::{BatchFitter, BatchJob};
+use bmf_core::fusion::BmfFitter;
+use bmf_core::options::FitOptions;
+use bmf_core::service::{FitRequest, FitService, ServiceConfig};
+use bmf_core::BmfError;
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::seeded;
+
+fn sample_points(k: usize, r: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded(seed);
+    let mut s = StandardNormal::new();
+    (0..k).map(|_| s.sample_vec(&mut rng, r)).collect()
+}
+
+/// A distinct linear job per index over shared points: truth, perturbed
+/// early prior, and exact response values.
+fn job_payload(j: usize, r: usize, points: &[Vec<f64>]) -> (Vec<Option<f64>>, Vec<f64>) {
+    let truth: Vec<f64> = (0..=r)
+        .map(|i| ((i + 5 * j) as f64 * 0.41).cos() * (1.0 + j as f64 * 0.07))
+        .collect();
+    let values = points
+        .iter()
+        .map(|p| {
+            truth[0]
+                + p.iter()
+                    .enumerate()
+                    .map(|(i, x)| truth[i + 1] * x)
+                    .sum::<f64>()
+        })
+        .collect();
+    let prior = truth
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Some(t * (1.0 + 0.05 * ((i + j) as f64).sin())))
+        .collect();
+    (prior, values)
+}
+
+fn options(threads: usize) -> FitOptions {
+    FitOptions::new().folds(4).seed(17).threads(threads)
+}
+
+fn coeff_bits(coeffs: &[f64]) -> Vec<u64> {
+    coeffs.iter().map(|c| c.to_bits()).collect()
+}
+
+#[test]
+fn service_fits_are_bit_identical_to_direct_calls() {
+    let r = 5;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(14, r, 21);
+    let jobs = 6;
+
+    let service = FitService::new(ServiceConfig {
+        options: options(0),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let ps = service.register_points(points.clone()).unwrap();
+    for j in 0..jobs {
+        let (prior, values) = job_payload(j, r, &points);
+        service
+            .submit_fit(FitRequest {
+                job_id: format!("job{j}"),
+                basis: basis.clone(),
+                points: ps,
+                prior,
+                values,
+            })
+            .unwrap();
+    }
+    let report = service.drain();
+    assert_eq!(report.served(), jobs);
+    assert_eq!(report.batches.len(), 1, "one shared set ⇒ one batch");
+
+    // Direct batch path, same options.
+    let mut batch = BatchFitter::new(basis.clone()).with_options(options(0));
+    for j in 0..jobs {
+        let (prior, values) = job_payload(j, r, &points);
+        batch.push_job(BatchJob::new(format!("job{j}"), prior, values));
+    }
+    let direct = batch.fit(&points).unwrap();
+
+    for (outcome, direct_fit) in report.outcomes.iter().zip(&direct.fits) {
+        let served = outcome.result.as_ref().unwrap();
+        assert_eq!(served.coalesced, jobs);
+        assert_eq!(
+            coeff_bits(served.fit.model.coeffs()),
+            coeff_bits(direct_fit.model.coeffs()),
+            "service fit for {} diverges from BatchFitter",
+            outcome.job_id
+        );
+        assert_eq!(served.fit.hyper.to_bits(), direct_fit.hyper.to_bits());
+        assert_eq!(served.fit.prior_kind, direct_fit.prior_kind);
+        assert_eq!(served.fit.resilience, direct_fit.resilience);
+    }
+
+    // Serial path: each job alone through BmfFitter.
+    for j in 0..jobs {
+        let (prior, values) = job_payload(j, r, &points);
+        let serial = BmfFitter::new(basis.clone(), prior)
+            .unwrap()
+            .with_options(options(0))
+            .fit(&points, &values)
+            .unwrap();
+        let served = report.outcomes[j].result.as_ref().unwrap();
+        assert_eq!(
+            coeff_bits(served.fit.model.coeffs()),
+            coeff_bits(serial.model.coeffs()),
+            "service fit for job{j} diverges from serial BmfFitter"
+        );
+    }
+
+    // The registry serves the same model the fit returned.
+    let x = vec![0.3; r];
+    for j in 0..jobs {
+        let served = report.outcomes[j].result.as_ref().unwrap();
+        let direct_pred = served.fit.model.predict(&x);
+        let via_registry = service.predict(&format!("job{j}"), &x).unwrap();
+        assert_eq!(via_registry.to_bits(), direct_pred.to_bits());
+    }
+}
+
+#[test]
+fn results_are_bit_identical_at_any_pool_size() {
+    let r = 4;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(12, r, 33);
+    let run = |threads: usize| {
+        let service = FitService::new(ServiceConfig {
+            options: options(threads),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let ps = service.register_points(points.clone()).unwrap();
+        for j in 0..8 {
+            let (prior, values) = job_payload(j, r, &points);
+            service
+                .submit_fit(FitRequest {
+                    job_id: format!("job{j}"),
+                    basis: basis.clone(),
+                    points: ps,
+                    prior,
+                    values,
+                })
+                .unwrap();
+        }
+        let report = service.drain();
+        report
+            .outcomes
+            .into_iter()
+            .map(|o| coeff_bits(o.result.unwrap().fit.model.coeffs()))
+            .collect::<Vec<_>>()
+    };
+    let reference = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "results drift at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn coalescing_is_deterministic_under_shuffled_submission() {
+    let r = 4;
+    let basis = OrthonormalBasis::linear(r);
+    // Two distinct shared point sets → two coalescing groups.
+    let points_a = sample_points(12, r, 41);
+    let points_b = sample_points(10, r, 42);
+    let jobs = 10usize;
+
+    let run = |order_seed: u64| {
+        let service = FitService::new(ServiceConfig {
+            options: options(0),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let pa = service.register_points(points_a.clone()).unwrap();
+        let pb = service.register_points(points_b.clone()).unwrap();
+        let mut order: Vec<usize> = (0..jobs).collect();
+        seeded(order_seed).shuffle(&mut order);
+        for &j in &order {
+            let (set, pts) = if j % 2 == 0 {
+                (pa, &points_a)
+            } else {
+                (pb, &points_b)
+            };
+            let (prior, values) = job_payload(j, r, pts);
+            service
+                .submit_fit(FitRequest {
+                    job_id: format!("job{j}"),
+                    basis: basis.clone(),
+                    points: set,
+                    prior,
+                    values,
+                })
+                .unwrap();
+        }
+        let report = service.drain();
+        assert_eq!(report.batches.len(), 2, "two groups ⇒ two batches");
+        // Key by job id: outcome order follows submission order, which
+        // this test varies on purpose.
+        let mut by_job: Vec<(String, Vec<u64>)> = report
+            .outcomes
+            .into_iter()
+            .map(|o| {
+                (
+                    o.job_id.clone(),
+                    coeff_bits(o.result.unwrap().fit.model.coeffs()),
+                )
+            })
+            .collect();
+        by_job.sort();
+        by_job
+    };
+
+    let reference = run(100);
+    for order_seed in [101, 102, 103] {
+        assert_eq!(
+            run(order_seed),
+            reference,
+            "coalesced results depend on submission interleaving"
+        );
+    }
+}
+
+#[test]
+fn predict_after_evict_is_a_structured_miss() {
+    let r = 3;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(10, r, 55);
+    let service = FitService::new(ServiceConfig {
+        options: options(0),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let ps = service.register_points(points.clone()).unwrap();
+    let (prior, values) = job_payload(0, r, &points);
+    service
+        .submit_fit(FitRequest {
+            job_id: "gain".into(),
+            basis,
+            points: ps,
+            prior,
+            values,
+        })
+        .unwrap();
+    service.drain();
+    let x = vec![0.1; r];
+    assert!(service.predict("gain", &x).is_ok());
+
+    service.evict("gain").unwrap();
+    match service.predict("gain", &x) {
+        Err(BmfError::NotFound { what: "model", key }) => assert_eq!(key, "gain"),
+        other => panic!("expected NotFound after evict, got {other:?}"),
+    }
+    // Second evict is a structured miss too, and the counters tell the
+    // two apart.
+    assert!(matches!(
+        service.evict("gain"),
+        Err(BmfError::NotFound { .. })
+    ));
+    let c = service.counters();
+    assert_eq!(c.evictions, 1);
+    assert_eq!(c.evict_misses, 1);
+    assert_eq!(c.predict_misses, 1);
+
+    // Reload restores serving without a refit.
+    let report_model = service.model("gain");
+    assert!(report_model.is_none());
+}
+
+#[test]
+fn whole_batch_failure_is_isolated_to_the_guilty_request() {
+    // 21-term basis over 12 samples: a job with a real prior fits (the
+    // BMF sweet spot), a job with an all-zero prior is under-determined
+    // and must fail alone with a structured error.
+    let r = 20;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(12, r, 66);
+    let service = FitService::new(ServiceConfig {
+        options: options(0),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let ps = service.register_points(points.clone()).unwrap();
+
+    let (prior, values) = job_payload(1, r, &points);
+    service
+        .submit_fit(FitRequest {
+            job_id: "healthy".into(),
+            basis: basis.clone(),
+            points: ps,
+            prior,
+            values: values.clone(),
+        })
+        .unwrap();
+    service
+        .submit_fit(FitRequest {
+            job_id: "doomed".into(),
+            basis,
+            points: ps,
+            prior: vec![Some(0.0); r + 1],
+            values,
+        })
+        .unwrap();
+
+    let report = service.drain();
+    assert_eq!(report.outcomes.len(), 2);
+    let healthy = &report.outcomes[0];
+    let doomed = &report.outcomes[1];
+    assert_eq!(healthy.job_id, "healthy");
+    assert!(
+        healthy.result.is_ok(),
+        "healthy neighbor must survive the batch failure: {:?}",
+        healthy.result.as_ref().err()
+    );
+    assert!(matches!(
+        doomed.result,
+        Err(BmfError::NotEnoughSamples { .. })
+    ));
+    let c = service.counters();
+    assert_eq!(c.isolation_refits, 2, "both requests refit in isolation");
+    assert_eq!(c.fits_ok, 1);
+    assert_eq!(c.fits_failed, 1);
+    // The survivor is registered and serves predictions; the failed job
+    // never enters the registry.
+    assert!(service.model("healthy").is_some());
+    assert!(service.model("doomed").is_none());
+
+    // Isolated refits stay bit-identical to the direct serial path.
+    let (prior, values) = job_payload(1, r, &points);
+    let serial = BmfFitter::new(OrthonormalBasis::linear(r), prior)
+        .unwrap()
+        .with_options(options(0))
+        .fit(&points, &values)
+        .unwrap();
+    let served = healthy.result.as_ref().unwrap();
+    assert_eq!(
+        coeff_bits(served.fit.model.coeffs()),
+        coeff_bits(serial.model.coeffs())
+    );
+}
+
+#[test]
+fn max_coalesce_splits_batches_without_changing_results() {
+    let r = 4;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(12, r, 77);
+    let jobs = 9usize;
+    let run = |max_coalesce: usize| {
+        let service = FitService::new(ServiceConfig {
+            max_coalesce,
+            options: options(0),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let ps = service.register_points(points.clone()).unwrap();
+        for j in 0..jobs {
+            let (prior, values) = job_payload(j, r, &points);
+            service
+                .submit_fit(FitRequest {
+                    job_id: format!("job{j}"),
+                    basis: basis.clone(),
+                    points: ps,
+                    prior,
+                    values,
+                })
+                .unwrap();
+        }
+        let report = service.drain();
+        (
+            report.batches.len(),
+            report
+                .outcomes
+                .into_iter()
+                .map(|o| coeff_bits(o.result.unwrap().fit.model.coeffs()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (one_batch, reference) = run(64);
+    assert_eq!(one_batch, 1);
+    let (chunked, chunked_results) = run(4);
+    assert_eq!(chunked, 3, "9 jobs at cap 4 ⇒ 4+4+1");
+    assert_eq!(
+        chunked_results, reference,
+        "chunking must not change any fit"
+    );
+}

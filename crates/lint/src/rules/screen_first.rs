@@ -30,6 +30,7 @@ const ENTRY_MODULES: &[&str] = &[
     "hyper.rs",
     "sequential.rs",
     "applications.rs",
+    "service.rs",
 ];
 
 impl Rule for ScreenBeforeMath {

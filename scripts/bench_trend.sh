@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Bench trend gate: compare a freshly generated BENCH_*.json against the
+# committed baseline copy and fail on a >20% regression of any metric.
+#
+# Both report styles in this repo are flat: top-level scalars plus
+# one-line `"section": { "key": value, ... }` objects, which is what the
+# flattener below parses. Direction is inferred from the metric name —
+# anything containing "throughput" regresses downward, everything else
+# (latencies, allocation counts, solve counts) regresses upward. A metric
+# present in the baseline but missing from the fresh report fails: a
+# gated number must not silently disappear.
+#
+# Usage:
+#   scripts/bench_trend.sh <fresh.json> <committed.json> [--ignore k1,k2]
+#
+# `--ignore` entries match a flattened key exactly ("serial_cv_fit.wall_s")
+# or by component ("wall_s" ignores every section's wall_s).
+set -euo pipefail
+
+[[ $# -ge 2 ]] || { echo "usage: $0 <fresh.json> <committed.json> [--ignore k1,k2]" >&2; exit 2; }
+fresh="$1"
+committed="$2"
+shift 2
+ignore=""
+if [[ "${1:-}" == "--ignore" ]]; then
+    [[ $# -ge 2 ]] || { echo "--ignore needs a key list" >&2; exit 2; }
+    ignore="$2"
+fi
+
+[[ -f "$fresh" ]] || { echo "FAIL: fresh report $fresh not found" >&2; exit 1; }
+[[ -f "$committed" ]] || { echo "FAIL: committed baseline $committed not found" >&2; exit 1; }
+
+TOLERANCE=0.20
+
+# Flattens the repo's flat JSON style to "section.key value" lines.
+flatten() {
+    awk '
+        /^[[:space:]]*"[A-Za-z0-9_]+": \{/ {
+            sec = $0
+            sub(/^[[:space:]]*"/, "", sec); sub(/".*/, "", sec)
+            body = $0
+            sub(/^[^{]*\{/, "", body); sub(/\}.*$/, "", body)
+            n = split(body, pairs, ",")
+            for (i = 1; i <= n; i++) {
+                p = pairs[i]
+                gsub(/[[:space:]"]/, "", p)
+                split(p, kv, ":")
+                if (kv[1] != "") print sec "." kv[1], kv[2]
+            }
+            next
+        }
+        /^[[:space:]]*"[A-Za-z0-9_]+": / {
+            k = $0
+            sub(/^[[:space:]]*"/, "", k); sub(/".*/, "", k)
+            v = $0
+            sub(/^[^:]*:[[:space:]]*/, "", v); sub(/,?[[:space:]]*$/, "", v)
+            print k, v
+        }
+    ' "$1"
+}
+
+fresh_flat=$(flatten "$fresh")
+fail=0
+
+while read -r key base; do
+    [[ -n "$key" ]] || continue
+    skip=0
+    IFS=',' read -ra ignored <<< "$ignore"
+    for ig in ${ignored[@]+"${ignored[@]}"}; do
+        if [[ "$key" == "$ig" || "$key" == *".$ig" ]]; then
+            skip=1
+            break
+        fi
+    done
+    [[ $skip -eq 0 ]] || continue
+
+    new=$(awk -v k="$key" '$1 == k { print $2; exit }' <<< "$fresh_flat")
+    if [[ -z "$new" ]]; then
+        echo "FAIL: metric $key missing from fresh report" >&2
+        fail=1
+        continue
+    fi
+    if ! awk -v k="$key" -v b="$base" -v n="$new" -v tol="$TOLERANCE" 'BEGIN {
+            b += 0; n += 0
+            if (k ~ /throughput/) {
+                worse = (n < b * (1 - tol))
+            } else {
+                worse = (n > b * (1 + tol) && n > b)
+            }
+            exit worse ? 1 : 0
+        }'; then
+        echo "FAIL: $key regressed beyond ${TOLERANCE}: baseline $base, fresh $new" >&2
+        fail=1
+    fi
+done <<< "$(flatten "$committed")"
+
+if [[ $fail -ne 0 ]]; then
+    echo "Trend gate failed: regenerate the baseline only for intentional changes" >&2
+    exit 1
+fi
+echo "OK: no metric in $fresh regressed >20% vs $committed"

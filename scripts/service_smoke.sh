@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Service smoke gate: run the fitting-service load generator in --smoke
+# mode twice — once with the worker pool pinned to one thread, once at
+# the default pool — and enforce the two contracts CI cares about:
+#
+#   1. determinism: the emitted reports are byte-identical (virtual-time
+#      metrics must not depend on thread count or wall clock);
+#   2. schema: every gated key is present and the headline values are
+#      positive finite numbers.
+#
+# Usage:  scripts/service_smoke.sh [out-dir]   (default target/service-smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs the bench binary from the package directory,
+# so a relative BMF_SERVICE_OUT would land under crates/bench/.
+out_dir="$(pwd)/${1:-target/service-smoke}"
+mkdir -p "$out_dir"
+one="$out_dir/service_threads1.json"
+auto="$out_dir/service_default.json"
+
+echo "== service smoke: BMF_THREADS=1 =="
+BMF_THREADS=1 BMF_SERVICE_OUT="$one" \
+    cargo bench --offline --locked -p bmf-bench --bench service -- --smoke
+echo "== service smoke: default pool =="
+BMF_SERVICE_OUT="$auto" \
+    cargo bench --offline --locked -p bmf-bench --bench service -- --smoke
+
+if ! cmp -s "$one" "$auto"; then
+    echo "FAIL: service report differs between BMF_THREADS=1 and the default pool" >&2
+    diff "$one" "$auto" >&2 || true
+    exit 1
+fi
+echo "OK: report byte-identical at 1 thread and default pool"
+
+fail=0
+
+for key in scenario traffic coalescing latency_overall latency_fit \
+           latency_predict throughput_rps p50_ns p99_ns p999_ns max_ns \
+           fits_ok batches; do
+    if ! grep -q "\"$key\"" "$one"; then
+        echo "FAIL: required key \"$key\" missing from service report" >&2
+        fail=1
+    fi
+done
+
+# Rust formats non-finite floats as NaN/inf; none may reach the report.
+if grep -qiE 'nan|infinity' "$one"; then
+    echo "FAIL: non-finite value in service report" >&2
+    fail=1
+fi
+
+# Headline values must be positive: fits were actually served and timed.
+fits_ok=$(awk -F'"fits_ok": ' '/"traffic"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+fit_p99=$(awk -F'"p99_ns": ' '/"latency_fit"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+rps=$(awk -F'"throughput_rps": ' '/"throughput_rps"/ { print $2 + 0 }' "$one")
+if ! awk -v f="$fits_ok" -v p="$fit_p99" -v r="$rps" \
+        'BEGIN { exit !(f > 0 && p > 0 && r > 0) }'; then
+    echo "FAIL: non-positive headline metric (fits_ok=$fits_ok, fit p99=$fit_p99 ns, throughput=$rps rps)" >&2
+    fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "OK: schema check passed (fits_ok=$fits_ok, fit p99=$fit_p99 ns, throughput=$rps rps)"
