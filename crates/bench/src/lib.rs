@@ -26,6 +26,7 @@ pub mod batch_study;
 pub mod costs;
 pub mod earlyfit;
 pub mod figures;
+pub mod persist_study;
 pub mod report;
 pub mod scale;
 pub mod service_load;

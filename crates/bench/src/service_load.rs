@@ -319,7 +319,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, BmfError> {
          ({} batches, {} models live)",
         events.len(),
         counters.batches,
-        service.registered_models(),
+        service.snapshot_count(),
     );
 
     let mut json = String::from("{\n");

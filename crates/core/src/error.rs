@@ -61,6 +61,16 @@ pub enum BmfError {
         /// Description of the violated invariant.
         detail: &'static str,
     },
+    /// A model snapshot failed validation: inconsistent provenance, an
+    /// empty job id, or a decoded artifact whose contents do not form a
+    /// servable model. Raised by
+    /// [`ModelSnapshot::validate`](crate::snapshot::ModelSnapshot::validate)
+    /// and by the persistence layer when routing corruption through this
+    /// ladder.
+    Snapshot {
+        /// What is wrong with the snapshot.
+        detail: String,
+    },
     /// A service lookup named a key that is not (or no longer) registered
     /// — a prediction against an evicted model, or a fit referencing an
     /// unregistered point set. `what` names the registry ("model",
@@ -116,6 +126,9 @@ impl fmt::Display for BmfError {
             }
             BmfError::Internal { detail } => {
                 write!(f, "internal invariant violated (library bug): {detail}")
+            }
+            BmfError::Snapshot { detail } => {
+                write!(f, "invalid model snapshot: {detail}")
             }
             BmfError::NotFound { what, key } => {
                 write!(f, "no {what} named `{key}` is registered")
@@ -184,6 +197,16 @@ mod tests {
         };
         assert!(e.to_string().contains("model"));
         assert!(e.to_string().contains("`ro/power`"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn snapshot_error_carries_detail() {
+        let e = BmfError::Snapshot {
+            detail: "truncated artifact".into(),
+        };
+        assert!(e.to_string().contains("invalid model snapshot"));
+        assert!(e.to_string().contains("truncated artifact"));
         assert!(e.source().is_none());
     }
 

@@ -32,7 +32,13 @@
 //!   the design matrix once and sharing cross-validation kernels;
 //! * [`service::FitService`] — the long-lived serving facade: a sharded
 //!   model registry, an MPSC fit queue, and a coalescer that groups
-//!   concurrent requests sharing a point set into one batch run.
+//!   concurrent requests sharing a point set into one batch run;
+//! * [`snapshot::ModelSnapshot`] — a fitted model plus its provenance
+//!   (options, selected prior, CV record, resilience), the unit the
+//!   service exports/imports and `bmf-persist` serializes to disk;
+//! * [`screen`] — the boundary screens (NaN/∞ rejection) shared by
+//!   every entry point, public so persistence layers can apply the same
+//!   discipline to data crossing a process boundary.
 //!
 //! # Quickstart
 //!
@@ -79,10 +85,11 @@ pub mod model;
 pub mod omp;
 pub mod options;
 pub mod prior;
-mod screen;
+pub mod screen;
 pub mod select;
 pub mod sequential;
 pub mod service;
+pub mod snapshot;
 pub mod workspace;
 
 pub use error::BmfError;

@@ -1,6 +1,7 @@
 //! Fitted performance models.
 
 use bmf_basis::basis::OrthonormalBasis;
+use bmf_linalg::MatRef;
 use bmf_stat::summary::relative_l2_error;
 
 use crate::{BmfError, Result};
@@ -60,16 +61,50 @@ impl PerformanceModel {
         self.coeffs.iter().filter(|a| a.abs() > threshold).count()
     }
 
+    /// Evaluates the model at every row of `points`, writing one
+    /// prediction per row into `out` — the single borrowed-view
+    /// prediction entry point. [`predict`](Self::predict) and
+    /// [`predict_batch`](Self::predict_batch) are thin layers over it,
+    /// so every prediction path runs the identical evaluation loop and
+    /// round-trip tests can assert bitwise equality without allocation
+    /// noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::SampleShape`] when `points.ncols()` differs
+    /// from the basis input dimension or `out.len()` differs from
+    /// `points.nrows()`. On error, `out` is untouched.
+    pub fn predict_into(&self, points: MatRef<'_>, out: &mut [f64]) -> Result<()> {
+        if points.ncols() != self.basis.num_vars() || out.len() != points.nrows() {
+            return Err(predict_shape_error(self, &points, out.len()));
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.basis.evaluate_model(&self.coeffs, points.row(i));
+        }
+        Ok(())
+    }
+
     /// Evaluates the model at one point.
     ///
     /// # Panics
     ///
     /// Panics when `x.len() != self.basis().num_vars()`.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.basis.evaluate_model(&self.coeffs, x)
+        let mut out = [0.0f64];
+        let run = MatRef::from_row_major(x, 1, x.len())
+            .map_err(BmfError::from)
+            .and_then(|m| self.predict_into(m, &mut out));
+        match run {
+            Ok(()) => out[0],
+            // Dimension mismatch: evaluate directly so the documented
+            // panic (the basis dimension assert) fires exactly as it
+            // always has.
+            Err(_) => self.basis.evaluate_model(&self.coeffs, x),
+        }
     }
 
-    /// Evaluates the model at many points.
+    /// Evaluates the model at many points (each routed through
+    /// [`predict_into`](Self::predict_into) via [`predict`](Self::predict)).
     pub fn predict_batch<'a, I>(&self, points: I) -> Vec<f64>
     where
         I: IntoIterator<Item = &'a [f64]>,
@@ -102,6 +137,22 @@ impl PerformanceModel {
     }
 }
 
+/// Builds the shape error for [`PerformanceModel::predict_into`]. Kept
+/// outside the kernel so the hot path stays allocation-free: the message
+/// is only materialized once a caller has already misused the API.
+fn predict_shape_error(model: &PerformanceModel, points: &MatRef<'_>, out_len: usize) -> BmfError {
+    BmfError::SampleShape {
+        detail: format!(
+            "predict_into: {} rows of dimension {} into {} output slots, \
+             model expects dimension {}",
+            points.nrows(),
+            points.ncols(),
+            out_len,
+            model.basis.num_vars()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +182,37 @@ mod tests {
         let pts = [[0.1, 0.2], [0.3, -0.4]];
         let batch = m.predict_batch(pts.iter().map(|p| p.as_slice()));
         assert_eq!(batch, vec![m.predict(&pts[0]), m.predict(&pts[1])]);
+    }
+
+    #[test]
+    fn predict_into_matches_predict_bitwise() {
+        let m = model();
+        let flat = [0.1, 0.2, 0.3, -0.4, 1.5, -2.5];
+        let view = MatRef::from_row_major(&flat, 3, 2).unwrap();
+        let mut out = [0.0; 3];
+        m.predict_into(view, &mut out).unwrap();
+        for (i, &y) in out.iter().enumerate() {
+            let direct = m.predict(&flat[i * 2..i * 2 + 2]);
+            assert_eq!(y.to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_into_rejects_shape_mismatches() {
+        let m = model();
+        let flat = [0.1, 0.2, 0.3, -0.4];
+        // Wrong input dimension.
+        let view = MatRef::from_row_major(&flat, 1, 4).unwrap();
+        let mut out = [0.0; 1];
+        assert!(matches!(
+            m.predict_into(view, &mut out),
+            Err(BmfError::SampleShape { .. })
+        ));
+        // Wrong output length; out must be untouched.
+        let view = MatRef::from_row_major(&flat, 2, 2).unwrap();
+        let mut short = [7.0; 1];
+        assert!(m.predict_into(view, &mut short).is_err());
+        assert_eq!(short[0], 7.0);
     }
 
     #[test]

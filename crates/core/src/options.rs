@@ -162,6 +162,40 @@ impl FitOptions {
             .unwrap_or(1)
     }
 
+    /// A content fingerprint over every field, FNV-1a chained with f64s
+    /// hashed by exact bit pattern. Two options values fingerprint
+    /// equally iff they configure bit-identical fits, which is what the
+    /// persistence layer's round-trip tests (and any cache keyed on a
+    /// fitting configuration) need: `a == b` implies
+    /// `a.content_fingerprint() == b.content_fingerprint()`.
+    pub fn content_fingerprint(&self) -> u64 {
+        use crate::prior::PriorKind;
+        use bmf_stat::fnv::fnv1a_u64;
+        let mut h = fnv1a_u64(
+            0,
+            match self.selection {
+                PriorSelection::Fixed(PriorKind::ZeroMean) => 0,
+                PriorSelection::Fixed(PriorKind::NonZeroMean) => 1,
+                PriorSelection::Auto => 2,
+            },
+        );
+        h = fnv1a_u64(
+            h,
+            match self.solver {
+                SolverKind::Direct => 0,
+                SolverKind::Fast => 1,
+            },
+        );
+        h = fnv1a_u64(h, self.folds as u64);
+        h = fnv1a_u64(h, self.grid.len() as u64);
+        for &g in &self.grid {
+            h = fnv1a_u64(h, g.to_bits());
+        }
+        h = fnv1a_u64(h, self.seed);
+        h = fnv1a_u64(h, self.threads as u64);
+        fnv1a_u64(h, self.hyper.to_bits())
+    }
+
     /// The cross-validation slice of these options as a [`CvConfig`]
     /// (used by the standalone `cross_validate_*` entry points).
     pub fn cv_config(&self) -> CvConfig {
@@ -280,6 +314,29 @@ mod tests {
             })
         ));
         assert!(FitOptions::new().validate().is_ok());
+    }
+
+    #[test]
+    fn content_fingerprint_separates_configurations() {
+        let a = FitOptions::new();
+        let b = FitOptions::new();
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        assert_ne!(
+            a.content_fingerprint(),
+            FitOptions::new().seed(1).content_fingerprint()
+        );
+        assert_ne!(
+            a.content_fingerprint(),
+            FitOptions::new()
+                .solver(SolverKind::Direct)
+                .content_fingerprint()
+        );
+        assert_ne!(
+            a.content_fingerprint(),
+            FitOptions::new()
+                .selection(PriorSelection::Fixed(PriorKind::ZeroMean))
+                .content_fingerprint()
+        );
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! input, which is the first half of the crate's panic-free contract
 //! (the solver degradation ladder in [`bmf_linalg::resilience`] is the
 //! other half).
+//!
+//! The module is public so downstream layers that accept model data from
+//! outside the process — notably the `bmf-persist` artifact decoder —
+//! can apply the same screens before anything reaches a solver or the
+//! service registry.
 
 use bmf_linalg::Matrix;
 
@@ -17,7 +22,7 @@ use crate::prior::Prior;
 use crate::{BmfError, Result};
 
 /// Rejects NaN/±∞ anywhere in `xs`.
-pub(crate) fn finite_values(what: &'static str, xs: &[f64]) -> Result<()> {
+pub fn finite_values(what: &'static str, xs: &[f64]) -> Result<()> {
     if xs.iter().any(|x| !x.is_finite()) {
         return Err(BmfError::NonFiniteInput { what });
     }
@@ -35,7 +40,7 @@ pub(crate) fn finite_matrix(what: &'static str, m: &Matrix) -> Result<()> {
 /// Rejects NaN/±∞ anywhere in a set of sample rows. Dimension checks
 /// happen separately (against a basis): the service registers point sets
 /// before knowing which basis will fit over them.
-pub(crate) fn finite_rows(what: &'static str, rows: &[Vec<f64>]) -> Result<()> {
+pub fn finite_rows(what: &'static str, rows: &[Vec<f64>]) -> Result<()> {
     if rows.iter().any(|r| r.iter().any(|x| !x.is_finite())) {
         return Err(BmfError::NonFiniteInput { what });
     }
@@ -44,7 +49,7 @@ pub(crate) fn finite_rows(what: &'static str, rows: &[Vec<f64>]) -> Result<()> {
 
 /// Rejects NaN/±∞ among the *present* entries of an optional coefficient
 /// list (`None` = missing prior, which is always fine).
-pub(crate) fn finite_early(what: &'static str, early: &[Option<f64>]) -> Result<()> {
+pub fn finite_early(what: &'static str, early: &[Option<f64>]) -> Result<()> {
     if early.iter().flatten().any(|a| !a.is_finite()) {
         return Err(BmfError::NonFiniteInput { what });
     }
@@ -62,7 +67,7 @@ pub(crate) fn finite_prior(prior: &Prior) -> Result<()> {
 /// screens its coordinates for NaN/±∞. Performed *before* the design
 /// matrix is built, because the basis evaluator treats a wrong-dimension
 /// point as a programming error.
-pub(crate) fn points(points: &[Vec<f64>], dim: usize) -> Result<()> {
+pub fn points(points: &[Vec<f64>], dim: usize) -> Result<()> {
     for (i, p) in points.iter().enumerate() {
         if p.len() != dim {
             return Err(BmfError::SampleShape {

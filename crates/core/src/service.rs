@@ -7,11 +7,14 @@
 //! [`FitService`] turns [`BatchFitter`](crate::batch::BatchFitter) into
 //! that long-lived engine:
 //!
-//! * a **sharded model registry** holds fitted models keyed by job id,
-//!   with explicit [`evict`](FitService::evict) /
-//!   [`reload`](FitService::reload); predictions are answered lock-light
-//!   — a shard mutex is held only long enough to clone an [`Arc`] handle,
-//!   never across the polynomial evaluation;
+//! * a **sharded snapshot registry** holds fitted models — as
+//!   [`ModelSnapshot`] handles carrying full provenance — keyed by job
+//!   id, with explicit [`evict`](FitService::evict),
+//!   [`export_model`](FitService::export_model) (evict-to-disk), and
+//!   [`import_snapshot`](FitService::import_snapshot) (warm-start from a
+//!   persisted artifact); predictions are answered lock-light — a shard
+//!   mutex is held only long enough to clone an [`Arc`] handle, never
+//!   across the polynomial evaluation;
 //! * an **MPSC work queue** accepts fit requests from any thread
 //!   ([`FitService`] is `Sync`); [`drain`](FitService::drain) feeds the
 //!   queue to the existing `std::thread::scope` worker pool inside the
@@ -79,10 +82,12 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use bmf_basis::basis::OrthonormalBasis;
 
+use bmf_stat::fnv::{fnv1a, fnv1a_u64};
+
 use crate::batch::{BatchFitter, BatchJob, BatchReport, PhaseTimings};
 use crate::fusion::{BmfFit, FitCounters, ResilienceReport};
-use crate::model::PerformanceModel;
 use crate::options::FitOptions;
+use crate::snapshot::ModelSnapshot;
 use crate::{BmfError, Result};
 
 /// Number of registry shards used by [`ServiceConfig::default`].
@@ -242,8 +247,11 @@ pub struct ServiceCounters {
     pub evictions: u64,
     /// Evictions of keys that were not registered.
     pub evict_misses: u64,
-    /// Models installed directly via [`FitService::reload`].
-    pub reloads: u64,
+    /// Snapshots installed via [`FitService::import_snapshot`] — the
+    /// warm-start path for models persisted by an earlier process.
+    pub imports: u64,
+    /// Snapshots cloned out via [`FitService::export_model`].
+    pub exports: u64,
 }
 
 #[derive(Debug, Default)]
@@ -262,7 +270,8 @@ struct AtomicCounters {
     predict_misses: AtomicU64,
     evictions: AtomicU64,
     evict_misses: AtomicU64,
-    reloads: AtomicU64,
+    imports: AtomicU64,
+    exports: AtomicU64,
 }
 
 /// A registered shared point set.
@@ -285,7 +294,7 @@ struct Pending {
 pub struct FitService {
     config: ServiceConfig,
     point_sets: Mutex<BTreeMap<u64, Arc<PointSet>>>,
-    shards: Vec<Mutex<BTreeMap<String, Arc<PerformanceModel>>>>,
+    shards: Vec<Mutex<BTreeMap<String, Arc<ModelSnapshot>>>>,
     queue: Mutex<VecDeque<Pending>>,
     tickets: AtomicU64,
     counters: AtomicCounters,
@@ -438,10 +447,10 @@ impl FitService {
         self.serve(pending)
     }
 
-    /// Looks up the model currently registered under `job_id`. The shard
-    /// lock is held only for the `Arc` clone, so callers evaluate the
-    /// polynomial without blocking writers.
-    pub fn model(&self, job_id: &str) -> Option<Arc<PerformanceModel>> {
+    /// Looks up the snapshot currently registered under `job_id`. The
+    /// shard lock is held only for the `Arc` clone, so callers evaluate
+    /// the polynomial (via `snapshot.model`) without blocking writers.
+    pub fn snapshot(&self, job_id: &str) -> Option<Arc<ModelSnapshot>> {
         lock(self.shard_for(job_id)).get(job_id).cloned()
     }
 
@@ -455,13 +464,14 @@ impl FitService {
     /// * [`BmfError::SampleShape`] when `x` has the wrong dimension.
     pub fn predict(&self, job_id: &str, x: &[f64]) -> Result<f64> {
         crate::screen::finite_values("prediction point", x)?;
-        let Some(model) = self.model(job_id) else {
+        let Some(snap) = self.snapshot(job_id) else {
             self.counters.predict_misses.fetch_add(1, Ordering::Relaxed);
             return Err(BmfError::NotFound {
                 what: "model",
                 key: job_id.to_string(),
             });
         };
+        let model = &snap.model;
         if x.len() != model.basis().num_vars() {
             return Err(BmfError::SampleShape {
                 detail: format!(
@@ -495,16 +505,64 @@ impl FitService {
         }
     }
 
-    /// Installs (or replaces) a model directly, bypassing fitting — the
-    /// warm-start path for models persisted by an earlier process.
-    pub fn reload(&self, job_id: &str, model: PerformanceModel) {
-        lock(self.shard_for(job_id)).insert(job_id.to_string(), Arc::new(model));
-        self.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    /// Clones out the snapshot registered under `job_id` — the first half
+    /// of the evict-to-disk flow (`export_model` → persist → `evict`),
+    /// and the handle `bmf-persist` serializes.
+    ///
+    /// The registry keeps serving the model; exporting does not evict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::NotFound`] when no model is registered under
+    /// the key.
+    pub fn export_model(&self, job_id: &str) -> Result<ModelSnapshot> {
+        let Some(snap) = self.snapshot(job_id) else {
+            return Err(BmfError::NotFound {
+                what: "model",
+                key: job_id.to_string(),
+            });
+        };
+        self.counters.exports.fetch_add(1, Ordering::Relaxed);
+        // Clone: the caller gets an owned snapshot to serialize or ship
+        // while the registry keeps serving its own handle.
+        Ok(snap.as_ref().clone())
     }
 
-    /// Number of models currently registered across all shards.
-    pub fn registered_models(&self) -> usize {
+    /// Installs (or replaces) a snapshot under its own job id, bypassing
+    /// fitting — the warm-start path for models persisted by an earlier
+    /// process. The snapshot is screened first
+    /// ([`ModelSnapshot::validate`]), so a corrupted or contaminated
+    /// artifact is rejected with a structured error before it can serve
+    /// predictions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelSnapshot::validate`]:
+    /// [`BmfError::NonFiniteInput`], [`BmfError::Snapshot`], or
+    /// [`BmfError::Config`].
+    pub fn import_snapshot(&self, snapshot: ModelSnapshot) -> Result<()> {
+        snapshot.validate()?;
+        let key = snapshot.job_id.clone();
+        lock(self.shard_for(&key)).insert(key, Arc::new(snapshot));
+        self.counters.imports.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Number of snapshots currently registered across all shards.
+    pub fn snapshot_count(&self) -> usize {
         self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// The job ids of every registered snapshot, sorted — the
+    /// deterministic iteration order for exporting a whole registry.
+    pub fn job_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| lock(s).keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// A snapshot of the service-wide counters.
@@ -526,7 +584,8 @@ impl FitService {
             predict_misses: get(&c.predict_misses),
             evictions: get(&c.evictions),
             evict_misses: get(&c.evict_misses),
-            reloads: get(&c.reloads),
+            imports: get(&c.imports),
+            exports: get(&c.exports),
         }
     }
 
@@ -540,7 +599,7 @@ impl FitService {
             })
     }
 
-    fn shard_for(&self, job_id: &str) -> &Mutex<BTreeMap<String, Arc<PerformanceModel>>> {
+    fn shard_for(&self, job_id: &str) -> &Mutex<BTreeMap<String, Arc<ModelSnapshot>>> {
         let i = fnv1a(0, job_id.as_bytes()) as usize % self.shards.len();
         &self.shards[i]
     }
@@ -674,10 +733,13 @@ impl FitService {
             if fit.resilience.is_degraded() {
                 c.degraded_fits.fetch_add(1, Ordering::Relaxed);
             }
-            // Clone: the registry keeps its own handle while the fit —
-            // model included — is returned to the submitter.
+            // The registry keeps a snapshot (model + provenance, cloned
+            // out of the fit) while the fit itself is returned to the
+            // submitter.
+            let snap =
+                ModelSnapshot::from_fit(p.request.job_id.clone(), &fit, &self.config.options);
             lock(self.shard_for(&p.request.job_id))
-                .insert(p.request.job_id.clone(), Arc::new(fit.model.clone()));
+                .insert(p.request.job_id.clone(), Arc::new(snap));
             report.outcomes.push(FitOutcome {
                 ticket: p.ticket,
                 job_id: p.request.job_id,
@@ -686,23 +748,6 @@ impl FitService {
             });
         }
     }
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// FNV-1a over a byte slice, chained through `state` (pass 0 to start).
-fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
-    let mut h = if state == 0 { FNV_OFFSET } else { state };
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-fn fnv1a_u64(state: u64, value: u64) -> u64 {
-    fnv1a(state, &value.to_le_bytes())
 }
 
 /// Content fingerprint of a point set: dimensions plus every coordinate's

@@ -1,0 +1,228 @@
+//! Versioned model snapshots: a fitted model plus its provenance.
+//!
+//! A [`PerformanceModel`] alone is not enough to reuse a fit across
+//! process restarts — the paper's whole premise is *reuse of
+//! early-stage knowledge*, and reuse needs to know how the model was
+//! obtained: which prior family won selection, at what hyper-parameter,
+//! with what cross-validation error, under which [`FitOptions`], and
+//! how hard the solver degradation ladder had to work.
+//! [`ModelSnapshot`] bundles all of that into one value that the
+//! service exports and imports ([`FitService::export_model`] /
+//! [`FitService::import_snapshot`]) and that `bmf-persist` serializes
+//! byte-deterministically to disk.
+//!
+//! A snapshot is *inert data*: constructing one performs no fitting and
+//! no I/O. [`ModelSnapshot::validate`] applies the same boundary
+//! screens as the fitting entry points, so a snapshot that crossed a
+//! process boundary (decoded from disk, received from another
+//! population's store) is screened before it can serve predictions.
+//!
+//! [`FitService::export_model`]: crate::service::FitService::export_model
+//! [`FitService::import_snapshot`]: crate::service::FitService::import_snapshot
+
+use crate::fusion::{BmfFit, ResilienceReport};
+use crate::model::PerformanceModel;
+use crate::options::FitOptions;
+use crate::prior::PriorKind;
+use crate::select::SelectionOutcome;
+use crate::{screen, BmfError, Result};
+
+/// A fitted model together with the provenance needed to reuse it.
+///
+/// Everything in a snapshot is plain data with a canonical binary
+/// encoding (`bmf-persist`): two snapshots with bit-identical fields
+/// encode to byte-identical artifacts, and a snapshot round-tripped
+/// through disk serves bit-identical predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// The registry key this model serves under.
+    pub job_id: String,
+    /// The fitted late-stage model.
+    pub model: PerformanceModel,
+    /// The fitting configuration the model was produced under.
+    pub options: FitOptions,
+    /// The prior family that won selection.
+    pub prior_kind: PriorKind,
+    /// The selected hyper-parameter (in the normalized response space).
+    pub hyper: f64,
+    /// Cross-validation error of the selected configuration.
+    pub cv_error: f64,
+    /// The full selection record (per-grid-point errors per family).
+    pub selection: SelectionOutcome,
+    /// Degradation-ladder summary of the fit that produced the model.
+    pub resilience: ResilienceReport,
+}
+
+impl ModelSnapshot {
+    /// Captures a completed fit as a snapshot under `job_id`.
+    ///
+    /// `options` is the configuration the fit ran under; the service
+    /// passes its own [`ServiceConfig::options`], direct callers pass
+    /// whatever they gave the fitter.
+    ///
+    /// [`ServiceConfig::options`]: crate::service::ServiceConfig::options
+    pub fn from_fit(job_id: impl Into<String>, fit: &BmfFit, options: &FitOptions) -> Self {
+        ModelSnapshot {
+            job_id: job_id.into(),
+            // Clone: the snapshot owns its provenance independently of
+            // the borrowed fit, which the caller keeps.
+            model: fit.model.clone(),
+            options: options.clone(),
+            prior_kind: fit.prior_kind,
+            hyper: fit.hyper,
+            cv_error: fit.cv_error,
+            selection: fit.selection.clone(),
+            resilience: fit.resilience,
+        }
+    }
+
+    /// Wraps a bare model in a snapshot with default provenance — for
+    /// models obtained outside the fitting pipeline (hand-constructed
+    /// baselines, models migrated from an older store without
+    /// provenance).
+    ///
+    /// The provenance fields record "nothing is known": default
+    /// [`FitOptions`], a zero-mean prior tag, zero selection error, and
+    /// a clean [`ResilienceReport`].
+    pub fn from_model(job_id: impl Into<String>, model: PerformanceModel) -> Self {
+        ModelSnapshot {
+            job_id: job_id.into(),
+            model,
+            options: FitOptions::default(),
+            prior_kind: PriorKind::ZeroMean,
+            hyper: 1.0,
+            cv_error: 0.0,
+            selection: SelectionOutcome {
+                kind: PriorKind::ZeroMean,
+                hyper: 1.0,
+                cv_error: 0.0,
+                zero_mean: None,
+                nonzero_mean: None,
+            },
+            resilience: ResilienceReport::default(),
+        }
+    }
+
+    /// Screens the snapshot with the same discipline as the fitting
+    /// entry points: every numeric field must be finite, the job id
+    /// non-empty, and the embedded options valid. Called by
+    /// [`FitService::import_snapshot`] before a snapshot can serve
+    /// predictions, and by the `bmf-persist` codec on both encode and
+    /// decode.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::NonFiniteInput`] when any coefficient,
+    ///   hyper-parameter, error, or resilience figure is NaN/±∞.
+    /// * [`BmfError::Snapshot`] for an empty job id.
+    /// * [`BmfError::Config`] when the embedded options are invalid.
+    ///
+    /// [`FitService::import_snapshot`]: crate::service::FitService::import_snapshot
+    pub fn validate(&self) -> Result<()> {
+        screen::finite_values("snapshot coefficients", self.model.coeffs())?;
+        screen::finite_values(
+            "snapshot hyper-parameter",
+            &[self.hyper, self.selection.hyper],
+        )?;
+        screen::finite_values(
+            "snapshot cross-validation error",
+            &[self.cv_error, self.selection.cv_error],
+        )?;
+        screen::finite_values(
+            "snapshot resilience report",
+            &[self.resilience.ridge, self.resilience.rcond],
+        )?;
+        for cv in self
+            .selection
+            .zero_mean
+            .iter()
+            .chain(self.selection.nonzero_mean.iter())
+        {
+            screen::finite_values("snapshot selection record", &[cv.best_hyper, cv.best_error])?;
+            for &(h, e) in &cv.errors {
+                screen::finite_values("snapshot selection record", &[h, e])?;
+            }
+        }
+        if self.job_id.is_empty() {
+            return Err(BmfError::Snapshot {
+                detail: "job id must be non-empty".to_string(),
+            });
+        }
+        self.options.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_basis::basis::OrthonormalBasis;
+
+    fn model() -> PerformanceModel {
+        PerformanceModel::new(OrthonormalBasis::linear(2), vec![1.0, 0.5, -0.25]).unwrap()
+    }
+
+    #[test]
+    fn from_model_validates_clean() {
+        let snap = ModelSnapshot::from_model("gain", model());
+        assert!(snap.validate().is_ok());
+        assert_eq!(snap.job_id, "gain");
+        assert_eq!(snap.prior_kind, PriorKind::ZeroMean);
+        assert!(!snap.resilience.is_degraded());
+    }
+
+    #[test]
+    fn empty_job_id_is_rejected() {
+        let snap = ModelSnapshot::from_model("", model());
+        assert!(matches!(snap.validate(), Err(BmfError::Snapshot { .. })));
+    }
+
+    #[test]
+    fn non_finite_fields_are_screened() {
+        let mut snap = ModelSnapshot::from_model("g", model());
+        snap.hyper = f64::NAN;
+        assert!(matches!(
+            snap.validate(),
+            Err(BmfError::NonFiniteInput { .. })
+        ));
+
+        let bad_model =
+            PerformanceModel::new(OrthonormalBasis::linear(2), vec![1.0, f64::INFINITY, 0.0])
+                .unwrap();
+        let snap = ModelSnapshot::from_model("g", bad_model);
+        assert!(matches!(
+            snap.validate(),
+            Err(BmfError::NonFiniteInput {
+                what: "snapshot coefficients"
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_embedded_options_are_rejected() {
+        let mut snap = ModelSnapshot::from_model("g", model());
+        snap.options = FitOptions::new().grid(vec![]);
+        assert!(matches!(
+            snap.validate(),
+            Err(BmfError::Config {
+                parameter: "grid",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn selection_record_is_screened() {
+        use crate::hyper::CvOutcome;
+        let mut snap = ModelSnapshot::from_model("g", model());
+        snap.selection.zero_mean = Some(CvOutcome {
+            best_hyper: 1.0,
+            best_error: 0.1,
+            errors: vec![(1.0, f64::NAN)],
+        });
+        assert!(matches!(
+            snap.validate(),
+            Err(BmfError::NonFiniteInput { .. })
+        ));
+    }
+}

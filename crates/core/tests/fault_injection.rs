@@ -535,8 +535,8 @@ fn service_drain_degrades_structurally_on_adversarial_batches() {
     );
     let c = service.counters();
     assert_eq!(c.fits_ok + c.fits_failed, 2);
-    assert!(service.model("dup-rows").is_some());
-    assert!(service.model("no-prior").is_none());
+    assert!(service.snapshot("dup-rows").is_some());
+    assert!(service.snapshot("no-prior").is_none());
 }
 
 #[test]

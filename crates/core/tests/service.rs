@@ -273,9 +273,12 @@ fn predict_after_evict_is_a_structured_miss() {
     assert_eq!(c.evict_misses, 1);
     assert_eq!(c.predict_misses, 1);
 
-    // Reload restores serving without a refit.
-    let report_model = service.model("gain");
-    assert!(report_model.is_none());
+    // The registry really dropped the snapshot, not just the model.
+    assert!(service.snapshot("gain").is_none());
+    assert!(matches!(
+        service.export_model("gain"),
+        Err(BmfError::NotFound { .. })
+    ));
 }
 
 #[test]
@@ -333,8 +336,8 @@ fn whole_batch_failure_is_isolated_to_the_guilty_request() {
     assert_eq!(c.fits_failed, 1);
     // The survivor is registered and serves predictions; the failed job
     // never enters the registry.
-    assert!(service.model("healthy").is_some());
-    assert!(service.model("doomed").is_none());
+    assert!(service.snapshot("healthy").is_some());
+    assert!(service.snapshot("doomed").is_none());
 
     // Isolated refits stay bit-identical to the direct serial path.
     let (prior, values) = job_payload(1, r, &points);
@@ -394,4 +397,89 @@ fn max_coalesce_splits_batches_without_changing_results() {
         chunked_results, reference,
         "chunking must not change any fit"
     );
+}
+
+#[test]
+fn export_import_round_trip_preserves_predictions_bitwise() {
+    let r = 5;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(14, r, 33);
+    let source = FitService::new(ServiceConfig {
+        options: options(0),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let ps = source.register_points(points.clone()).unwrap();
+    for j in 0..3 {
+        let (prior, values) = job_payload(j, r, &points);
+        source
+            .submit_fit(FitRequest {
+                job_id: format!("job{j}"),
+                basis: basis.clone(),
+                points: ps,
+                prior,
+                values,
+            })
+            .unwrap();
+    }
+    source.drain();
+    assert_eq!(source.snapshot_count(), 3);
+    assert_eq!(source.job_ids(), vec!["job0", "job1", "job2"]);
+
+    // Evict-to-disk shape: export carries the model *and* provenance.
+    let snap = source.export_model("job1").unwrap();
+    assert_eq!(snap.job_id, "job1");
+    assert_eq!(snap.options, options(0));
+    assert!(snap.validate().is_ok());
+    assert!(matches!(
+        source.export_model("missing"),
+        Err(BmfError::NotFound { .. })
+    ));
+
+    // Warm-start a fresh service from the exported snapshots only.
+    let target = FitService::new(ServiceConfig::default()).unwrap();
+    for id in source.job_ids() {
+        target
+            .import_snapshot(source.export_model(&id).unwrap())
+            .unwrap();
+    }
+    assert_eq!(target.snapshot_count(), 3);
+    let probes = sample_points(8, r, 99);
+    for id in source.job_ids() {
+        for p in &probes {
+            let a = source.predict(&id, p).unwrap();
+            let b = target.predict(&id, p).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "{id} diverges after round trip");
+        }
+    }
+    let c = source.counters();
+    assert_eq!(c.exports, 4, "3 warm-start exports + 1 direct");
+    assert_eq!(target.counters().imports, 3);
+}
+
+#[test]
+fn import_screens_contaminated_snapshots() {
+    use bmf_core::model::PerformanceModel;
+    use bmf_core::snapshot::ModelSnapshot;
+
+    let service = FitService::new(ServiceConfig::default()).unwrap();
+    let bad = PerformanceModel::new(OrthonormalBasis::linear(2), vec![1.0, f64::NAN, 0.0]).unwrap();
+    let snap = ModelSnapshot::from_model("poison", bad);
+    assert!(matches!(
+        service.import_snapshot(snap),
+        Err(BmfError::NonFiniteInput { .. })
+    ));
+    assert_eq!(
+        service.snapshot_count(),
+        0,
+        "rejected import must not register"
+    );
+    assert_eq!(service.counters().imports, 0);
+
+    let good = PerformanceModel::new(OrthonormalBasis::linear(2), vec![1.0, 0.5, -0.25]).unwrap();
+    service
+        .import_snapshot(ModelSnapshot::from_model("clean", good))
+        .unwrap();
+    assert_eq!(service.snapshot_count(), 1);
+    assert!(service.predict("clean", &[0.0, 0.0]).is_ok());
 }

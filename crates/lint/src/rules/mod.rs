@@ -46,12 +46,14 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
 
 /// Crates carrying the panic-free / screened fitting-stack guarantees.
 /// `root` is the umbrella crate at `src/`.
-pub(crate) const FITTING_CRATES: &[&str] = &["basis", "circuits", "core", "linalg", "stat", "root"];
+pub(crate) const FITTING_CRATES: &[&str] = &[
+    "basis", "circuits", "core", "linalg", "persist", "stat", "root",
+];
 
 /// Crates whose outputs must be bit-reproducible — the fitting stack plus
 /// the lint itself (its reports are diffed byte-for-byte in CI).
 pub(crate) const DETERMINISM_CRATES: &[&str] = &[
-    "basis", "circuits", "core", "linalg", "stat", "root", "lint",
+    "basis", "circuits", "core", "linalg", "persist", "stat", "root", "lint",
 ];
 
 /// Maps a workspace-relative path to its crate short name:

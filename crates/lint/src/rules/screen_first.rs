@@ -19,18 +19,24 @@ use crate::SourceFile;
 /// See the module docs.
 pub struct ScreenBeforeMath;
 
-/// The `bmf_core` modules whose `pub fn`s are user-facing entry points.
+/// The modules whose `pub fn`s are user-facing entry points, as full
+/// workspace-relative paths — PR 7 extended the discipline beyond
+/// `bmf_core` to the persistence boundary, where bytes from disk enter
+/// the model registry.
 const ENTRY_MODULES: &[&str] = &[
-    "fusion.rs",
-    "batch.rs",
-    "map_estimate.rs",
-    "least_squares.rs",
-    "lasso.rs",
-    "omp.rs",
-    "hyper.rs",
-    "sequential.rs",
-    "applications.rs",
-    "service.rs",
+    "crates/core/src/fusion.rs",
+    "crates/core/src/batch.rs",
+    "crates/core/src/map_estimate.rs",
+    "crates/core/src/least_squares.rs",
+    "crates/core/src/lasso.rs",
+    "crates/core/src/omp.rs",
+    "crates/core/src/hyper.rs",
+    "crates/core/src/sequential.rs",
+    "crates/core/src/applications.rs",
+    "crates/core/src/service.rs",
+    "crates/core/src/snapshot.rs",
+    "crates/persist/src/artifact.rs",
+    "crates/persist/src/store.rs",
 ];
 
 impl Rule for ScreenBeforeMath {
@@ -39,14 +45,11 @@ impl Rule for ScreenBeforeMath {
     }
 
     fn describe(&self) -> &'static str {
-        "public fallible bmf_core entry points must call screen:: before arithmetic"
+        "public fallible entry points (core + persist) must call screen:: before arithmetic"
     }
 
     fn check(&self, file: &SourceFile, model: &FileModel, out: &mut Vec<Finding>) {
-        let Some(rest) = file.path.strip_prefix("crates/core/src/") else {
-            return;
-        };
-        if !ENTRY_MODULES.contains(&rest) {
+        if !ENTRY_MODULES.contains(&file.path.as_str()) {
             return;
         }
         for f in &model.fns {

@@ -1,0 +1,299 @@
+//! Canonical little-endian binary encode/decode primitives.
+//!
+//! The codec is deliberately tiny and total: fixed-width little-endian
+//! integers, f64s carried by exact bit pattern ([`f64::to_bits`] /
+//! [`f64::from_bits`]), and length-prefixed byte strings. Encoding is a
+//! pure function of the input bits — no timestamps, no map iteration
+//! order, no platform-dependent widths — which is what makes artifacts
+//! byte-reproducible across machines and runs.
+//!
+//! Decoding is defensive: every read is bounds-checked against the
+//! remaining input, every length field is checked against the bytes
+//! that could possibly back it *before* any allocation is sized from
+//! it, and every failure is a structured [`PersistError::Corrupt`]
+//! carrying the byte offset. A truncated or bit-flipped input can
+//! therefore never panic or balloon memory — it errors, with an
+//! offset.
+
+use crate::{PersistError, Result};
+
+/// Appends canonically encoded values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a usize as a little-endian u64 (lossless: the workspace
+    /// targets 64-bit platforms and counts originate from in-memory
+    /// collections).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an f64 by exact bit pattern. NaN payloads and signed
+    /// zeros round-trip unchanged.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes with a u64 length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a UTF-8 string with a u64 length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes encoded so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads canonically encoded values from a byte slice, tracking the
+/// current offset for error reporting.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Current byte offset (where the next read starts).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// The unread remainder of the input, without consuming it — used
+    /// to fingerprint a payload before field-by-field decoding.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
+    /// Builds a corruption error at the current offset.
+    pub fn corrupt(&self, detail: impl Into<String>) -> PersistError {
+        PersistError::Corrupt {
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    /// Takes the next `n` bytes, or errors with `what` at the current
+    /// offset.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt(format!(
+                "truncated while reading {what}: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn take_u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        let mut le = [0u8; 4];
+        le.copy_from_slice(b);
+        Ok(u32::from_le_bytes(le))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn take_u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        let mut le = [0u8; 8];
+        le.copy_from_slice(b);
+        Ok(u64::from_le_bytes(le))
+    }
+
+    /// Reads an f64 by exact bit pattern.
+    pub fn take_f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64(what)?))
+    }
+
+    /// Reads a u64 count and checks that `count * elem_bytes` elements
+    /// could still be backed by the remaining input, so a corrupted
+    /// length field fails as `Corrupt` instead of sizing a huge
+    /// allocation. `elem_bytes` is the *minimum* encoded size of one
+    /// element (pass 1 for variable-size elements).
+    pub fn take_count(&mut self, what: &str, elem_bytes: usize) -> Result<usize> {
+        let at = self.pos;
+        let raw = self.take_u64(what)?;
+        let count = usize::try_from(raw).map_err(|_| PersistError::Corrupt {
+            offset: at,
+            detail: format!("{what} count {raw} does not fit in usize"),
+        })?;
+        let need = count.checked_mul(elem_bytes.max(1));
+        match need {
+            Some(bytes) if bytes <= self.remaining() => Ok(count),
+            _ => Err(PersistError::Corrupt {
+                offset: at,
+                detail: format!(
+                    "{what} count {count} needs at least {} bytes, {} remain",
+                    need.map_or_else(|| "overflowing".to_string(), |b| b.to_string()),
+                    self.remaining()
+                ),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self, what: &str) -> Result<&'a [u8]> {
+        let n = self.take_count(what, 1)?;
+        self.take(n, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self, what: &str) -> Result<&'a str> {
+        let at = self.pos;
+        let bytes = self.take_bytes(what)?;
+        std::str::from_utf8(bytes).map_err(|e| PersistError::Corrupt {
+            offset: at,
+            detail: format!("{what} is not valid UTF-8: {e}"),
+        })
+    }
+
+    /// Errors unless every input byte has been consumed — trailing
+    /// garbage means the artifact was not produced by this codec.
+    pub fn expect_end(&self, what: &str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!(
+                "{what} has {} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX - 1);
+        e.put_f64(-0.0);
+        e.put_f64(f64::from_bits(0x7ff8_0000_0000_0001)); // NaN payload
+        e.put_str("job/α");
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_u8("a").unwrap(), 7);
+        assert_eq!(d.take_u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(d.take_u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(d.take_f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.take_f64("e").unwrap().to_bits(), 0x7ff8_0000_0000_0001u64);
+        assert_eq!(d.take_str("f").unwrap(), "job/α");
+        assert!(d.expect_end("buffer").is_ok());
+    }
+
+    #[test]
+    fn truncation_reports_offset() {
+        let mut e = Encoder::new();
+        e.put_u64(42);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes[..5]);
+        let err = d.take_u64("value").unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { offset: 0, .. }));
+    }
+
+    #[test]
+    fn hostile_length_fields_fail_before_allocating() {
+        // A length prefix claiming u64::MAX elements must error, not
+        // attempt an allocation.
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(
+            d.take_count("coefficients", 8),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xff, 0xfe]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(
+            d.take_str("job id"),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut e = Encoder::new();
+        e.put_u8(1);
+        e.put_u8(2);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        d.take_u8("x").unwrap();
+        assert!(matches!(
+            d.expect_end("artifact"),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+use std::error::Error;
+use std::fmt;
+
+use bmf_core::BmfError;
+
+/// Errors produced by the persistence layer.
+///
+/// Corruption is *structural* and reported with enough context to
+/// triage from a log line: the byte offset where decoding failed, the
+/// version numbers that disagreed, or the fingerprints that did not
+/// match. Model-level problems (a decoded snapshot failing the boundary
+/// screens) are carried as [`PersistError::Model`], and the whole enum
+/// converts into [`BmfError::Snapshot`] so persistence failures route
+/// through the same structured-error ladder as every fitting failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// The artifact bytes are structurally invalid: truncated, bad
+    /// magic, an impossible length field, or a malformed payload.
+    Corrupt {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// What was wrong there.
+        detail: String,
+    },
+    /// The artifact was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The payload's recomputed FNV-1a fingerprint disagrees with the
+    /// header (bit rot or tampering), or an artifact's content does not
+    /// match the id it was requested under.
+    FingerprintMismatch {
+        /// Fingerprint expected (header or requested id).
+        expected: u64,
+        /// Fingerprint actually computed over the payload.
+        actual: u64,
+    },
+    /// The decoded snapshot failed model-level validation (the
+    /// `bmf_core::screen` discipline), or a model operation failed.
+    Model(BmfError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, detail } => {
+                write!(f, "i/o failure on `{path}`: {detail}")
+            }
+            PersistError::Corrupt { offset, detail } => {
+                write!(f, "corrupt artifact at byte {offset}: {detail}")
+            }
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads <= {supported})"
+            ),
+            PersistError::FingerprintMismatch { expected, actual } => write!(
+                f,
+                "artifact fingerprint mismatch: expected {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            PersistError::Model(e) => write!(f, "snapshot failed model validation: {e}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BmfError> for PersistError {
+    fn from(e: BmfError) -> Self {
+        PersistError::Model(e)
+    }
+}
+
+impl From<PersistError> for BmfError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            // Model-level failures keep their original structured form.
+            PersistError::Model(inner) => inner,
+            // Structural failures route through the snapshot rung of the
+            // ladder, keeping the rendered context.
+            other => BmfError::Snapshot {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = PersistError::Corrupt {
+            offset: 12,
+            detail: "truncated header".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("truncated header"));
+        let v = PersistError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(v.to_string().contains('9'));
+        let fp = PersistError::FingerprintMismatch {
+            expected: 0xabc,
+            actual: 0xdef,
+        };
+        assert!(fp.to_string().contains("0x0000000000000abc"));
+    }
+
+    #[test]
+    fn routes_through_bmf_error_ladder() {
+        let model_err = PersistError::Model(BmfError::NonFiniteInput {
+            what: "snapshot coefficients",
+        });
+        assert!(matches!(
+            BmfError::from(model_err),
+            BmfError::NonFiniteInput { .. }
+        ));
+        let corrupt = PersistError::Corrupt {
+            offset: 0,
+            detail: "bad magic".into(),
+        };
+        let routed = BmfError::from(corrupt);
+        assert!(matches!(routed, BmfError::Snapshot { .. }));
+        assert!(routed.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn error_is_send_sync_with_source() {
+        fn check<T: Send + Sync>() {}
+        check::<PersistError>();
+        let e = PersistError::Model(BmfError::NonFiniteInput { what: "x" });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,361 @@
+//! Content-addressed on-disk artifact store with service warm-start.
+//!
+//! An [`ArtifactStore`] is a plain directory. Each artifact lives in a
+//! file named by its content fingerprint — `<16-hex-digits>.bmfsnap` —
+//! so equal snapshots land in the same file and the store deduplicates
+//! by construction. An append-only `index.tsv` records, one line per
+//! [`put`](ArtifactStore::put), the sequence number, artifact id, and
+//! job id (tab-separated, with tabs/newlines/backslashes in job ids
+//! escaped), preserving publication order for
+//! [`warm_start`](ArtifactStore::warm_start).
+//!
+//! Nothing in the layout depends on time, randomness, or iteration
+//! order: the same sequence of `put` calls produces byte-identical
+//! files and an identical index, wherever and whenever it runs.
+//! Artifact writes go through a deterministic temporary name followed
+//! by a rename, so a crash mid-write never leaves a half-written
+//! `.bmfsnap` visible under its content address.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use bmf_core::service::FitService;
+use bmf_core::snapshot::ModelSnapshot;
+
+use crate::artifact::{artifact_fingerprint, decode_snapshot, encode_snapshot};
+use crate::{PersistError, Result};
+
+/// File extension of stored artifacts.
+pub const ARTIFACT_EXT: &str = "bmfsnap";
+
+/// Name of the append-only index file inside a store directory.
+pub const INDEX_FILE: &str = "index.tsv";
+
+/// A content address: the FNV-1a fingerprint from an artifact header,
+/// rendered as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArtifactId(u64);
+
+impl ArtifactId {
+    /// Wraps a raw fingerprint.
+    pub fn new(fingerprint: u64) -> Self {
+        ArtifactId(fingerprint)
+    }
+
+    /// The raw fingerprint value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl FromStr for ArtifactId {
+    type Err = PersistError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        if s.len() != 16 {
+            return Err(PersistError::Corrupt {
+                offset: 0,
+                detail: format!("artifact id `{s}` is not 16 hex digits"),
+            });
+        }
+        u64::from_str_radix(s, 16)
+            .map(ArtifactId)
+            .map_err(|_| PersistError::Corrupt {
+                offset: 0,
+                detail: format!("artifact id `{s}` is not 16 hex digits"),
+            })
+    }
+}
+
+/// One line of the store index: the `seq`-th `put` published artifact
+/// `id` under `job_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Zero-based publication sequence number.
+    pub seq: u64,
+    /// Content address of the published artifact.
+    pub id: ArtifactId,
+    /// Job id the snapshot was published under.
+    pub job_id: String,
+}
+
+/// A content-addressed directory of snapshot artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, &e))?;
+        Ok(ArtifactStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Publishes a snapshot: encodes it, writes the artifact under its
+    /// content address (skipped when the identical content is already
+    /// stored), and appends an index line. Returns the artifact id.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Model`] when the snapshot fails validation,
+    /// [`PersistError::Io`] on filesystem failures.
+    pub fn put(&self, snapshot: &ModelSnapshot) -> Result<ArtifactId> {
+        self.put_inner(snapshot)
+    }
+
+    /// Loads and fully verifies the artifact stored under `id`:
+    /// magic, version, payload length, content fingerprint, the
+    /// fingerprint-vs-requested-id match, and the model-level screens.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the artifact file is missing or
+    /// unreadable; [`PersistError::FingerprintMismatch`] when the file's
+    /// content does not hash to `id`; the [`decode_snapshot`] conditions
+    /// otherwise.
+    pub fn get(&self, id: ArtifactId) -> Result<ModelSnapshot> {
+        self.get_inner(id)
+    }
+
+    /// `true` when an artifact file for `id` exists (without verifying
+    /// its content — [`get`](Self::get) does that).
+    pub fn contains(&self, id: ArtifactId) -> bool {
+        self.artifact_path(id).is_file()
+    }
+
+    /// The path an artifact with this id is (or would be) stored at.
+    pub fn artifact_path(&self, id: ArtifactId) -> PathBuf {
+        self.root.join(format!("{id}.{ARTIFACT_EXT}"))
+    }
+
+    /// Reads the index: every publication, in sequence order. An absent
+    /// index file is an empty store.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the index exists but cannot be read;
+    /// [`PersistError::Corrupt`] for malformed index lines.
+    pub fn index(&self) -> Result<Vec<IndexEntry>> {
+        self.index_inner()
+    }
+
+    /// Warm-starts a service from the store: loads every indexed
+    /// artifact in publication order and imports it, so the newest
+    /// publication of a job id wins, exactly as it would have in the
+    /// exporting service's registry. Returns the number of imports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`get`](Self::get) and
+    /// [`FitService::import_snapshot`] failures.
+    pub fn warm_start(&self, service: &FitService) -> Result<usize> {
+        self.warm_start_inner(service)
+    }
+
+    /// Publishes every model a service currently holds, in sorted
+    /// job-id order (the [`FitService::job_ids`] order), and returns
+    /// the artifact ids in that same order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitService::export_model`] and
+    /// [`put`](Self::put) failures.
+    pub fn export_service(&self, service: &FitService) -> Result<Vec<ArtifactId>> {
+        self.export_service_inner(service)
+    }
+
+    fn put_inner(&self, snapshot: &ModelSnapshot) -> Result<ArtifactId> {
+        let bytes = encode_snapshot(snapshot)?;
+        let id = ArtifactId(artifact_fingerprint(&bytes)?);
+        let path = self.artifact_path(id);
+        if !path.is_file() {
+            // Deterministic temp name: content-addressed, so two
+            // writers racing on the same id write identical bytes.
+            let tmp = self.root.join(format!("{id}.{ARTIFACT_EXT}.tmp"));
+            fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, &e))?;
+            fs::rename(&tmp, &path).map_err(|e| io_err(&path, &e))?;
+        }
+        let seq = self.index_inner()?.len() as u64;
+        let index_path = self.root.join(INDEX_FILE);
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&index_path)
+            .map_err(|e| io_err(&index_path, &e))?;
+        writeln!(f, "{seq}\t{id}\t{}", escape_job_id(&snapshot.job_id))
+            .map_err(|e| io_err(&index_path, &e))?;
+        Ok(id)
+    }
+
+    fn get_inner(&self, id: ArtifactId) -> Result<ModelSnapshot> {
+        let path = self.artifact_path(id);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, &e))?;
+        let actual = artifact_fingerprint(&bytes)?;
+        if actual != id.value() {
+            return Err(PersistError::FingerprintMismatch {
+                expected: id.value(),
+                actual,
+            });
+        }
+        decode_snapshot(&bytes)
+    }
+
+    fn index_inner(&self) -> Result<Vec<IndexEntry>> {
+        let path = self.root.join(INDEX_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&path, &e)),
+        };
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            entries.push(parse_index_line(lineno, line)?);
+        }
+        Ok(entries)
+    }
+
+    fn warm_start_inner(&self, service: &FitService) -> Result<usize> {
+        let mut imported = 0;
+        for entry in self.index_inner()? {
+            let snapshot = self.get_inner(entry.id)?;
+            service
+                .import_snapshot(snapshot)
+                .map_err(PersistError::Model)?;
+            imported += 1;
+        }
+        Ok(imported)
+    }
+
+    fn export_service_inner(&self, service: &FitService) -> Result<Vec<ArtifactId>> {
+        let job_ids = service.job_ids();
+        let mut ids = Vec::with_capacity(job_ids.len());
+        for job_id in job_ids {
+            let snapshot = service.export_model(&job_id).map_err(PersistError::Model)?;
+            ids.push(self.put_inner(&snapshot)?);
+        }
+        Ok(ids)
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> PersistError {
+    PersistError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+fn parse_index_line(lineno: usize, line: &str) -> Result<IndexEntry> {
+    let corrupt = |detail: String| PersistError::Corrupt {
+        offset: lineno,
+        detail,
+    };
+    let mut fields = line.splitn(3, '\t');
+    let (Some(seq), Some(id), Some(job)) = (fields.next(), fields.next(), fields.next()) else {
+        return Err(corrupt(format!(
+            "index line {lineno} has fewer than 3 tab-separated fields"
+        )));
+    };
+    let seq: u64 = seq
+        .parse()
+        .map_err(|_| corrupt(format!("index line {lineno}: bad sequence number `{seq}`")))?;
+    let id = ArtifactId::from_str(id)
+        .map_err(|_| corrupt(format!("index line {lineno}: bad artifact id `{id}`")))?;
+    let job_id = unescape_job_id(job)
+        .ok_or_else(|| corrupt(format!("index line {lineno}: bad job-id escape")))?;
+    Ok(IndexEntry { seq, id, job_id })
+}
+
+/// Escapes a job id for one tab-separated index field.
+fn escape_job_id(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_job_id`]; `None` for a dangling or unknown escape.
+fn unescape_job_id(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_id_formats_and_parses() {
+        let id = ArtifactId::new(0x00ab_cdef_0123_4567);
+        assert_eq!(id.to_string(), "00abcdef01234567");
+        assert_eq!(ArtifactId::from_str("00abcdef01234567").unwrap(), id);
+        assert!(ArtifactId::from_str("xyz").is_err());
+        assert!(ArtifactId::from_str("abc").is_err());
+        assert!(ArtifactId::from_str("00abcdef012345670").is_err());
+    }
+
+    #[test]
+    fn job_id_escaping_round_trips() {
+        for raw in ["plain", "tab\tnl\nbs\\cr\r", "", "trailing\\"] {
+            let escaped = escape_job_id(raw);
+            assert!(!escaped.contains('\t'));
+            assert!(!escaped.contains('\n'));
+            assert_eq!(unescape_job_id(&escaped).as_deref(), Some(raw));
+        }
+        assert_eq!(unescape_job_id("dangling\\"), None);
+        assert_eq!(unescape_job_id("bad\\x"), None);
+    }
+
+    #[test]
+    fn index_lines_parse_and_reject_garbage() {
+        let e = parse_index_line(0, "0\t00abcdef01234567\tjob\\twith tab").unwrap();
+        assert_eq!(e.seq, 0);
+        assert_eq!(e.job_id, "job\twith tab");
+        assert!(parse_index_line(1, "no tabs at all").is_err());
+        assert!(parse_index_line(2, "x\t00abcdef01234567\tj").is_err());
+        assert!(parse_index_line(3, "1\tnothex\tj").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Round-trip byte-determinism: snapshot → encode → decode → re-encode
+//! must be byte-identical, predictions must match bit-for-bit, and the
+//! store must deduplicate by content address.
+
+use std::path::PathBuf;
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_core::fusion::BmfFitter;
+use bmf_core::options::FitOptions;
+use bmf_core::snapshot::ModelSnapshot;
+use bmf_linalg::MatRef;
+use bmf_persist::artifact::{artifact_fingerprint, decode_snapshot, encode_snapshot};
+use bmf_persist::store::ArtifactStore;
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::seeded;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("roundtrip")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_points(k: usize, r: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded(seed);
+    let mut s = StandardNormal::new();
+    (0..k).map(|_| s.sample_vec(&mut rng, r)).collect()
+}
+
+/// A real fitted snapshot: linear truth, perturbed early prior, exact
+/// responses — the BMF sweet spot, so the fit is well-posed.
+fn fitted_snapshot(job_id: &str, seed: u64) -> ModelSnapshot {
+    let r = 5;
+    let points = sample_points(14, r, seed);
+    let truth: Vec<f64> = (0..=r).map(|i| (i as f64 * 0.37).cos()).collect();
+    let values: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            truth[0]
+                + p.iter()
+                    .enumerate()
+                    .map(|(i, x)| truth[i + 1] * x)
+                    .sum::<f64>()
+        })
+        .collect();
+    let prior: Vec<Option<f64>> = truth.iter().map(|t| Some(t * 1.05)).collect();
+    let options = FitOptions::new().folds(4).seed(seed);
+    let fit = BmfFitter::new(OrthonormalBasis::linear(r), prior)
+        .unwrap()
+        .with_options(options.clone())
+        .fit(&points, &values)
+        .unwrap();
+    ModelSnapshot::from_fit(job_id, &fit, &options)
+}
+
+#[test]
+fn fitted_snapshot_round_trips_byte_exact() {
+    let snap = fitted_snapshot("amp/gain", 3);
+    let bytes = encode_snapshot(&snap).unwrap();
+    let back = decode_snapshot(&bytes).unwrap();
+    assert_eq!(back, snap);
+    let again = encode_snapshot(&back).unwrap();
+    assert_eq!(again, bytes, "save → load → save must be byte-identical");
+    // Provenance survives exactly, including the options fingerprint.
+    assert_eq!(
+        back.options.content_fingerprint(),
+        snap.options.content_fingerprint()
+    );
+    assert_eq!(back.selection, snap.selection);
+    assert_eq!(back.resilience, snap.resilience);
+}
+
+#[test]
+fn decoded_model_predicts_bit_identically() {
+    let snap = fitted_snapshot("amp/bw", 7);
+    let back = decode_snapshot(&encode_snapshot(&snap).unwrap()).unwrap();
+    let probes = sample_points(16, 5, 1234);
+    for p in &probes {
+        assert_eq!(
+            snap.model.predict(p).to_bits(),
+            back.model.predict(p).to_bits()
+        );
+    }
+    // The borrowed-view entry point agrees too.
+    let flat: Vec<f64> = probes.iter().flatten().copied().collect();
+    let view = MatRef::from_row_major(&flat, probes.len(), 5).unwrap();
+    let mut a = vec![0.0; probes.len()];
+    let mut b = vec![0.0; probes.len()];
+    snap.model.predict_into(view, &mut a).unwrap();
+    let view = MatRef::from_row_major(&flat, probes.len(), 5).unwrap();
+    back.model.predict_into(view, &mut b).unwrap();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a), bits(&b));
+}
+
+#[test]
+fn store_is_content_addressed_and_deduplicates() {
+    let store = ArtifactStore::open(scratch("dedup")).unwrap();
+    let snap = fitted_snapshot("sram/delay", 11);
+
+    let id1 = store.put(&snap).unwrap();
+    let id2 = store.put(&snap).unwrap();
+    assert_eq!(id1, id2, "equal snapshots must share one content address");
+    assert!(store.contains(id1));
+
+    // One artifact file, two index lines (publication history).
+    let files: Vec<_> = std::fs::read_dir(store.root())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "bmfsnap"))
+        .collect();
+    assert_eq!(files.len(), 1);
+    let index = store.index().unwrap();
+    assert_eq!(index.len(), 2);
+    assert_eq!(index[0].id, id1);
+    assert_eq!(index[0].seq, 0);
+    assert_eq!(index[1].seq, 1);
+    assert_eq!(index[0].job_id, "sram/delay");
+
+    // A different snapshot gets a different address.
+    let other = fitted_snapshot("sram/leakage", 12);
+    let id3 = store.put(&other).unwrap();
+    assert_ne!(id1, id3);
+
+    // Stored file is the exact canonical encoding.
+    let on_disk = std::fs::read(store.artifact_path(id1)).unwrap();
+    assert_eq!(on_disk, encode_snapshot(&snap).unwrap());
+    assert_eq!(artifact_fingerprint(&on_disk).unwrap(), id1.value());
+}
+
+#[test]
+fn store_get_returns_the_exact_snapshot() {
+    let store = ArtifactStore::open(scratch("get")).unwrap();
+    let snap = fitted_snapshot("dac/inl", 21);
+    let id = store.put(&snap).unwrap();
+    let back = store.get(id).unwrap();
+    assert_eq!(back, snap);
+    // Missing ids are structured I/O misses, not panics.
+    let missing = bmf_persist::store::ArtifactId::new(id.value() ^ 1);
+    assert!(matches!(
+        store.get(missing),
+        Err(bmf_persist::PersistError::Io { .. })
+    ));
+}
+
+#[test]
+fn job_ids_with_separators_survive_the_index() {
+    let store = ArtifactStore::open(scratch("escape")).unwrap();
+    let mut snap = fitted_snapshot("x", 5);
+    snap.job_id = "weird\tjob\nwith\\separators".to_string();
+    let id = store.put(&snap).unwrap();
+    let index = store.index().unwrap();
+    assert_eq!(index.len(), 1);
+    assert_eq!(index[0].job_id, snap.job_id);
+    assert_eq!(store.get(id).unwrap().job_id, snap.job_id);
+}

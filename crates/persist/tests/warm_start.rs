@@ -1,0 +1,167 @@
+//! Service warm-start through the artifact store: a service refilled
+//! from disk must serve predictions bit-identical to the service that
+//! exported the snapshots, at any worker-thread count.
+
+use std::path::PathBuf;
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_core::options::FitOptions;
+use bmf_core::service::{FitRequest, FitService, ServiceConfig};
+use bmf_persist::store::ArtifactStore;
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::seeded;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("warm_start")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_points(k: usize, r: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded(seed);
+    let mut s = StandardNormal::new();
+    (0..k).map(|_| s.sample_vec(&mut rng, r)).collect()
+}
+
+fn job_payload(j: usize, r: usize, points: &[Vec<f64>]) -> (Vec<Option<f64>>, Vec<f64>) {
+    let truth: Vec<f64> = (0..=r)
+        .map(|i| ((i + 3 * j) as f64 * 0.53).cos() * (1.0 + j as f64 * 0.05))
+        .collect();
+    let values = points
+        .iter()
+        .map(|p| {
+            truth[0]
+                + p.iter()
+                    .enumerate()
+                    .map(|(i, x)| truth[i + 1] * x)
+                    .sum::<f64>()
+        })
+        .collect();
+    let prior = truth.iter().map(|t| Some(t * 1.04)).collect();
+    (prior, values)
+}
+
+/// Fits `jobs` linear models in a service with the given thread count.
+fn fitted_service(jobs: usize, r: usize, threads: usize) -> FitService {
+    let points = sample_points(14, r, 55);
+    let service = FitService::new(ServiceConfig {
+        options: FitOptions::new().folds(4).seed(9).threads(threads),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let ps = service.register_points(points.clone()).unwrap();
+    for j in 0..jobs {
+        let (prior, values) = job_payload(j, r, &points);
+        service
+            .submit_fit(FitRequest {
+                job_id: format!("perf{j}"),
+                basis: OrthonormalBasis::linear(r),
+                points: ps,
+                prior,
+                values,
+            })
+            .unwrap();
+    }
+    service.drain();
+    service
+}
+
+#[test]
+fn warm_started_service_is_bit_identical() {
+    let r = 5;
+    let jobs = 4;
+    let source = fitted_service(jobs, r, 1);
+    let store = ArtifactStore::open(scratch("bitwise")).unwrap();
+
+    let ids = store.export_service(&source).unwrap();
+    assert_eq!(ids.len(), jobs);
+    assert_eq!(source.counters().exports, jobs as u64);
+
+    let warmed = FitService::new(ServiceConfig::default()).unwrap();
+    let imported = store.warm_start(&warmed).unwrap();
+    assert_eq!(imported, jobs);
+    assert_eq!(warmed.snapshot_count(), jobs);
+    assert_eq!(warmed.counters().imports, jobs as u64);
+    assert_eq!(warmed.job_ids(), source.job_ids());
+
+    let probes = sample_points(10, r, 77);
+    for id in source.job_ids() {
+        for p in &probes {
+            assert_eq!(
+                source.predict(&id, p).unwrap().to_bits(),
+                warmed.predict(&id, p).unwrap().to_bits(),
+                "{id} diverges after warm start"
+            );
+        }
+    }
+    // Provenance travels with the model.
+    for id in source.job_ids() {
+        let a = source.export_model(&id).unwrap();
+        let b = warmed.export_model(&id).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn warm_start_is_thread_count_invariant() {
+    // Fit the same workload at two pool sizes; both registries must
+    // persist to the same artifacts and warm-start identically.
+    let r = 5;
+    let jobs = 3;
+    let one = fitted_service(jobs, r, 1);
+    let four = fitted_service(jobs, r, 4);
+
+    let store_one = ArtifactStore::open(scratch("threads-one")).unwrap();
+    let store_four = ArtifactStore::open(scratch("threads-four")).unwrap();
+    let ids_one = store_one.export_service(&one).unwrap();
+    let ids_four = store_four.export_service(&four).unwrap();
+    // Same fits modulo the recorded thread count: the artifacts differ
+    // only because `FitOptions::threads` is provenance; the models
+    // themselves must predict identically after warm start.
+    assert_eq!(ids_one.len(), ids_four.len());
+
+    let warm_one = FitService::new(ServiceConfig::default()).unwrap();
+    let warm_four = FitService::new(ServiceConfig::default()).unwrap();
+    store_one.warm_start(&warm_one).unwrap();
+    store_four.warm_start(&warm_four).unwrap();
+
+    let probes = sample_points(10, r, 101);
+    for id in warm_one.job_ids() {
+        for p in &probes {
+            assert_eq!(
+                warm_one.predict(&id, p).unwrap().to_bits(),
+                warm_four.predict(&id, p).unwrap().to_bits(),
+                "{id}: thread count leaked into persisted predictions"
+            );
+        }
+        let a = warm_one.export_model(&id).unwrap();
+        let b = warm_four.export_model(&id).unwrap();
+        assert_eq!(
+            a.model, b.model,
+            "{id}: fitted model differs across thread counts"
+        );
+    }
+}
+
+#[test]
+fn newest_publication_wins_on_warm_start() {
+    let r = 5;
+    let source = fitted_service(2, r, 1);
+    let store = ArtifactStore::open(scratch("newest")).unwrap();
+
+    // Publish perf0 twice: once as fitted, once overwritten by perf1's
+    // model under perf0's name (simulating a re-fit publication).
+    let first = source.export_model("perf0").unwrap();
+    store.put(&first).unwrap();
+    let mut refit = source.export_model("perf1").unwrap();
+    refit.job_id = "perf0".to_string();
+    store.put(&refit).unwrap();
+
+    let warmed = FitService::new(ServiceConfig::default()).unwrap();
+    assert_eq!(store.warm_start(&warmed).unwrap(), 2);
+    assert_eq!(warmed.snapshot_count(), 1);
+    let served = warmed.export_model("perf0").unwrap();
+    assert_eq!(served.model, refit.model, "later index entry must win");
+}

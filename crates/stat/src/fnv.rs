@@ -1,0 +1,67 @@
+//! FNV-1a content fingerprinting.
+//!
+//! One 64-bit FNV-1a implementation shared by every subsystem that
+//! content-addresses data: the service's point-set and basis
+//! fingerprints, and the persistence layer's artifact fingerprints
+//! (`bmf-persist`). Keeping a single implementation guarantees the
+//! fingerprints those layers exchange are computed identically — a
+//! point set registered by the service and an artifact written by the
+//! store hash bytes with the same constants.
+//!
+//! FNV-1a is not cryptographic; it is used for deterministic
+//! content-addressing and corruption detection, never for security.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, chained through `state` (pass 0 to start).
+///
+/// ```
+/// use bmf_stat::fnv::fnv1a;
+/// let a = fnv1a(0, b"abc");
+/// let b = fnv1a(fnv1a(0, b"ab"), b"c");
+/// assert_eq!(a, b);
+/// ```
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = if state == 0 { FNV_OFFSET } else { state };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over one `u64` value (hashed as its little-endian bytes),
+/// chained through `state`.
+pub fn fnv1a_u64(state: u64, value: u64) -> u64 {
+    fnv1a(state, &value.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(0, b""), FNV_OFFSET);
+        assert_eq!(fnv1a(0, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(0, b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chaining_is_associative_over_concatenation() {
+        let whole = fnv1a(0, b"hello world");
+        let split = fnv1a(fnv1a(0, b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn u64_helper_hashes_le_bytes() {
+        let v = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(fnv1a_u64(0, v), fnv1a(0, &v.to_le_bytes()));
+    }
+}

@@ -18,7 +18,9 @@
 //! * [`prop`] — the in-tree property-test harness (seeded cases with
 //!   failure-seed reporting),
 //! * [`faults`] — deterministic fault injection (NaN/∞ contamination,
-//!   singular designs, degenerate priors) for the robustness suites.
+//!   singular designs, degenerate priors) for the robustness suites,
+//! * [`fnv`] — the shared FNV-1a content fingerprint used by the
+//!   service registry and the persistence layer.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 
 pub mod crossval;
 pub mod faults;
+pub mod fnv;
 pub mod histogram;
 pub mod kstest;
 pub mod normal;

@@ -20,12 +20,19 @@ if [[ "${1:-}" == "--features" ]]; then
 fi
 [[ $# -gt 0 ]] || { echo "usage: $0 [--features <feat>] <bench>..." >&2; exit 2; }
 
-# The service bench writes BENCH_service.json; route smoke output to a
-# scratch path so the committed full-scale baseline is never clobbered.
-# Absolute path: cargo runs bench binaries from the package directory.
+# The service/persist benches write BENCH_*.json; route smoke output to
+# a scratch path so the committed full-scale baselines are never
+# clobbered. Absolute paths: cargo runs bench binaries from the package
+# directory.
+mkdir -p target/smoke
 if [[ -z "${BMF_SERVICE_OUT:-}" ]]; then
-    mkdir -p target/smoke
     export BMF_SERVICE_OUT="$(pwd)/target/smoke/BENCH_service.json"
+fi
+if [[ -z "${BMF_PERSIST_OUT:-}" ]]; then
+    export BMF_PERSIST_OUT="$(pwd)/target/smoke/BENCH_persist.json"
+fi
+if [[ -z "${BMF_PERSIST_DIR:-}" ]]; then
+    export BMF_PERSIST_DIR="$(pwd)/target/smoke/persist-store"
 fi
 
 for bench in "$@"; do

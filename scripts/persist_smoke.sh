@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Persistence smoke gate: run the cold-vs-warm persist bench in --smoke
+# mode twice — once with the worker pool pinned to one thread, once at
+# the default pool — and enforce the round-trip contracts CI cares
+# about:
+#
+#   1. determinism: the emitted reports are byte-identical (artifact
+#      bytes and virtual-time costs must not depend on thread count or
+#      wall clock);
+#   2. schema: every gated key is present and the headline values are
+#      positive finite numbers, with warm-start actually cheaper than
+#      cold-start.
+#
+# The bench itself verifies bit-identical predictions between the
+# exporting service and the warm-started one; a divergence fails the
+# run before any report is written.
+#
+# Usage:  scripts/persist_smoke.sh [out-dir]   (default target/persist-smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Absolute paths: cargo runs the bench binary from the package
+# directory, so relative outputs would land under crates/bench/.
+out_dir="$(pwd)/${1:-target/persist-smoke}"
+mkdir -p "$out_dir"
+one="$out_dir/persist_threads1.json"
+auto="$out_dir/persist_default.json"
+
+echo "== persist smoke: BMF_THREADS=1 =="
+BMF_THREADS=1 BMF_PERSIST_OUT="$one" BMF_PERSIST_DIR="$out_dir/store-threads1" \
+    cargo bench --offline --locked -p bmf-bench --bench persist -- --smoke
+echo "== persist smoke: default pool =="
+BMF_PERSIST_OUT="$auto" BMF_PERSIST_DIR="$out_dir/store-default" \
+    cargo bench --offline --locked -p bmf-bench --bench persist -- --smoke
+
+if ! cmp -s "$one" "$auto"; then
+    echo "FAIL: persist report differs between BMF_THREADS=1 and the default pool" >&2
+    diff "$one" "$auto" >&2 || true
+    exit 1
+fi
+echo "OK: report byte-identical at 1 thread and default pool"
+
+# The artifacts themselves must be byte-identical too, not just the
+# report: same content addresses, same bytes, at any pool size.
+if ! diff -r "$out_dir/store-threads1" "$out_dir/store-default" >/dev/null; then
+    echo "FAIL: artifact stores differ between BMF_THREADS=1 and the default pool" >&2
+    diff -r "$out_dir/store-threads1" "$out_dir/store-default" >&2 || true
+    exit 1
+fi
+echo "OK: artifact store byte-identical at 1 thread and default pool"
+
+fail=0
+
+for key in scenario artifacts cold_start warm_start headline total_bytes \
+           virtual_ns imports verified_predictions warm_speedup; do
+    if ! grep -q "\"$key\"" "$one"; then
+        echo "FAIL: required key \"$key\" missing from persist report" >&2
+        fail=1
+    fi
+done
+
+# Rust formats non-finite floats as NaN/inf; none may reach the report.
+if grep -qiE 'nan|infinity' "$one"; then
+    echo "FAIL: non-finite value in persist report" >&2
+    fail=1
+fi
+
+# Headline values must be positive, and warm-start must beat cold-start
+# (otherwise persistence buys nothing and something is badly wrong).
+verified=$(awk -F'"verified_predictions": ' '/"warm_start"/ { split($2, a, "}"); print a[1] + 0 }' "$one")
+cold_ns=$(awk -F'"virtual_ns": ' '/"cold_start"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+warm_ns=$(awk -F'"virtual_ns": ' '/"warm_start"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+speedup=$(awk -F'"warm_speedup": ' '/"headline"/ { split($2, a, " "); print a[1] + 0 }' "$one")
+if ! awk -v v="$verified" -v c="$cold_ns" -v w="$warm_ns" -v s="$speedup" \
+        'BEGIN { exit !(v > 0 && c > 0 && w > 0 && w < c && s >= 1) }'; then
+    echo "FAIL: bad headline metrics (verified=$verified, cold=$cold_ns ns, warm=$warm_ns ns, speedup=$speedup)" >&2
+    fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "OK: schema check passed (verified=$verified, cold=$cold_ns ns, warm=$warm_ns ns, speedup=${speedup}x)"
