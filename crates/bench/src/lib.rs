@@ -29,6 +29,7 @@ pub mod figures;
 pub mod persist_study;
 pub mod report;
 pub mod scale;
+pub mod sequential_study;
 pub mod service_load;
 pub mod tables;
 pub mod timing;

@@ -146,6 +146,106 @@ pub fn generate(config: &TrafficConfig, seed: u64) -> Vec<TrafficEvent> {
     events
 }
 
+/// One late-stage sample arrival: a finished post-layout simulation
+/// whose result is ready to stream into a job's sequential estimator
+/// (`bmf_core::service::FitService::append_sample`).
+///
+/// The cost field is in *millihours* (thousandths of a simulator hour)
+/// so the event stays `Copy + Eq` — exactly comparable across runs —
+/// while still resolving sub-hour simulations; divide by 1000.0 when
+/// charging a `CostLedger`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalEvent {
+    /// Completion timestamp in virtual nanoseconds since stream start.
+    /// Strictly increasing across the stream.
+    pub at_ns: u64,
+    /// Job-id index in `0..jobs`.
+    pub job: usize,
+    /// Simulator time this sample cost, in millihours.
+    pub cost_millihours: u64,
+}
+
+/// Shape of a late-stage arrival stream; see [`generate_arrivals`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalConfig {
+    /// Total sample arrivals to generate.
+    pub arrivals: usize,
+    /// Mean exponential inter-arrival gap in virtual nanoseconds
+    /// (clamped to ≥ 1.0; each drawn gap is rounded up to ≥ 1 ns so
+    /// timestamps strictly increase).
+    pub mean_interarrival_ns: f64,
+    /// Job-id population size (clamped to ≥ 1); arrivals spread
+    /// uniformly over it.
+    pub jobs: usize,
+    /// Minimum simulator cost per sample, in millihours.
+    pub base_cost_millihours: u64,
+    /// Uniform extra cost in `0..=spread` millihours drawn per sample —
+    /// post-layout runs of one testbench vary with the corner being
+    /// simulated.
+    pub cost_spread_millihours: u64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            arrivals: 256,
+            // Post-layout samples land far apart compared to service
+            // requests: one every ~10 ms of virtual time by default.
+            mean_interarrival_ns: 10_000_000.0,
+            jobs: 8,
+            // ~2 simulator hours ± 50% — the scale the paper reports for
+            // transistor-level post-layout runs.
+            base_cost_millihours: 1_000,
+            cost_spread_millihours: 2_000,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// The configuration after clamping, as [`generate_arrivals`] will
+    /// use it.
+    pub fn clamped(&self) -> ArrivalConfig {
+        ArrivalConfig {
+            arrivals: self.arrivals,
+            mean_interarrival_ns: if self.mean_interarrival_ns >= 1.0 {
+                self.mean_interarrival_ns
+            } else {
+                1.0
+            },
+            jobs: self.jobs.max(1),
+            base_cost_millihours: self.base_cost_millihours,
+            cost_spread_millihours: self.cost_spread_millihours,
+        }
+    }
+}
+
+/// Generates the late-stage arrival stream for `config` from `seed` — the
+/// event feed for streaming-append benchmarks and cost-aware stopping
+/// studies.
+///
+/// Like [`generate`], the stream is a pure function of `(config, seed)`:
+/// same inputs, same events, byte for byte, and invalid configuration
+/// values are clamped rather than rejected.
+pub fn generate_arrivals(config: &ArrivalConfig, seed: u64) -> Vec<ArrivalEvent> {
+    let cfg = config.clamped();
+    let mut rng = seeded(seed);
+    let mut events = Vec::with_capacity(cfg.arrivals);
+    let mut t_ns: u64 = 0;
+    for _ in 0..cfg.arrivals {
+        t_ns = t_ns.saturating_add(exponential_gap_ns(&mut rng, cfg.mean_interarrival_ns));
+        let job = rng.gen_index(cfg.jobs);
+        let cost_millihours = cfg
+            .base_cost_millihours
+            .saturating_add(rng.gen_index(cfg.cost_spread_millihours as usize + 1) as u64);
+        events.push(ArrivalEvent {
+            at_ns: t_ns,
+            job,
+            cost_millihours,
+        });
+    }
+    events
+}
+
 /// A uniform draw in `0..1000`, the permille scale the mix knobs use.
 fn permille_draw(rng: &mut Rng) -> u32 {
     rng.gen_index(1000) as u32
@@ -252,6 +352,46 @@ mod tests {
             assert!(e.job < 7);
             assert_eq!(e.group, e.job % 3);
         }
+    }
+
+    #[test]
+    fn arrival_stream_is_deterministic_and_well_formed() {
+        let cfg = ArrivalConfig {
+            arrivals: 4_000,
+            jobs: 5,
+            base_cost_millihours: 500,
+            cost_spread_millihours: 1_500,
+            ..ArrivalConfig::default()
+        };
+        let a = generate_arrivals(&cfg, 21);
+        let b = generate_arrivals(&cfg, 21);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_arrivals(&cfg, 22));
+        assert_eq!(a.len(), 4_000);
+        for pair in a.windows(2) {
+            assert!(pair[1].at_ns > pair[0].at_ns);
+        }
+        for e in &a {
+            assert!(e.job < 5);
+            assert!((500..=2_000).contains(&e.cost_millihours));
+        }
+        // The spread knob is actually exercised.
+        let costs: std::collections::BTreeSet<u64> = a.iter().map(|e| e.cost_millihours).collect();
+        assert!(costs.len() > 100, "only {} distinct costs", costs.len());
+    }
+
+    #[test]
+    fn degenerate_arrival_configs_are_clamped_not_panicked() {
+        let cfg = ArrivalConfig {
+            arrivals: 64,
+            mean_interarrival_ns: 0.0,
+            jobs: 0,
+            base_cost_millihours: 0,
+            cost_spread_millihours: 0,
+        };
+        let events = generate_arrivals(&cfg, 1);
+        assert_eq!(events.len(), 64);
+        assert!(events.iter().all(|e| e.job == 0 && e.cost_millihours == 0));
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //! * a **coalescer** groups queued requests that share a registered point
 //!   set and basis into one `BatchFitter` run, so the shared design
 //!   matrix, fold plan, and Woodbury kernel cache are paid once per
-//!   group instead of once per request.
+//!   group instead of once per request;
+//! * a **streaming front** ([`register_stream`](FitService::register_stream)
+//!   / [`append_sample`](FitService::append_sample)) keeps per-job
+//!   [`SequentialBmf`] estimators up to date one late-stage sample at a
+//!   time, republishing the model snapshot after every applied update —
+//!   bit-identical to an offline sequential fit at any pool size, since
+//!   appends are applied in ticket order on the draining thread.
 //!
 //! # Determinism
 //!
@@ -79,6 +85,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use bmf_basis::basis::OrthonormalBasis;
 
@@ -87,7 +94,10 @@ use bmf_stat::fnv::{fnv1a, fnv1a_u64};
 use crate::batch::{BatchFitter, BatchJob, BatchReport, PhaseTimings};
 use crate::fusion::{BmfFit, FitCounters, ResilienceReport};
 use crate::options::FitOptions;
+use crate::prior::Prior;
+use crate::sequential::SequentialBmf;
 use crate::snapshot::ModelSnapshot;
+use crate::workspace::SeqWorkspace;
 use crate::{BmfError, Result};
 
 /// Number of registry shards used by [`ServiceConfig::default`].
@@ -194,6 +204,19 @@ pub struct BatchSummary {
     pub isolated: bool,
 }
 
+/// Outcome of one drained [`FitService::append_sample`] request.
+#[derive(Debug, Clone)]
+pub struct AppendOutcome {
+    /// The receipt returned by [`FitService::append_sample`].
+    pub ticket: Ticket,
+    /// The stream's job id.
+    pub job_id: String,
+    /// On success, the stream's sample count after this update; on
+    /// failure, the append's own structured error (the stream state is
+    /// left untouched and later appends proceed).
+    pub result: Result<usize>,
+}
+
 /// Everything one [`FitService::drain`] call reports.
 #[derive(Debug, Clone, Default)]
 pub struct DrainReport {
@@ -202,6 +225,11 @@ pub struct DrainReport {
     /// The coalesced batch runs, in deterministic (fingerprint, chunk)
     /// order.
     pub batches: Vec<BatchSummary>,
+    /// Per-append outcomes in ticket (submission) order.
+    pub appends: Vec<AppendOutcome>,
+    /// Wall time spent applying the drained appends, in nanoseconds
+    /// (0 when none were queued).
+    pub append_ns: u64,
 }
 
 impl DrainReport {
@@ -209,12 +237,19 @@ impl DrainReport {
     pub fn served(&self) -> usize {
         self.outcomes.iter().filter(|o| o.result.is_ok()).count()
     }
+
+    /// Number of appends whose result is `Ok`.
+    pub fn appended(&self) -> usize {
+        self.appends.iter().filter(|a| a.result.is_ok()).count()
+    }
 }
 
 /// Monotonic service-wide work counters; see [`FitService::counters`].
 ///
 /// All counts are exact and, for a fixed request sequence, independent of
-/// thread count and wall-clock timing.
+/// thread count and wall-clock timing — except [`ServiceCounters::append_ns`],
+/// which accumulates measured wall time and is excluded from the
+/// determinism contract.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceCounters {
     /// Fit requests completed with an `Ok` fit.
@@ -252,6 +287,15 @@ pub struct ServiceCounters {
     pub imports: u64,
     /// Snapshots cloned out via [`FitService::export_model`].
     pub exports: u64,
+    /// Streaming updates applied with an `Ok` result.
+    pub appends_ok: u64,
+    /// Streaming updates that drained to a structured error.
+    pub appends_failed: u64,
+    /// Append submissions naming a job with no registered stream.
+    pub append_misses: u64,
+    /// Cumulative wall time spent applying streaming updates, in
+    /// nanoseconds (the one timing-dependent counter).
+    pub append_ns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -272,6 +316,10 @@ struct AtomicCounters {
     evict_misses: AtomicU64,
     imports: AtomicU64,
     exports: AtomicU64,
+    appends_ok: AtomicU64,
+    appends_failed: AtomicU64,
+    append_misses: AtomicU64,
+    append_ns: AtomicU64,
 }
 
 /// A registered shared point set.
@@ -289,6 +337,26 @@ struct Pending {
     request: FitRequest,
 }
 
+/// A registered streaming model: the sequential estimator plus the basis
+/// that maps sample points to design rows, and its private scratch.
+#[derive(Debug)]
+struct Stream {
+    seq: SequentialBmf,
+    basis: OrthonormalBasis,
+    ws: SeqWorkspace,
+    /// Reusable basis-row buffer for incoming sample points.
+    row: Vec<f64>,
+}
+
+/// A queued streaming update plus its receipt.
+#[derive(Debug)]
+struct PendingAppend {
+    ticket: Ticket,
+    job_id: String,
+    point: Vec<f64>,
+    value: f64,
+}
+
 /// The request-serving facade; see the [module docs](self).
 #[derive(Debug)]
 pub struct FitService {
@@ -296,6 +364,8 @@ pub struct FitService {
     point_sets: Mutex<BTreeMap<u64, Arc<PointSet>>>,
     shards: Vec<Mutex<BTreeMap<String, Arc<ModelSnapshot>>>>,
     queue: Mutex<VecDeque<Pending>>,
+    streams: Mutex<BTreeMap<String, Stream>>,
+    append_queue: Mutex<VecDeque<PendingAppend>>,
     tickets: AtomicU64,
     counters: AtomicCounters,
 }
@@ -331,6 +401,8 @@ impl FitService {
             point_sets: Mutex::new(BTreeMap::new()),
             shards,
             queue: Mutex::new(VecDeque::new()),
+            streams: Mutex::new(BTreeMap::new()),
+            append_queue: Mutex::new(VecDeque::new()),
             tickets: AtomicU64::new(0),
             counters: AtomicCounters::default(),
         })
@@ -434,17 +506,216 @@ impl FitService {
         lock(&self.queue).len()
     }
 
+    /// Registers a streaming model under `job_id`: a
+    /// [`SequentialBmf`] estimator (fixed prior family and
+    /// hyper-parameter) that [`FitService::append_sample`] updates one
+    /// late-stage sample at a time. The prior-mean model is published to
+    /// the registry immediately, so the job serves predictions before the
+    /// first sample lands.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::Snapshot`] for an empty job id.
+    /// * [`BmfError::PriorShape`] when `prior.len() != basis.len()`.
+    /// * The conditions of [`SequentialBmf::new`] (invalid hyper,
+    ///   missing/zero prior entries, non-finite prior).
+    /// * [`BmfError::Config`] (`"stream"`) when the job already has a
+    ///   registered stream.
+    pub fn register_stream(
+        &self,
+        job_id: impl Into<String>,
+        basis: OrthonormalBasis,
+        prior: &Prior,
+        hyper: f64,
+    ) -> Result<()> {
+        let job_id = job_id.into();
+        if job_id.is_empty() {
+            return Err(BmfError::Snapshot {
+                detail: "job id must be non-empty".to_string(),
+            });
+        }
+        if prior.len() != basis.len() {
+            return Err(BmfError::PriorShape {
+                basis_terms: basis.len(),
+                prior_entries: prior.len(),
+            });
+        }
+        let seq = SequentialBmf::new(prior, hyper)?;
+        let mut stream = Stream {
+            seq,
+            basis,
+            ws: SeqWorkspace::new(),
+            row: Vec::new(),
+        };
+        let mut streams = lock(&self.streams);
+        if streams.contains_key(&job_id) {
+            return Err(BmfError::config(
+                "stream",
+                format!("job `{job_id}` already has a registered stream"),
+            ));
+        }
+        let snap = stream
+            .seq
+            .snapshot(&job_id, &stream.basis, &mut stream.ws)?;
+        lock(self.shard_for(&job_id)).insert(job_id.clone(), Arc::new(snap));
+        streams.insert(job_id, stream);
+        Ok(())
+    }
+
+    /// Enqueues one late-stage sample for a registered stream, validating
+    /// at the boundary: the point and value are screened, the stream must
+    /// exist, and the point dimension must match the stream's basis — a
+    /// malformed append is rejected *now*, never at drain time where it
+    /// could sit between healthy updates.
+    ///
+    /// Appends are applied by [`FitService::drain`] in ticket order;
+    /// after each successful update the stream's refreshed model snapshot
+    /// replaces the registry entry, bit-identical to an offline
+    /// [`SequentialBmf`] fed the same samples in the same order at any
+    /// pool size.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::NonFiniteInput`] when the point or value is NaN/±∞.
+    /// * [`BmfError::NotFound`] (`"stream"`) when no stream is registered
+    ///   under the key.
+    /// * [`BmfError::SampleShape`] when the point dimension differs from
+    ///   the stream basis.
+    pub fn append_sample(&self, job_id: &str, point: &[f64], value: f64) -> Result<Ticket> {
+        crate::screen::finite_values("sample point", point)?;
+        if !value.is_finite() {
+            return Err(BmfError::NonFiniteInput {
+                what: "sample value",
+            });
+        }
+        {
+            let streams = lock(&self.streams);
+            let Some(stream) = streams.get(job_id) else {
+                self.counters.append_misses.fetch_add(1, Ordering::Relaxed);
+                return Err(BmfError::NotFound {
+                    what: "stream",
+                    key: job_id.to_string(),
+                });
+            };
+            if point.len() != stream.basis.num_vars() {
+                return Err(BmfError::SampleShape {
+                    detail: format!(
+                        "append point has dimension {}, stream `{job_id}` expects {}",
+                        point.len(),
+                        stream.basis.num_vars()
+                    ),
+                });
+            }
+        }
+        let ticket = Ticket(self.tickets.fetch_add(1, Ordering::Relaxed));
+        lock(&self.append_queue).push_back(PendingAppend {
+            ticket,
+            job_id: job_id.to_string(),
+            point: point.to_vec(),
+            value,
+        });
+        Ok(ticket)
+    }
+
+    /// Number of registered streams.
+    pub fn stream_count(&self) -> usize {
+        lock(&self.streams).len()
+    }
+
+    /// Samples absorbed so far by the stream registered under `job_id`
+    /// (queued-but-undrained appends are not counted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::NotFound`] (`"stream"`) for an unregistered
+    /// key.
+    pub fn stream_samples(&self, job_id: &str) -> Result<usize> {
+        lock(&self.streams)
+            .get(job_id)
+            .map(|s| s.seq.num_samples())
+            .ok_or_else(|| BmfError::NotFound {
+                what: "stream",
+                key: job_id.to_string(),
+            })
+    }
+
+    /// Streaming updates currently queued (submitted but not yet
+    /// drained).
+    pub fn queued_appends(&self) -> usize {
+        lock(&self.append_queue).len()
+    }
+
     /// Drains the whole queue: coalesces requests by (point set, basis),
     /// runs each group through the batch engine's worker pool, installs
     /// the fitted models in the registry, and returns per-request
-    /// outcomes in ticket order.
+    /// outcomes in ticket order. Queued streaming appends are then
+    /// applied in ticket order on the draining thread — the worker pool
+    /// never touches stream state, so streamed models are bit-identical
+    /// at any pool size.
     ///
     /// Failures are per-request — they surface in
-    /// [`FitOutcome::result`], never as a drain-level error — so a bad
-    /// request cannot wedge the queue.
+    /// [`FitOutcome::result`] / [`AppendOutcome::result`], never as a
+    /// drain-level error — so a bad request cannot wedge the queue.
     pub fn drain(&self) -> DrainReport {
         let pending: Vec<Pending> = lock(&self.queue).drain(..).collect();
-        self.serve(pending)
+        let appends: Vec<PendingAppend> = lock(&self.append_queue).drain(..).collect();
+        let mut report = self.serve(pending);
+        self.apply_appends(appends, &mut report);
+        report
+    }
+
+    /// Applies drained streaming updates in ticket order, republishing
+    /// each touched stream's snapshot after a successful update. A failed
+    /// update errors only its own ticket (the estimator guarantees its
+    /// state is untouched on error), and later appends proceed.
+    fn apply_appends(&self, appends: Vec<PendingAppend>, report: &mut DrainReport) {
+        if appends.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        let mut streams = lock(&self.streams);
+        for a in appends {
+            let result = match streams.get_mut(&a.job_id) {
+                // Streams cannot be removed today, so a submitted append
+                // can't lose its stream; handled for completeness.
+                None => Err(BmfError::NotFound {
+                    what: "stream",
+                    key: a.job_id.clone(),
+                }),
+                Some(stream) => {
+                    let Stream {
+                        seq,
+                        basis,
+                        ws,
+                        row,
+                    } = stream;
+                    row.clear();
+                    row.resize(basis.len(), 0.0);
+                    basis.fill_row(&a.point, row);
+                    seq.add_sample(row, a.value, ws)
+                        .and_then(|()| seq.snapshot(&a.job_id, basis, ws))
+                        .map(|snap| {
+                            lock(self.shard_for(&a.job_id))
+                                .insert(a.job_id.clone(), Arc::new(snap));
+                            seq.num_samples()
+                        })
+                }
+            };
+            match &result {
+                Ok(_) => self.counters.appends_ok.fetch_add(1, Ordering::Relaxed),
+                Err(_) => self.counters.appends_failed.fetch_add(1, Ordering::Relaxed),
+            };
+            report.appends.push(AppendOutcome {
+                ticket: a.ticket,
+                job_id: a.job_id,
+                result,
+            });
+        }
+        drop(streams);
+        // bmf-lint: allow(no-lossy-cast-in-kernels) -- a drain's append latency is far below u64::MAX nanoseconds
+        let ns = start.elapsed().as_nanos() as u64;
+        report.append_ns = ns;
+        self.counters.append_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Looks up the snapshot currently registered under `job_id`. The
@@ -586,6 +857,10 @@ impl FitService {
             evict_misses: get(&c.evict_misses),
             imports: get(&c.imports),
             exports: get(&c.exports),
+            appends_ok: get(&c.appends_ok),
+            appends_failed: get(&c.appends_failed),
+            append_misses: get(&c.append_misses),
+            append_ns: get(&c.append_ns),
         }
     }
 
@@ -902,5 +1177,120 @@ mod tests {
         let report = svc.drain();
         assert!(report.outcomes.is_empty());
         assert!(report.batches.is_empty());
+        assert!(report.appends.is_empty());
+        assert_eq!(report.append_ns, 0);
+    }
+
+    use crate::prior::{Prior, PriorKind};
+
+    fn stream_prior(basis: &OrthonormalBasis) -> Prior {
+        let early: Vec<f64> = (0..basis.len()).map(|i| 0.5 / (1.0 + i as f64)).collect();
+        Prior::from_coeffs(PriorKind::NonZeroMean, &early)
+    }
+
+    #[test]
+    fn register_stream_publishes_prior_mean_and_rejects_duplicates() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let basis = OrthonormalBasis::linear(2);
+        let prior = stream_prior(&basis);
+        svc.register_stream("osc.gain", basis.clone(), &prior, 1.0)
+            .unwrap();
+        assert_eq!(svc.stream_count(), 1);
+        assert_eq!(svc.stream_samples("osc.gain").unwrap(), 0);
+        // The prior-mean model serves predictions before any sample.
+        assert!(svc.predict("osc.gain", &[0.1, -0.2]).unwrap().is_finite());
+        assert!(matches!(
+            svc.register_stream("osc.gain", basis.clone(), &prior, 1.0),
+            Err(BmfError::Config {
+                parameter: "stream",
+                ..
+            })
+        ));
+        assert!(matches!(
+            svc.register_stream("", basis.clone(), &prior, 1.0),
+            Err(BmfError::Snapshot { .. })
+        ));
+        let short = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0]);
+        assert!(matches!(
+            svc.register_stream("other", basis, &short, 1.0),
+            Err(BmfError::PriorShape { .. })
+        ));
+    }
+
+    #[test]
+    fn append_sample_screens_at_the_boundary() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let basis = OrthonormalBasis::linear(2);
+        let prior = stream_prior(&basis);
+        svc.register_stream("j", basis, &prior, 1.0).unwrap();
+        assert!(matches!(
+            svc.append_sample("missing", &[0.0, 0.0], 1.0),
+            Err(BmfError::NotFound { what: "stream", .. })
+        ));
+        assert!(matches!(
+            svc.append_sample("j", &[f64::NAN, 0.0], 1.0),
+            Err(BmfError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(
+            svc.append_sample("j", &[0.0, 0.0], f64::INFINITY),
+            Err(BmfError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(
+            svc.append_sample("j", &[0.0], 1.0),
+            Err(BmfError::SampleShape { .. })
+        ));
+        assert_eq!(svc.queued_appends(), 0);
+        assert_eq!(svc.counters().append_misses, 1);
+        svc.append_sample("j", &[0.2, 0.3], 1.0).unwrap();
+        assert_eq!(svc.queued_appends(), 1);
+    }
+
+    #[test]
+    fn appends_update_the_registered_model_in_ticket_order() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let basis = OrthonormalBasis::linear(2);
+        let prior = stream_prior(&basis);
+        svc.register_stream("j", basis.clone(), &prior, 1.0)
+            .unwrap();
+        let points = [[0.2, -0.1], [-0.4, 0.5], [0.1, 0.9]];
+        let mut tickets = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            tickets.push(svc.append_sample("j", p, 0.3 * i as f64 - 0.1).unwrap());
+        }
+        let report = svc.drain();
+        assert_eq!(report.appended(), 3);
+        assert_eq!(
+            report.appends.iter().map(|a| a.ticket).collect::<Vec<_>>(),
+            tickets
+        );
+        assert_eq!(
+            report
+                .appends
+                .iter()
+                .map(|a| *a.result.as_ref().unwrap())
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(svc.stream_samples("j").unwrap(), 3);
+        let c = svc.counters();
+        assert_eq!(c.appends_ok, 3);
+        assert_eq!(c.appends_failed, 0);
+        assert!(c.append_ns > 0);
+
+        // The registry snapshot matches an offline sequential fit fed the
+        // same samples, bit for bit.
+        let mut offline = SequentialBmf::new(&prior, 1.0).unwrap();
+        let mut ws = SeqWorkspace::new();
+        for (i, p) in points.iter().enumerate() {
+            offline
+                .add_sample(&basis.row(p), 0.3 * i as f64 - 0.1, &mut ws)
+                .unwrap();
+        }
+        let expect = offline.coefficients().unwrap();
+        let snap = svc.snapshot("j").unwrap();
+        for (a, b) in snap.model.coeffs().iter().zip(expect.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(snap.prior_kind, PriorKind::NonZeroMean);
     }
 }

@@ -90,6 +90,52 @@ pub(crate) struct MapScratch {
     pub(crate) woodbury: WoodburyScratch,
 }
 
+/// Caller-owned scratch for the sequential (streaming) estimator.
+///
+/// Threaded through [`SequentialBmf`](crate::sequential::SequentialBmf)
+/// exactly like [`SolveWorkspace`] is threaded through the batch stack:
+/// one workspace serves every `add_sample` / `coefficients_into` /
+/// `suggest_next` call on a stream, buffers grow to the high-water mark
+/// (`O(M + K)`) and are reused thereafter. With
+/// [`SeqWorkspace::for_problem`] sized up front, steady-state streaming
+/// performs zero heap allocations per absorbed sample — asserted under
+/// the counting allocator by the sequential bench's `--smoke` run.
+#[derive(Debug, Clone, Default)]
+pub struct SeqWorkspace {
+    /// New core column `G D⁻¹ g_newᵀ` (length K).
+    pub(crate) w: Vec<f64>,
+    /// `Gᵀf + prior contribution` (length M).
+    pub(crate) rhs: Vec<f64>,
+    /// `D⁻¹·rhs` (length M).
+    pub(crate) t: Vec<f64>,
+    /// Core-system solution `core⁻¹(G·t)` (length K).
+    pub(crate) y: Vec<f64>,
+    /// `Gᵀ·y` back-projection (length M).
+    pub(crate) uy: Vec<f64>,
+    /// Candidate projection `G D⁻¹ g` for variance queries (length K).
+    pub(crate) u: Vec<f64>,
+}
+
+impl SeqWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for `k` samples over `m`
+    /// coefficients, so not even the first update allocates.
+    pub fn for_problem(k: usize, m: usize) -> Self {
+        let mut ws = Self::new();
+        ws.w.reserve(k);
+        ws.rhs.reserve(m);
+        ws.t.reserve(m);
+        ws.y.reserve(k);
+        ws.uy.reserve(m);
+        ws.u.reserve(k);
+        ws
+    }
+}
+
 /// Fold-local buffers for one cross-validation sweep.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct FoldScratch {

@@ -21,6 +21,7 @@ use bmf_core::omp::{fit_omp, OmpConfig};
 use bmf_core::options::FitOptions;
 use bmf_core::prior::{Prior, PriorKind};
 use bmf_core::sequential::SequentialBmf;
+use bmf_core::workspace::SeqWorkspace;
 use bmf_core::BmfError;
 use bmf_linalg::{Matrix, Vector};
 use bmf_stat::faults::FaultInjector;
@@ -266,16 +267,26 @@ fn sequential_api_screens_faults_and_keeps_state() {
     ));
     // A poisoned sample is rejected without corrupting the estimator.
     let mut seq = SequentialBmf::new(&prior, 1.0).unwrap();
-    seq.add_sample(&[1.0, 0.0], 1.2).unwrap();
+    let mut ws = SeqWorkspace::new();
+    seq.add_sample(&[1.0, 0.0], 1.2, &mut ws).unwrap();
     let before = seq.coefficients().unwrap();
     let res = no_panic("add_sample with NaN row", || {
-        seq.add_sample(&[f64::NAN, 1.0], 0.5)
+        seq.add_sample(&[f64::NAN, 1.0], 0.5, &mut ws)
     });
     assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
     let res = no_panic("add_sample with Inf value", || {
-        seq.add_sample(&[0.0, 1.0], f64::INFINITY)
+        seq.add_sample(&[0.0, 1.0], f64::INFINITY, &mut ws)
     });
     assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+    let res = no_panic("add_sample with short row", || {
+        seq.add_sample(&[1.0], 0.5, &mut ws)
+    });
+    assert!(matches!(res, Err(BmfError::SampleShape { .. })));
+    let res = no_panic("suggest_next with wrong-width candidates", || {
+        let cands = bmf_linalg::view::MatRef::from_row_major(&[1.0, 2.0, 3.0], 1, 3)?;
+        seq.suggest_next(cands, &mut ws)
+    });
+    assert!(matches!(res, Err(BmfError::SampleShape { .. })));
     assert_eq!(
         seq.num_samples(),
         1,
@@ -471,6 +482,74 @@ fn service_predict_screens_probe_points_and_misses_structurally() {
         service.predict("never-fitted", &[f64::NAN; 4])
     });
     assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+}
+
+#[test]
+fn service_append_front_screens_faults_and_isolates_failures() {
+    let r = 4;
+    let (service, _, _) = service_with_fitted_job(r, 12);
+    let basis = OrthonormalBasis::linear(r);
+    let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &[0.8, -0.5, 0.3, 0.6, 0.2]);
+    service
+        .register_stream("stream", basis, &prior, 1.0)
+        .expect("clean stream registration");
+
+    // Boundary screens: poisoned appends never reach the queue. The
+    // screens fire before the registry lookup, like `predict`.
+    let res = no_panic("append_sample with NaN point", || {
+        service.append_sample("stream", &[f64::NAN, 0.0, 0.0, 0.0], 1.0)
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+    let res = no_panic("append_sample with Inf value", || {
+        service.append_sample("stream", &[0.0; 4], f64::INFINITY)
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+    let res = no_panic("append_sample with wrong dimension", || {
+        service.append_sample("stream", &[0.0; 2], 1.0)
+    });
+    assert!(matches!(res, Err(BmfError::SampleShape { .. })));
+    let res = no_panic("append_sample on unknown stream", || {
+        service.append_sample("no-such-stream", &[0.0; 4], 1.0)
+    });
+    assert!(matches!(
+        res,
+        Err(BmfError::NotFound { what: "stream", .. })
+    ));
+    let res = no_panic("append NaN point on unknown stream", || {
+        service.append_sample("no-such-stream", &[f64::NAN; 4], 1.0)
+    });
+    assert!(matches!(res, Err(BmfError::NonFiniteInput { .. })));
+    assert_eq!(
+        service.queued_appends(),
+        0,
+        "rejected appends must not enqueue"
+    );
+
+    // A healthy append applies despite the surrounding rejections, and
+    // duplicate stream registration is a structured error.
+    service
+        .append_sample("stream", &[0.1, -0.2, 0.3, 0.4], 0.9)
+        .expect("clean append");
+    let report = service.drain();
+    assert_eq!(report.appended(), 1);
+    assert!(report.appends[0].result.is_ok());
+    assert_eq!(service.stream_samples("stream").unwrap(), 1);
+    let res = no_panic("duplicate register_stream", || {
+        service.register_stream("stream", OrthonormalBasis::linear(r), &prior, 1.0)
+    });
+    assert!(matches!(
+        res,
+        Err(BmfError::Config {
+            parameter: "stream",
+            ..
+        })
+    ));
+    let c = service.counters();
+    assert_eq!(c.appends_ok, 1);
+    assert_eq!(c.appends_failed, 0);
+    // The NaN probe on the unknown stream was screened before the
+    // lookup, so only the clean unknown-stream append counts as a miss.
+    assert_eq!(c.append_misses, 1);
 }
 
 #[test]

@@ -1,0 +1,226 @@
+//! Streaming-equals-batch contract for the sequential stack.
+//!
+//! The streaming posterior engine's core claim is *bitwise* equality:
+//! after any prefix of any sample stream, `SequentialBmf` holds exactly
+//! the coefficients a from-scratch batch `map_estimate` over the seen
+//! prefix would produce — same bits, not just same values. This suite
+//! pins that property under randomized shapes, hyper-parameters, and
+//! stream orders, and extends it through the service front:
+//! `append_sample` through a `FitService` must land on the same bits as
+//! an offline `SequentialBmf`, at any worker-pool size, under any
+//! drain chunking.
+
+use bmf_basis::basis::OrthonormalBasis;
+use bmf_core::map_estimate::map_estimate;
+use bmf_core::options::FitOptions;
+use bmf_core::prior::{Prior, PriorKind};
+use bmf_core::sequential::SequentialBmf;
+use bmf_core::service::{FitService, ServiceConfig};
+use bmf_core::workspace::SeqWorkspace;
+use bmf_linalg::{Matrix, Vector};
+use bmf_stat::normal::StandardNormal;
+use bmf_stat::rng::{derive_seed, seeded, Rng};
+
+fn random_rows(k: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded(seed);
+    let mut s = StandardNormal::new();
+    (0..k).map(|_| s.sample_vec(&mut rng, m)).collect()
+}
+
+fn shuffled(n: usize, rng: &mut Rng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_index(i + 1));
+    }
+    order
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// After every absorbed sample, the streamed posterior mean must equal
+/// the batch MAP estimate over the seen prefix bit for bit — across
+/// problem shapes, hyper-parameters, and random stream orders.
+#[test]
+fn streamed_prefixes_match_batch_bitwise_under_random_orders_and_shapes() {
+    let shapes: &[(usize, usize, f64)] = &[
+        (3, 2, 1.0),
+        (9, 6, 0.25),
+        (17, 12, 4.0),
+        (33, 5, 1.0),
+        (12, 16, 0.5), // K < M: fewer samples than coefficients
+    ];
+    for (case, &(k, m, hyper)) in shapes.iter().enumerate() {
+        let seed = derive_seed(0xB17_B17, case as u64);
+        let rows = random_rows(k, m, seed);
+        let values: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.iter().sum::<f64>() * 0.4 + i as f64 * 0.01)
+            .collect();
+        let early: Vec<f64> = (0..m).map(|i| 0.9 / (1.0 + i as f64)).collect();
+        let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
+        let options = FitOptions::new().hyper(hyper);
+        let mut order_rng = seeded(derive_seed(seed, 99));
+
+        for _ in 0..3 {
+            let order = shuffled(k, &mut order_rng);
+            let mut seq = SequentialBmf::new(&prior, hyper).expect("valid prior");
+            let mut ws = SeqWorkspace::for_problem(k, m);
+            let mut streamed = vec![0.0; m];
+            let mut seen: Vec<&[f64]> = Vec::with_capacity(k);
+            let mut seen_values = Vec::with_capacity(k);
+
+            for &idx in &order {
+                seq.add_sample(&rows[idx], values[idx], &mut ws)
+                    .expect("finite sample");
+                seen.push(&rows[idx]);
+                seen_values.push(values[idx]);
+
+                seq.coefficients_into(&mut ws, &mut streamed)
+                    .expect("coefficients");
+                let g = Matrix::from_rows(&seen).expect("design");
+                let f = Vector::from(seen_values.clone());
+                let batch = map_estimate(&g, &f, &prior, &options).expect("batch fit");
+                assert_eq!(
+                    bits(&streamed),
+                    bits(batch.as_slice()),
+                    "prefix {} of order {order:?} diverged (shape k={k} m={m} hyper={hyper})",
+                    seen.len(),
+                );
+            }
+        }
+    }
+}
+
+/// The zero-sample stream is the prior mean, also bit for bit.
+#[test]
+fn empty_stream_reports_the_prior_mean_bitwise() {
+    let early = [1.25, -0.75, 0.5];
+    let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
+    let seq = SequentialBmf::new(&prior, 2.0).expect("valid prior");
+    let coeffs = seq.coefficients().expect("prior mean");
+    assert_eq!(bits(coeffs.as_slice()), bits(&early));
+}
+
+fn stream_service(threads: usize) -> FitService {
+    FitService::new(ServiceConfig {
+        options: FitOptions::new().threads(threads).seed(11),
+        ..ServiceConfig::default()
+    })
+    .expect("service config")
+}
+
+/// Streams appended through the service front — interleaved with
+/// drains at arbitrary chunk boundaries and fits on the batch path —
+/// must land on exactly the bits an offline `SequentialBmf` produces,
+/// at every worker-pool size.
+#[test]
+fn service_appends_bit_identical_to_offline_at_any_pool_size() {
+    let vars = 5;
+    let basis = OrthonormalBasis::linear(vars);
+    let m = basis.len();
+    let early: Vec<f64> = (0..m).map(|i| 0.6 / (1.0 + i as f64 * 0.5)).collect();
+    let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
+    let hyper = 1.5;
+    let points = random_rows(24, vars, 0x57AE);
+    let values: Vec<f64> = points
+        .iter()
+        .map(|p| 0.3 + p.iter().sum::<f64>() * 0.7)
+        .collect();
+
+    // Offline reference: one estimator fed the same rows in order.
+    let mut offline = SequentialBmf::new(&prior, hyper).expect("valid prior");
+    let mut ws = SeqWorkspace::for_problem(points.len(), m);
+    for (p, &v) in points.iter().zip(&values) {
+        offline
+            .add_sample(&basis.row(p), v, &mut ws)
+            .expect("finite sample");
+    }
+    let reference = offline.coefficients().expect("offline coefficients");
+
+    let mut per_pool = Vec::new();
+    for threads in [1usize, 4] {
+        let service = stream_service(threads);
+        service
+            .register_stream("ro/freq", basis.clone(), &prior, hyper)
+            .expect("stream registration");
+        // Uneven drain chunking: the split points must not matter.
+        let chunks: &[usize] = &[1, 5, 2, 9, 7];
+        let mut fed = 0;
+        for &chunk in chunks {
+            for _ in 0..chunk {
+                service
+                    .append_sample("ro/freq", &points[fed], values[fed])
+                    .expect("append accepted");
+                fed += 1;
+            }
+            let report = service.drain();
+            assert_eq!(report.appended(), chunk);
+        }
+        assert_eq!(fed, points.len());
+        assert_eq!(service.stream_samples("ro/freq").unwrap(), points.len());
+
+        let snap = service.snapshot("ro/freq").expect("streamed model live");
+        assert_eq!(
+            bits(snap.model.coeffs()),
+            bits(reference.as_slice()),
+            "service stream diverged from offline estimator at {threads} threads"
+        );
+        per_pool.push(bits(snap.model.coeffs()));
+    }
+    assert_eq!(per_pool[0], per_pool[1], "pool size changed streamed bits");
+}
+
+/// Appends queued before a drain apply in ticket order, so a stream's
+/// registry snapshot after interleaved multi-stream traffic equals each
+/// stream's own offline replay.
+#[test]
+fn interleaved_streams_stay_isolated_and_ordered() {
+    let vars = 3;
+    let basis = OrthonormalBasis::linear(vars);
+    let m = basis.len();
+    let prior_a = Prior::from_coeffs(PriorKind::NonZeroMean, &vec![0.8; m]);
+    let prior_b = Prior::from_coeffs(PriorKind::NonZeroMean, &vec![-0.4; m]);
+    let points = random_rows(16, vars, 0xD0B);
+
+    let service = stream_service(2);
+    service
+        .register_stream("a", basis.clone(), &prior_a, 1.0)
+        .expect("register a");
+    service
+        .register_stream("b", basis.clone(), &prior_b, 3.0)
+        .expect("register b");
+
+    let mut offline_a = SequentialBmf::new(&prior_a, 1.0).expect("prior a");
+    let mut offline_b = SequentialBmf::new(&prior_b, 3.0).expect("prior b");
+    let mut ws = SeqWorkspace::new();
+    for (i, p) in points.iter().enumerate() {
+        let v = 0.2 * i as f64 - 1.0;
+        if i % 3 == 0 {
+            service.append_sample("b", p, v).expect("append b");
+            offline_b
+                .add_sample(&basis.row(p), v, &mut ws)
+                .expect("offline b");
+        } else {
+            service.append_sample("a", p, v).expect("append a");
+            offline_a
+                .add_sample(&basis.row(p), v, &mut ws)
+                .expect("offline a");
+        }
+    }
+    let report = service.drain();
+    assert_eq!(report.appended(), points.len());
+    assert_eq!(service.stream_count(), 2);
+
+    for (job, offline) in [("a", &offline_a), ("b", &offline_b)] {
+        let snap = service.snapshot(job).expect("stream model live");
+        let reference = offline.coefficients().expect("offline coefficients");
+        assert_eq!(
+            bits(snap.model.coeffs()),
+            bits(reference.as_slice()),
+            "stream `{job}` diverged from its offline replay"
+        );
+    }
+}

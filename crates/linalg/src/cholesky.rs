@@ -1,4 +1,8 @@
-use crate::triangular::{solve_lower_in_place, solve_lower_transpose_in_place};
+use crate::triangular::{
+    solve_lower_in_place, solve_lower_transpose_in_place, solve_lower_transpose_view_in_place,
+    solve_lower_view_in_place,
+};
+use crate::view::MatRef;
 use crate::{LinalgError, Matrix, Result, Vector};
 
 /// Overwrites the square matrix `a` with its lower Cholesky factor `L`
@@ -46,6 +50,212 @@ pub fn cholesky_in_place(a: &mut Matrix) -> Result<()> {
         }
     }
     Ok(())
+}
+
+/// Computes one new factor row for a rank-one *row growth* of a Cholesky
+/// factorization, allocating nothing.
+///
+/// Given the factor `L` of an `n × n` SPD matrix `A` (as a borrowed,
+/// possibly strided view — only the lower triangle is read), the border
+/// column `w` and corner `d` of the extended matrix
+///
+/// ```text
+/// [ A   w ]
+/// [ wᵀ  d ]
+/// ```
+///
+/// this writes the new factor row into `out_row` and returns the new
+/// diagonal entry, in Θ(n²).
+///
+/// **Bit-identity:** the forward substitution and the diagonal use the
+/// exact sequential-subtraction accumulation of [`cholesky_in_place`]'s
+/// row loop (`s = a[(n,j)]; s -= l[(n,k)] · l[(j,k)] …`), so by induction
+/// a factor grown one row at a time is bit-identical to a fresh
+/// factorization of the full extended matrix. (The previous owned
+/// implementation computed the diagonal as `d − l·l`, which differs in
+/// the last ulps from the in-place kernel's running subtraction.)
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] when `w.len()` or `out_row.len()`
+///   differs from `l`'s dimension, or `l` is not square.
+/// * [`LinalgError::NonFinite`] when `w` or `d` contain NaN or ±∞ —
+///   screened up front so contaminated inputs are not misreported as a
+///   loss of positive definiteness.
+/// * [`LinalgError::NotPositiveDefinite`] when the extended matrix is not
+///   positive definite (`out_row` then holds the substituted row; the
+///   caller's factor is untouched).
+pub fn cholesky_extend_row_into(
+    l: MatRef<'_>,
+    w: &[f64],
+    d: f64,
+    out_row: &mut [f64],
+) -> Result<f64> {
+    let (n, c) = l.shape();
+    if n != c {
+        return Err(LinalgError::NotSquare { rows: n, cols: c });
+    }
+    if w.len() != n || out_row.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cholesky extend",
+            lhs: (n, n),
+            rhs: (w.len(), 1),
+        });
+    }
+    if !d.is_finite() || w.iter().any(|x| !x.is_finite()) {
+        return Err(LinalgError::NonFinite {
+            op: "cholesky extend",
+        });
+    }
+    // Row n of the extended factorization, exactly as cholesky_in_place
+    // would compute it: forward substitution against the existing rows...
+    for j in 0..n {
+        let lrow = l.row(j);
+        let mut s = w[j];
+        for k in 0..j {
+            s -= out_row[k] * lrow[k];
+        }
+        out_row[j] = s / lrow[j];
+    }
+    // ...then the diagonal as a running subtraction from the corner.
+    let mut s = d;
+    for &v in out_row.iter() {
+        s -= v * v;
+    }
+    if s <= 0.0 {
+        return Err(LinalgError::NotPositiveDefinite { pivot: n, value: s });
+    }
+    Ok(s.sqrt())
+}
+
+/// A Cholesky factorization that grows one row/column at a time without
+/// per-step allocation.
+///
+/// The factor lives in one flat buffer with row stride equal to the
+/// current *capacity*, so absorbing a new sample writes the new row into
+/// pre-zeroed space in place ([`cholesky_extend_row_into`]); the buffer
+/// is re-laid-out only when the dimension outgrows the capacity
+/// (capacity doubling, amortized Θ(1) reallocations). With
+/// [`GrowingCholesky::reserve`] called up front, steady-state growth
+/// performs **zero** heap allocations.
+///
+/// The stored factor is bit-identical to [`cholesky_in_place`] applied to
+/// the full bordered matrix, and [`GrowingCholesky::solve_in_place`] is
+/// bit-identical to [`Cholesky::solve_in_place`] on that factor — this is
+/// what lets the sequential BMF estimator reproduce batch fast-solver
+/// results exactly, sample by sample.
+#[derive(Debug, Clone, Default)]
+pub struct GrowingCholesky {
+    /// `cap × cap` row-major storage, zero outside the leading `n × n`
+    /// lower triangle.
+    data: Vec<f64>,
+    /// Current factor dimension.
+    n: usize,
+    /// Row stride of `data` (and its square root of length).
+    cap: usize,
+}
+
+impl GrowingCholesky {
+    /// Creates an empty (0-dimensional) factorization.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current factor dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no row has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Grows the backing buffer so the factor can reach `dim` rows
+    /// without further allocation.
+    pub fn reserve(&mut self, dim: usize) {
+        if dim > self.cap {
+            self.relayout(dim);
+        }
+    }
+
+    /// Borrows the current `n × n` factor as a strided view (row stride =
+    /// capacity). The upper triangle reads as exact zeros, matching the
+    /// owned [`Cholesky::factor`] convention.
+    pub fn factor_view(&self) -> Result<MatRef<'_>> {
+        MatRef::strided(&self.data, self.n, self.n, self.cap.max(1))
+    }
+
+    /// Absorbs one bordering row/column: if the current factor is of `A`,
+    /// the factor becomes that of `[[A, w], [wᵀ, d]]`, in Θ(n²) with no
+    /// allocation while within capacity.
+    ///
+    /// On error the factor is untouched (the rejected row only ever wrote
+    /// into the unused row-`n` slot).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cholesky_extend_row_into`] (dimension,
+    /// non-finite screen, loss of positive definiteness).
+    pub fn push_row(&mut self, w: &[f64], d: f64) -> Result<()> {
+        let n = self.n;
+        if w.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky extend",
+                lhs: (n, n),
+                rhs: (w.len(), 1),
+            });
+        }
+        if n == self.cap {
+            self.relayout((self.cap * 2).max(4));
+        }
+        let cap = self.cap;
+        // Split so the existing factor (rows 0..n) is borrowed immutably
+        // while row n is written: row n starts exactly at n * cap.
+        let (head, tail) = self.data.split_at_mut(n * cap);
+        let l = MatRef::strided(head, n, n, cap.max(1))?;
+        let diag = cholesky_extend_row_into(l, w, d, &mut tail[..n])?;
+        tail[n] = diag;
+        self.n = n + 1;
+        Ok(())
+    }
+
+    /// Solves `A x = b` in place against the grown factor, allocating
+    /// nothing — bit-identical to [`Cholesky::solve_in_place`] (same
+    /// forward / transposed-forward substitutions, same pivot tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len()` differs
+    /// from the factor dimension, [`LinalgError::Singular`] on a
+    /// numerically zero pivot.
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        let l = self.factor_view()?;
+        solve_lower_view_in_place(l, x)?;
+        solve_lower_transpose_view_in_place(l, x)
+    }
+
+    /// Forward substitution only (`L z = b`, in place) — the half-solve
+    /// the posterior-variance query `gᵀΣg = gᵀD⁻¹g − ‖L⁻¹u‖²` needs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GrowingCholesky::solve_in_place`].
+    pub fn forward_solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        solve_lower_view_in_place(self.factor_view()?, x)
+    }
+
+    /// Re-lays the factor into a fresh zeroed buffer with row stride
+    /// `new_cap` (≥ current dimension).
+    fn relayout(&mut self, new_cap: usize) {
+        let mut fresh = vec![0.0; new_cap * new_cap];
+        for i in 0..self.n {
+            fresh[i * new_cap..i * new_cap + self.n]
+                .copy_from_slice(&self.data[i * self.cap..i * self.cap + self.n]);
+        }
+        self.data = fresh;
+        self.cap = new_cap;
+    }
 }
 
 /// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite matrix.
@@ -194,6 +404,12 @@ impl Cholesky {
     /// time: the Woodbury core `c⁻¹I + G D⁻¹ Gᵀ` grows exactly this way
     /// per sample.
     ///
+    /// The arithmetic routes through [`cholesky_extend_row_into`], so the
+    /// grown factor is **bit-identical** to a fresh factorization of the
+    /// extended matrix. This owned wrapper allocates the enlarged square
+    /// storage per call; growth loops should hold a [`GrowingCholesky`],
+    /// which reuses capacity-doubled storage instead.
+    ///
     /// # Errors
     ///
     /// * [`LinalgError::DimensionMismatch`] when `w.len() != self.dim()`.
@@ -205,34 +421,17 @@ impl Cholesky {
     ///   not positive definite.
     pub fn extend(&mut self, w: &Vector, d: f64) -> Result<()> {
         let n = self.dim();
-        if w.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                op: "cholesky extend",
-                lhs: (n, n),
-                rhs: (w.len(), 1),
-            });
-        }
-        if !d.is_finite() || !w.is_finite() {
-            return Err(LinalgError::NonFinite {
-                op: "cholesky extend",
-            });
-        }
-        // New row l satisfies L l = w; new diagonal sqrt(d - l·l).
-        let l_row = crate::triangular::solve_lower(&self.l, w)?;
-        let s = d - l_row.dot(&l_row)?;
-        if s <= 0.0 {
-            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: s });
-        }
         let mut bigger = Matrix::zeros(n + 1, n + 1);
+        let diag = {
+            let (_, new_row) = bigger.as_mut_slice().split_at_mut(n * (n + 1));
+            cholesky_extend_row_into(self.l.as_view(), w.as_slice(), d, &mut new_row[..n])?
+        };
         for i in 0..n {
             for j in 0..=i {
                 bigger[(i, j)] = self.l[(i, j)];
             }
         }
-        for j in 0..n {
-            bigger[(n, j)] = l_row[j];
-        }
-        bigger[(n, n)] = s.sqrt();
+        bigger[(n, n)] = diag;
         self.l = bigger;
         Ok(())
     }
@@ -399,5 +598,141 @@ mod tests {
         let x = chol.solve_matrix(&b).unwrap();
         let r = a.matmul(&x).unwrap().sub(&b).unwrap();
         assert!(r.norm_frobenius() < 1e-11);
+    }
+
+    /// SplitMix64 — enough randomness for SPD test matrices without
+    /// pulling a stat dependency into this crate.
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let b = Matrix::from_fn(n + 2, n, |_, _| splitmix(&mut s));
+        let mut a = b.gram();
+        a.add_diagonal_mut(&vec![0.75; n]).unwrap();
+        a
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                assert_eq!(
+                    a[(i, j)].to_bits(),
+                    b[(i, j)].to_bits(),
+                    "{what}: ({i},{j}) {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_is_bit_identical_to_fresh_factorization() {
+        for seed in 0..8u64 {
+            let n = 3 + (seed % 4) as usize;
+            let a = random_spd(n, 1000 + seed);
+            let lead = Matrix::from_fn(n - 1, n - 1, |i, j| a[(i, j)]);
+            let mut grown = lead.cholesky().unwrap();
+            let w = Vector::from_fn(n - 1, |i| a[(i, n - 1)]);
+            grown.extend(&w, a[(n - 1, n - 1)]).unwrap();
+            let fresh = a.cholesky().unwrap();
+            assert_bits_eq(grown.factor(), fresh.factor(), "owned extend");
+        }
+    }
+
+    #[test]
+    fn growing_factor_matches_fresh_factorization_bitwise_at_every_size() {
+        for seed in 0..4u64 {
+            let n = 9; // crosses the 4 -> 8 -> 16 capacity-doubling boundaries
+            let a = random_spd(n, 7000 + seed);
+            let mut grow = GrowingCholesky::new();
+            for k in 0..n {
+                let w: Vec<f64> = (0..k).map(|i| a[(i, k)]).collect();
+                grow.push_row(&w, a[(k, k)]).unwrap();
+                let lead = Matrix::from_fn(k + 1, k + 1, |i, j| a[(i, j)]);
+                let fresh = lead.cholesky().unwrap();
+                assert_bits_eq(
+                    &grow.factor_view().unwrap().to_matrix(),
+                    fresh.factor(),
+                    "growing factor",
+                );
+            }
+            assert_eq!(grow.dim(), n);
+        }
+    }
+
+    #[test]
+    fn growing_solve_is_bit_identical_to_owned_solve() {
+        let n = 7;
+        let a = random_spd(n, 42);
+        let mut grow = GrowingCholesky::new();
+        for k in 0..n {
+            let w: Vec<f64> = (0..k).map(|i| a[(i, k)]).collect();
+            grow.push_row(&w, a[(k, k)]).unwrap();
+        }
+        let owned = a.cholesky().unwrap();
+        let mut s = 5u64;
+        let b: Vec<f64> = (0..n).map(|_| splitmix(&mut s)).collect();
+        let mut x_grow = b.clone();
+        grow.solve_in_place(&mut x_grow).unwrap();
+        let x_owned = owned.solve(&Vector::from(b.clone())).unwrap();
+        for (g, o) in x_grow.iter().zip(x_owned.iter()) {
+            assert_eq!(g.to_bits(), o.to_bits());
+        }
+        // Forward half-solve matches a solve_lower against the owned factor.
+        let mut z = b.clone();
+        grow.forward_solve_in_place(&mut z).unwrap();
+        let z_owned = crate::triangular::solve_lower(owned.factor(), &Vector::from(b)).unwrap();
+        for (g, o) in z.iter().zip(z_owned.iter()) {
+            assert_eq!(g.to_bits(), o.to_bits());
+        }
+    }
+
+    #[test]
+    fn growing_cholesky_rejects_bad_rows_and_stays_usable() {
+        let mut grow = GrowingCholesky::new();
+        grow.push_row(&[], 4.0).unwrap();
+        // Dimension mismatch, non-finite, and indefinite growth all leave
+        // the factor untouched.
+        assert!(matches!(
+            grow.push_row(&[1.0, 2.0], 1.0),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            grow.push_row(&[f64::NAN], 1.0),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            grow.push_row(&[4.0], 1.0), // Schur complement 1 - 16/4 < 0
+            Err(LinalgError::NotPositiveDefinite { pivot: 1, .. })
+        ));
+        assert_eq!(grow.dim(), 1);
+        grow.push_row(&[1.0], 3.0).unwrap();
+        assert_eq!(grow.dim(), 2);
+    }
+
+    #[test]
+    fn growing_cholesky_reserve_preallocates() {
+        let mut grow = GrowingCholesky::new();
+        grow.reserve(16);
+        let a = random_spd(12, 9);
+        for k in 0..12 {
+            let w: Vec<f64> = (0..k).map(|i| a[(i, k)]).collect();
+            grow.push_row(&w, a[(k, k)]).unwrap();
+        }
+        let fresh = a.cholesky().unwrap();
+        assert_bits_eq(
+            &grow.factor_view().unwrap().to_matrix(),
+            fresh.factor(),
+            "reserved growth",
+        );
     }
 }

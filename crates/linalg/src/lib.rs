@@ -50,7 +50,7 @@ mod triangular;
 pub mod view;
 pub mod woodbury;
 
-pub use cholesky::{cholesky_in_place, Cholesky};
+pub use cholesky::{cholesky_extend_row_into, cholesky_in_place, Cholesky, GrowingCholesky};
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use fp::{is_exact_nonzero, is_exact_zero};
@@ -63,10 +63,11 @@ pub use resilience::{
 };
 pub use triangular::{
     solve_lower, solve_lower_in_place, solve_lower_transpose, solve_lower_transpose_in_place,
-    solve_upper, solve_upper_in_place,
+    solve_lower_transpose_view_in_place, solve_lower_view_in_place, solve_upper,
+    solve_upper_in_place,
 };
 pub use vector::Vector;
-pub use view::{MatMut, MatRef, VecMut, VecRef};
+pub use view::{dot3, MatMut, MatRef, VecMut, VecRef};
 
 mod vector;
 

@@ -4,10 +4,26 @@
 //! and [`crate::Qr`]. Only the relevant triangle of the input matrix is
 //! read, so a packed factor stored in a full square matrix works unchanged.
 
+use crate::view::MatRef;
 use crate::{LinalgError, Matrix, Result, Vector};
 
 /// Pivots with magnitude below this threshold are treated as exact zeros.
 const PIVOT_TOL: f64 = 1e-300;
+
+fn check_square_view(l: MatRef<'_>, len: usize, op: &'static str) -> Result<()> {
+    let (r, c) = l.shape();
+    if r != c {
+        return Err(LinalgError::NotSquare { rows: r, cols: c });
+    }
+    if len != r {
+        return Err(LinalgError::DimensionMismatch {
+            op,
+            lhs: (r, c),
+            rhs: (len, 1),
+        });
+    }
+    Ok(())
+}
 
 fn check_square_system(l: &Matrix, len: usize, op: &'static str) -> Result<()> {
     let (r, c) = l.shape();
@@ -60,6 +76,19 @@ pub fn solve_lower(l: &Matrix, b: &Vector) -> Result<Vector> {
 /// substituted values.
 pub fn solve_lower_in_place(l: &Matrix, x: &mut [f64]) -> Result<()> {
     check_square_system(l, x.len(), "solve_lower")?;
+    solve_lower_view_in_place(l.as_view(), x)
+}
+
+/// Borrowed-view variant of [`solve_lower_in_place`]: the factor is any
+/// [`MatRef`] (possibly strided, as in a capacity-padded growing factor),
+/// and the loop is **bit-identical** to the owned kernel — same
+/// subtraction order, same pivot tolerance.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lower`].
+pub fn solve_lower_view_in_place(l: MatRef<'_>, x: &mut [f64]) -> Result<()> {
+    check_square_view(l, x.len(), "solve_lower")?;
     let n = x.len();
     for i in 0..n {
         let row = l.row(i);
@@ -139,14 +168,26 @@ pub fn solve_lower_transpose(l: &Matrix, b: &Vector) -> Result<Vector> {
 /// partially substituted values.
 pub fn solve_lower_transpose_in_place(l: &Matrix, x: &mut [f64]) -> Result<()> {
     check_square_system(l, x.len(), "solve_lower_transpose")?;
+    solve_lower_transpose_view_in_place(l.as_view(), x)
+}
+
+/// Borrowed-view variant of [`solve_lower_transpose_in_place`]:
+/// **bit-identical** to the owned kernel — same subtraction order, same
+/// pivot tolerance — over any [`MatRef`] factor.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lower_transpose`].
+pub fn solve_lower_transpose_view_in_place(l: MatRef<'_>, x: &mut [f64]) -> Result<()> {
+    check_square_view(l, x.len(), "solve_lower_transpose")?;
     let n = x.len();
     for i in (0..n).rev() {
         // Lᵀ[i][j] = L[j][i]; only j >= i contribute.
         let mut s = x[i];
-        for j in (i + 1)..n {
-            s -= l[(j, i)] * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            s -= l.row(j)[i] * xj;
         }
-        let d = l[(i, i)];
+        let d = l.row(i)[i];
         if d.abs() < PIVOT_TOL {
             return Err(LinalgError::Singular { pivot: i });
         }

@@ -679,15 +679,30 @@ pub fn outer_gram_diag_into(a: MatRef<'_>, diag: &[f64], mut out: MatMut<'_>) ->
         let ri = a.row(i);
         for j in i..k {
             let rj = a.row(j);
-            let mut s = 0.0;
-            for ((p, q), d) in ri.iter().zip(rj).zip(diag) {
-                s += p * q * d;
-            }
+            let s = dot3(ri, rj, diag);
             out.row_mut(i)[j] = s;
             out.row_mut(j)[i] = s;
         }
     }
     Ok(())
+}
+
+/// Diagonally weighted dot product `Σᵢ a[i]·b[i]·diag[i]`, accumulated
+/// left to right with the exact multiply order of
+/// [`outer_gram_diag_into`]'s inner loop (of which this is the extracted
+/// kernel — one entry of `A·D·Aᵀ`). The sequential fitting engine uses it
+/// to grow the Woodbury core one row at a time with entries bit-identical
+/// to the batch-assembled matrix.
+///
+/// Iteration stops at the shortest of the three slices, mirroring the
+/// `zip` the matrix kernel has always used; callers screen lengths at
+/// their own boundary.
+pub fn dot3(a: &[f64], b: &[f64], diag: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for ((p, q), d) in a.iter().zip(b).zip(diag) {
+        s += p * q * d;
+    }
+    s
 }
 
 #[cfg(test)]

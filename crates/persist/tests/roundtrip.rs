@@ -155,3 +155,48 @@ fn job_ids_with_separators_survive_the_index() {
     assert_eq!(index[0].job_id, snap.job_id);
     assert_eq!(store.get(id).unwrap().job_id, snap.job_id);
 }
+
+/// A snapshot captured from the *streaming* estimator round-trips like
+/// any batch-fitted model: byte-exact re-encode, exact streaming
+/// provenance (prior family and hyper-parameter), content-addressed
+/// storage, and bit-identical coefficients.
+#[test]
+fn streamed_snapshot_round_trips_byte_exact() {
+    use bmf_core::prior::{Prior, PriorKind};
+    use bmf_core::sequential::SequentialBmf;
+    use bmf_core::workspace::SeqWorkspace;
+
+    let r = 4;
+    let basis = OrthonormalBasis::linear(r);
+    let m = basis.len();
+    let early: Vec<f64> = (0..m).map(|i| 0.8 / (1.0 + i as f64)).collect();
+    let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &early);
+    let mut seq = SequentialBmf::new(&prior, 1.25).unwrap();
+    let mut ws = SeqWorkspace::for_problem(10, m);
+    for p in sample_points(10, r, 21) {
+        let v = p.iter().sum::<f64>() * 0.5 + 0.1;
+        seq.add_sample(&basis.row(&p), v, &mut ws).unwrap();
+    }
+    let snap = seq.snapshot("stream/rt", &basis, &mut ws).unwrap();
+    assert_eq!(snap.prior_kind, PriorKind::NonZeroMean);
+    assert_eq!(snap.hyper.to_bits(), 1.25f64.to_bits());
+
+    let bytes = encode_snapshot(&snap).unwrap();
+    let back = decode_snapshot(&bytes).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(
+        encode_snapshot(&back).unwrap(),
+        bytes,
+        "save → load → save must be byte-identical"
+    );
+
+    // Content-addressed store round trip preserves the streamed bits.
+    let store = ArtifactStore::open(scratch("streamed")).unwrap();
+    let id = store.put(&snap).unwrap();
+    assert_eq!(artifact_fingerprint(&bytes).unwrap(), id.value());
+    let loaded = store.get(id).unwrap();
+    assert_eq!(loaded, snap);
+    for (a, b) in snap.model.coeffs().iter().zip(loaded.model.coeffs()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,10 +1,20 @@
 //! Online model fusion: update the post-layout model after *every*
-//! finished simulation instead of waiting for the whole batch.
+//! finished simulation, let the posterior pick which simulation to run
+//! next, and stop when the budget or the variance says so.
 //!
 //! Each post-layout run takes hours on a real testbed; `SequentialBmf`
-//! keeps the current MAP estimate (identical to a batch refit) at
+//! keeps the current MAP estimate (bit-identical to a batch refit) at
 //! Θ(K·M) per new sample by growing the Woodbury core's Cholesky factor
-//! incrementally.
+//! incrementally inside a reusable [`SeqWorkspace`]. On top of the
+//! estimator this example runs the full streaming loop:
+//!
+//! * **active selection** — `suggest_next` ranks the not-yet-simulated
+//!   candidates by posterior predictive variance and the loop always
+//!   simulates the most informative one;
+//! * **cost-aware stopping** — a [`StopPolicy`] checks every pick
+//!   against the simulation budget tracked by the circuit crate's
+//!   [`CostLedger`] and against a variance floor, so the testbed stops
+//!   burning hours once new samples stop paying for themselves.
 //!
 //! ```text
 //! cargo run --release --example online_modeling
@@ -12,12 +22,14 @@
 
 use bmf_basis::basis::OrthonormalBasis;
 use bmf_circuits::ro::{RingOscillator, RoConfig, RoMetric};
-use bmf_circuits::sim::monte_carlo;
+use bmf_circuits::sim::{monte_carlo, CostLedger};
 use bmf_circuits::stage::{CircuitPerformance, Stage};
 use bmf_core::fusion::response_scale;
 use bmf_core::omp::{fit_omp, OmpConfig};
 use bmf_core::prior::{Prior, PriorKind};
-use bmf_core::sequential::SequentialBmf;
+use bmf_core::sequential::{SequentialBmf, StopPolicy, StopReason};
+use bmf_core::workspace::SeqWorkspace;
+use bmf_linalg::view::MatRef;
 use bmf_stat::summary::relative_l2_error;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,33 +52,86 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sch = monte_carlo(&view, Stage::Schematic, 800, 1);
     let early = fit_omp(&basis, &sch.points, &sch.values, &OmpConfig::default())?;
 
-    // Stream post-layout samples one at a time. Work in the normalized
+    // A pool of *candidate* post-layout simulations: the loop decides
+    // which of these to actually pay for. Work in the normalized
     // response space (see `bmf_core::fusion::response_scale`).
-    let stream = monte_carlo(&view, Stage::PostLayout, 60, 2);
+    let pool = monte_carlo(&view, Stage::PostLayout, 60, 2);
     let test = monte_carlo(&view, Stage::PostLayout, 300, 3);
-    let scale = response_scale(&stream.values);
+    let scale = response_scale(&pool.values);
     let prior_vals: Vec<f64> = early.model.coeffs().iter().map(|a| a / scale).collect();
     let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &prior_vals);
 
+    let m = basis.len();
+    let per_sample_hours = pool.cost_hours / pool.len() as f64;
+    let policy = StopPolicy {
+        budget_hours: 40.0 * per_sample_hours, // funds at most 40 of the 60 candidates
+        min_samples: 8,
+        variance_floor: 1e-4,
+    };
+
     let mut seq = SequentialBmf::new(&prior, 1.0)?;
-    println!("samples | relative test error (%)");
+    seq.reserve(pool.len());
+    let mut ws = SeqWorkspace::for_problem(pool.len(), m);
+    let mut ledger = CostLedger::new();
+    let mut remaining: Vec<usize> = (0..pool.len()).collect();
+    let mut cand_rows: Vec<f64> = Vec::with_capacity(pool.len() * m);
+    let mut row = vec![0.0; m];
+    let mut alpha = vec![0.0; m];
+
     let test_rows: Vec<Vec<f64>> = test.points.iter().map(|p| basis.row(p)).collect();
     let test_scaled: Vec<f64> = test.values.iter().map(|v| v / scale).collect();
-    for (i, (point, &value)) in stream.points.iter().zip(&stream.values).enumerate() {
-        seq.add_sample(&basis.row(point), value / scale)?;
-        if (i + 1) % 10 == 0 || i < 3 {
-            let alpha = seq.coefficients()?;
+
+    println!("samples | peak variance | relative test error (%)");
+    let reason = loop {
+        // Rank every not-yet-simulated candidate by posterior variance.
+        cand_rows.clear();
+        for &c in &remaining {
+            basis.fill_row(&pool.points[c], &mut row);
+            cand_rows.extend_from_slice(&row);
+        }
+        let candidates = MatRef::from_row_major(&cand_rows, remaining.len(), m)?;
+        let Some((pick, peak_var)) = seq.suggest_next(candidates, &mut ws)? else {
+            break StopReason::VarianceConverged; // pool exhausted
+        };
+        if let Some(reason) = policy.decide(
+            seq.num_samples(),
+            ledger.simulation_hours,
+            per_sample_hours,
+            peak_var,
+        ) {
+            break reason;
+        }
+
+        // "Run" the chosen simulation: pay for it, then absorb it.
+        let chosen = remaining.swap_remove(pick);
+        ledger.charge_samples(&pool.select(&[chosen]));
+        basis.fill_row(&pool.points[chosen], &mut row);
+        seq.add_sample(&row, pool.values[chosen] / scale, &mut ws)?;
+
+        if seq.num_samples() % 5 == 0 || seq.num_samples() <= 3 {
+            seq.coefficients_into(&mut ws, &mut alpha)?;
             let pred: Vec<f64> = test_rows
                 .iter()
-                .map(|r| r.iter().zip(alpha.iter()).map(|(g, a)| g * a).sum())
+                .map(|r| r.iter().zip(&alpha).map(|(g, a)| g * a).sum())
                 .collect();
             let err = relative_l2_error(&pred, &test_scaled);
-            println!("{:>7} | {:.4}", i + 1, err * 100.0);
+            println!(
+                "{:>7} | {:>13.6} | {:.4}",
+                seq.num_samples(),
+                peak_var,
+                err * 100.0
+            );
         }
-    }
+    };
+
     println!(
-        "\nthe model is usable from the very first samples — the prior carries\n\
-         the structure, each new simulation refines it (identical to a batch refit)."
+        "\nstopped after {} of {} candidate simulations: {reason}\n\
+         simulation spend {:.1} h of a {:.1} h budget — the posterior picked\n\
+         the informative runs first and the policy kept the rest unspent.",
+        seq.num_samples(),
+        pool.len(),
+        ledger.simulation_hours,
+        policy.budget_hours,
     );
     Ok(())
 }

@@ -34,6 +34,9 @@ fi
 if [[ -z "${BMF_PERSIST_DIR:-}" ]]; then
     export BMF_PERSIST_DIR="$(pwd)/target/smoke/persist-store"
 fi
+if [[ -z "${BMF_SEQUENTIAL_OUT:-}" ]]; then
+    export BMF_SEQUENTIAL_OUT="$(pwd)/target/smoke/BENCH_sequential.json"
+fi
 
 for bench in "$@"; do
     echo "== smoke: $bench ${features[1]:+(features: ${features[1]})}=="

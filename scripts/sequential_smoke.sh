@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Sequential smoke gate: run the streaming posterior study in --smoke
+# mode twice — once with the worker pool pinned to one thread, once at
+# the default pool — and enforce the two contracts CI cares about:
+#
+#   1. determinism: the emitted reports are byte-identical (virtual-time
+#      metrics must not depend on thread count or wall clock);
+#   2. schema: every gated key is present and the headline values are
+#      positive finite numbers — in particular every absorbed curve
+#      sample was bitwise-verified against a batch refit, and streaming
+#      actually beats refitting.
+#
+# Usage:  scripts/sequential_smoke.sh [out-dir]  (default target/sequential-smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs the bench binary from the package directory,
+# so a relative BMF_SEQUENTIAL_OUT would land under crates/bench/.
+out_dir="$(pwd)/${1:-target/sequential-smoke}"
+mkdir -p "$out_dir"
+one="$out_dir/sequential_threads1.json"
+auto="$out_dir/sequential_default.json"
+
+echo "== sequential smoke: BMF_THREADS=1 =="
+BMF_THREADS=1 BMF_SEQUENTIAL_OUT="$one" \
+    cargo bench --offline --locked -p bmf-bench --bench sequential -- --smoke
+echo "== sequential smoke: default pool =="
+BMF_SEQUENTIAL_OUT="$auto" \
+    cargo bench --offline --locked -p bmf-bench --bench sequential -- --smoke
+
+if ! cmp -s "$one" "$auto"; then
+    echo "FAIL: sequential report differs between BMF_THREADS=1 and the default pool" >&2
+    diff "$one" "$auto" >&2 || true
+    exit 1
+fi
+echo "OK: report byte-identical at 1 thread and default pool"
+
+fail=0
+
+for key in scenario cost_model curve_k8 curve_k32 speedup k32_x_throughput \
+           latency_update p50_ns p99_ns max_ns arrival_cost \
+           simulation_millihours bitwise_checks updates_per_s_throughput; do
+    if ! grep -q "\"$key\"" "$one"; then
+        echo "FAIL: required key \"$key\" missing from sequential report" >&2
+        fail=1
+    fi
+done
+
+# Rust formats non-finite floats as NaN/inf; none may reach the report.
+if grep -qiE 'nan|infinity' "$one"; then
+    echo "FAIL: non-finite value in sequential report" >&2
+    fail=1
+fi
+
+# Headline values must be positive: every curve sample was
+# bitwise-verified, updates were actually timed, and the incremental
+# path beats per-sample refitting.
+checks=$(awk -F'"bitwise_checks": ' '/"bitwise_checks"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+p99=$(awk -F'"p99_ns": ' '/"latency_update"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+speedup=$(awk -F'"k32_x_throughput": ' '/"speedup"/ { split($2, a, "[,}]"); print a[1] + 0 }' "$one")
+if ! awk -v c="$checks" -v p="$p99" -v s="$speedup" \
+        'BEGIN { exit !(c > 0 && p > 0 && s > 1.0) }'; then
+    echo "FAIL: bad headline metric (bitwise_checks=$checks, update p99=$p99 ns, k32 speedup=${speedup}x)" >&2
+    fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "OK: schema check passed (bitwise_checks=$checks, update p99=$p99 ns, k32 speedup=${speedup}x)"
