@@ -23,6 +23,7 @@ pub mod ablation;
 pub mod alloc;
 pub mod allocs_study;
 pub mod batch_study;
+pub mod chaos_study;
 pub mod costs;
 pub mod earlyfit;
 pub mod figures;

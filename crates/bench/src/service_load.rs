@@ -131,7 +131,9 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_sorted(lat: &mut [u64]) -> Self {
+    /// Order-statistic percentiles over a latency sample (sorts it in
+    /// place). Empty input yields all-zero percentiles.
+    pub fn from_sorted(lat: &mut [u64]) -> Self {
         lat.sort_unstable();
         let pct = |num: u64, den: u64| -> u64 {
             if lat.is_empty() {
@@ -209,6 +211,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, BmfError> {
         jobs: cfg.jobs,
         groups: cfg.groups,
         hot_permille: 800,
+        fit_deadline_slack_ns: 0,
     };
     let traffic = traffic.clamped();
     let events = bmf_circuits::traffic::generate(&traffic, derive_seed(cfg.seed, 1));
@@ -224,6 +227,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, BmfError> {
         shards: 8,
         max_coalesce: cfg.max_coalesce.max(1),
         options,
+        ..ServiceConfig::default()
     })?;
 
     // One shared Monte-Carlo point set per group, registered up front.

@@ -52,6 +52,14 @@ pub struct TrafficEvent {
     /// Point-set group of the job (`job % groups`), fixed per job so
     /// fits, predictions, and evictions of one job are consistent.
     pub group: usize,
+    /// Virtual-time deadline for fit requests, in nanoseconds since
+    /// stream start: `at_ns + fit_deadline_slack_ns`. `None` for
+    /// non-fit events and when the slack knob is zero. A consumer
+    /// passes this straight to
+    /// `FitService::submit_fit_with_deadline`, so a drain running
+    /// behind virtual arrival time expires stale fits instead of
+    /// serving them.
+    pub deadline_ns: Option<u64>,
 }
 
 /// Traffic-shape configuration; see [`generate`].
@@ -76,6 +84,11 @@ pub struct TrafficConfig {
     /// job population (clamped to ≤ 1000). 800 reproduces the classic
     /// 80/20 skew; 0 disables skew entirely.
     pub hot_permille: u32,
+    /// Deadline slack granted to each fit request, in virtual
+    /// nanoseconds after its arrival: event `deadline_ns` becomes
+    /// `at_ns + slack` (saturating). 0 disables deadlines entirely
+    /// (`deadline_ns` stays `None`).
+    pub fit_deadline_slack_ns: u64,
 }
 
 impl Default for TrafficConfig {
@@ -88,6 +101,7 @@ impl Default for TrafficConfig {
             jobs: 64,
             groups: 4,
             hot_permille: 800,
+            fit_deadline_slack_ns: 0,
         }
     }
 }
@@ -109,6 +123,7 @@ impl TrafficConfig {
             jobs,
             groups: self.groups.clamp(1, jobs),
             hot_permille: self.hot_permille.min(1000),
+            fit_deadline_slack_ns: self.fit_deadline_slack_ns,
         }
     }
 }
@@ -136,11 +151,18 @@ pub fn generate(config: &TrafficConfig, seed: u64) -> Vec<TrafficEvent> {
         } else {
             rng.gen_index(cfg.jobs)
         };
+        let deadline_ns = match kind {
+            RequestKind::Fit if cfg.fit_deadline_slack_ns > 0 => {
+                Some(t_ns.saturating_add(cfg.fit_deadline_slack_ns))
+            }
+            _ => None,
+        };
         events.push(TrafficEvent {
             at_ns: t_ns,
             kind,
             job,
             group: job % cfg.groups,
+            deadline_ns,
         });
     }
     events
@@ -404,11 +426,50 @@ mod tests {
             jobs: 0,
             groups: 0,
             hot_permille: 5_000,
+            fit_deadline_slack_ns: 0,
         };
         let events = generate(&cfg, 1);
         assert_eq!(events.len(), 100);
         // fit clamps to 1000 permille, evict to 0: every event is a fit.
         assert!(events.iter().all(|e| e.kind == RequestKind::Fit));
         assert!(events.iter().all(|e| e.job == 0 && e.group == 0));
+        // Slack 0 means no deadlines, even on an all-fit stream.
+        assert!(events.iter().all(|e| e.deadline_ns.is_none()));
+    }
+
+    #[test]
+    fn deadline_slack_stamps_fits_and_only_fits() {
+        let cfg = TrafficConfig {
+            requests: 50_000,
+            fit_permille: 200,
+            evict_permille: 100,
+            fit_deadline_slack_ns: 2_500,
+            ..TrafficConfig::default()
+        };
+        let events = generate(&cfg, 13);
+        assert!(events.iter().any(|e| e.kind == RequestKind::Fit));
+        for e in &events {
+            match e.kind {
+                RequestKind::Fit => {
+                    assert_eq!(e.deadline_ns, Some(e.at_ns + 2_500));
+                }
+                _ => assert_eq!(e.deadline_ns, None),
+            }
+        }
+        // The knob changes only the deadline stamps, not the draw
+        // sequence: the stream is otherwise identical to slack 0.
+        let plain = generate(
+            &TrafficConfig {
+                fit_deadline_slack_ns: 0,
+                ..cfg.clone()
+            },
+            13,
+        );
+        for (a, b) in events.iter().zip(&plain) {
+            assert_eq!(
+                (a.at_ns, a.kind, a.job, a.group),
+                (b.at_ns, b.kind, b.job, b.group)
+            );
+        }
     }
 }

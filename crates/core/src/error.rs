@@ -71,6 +71,26 @@ pub enum BmfError {
         /// What is wrong with the snapshot.
         detail: String,
     },
+    /// The service shed the request at admission because the named queue
+    /// is at capacity. Overload is a property of the *system*, not the
+    /// request: the caller may retry after a drain. `class` names the
+    /// queue ("fit", "append") so shed accounting can be per-class.
+    Overloaded {
+        /// Which bounded queue rejected the request.
+        class: &'static str,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The request's virtual-time deadline passed before the service
+    /// drained it. The work was never started: expiry is decided at drain
+    /// time, before batching, so expired members cannot perturb the
+    /// surviving cohort.
+    DeadlineExceeded {
+        /// The request's deadline, in virtual nanoseconds.
+        deadline_ns: u64,
+        /// The drain's virtual now when the request expired.
+        now_ns: u64,
+    },
     /// A service lookup named a key that is not (or no longer) registered
     /// — a prediction against an evicted model, or a fit referencing an
     /// unregistered point set. `what` names the registry ("model",
@@ -130,6 +150,19 @@ impl fmt::Display for BmfError {
             BmfError::Snapshot { detail } => {
                 write!(f, "invalid model snapshot: {detail}")
             }
+            BmfError::Overloaded { class, capacity } => {
+                write!(
+                    f,
+                    "service overloaded: `{class}` queue is at capacity ({capacity})"
+                )
+            }
+            BmfError::DeadlineExceeded {
+                deadline_ns,
+                now_ns,
+            } => write!(
+                f,
+                "deadline exceeded: due at {deadline_ns} ns, drained at {now_ns} ns"
+            ),
             BmfError::NotFound { what, key } => {
                 write!(f, "no {what} named `{key}` is registered")
             }
@@ -207,6 +240,28 @@ mod tests {
         };
         assert!(e.to_string().contains("invalid model snapshot"));
         assert!(e.to_string().contains("truncated artifact"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn overloaded_names_queue_class_and_capacity() {
+        let e = BmfError::Overloaded {
+            class: "fit",
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("`fit`"));
+        assert!(e.to_string().contains("64"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn deadline_exceeded_reports_both_clocks() {
+        let e = BmfError::DeadlineExceeded {
+            deadline_ns: 1_000,
+            now_ns: 2_500,
+        };
+        assert!(e.to_string().contains("1000"));
+        assert!(e.to_string().contains("2500"));
         assert!(e.source().is_none());
     }
 

@@ -23,6 +23,16 @@
 //!   set and basis into one `BatchFitter` run, so the shared design
 //!   matrix, fold plan, and Woodbury kernel cache are paid once per
 //!   group instead of once per request;
+//! * **admission control** bounds both queues
+//!   ([`ServiceConfig::queue_capacity`] /
+//!   [`ServiceConfig::append_capacity`]): a submission past the bound is
+//!   shed *at the boundary* with a structured [`BmfError::Overloaded`]
+//!   and a per-class counter, so overload degrades into explicit,
+//!   retryable rejections instead of unbounded queue growth — and
+//!   requests may carry a virtual-time deadline
+//!   ([`submit_fit_with_deadline`](FitService::submit_fit_with_deadline)
+//!   \+ [`drain_at`](FitService::drain_at)) that expires stale work
+//!   before it is batched;
 //! * a **streaming front** ([`register_stream`](FitService::register_stream)
 //!   / [`append_sample`](FitService::append_sample)) keeps per-job
 //!   [`SequentialBmf`] estimators up to date one late-stage sample at a
@@ -107,6 +117,14 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// [`ServiceConfig::default`].
 pub const DEFAULT_MAX_COALESCE: usize = 64;
 
+/// Fit-queue admission capacity used by [`ServiceConfig::default`] —
+/// far above any sane drain cadence, so the bound only engages under
+/// genuine overload.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 65_536;
+
+/// Append-queue admission capacity used by [`ServiceConfig::default`].
+pub const DEFAULT_APPEND_CAPACITY: usize = 65_536;
+
 /// Configuration for a [`FitService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -116,6 +134,14 @@ pub struct ServiceConfig {
     /// Upper bound on fit requests coalesced into a single batch run
     /// (clamped to at least 1). Bounds per-drain latency under bursts.
     pub max_coalesce: usize,
+    /// Admission bound on the fit queue (clamped to at least 1). A
+    /// submission arriving while this many fits are already queued is
+    /// shed with a structured [`BmfError::Overloaded`] instead of
+    /// growing the queue without bound.
+    pub queue_capacity: usize,
+    /// Admission bound on the streaming-append queue (clamped to at
+    /// least 1); same shedding discipline as `queue_capacity`.
+    pub append_capacity: usize,
     /// Fitting configuration shared by every coalesced batch (folds,
     /// grid, solver, worker threads, ...).
     pub options: FitOptions,
@@ -126,6 +152,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: DEFAULT_SHARDS,
             max_coalesce: DEFAULT_MAX_COALESCE,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            append_capacity: DEFAULT_APPEND_CAPACITY,
             options: FitOptions::default(),
         }
     }
@@ -293,6 +321,15 @@ pub struct ServiceCounters {
     pub appends_failed: u64,
     /// Append submissions naming a job with no registered stream.
     pub append_misses: u64,
+    /// Fit submissions shed at admission because the fit queue was at
+    /// capacity.
+    pub shed_fits: u64,
+    /// Streaming appends shed at admission because the append queue was
+    /// at capacity.
+    pub shed_appends: u64,
+    /// Queued fits that expired at drain time: their virtual deadline
+    /// passed before the drain reached them.
+    pub expired_fits: u64,
     /// Cumulative wall time spent applying streaming updates, in
     /// nanoseconds (the one timing-dependent counter).
     pub append_ns: u64,
@@ -319,6 +356,9 @@ struct AtomicCounters {
     appends_ok: AtomicU64,
     appends_failed: AtomicU64,
     append_misses: AtomicU64,
+    shed_fits: AtomicU64,
+    shed_appends: AtomicU64,
+    expired_fits: AtomicU64,
     append_ns: AtomicU64,
 }
 
@@ -329,11 +369,13 @@ struct PointSet {
     rows: Vec<Vec<f64>>,
 }
 
-/// A queued fit request plus its receipt and precomputed grouping key.
+/// A queued fit request plus its receipt, precomputed grouping key, and
+/// optional virtual-time deadline.
 #[derive(Debug)]
 struct Pending {
     ticket: Ticket,
     basis_fp: u64,
+    deadline_ns: Option<u64>,
     request: FitRequest,
 }
 
@@ -382,7 +424,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 impl FitService {
     /// Creates a service.
     ///
-    /// `shards` and `max_coalesce` are clamped to at least 1.
+    /// `shards`, `max_coalesce`, `queue_capacity`, and `append_capacity`
+    /// are clamped to at least 1.
     ///
     /// # Errors
     ///
@@ -393,6 +436,8 @@ impl FitService {
         let mut config = config;
         config.shards = config.shards.max(1);
         config.max_coalesce = config.max_coalesce.max(1);
+        config.queue_capacity = config.queue_capacity.max(1);
+        config.append_capacity = config.append_capacity.max(1);
         let shards = (0..config.shards)
             .map(|_| Mutex::new(BTreeMap::new()))
             .collect();
@@ -454,13 +499,42 @@ impl FitService {
     /// malformed request is rejected *now* — never later, where it could
     /// fail a coalesced batch.
     ///
+    /// Equivalent to [`submit_fit_with_deadline`](Self::submit_fit_with_deadline)
+    /// with no deadline.
+    ///
     /// # Errors
     ///
     /// * [`BmfError::NonFiniteInput`] for NaN/±∞ values or prior entries.
     /// * [`BmfError::NotFound`] for an unregistered point-set handle.
     /// * [`BmfError::PriorShape`] / [`BmfError::SampleShape`] for
     ///   prior/basis and value/point-count mismatches.
+    /// * [`BmfError::Overloaded`] (`"fit"`) when the queue is at
+    ///   [`ServiceConfig::queue_capacity`].
     pub fn submit_fit(&self, request: FitRequest) -> Result<Ticket> {
+        self.submit_fit_with_deadline(request, None)
+    }
+
+    /// Enqueues a fit request carrying a virtual-time deadline: if the
+    /// drain that would serve it runs at a virtual `now` past the
+    /// deadline ([`drain_at`](Self::drain_at)), the request expires with
+    /// a structured [`BmfError::DeadlineExceeded`] instead of being
+    /// fitted — decided *before* batching, so an expired member never
+    /// perturbs the cohort it would have coalesced with.
+    ///
+    /// Admission control happens here, under the queue lock: when
+    /// [`ServiceConfig::queue_capacity`] requests are already queued the
+    /// submission is shed with [`BmfError::Overloaded`] and counted in
+    /// [`ServiceCounters::shed_fits`]. Validation runs first, so a
+    /// malformed request is reported as malformed even under overload.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`submit_fit`](Self::submit_fit).
+    pub fn submit_fit_with_deadline(
+        &self,
+        request: FitRequest,
+        deadline_ns: Option<u64>,
+    ) -> Result<Ticket> {
         crate::screen::finite_values("response values", &request.values)?;
         crate::screen::finite_early("prior early coefficients", &request.prior)?;
         let points = self.point_set(request.points)?;
@@ -491,11 +565,23 @@ impl FitService {
                 ),
             });
         }
-        let ticket = Ticket(self.tickets.fetch_add(1, Ordering::Relaxed));
         let basis_fp = fingerprint_basis(&request.basis);
-        lock(&self.queue).push_back(Pending {
+        // The capacity check and the push happen under one lock
+        // acquisition, so concurrent submitters cannot race past the
+        // bound; the ticket is only minted once admission succeeds.
+        let mut queue = lock(&self.queue);
+        if queue.len() >= self.config.queue_capacity {
+            self.counters.shed_fits.fetch_add(1, Ordering::Relaxed);
+            return Err(BmfError::Overloaded {
+                class: "fit",
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let ticket = Ticket(self.tickets.fetch_add(1, Ordering::Relaxed));
+        queue.push_back(Pending {
             ticket,
             basis_fp,
+            deadline_ns,
             request,
         });
         Ok(ticket)
@@ -581,6 +667,8 @@ impl FitService {
     ///   under the key.
     /// * [`BmfError::SampleShape`] when the point dimension differs from
     ///   the stream basis.
+    /// * [`BmfError::Overloaded`] (`"append"`) when the queue is at
+    ///   [`ServiceConfig::append_capacity`].
     pub fn append_sample(&self, job_id: &str, point: &[f64], value: f64) -> Result<Ticket> {
         crate::screen::finite_values("sample point", point)?;
         if !value.is_finite() {
@@ -607,8 +695,18 @@ impl FitService {
                 });
             }
         }
+        // Same admission discipline as the fit queue: check and push
+        // under one lock acquisition, mint the ticket only on admission.
+        let mut queue = lock(&self.append_queue);
+        if queue.len() >= self.config.append_capacity {
+            self.counters.shed_appends.fetch_add(1, Ordering::Relaxed);
+            return Err(BmfError::Overloaded {
+                class: "append",
+                capacity: self.config.append_capacity,
+            });
+        }
         let ticket = Ticket(self.tickets.fetch_add(1, Ordering::Relaxed));
-        lock(&self.append_queue).push_back(PendingAppend {
+        queue.push_back(PendingAppend {
             ticket,
             job_id: job_id.to_string(),
             point: point.to_vec(),
@@ -656,10 +754,43 @@ impl FitService {
     /// Failures are per-request — they surface in
     /// [`FitOutcome::result`] / [`AppendOutcome::result`], never as a
     /// drain-level error — so a bad request cannot wedge the queue.
+    ///
+    /// Equivalent to [`drain_at`](Self::drain_at) at virtual time 0,
+    /// where no deadline can have passed.
     pub fn drain(&self) -> DrainReport {
+        self.drain_at(0)
+    }
+
+    /// Drains the queue at virtual time `now_ns`: queued fits whose
+    /// deadline passed (`deadline_ns < now_ns`) expire with a structured
+    /// [`BmfError::DeadlineExceeded`] *before* grouping, so the surviving
+    /// cohort coalesces and fits exactly as if the expired members had
+    /// never been submitted — their results stay bit-identical.
+    ///
+    /// Expiry is strict (`<`): a request drained exactly at its deadline
+    /// is still served.
+    pub fn drain_at(&self, now_ns: u64) -> DrainReport {
         let pending: Vec<Pending> = lock(&self.queue).drain(..).collect();
         let appends: Vec<PendingAppend> = lock(&self.append_queue).drain(..).collect();
-        let mut report = self.serve(pending);
+        let (live, expired): (Vec<Pending>, Vec<Pending>) = pending
+            .into_iter()
+            .partition(|p| p.deadline_ns.is_none_or(|d| d >= now_ns));
+        let mut report = self.serve(live);
+        for p in expired {
+            self.counters.expired_fits.fetch_add(1, Ordering::Relaxed);
+            self.counters.fits_failed.fetch_add(1, Ordering::Relaxed);
+            report.outcomes.push(FitOutcome {
+                ticket: p.ticket,
+                job_id: p.request.job_id,
+                batch: None,
+                result: Err(BmfError::DeadlineExceeded {
+                    // Partition kept only `Some(d)` with `d < now_ns`.
+                    deadline_ns: p.deadline_ns.unwrap_or(0),
+                    now_ns,
+                }),
+            });
+        }
+        report.outcomes.sort_unstable_by_key(|o| o.ticket);
         self.apply_appends(appends, &mut report);
         report
     }
@@ -860,6 +991,9 @@ impl FitService {
             appends_ok: get(&c.appends_ok),
             appends_failed: get(&c.appends_failed),
             append_misses: get(&c.append_misses),
+            shed_fits: get(&c.shed_fits),
+            shed_appends: get(&c.shed_appends),
+            expired_fits: get(&c.expired_fits),
             append_ns: get(&c.append_ns),
         }
     }
@@ -1179,6 +1313,115 @@ mod tests {
         assert!(report.batches.is_empty());
         assert!(report.appends.is_empty());
         assert_eq!(report.append_ns, 0);
+    }
+
+    fn demo_request(svc: &FitService, job: &str, n: usize) -> FitRequest {
+        let ps = svc.register_points(demo_points(n)).unwrap();
+        FitRequest {
+            job_id: job.into(),
+            basis: OrthonormalBasis::linear(2),
+            points: ps,
+            prior: vec![Some(1.0), Some(0.5), Some(0.0)],
+            values: (0..n).map(|i| 1.0 + 0.1 * i as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn fit_queue_sheds_at_capacity_with_structured_overloaded() {
+        let svc = FitService::new(ServiceConfig {
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let req = demo_request(&svc, "j", 8);
+        svc.submit_fit(req.clone()).unwrap();
+        svc.submit_fit(req.clone()).unwrap();
+        let shed = svc.submit_fit(req.clone()).unwrap_err();
+        assert!(matches!(
+            shed,
+            BmfError::Overloaded {
+                class: "fit",
+                capacity: 2,
+            }
+        ));
+        assert_eq!(svc.queued(), 2);
+        assert_eq!(svc.counters().shed_fits, 1);
+        // A drain frees the capacity; admission resumes.
+        let report = svc.drain();
+        assert_eq!(report.served(), 2);
+        svc.submit_fit(req).unwrap();
+        assert_eq!(svc.queued(), 1);
+    }
+
+    #[test]
+    fn append_queue_sheds_at_capacity_with_structured_overloaded() {
+        let svc = FitService::new(ServiceConfig {
+            append_capacity: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let basis = OrthonormalBasis::linear(2);
+        let prior = stream_prior(&basis);
+        svc.register_stream("s", basis, &prior, 1.0).unwrap();
+        svc.append_sample("s", &[0.1, 0.2], 1.0).unwrap();
+        let shed = svc.append_sample("s", &[0.3, 0.4], 2.0).unwrap_err();
+        assert!(matches!(
+            shed,
+            BmfError::Overloaded {
+                class: "append",
+                capacity: 1,
+            }
+        ));
+        assert_eq!(svc.counters().shed_appends, 1);
+        assert_eq!(svc.drain().appended(), 1);
+        svc.append_sample("s", &[0.3, 0.4], 2.0).unwrap();
+    }
+
+    #[test]
+    fn drain_at_expires_strictly_past_the_deadline() {
+        let svc = FitService::new(ServiceConfig::default()).unwrap();
+        let req = demo_request(&svc, "due", 8);
+        // Due exactly at the drain time: still served.
+        svc.submit_fit_with_deadline(
+            FitRequest {
+                job_id: "exact".into(),
+                ..req.clone()
+            },
+            Some(1_000),
+        )
+        .unwrap();
+        // Already past due: expired with the structured error.
+        let late = svc
+            .submit_fit_with_deadline(
+                FitRequest {
+                    job_id: "late".into(),
+                    ..req.clone()
+                },
+                Some(999),
+            )
+            .unwrap();
+        // No deadline: always served.
+        svc.submit_fit(req).unwrap();
+        let report = svc.drain_at(1_000);
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.served(), 2);
+        let expired = report
+            .outcomes
+            .iter()
+            .find(|o| o.ticket == late)
+            .expect("late ticket reported");
+        assert!(matches!(
+            expired.result,
+            Err(BmfError::DeadlineExceeded {
+                deadline_ns: 999,
+                now_ns: 1_000,
+            })
+        ));
+        assert_eq!(expired.batch, None);
+        let c = svc.counters();
+        assert_eq!(c.expired_fits, 1);
+        assert_eq!(c.fits_failed, 1);
+        assert_eq!(c.fits_ok, 2);
     }
 
     use crate::prior::{Prior, PriorKind};

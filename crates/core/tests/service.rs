@@ -458,6 +458,319 @@ fn export_import_round_trip_preserves_predictions_bitwise() {
 }
 
 #[test]
+fn queue_full_rejection_clears_once_the_drain_lands() {
+    // Admission is judged against the *current* queue depth: while two
+    // submissions are in flight (queued, undrained) a third is shed with
+    // a structured Overloaded, and the same submission is admitted again
+    // the moment a drain frees the queue.
+    let r = 3;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(10, r, 88);
+    let service = FitService::new(ServiceConfig {
+        queue_capacity: 2,
+        options: options(0),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let ps = service.register_points(points.clone()).unwrap();
+    let request = |j: usize| {
+        let (prior, values) = job_payload(j, r, &points);
+        FitRequest {
+            job_id: format!("job{j}"),
+            basis: basis.clone(),
+            points: ps,
+            prior,
+            values,
+        }
+    };
+    service.submit_fit(request(0)).unwrap();
+    service.submit_fit(request(1)).unwrap();
+    match service.submit_fit(request(2)) {
+        Err(BmfError::Overloaded { class, capacity }) => {
+            assert_eq!(class, "fit");
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded at capacity, got {other:?}"),
+    }
+    assert_eq!(service.counters().shed_fits, 1);
+    assert_eq!(
+        service.queued(),
+        2,
+        "shed submission must not occupy a slot"
+    );
+
+    let report = service.drain();
+    assert_eq!(report.served(), 2, "queued work is unaffected by the shed");
+    // The drain freed the queue: the identical request is now admitted
+    // and fits to the same bits it would have unloaded.
+    service.submit_fit(request(2)).unwrap();
+    let retry = service.drain();
+    assert_eq!(retry.served(), 1);
+    let direct = BmfFitter::new(basis.clone(), request(2).prior)
+        .unwrap()
+        .with_options(options(0))
+        .fit(&points, &request(2).values)
+        .unwrap();
+    let served = retry.outcomes[0].result.as_ref().unwrap();
+    assert_eq!(
+        coeff_bits(served.fit.model.coeffs()),
+        coeff_bits(direct.model.coeffs()),
+        "a request admitted after shedding must fit bit-identically"
+    );
+}
+
+#[test]
+fn evict_racing_a_queued_refit_still_installs_the_new_model() {
+    // Interleaving: fit job X and drain; submit a re-fit of X; evict X
+    // while the re-fit is still queued. The evict must not swallow the
+    // queued work — the drain installs the fresh model, bit-identical
+    // to a direct fit.
+    let r = 4;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(12, r, 91);
+    let service = FitService::new(ServiceConfig {
+        options: options(0),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let ps = service.register_points(points.clone()).unwrap();
+    let (prior0, values0) = job_payload(0, r, &points);
+    service
+        .submit_fit(FitRequest {
+            job_id: "block".into(),
+            basis: basis.clone(),
+            points: ps,
+            prior: prior0,
+            values: values0,
+        })
+        .unwrap();
+    service.drain();
+    assert!(service.snapshot("block").is_some());
+
+    // Re-spin: queue the replacement fit, then evict the stale model
+    // while the replacement is in flight.
+    let (prior1, values1) = job_payload(1, r, &points);
+    service
+        .submit_fit(FitRequest {
+            job_id: "block".into(),
+            basis: basis.clone(),
+            points: ps,
+            prior: prior1.clone(),
+            values: values1.clone(),
+        })
+        .unwrap();
+    service.evict("block").unwrap();
+    assert!(
+        service.snapshot("block").is_none(),
+        "evict must take effect immediately"
+    );
+
+    let report = service.drain();
+    assert_eq!(report.served(), 1);
+    let direct = BmfFitter::new(basis, prior1)
+        .unwrap()
+        .with_options(options(0))
+        .fit(&points, &values1)
+        .unwrap();
+    let registered = service.snapshot("block").expect("refit must install");
+    assert_eq!(
+        coeff_bits(registered.model.coeffs()),
+        coeff_bits(direct.model.coeffs()),
+        "model installed after the evict race diverges from a direct fit"
+    );
+    let c = service.counters();
+    assert_eq!(c.evictions, 1);
+    assert_eq!(c.fits_ok, 2);
+}
+
+#[test]
+fn deadline_expiry_of_a_batch_member_leaves_the_cohort_bit_identical() {
+    // Five requests share one coalescing group; one carries a virtual
+    // deadline that passes before the drain. The expired member gets a
+    // structured DeadlineExceeded, never reaches a batch, and the
+    // surviving cohort's fits are bit-identical to a run in which the
+    // stale request was never submitted.
+    let r = 4;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(12, r, 95);
+    let jobs = 4usize;
+    let run = |with_stale: bool| {
+        let service = FitService::new(ServiceConfig {
+            options: options(0),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let ps = service.register_points(points.clone()).unwrap();
+        for j in 0..jobs {
+            let (prior, values) = job_payload(j, r, &points);
+            service
+                .submit_fit(FitRequest {
+                    job_id: format!("job{j}"),
+                    basis: basis.clone(),
+                    points: ps,
+                    prior,
+                    values,
+                })
+                .unwrap();
+        }
+        if with_stale {
+            let (prior, values) = job_payload(9, r, &points);
+            service
+                .submit_fit_with_deadline(
+                    FitRequest {
+                        job_id: "stale".into(),
+                        basis: basis.clone(),
+                        points: ps,
+                        prior,
+                        values,
+                    },
+                    Some(1_000),
+                )
+                .unwrap();
+        }
+        let report = service.drain_at(2_000);
+        (service.counters(), report)
+    };
+
+    let (_, clean) = run(false);
+    let (counters, mixed) = run(true);
+    assert_eq!(mixed.outcomes.len(), jobs + 1);
+    let stale = mixed
+        .outcomes
+        .iter()
+        .find(|o| o.job_id == "stale")
+        .expect("expired request must still report an outcome");
+    match &stale.result {
+        Err(BmfError::DeadlineExceeded {
+            deadline_ns,
+            now_ns,
+        }) => {
+            assert_eq!(*deadline_ns, 1_000);
+            assert_eq!(*now_ns, 2_000);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(stale.batch.is_none(), "expired member must never batch");
+    assert_eq!(counters.expired_fits, 1);
+    assert_eq!(counters.fits_failed, 1);
+
+    // Cohort bit-identity: job j's fit with the stale member expired
+    // equals job j's fit with the stale member never submitted.
+    for j in 0..jobs {
+        let a = clean.outcomes[j].result.as_ref().unwrap();
+        let b = mixed.outcomes[j].result.as_ref().unwrap();
+        assert_eq!(
+            coeff_bits(a.fit.model.coeffs()),
+            coeff_bits(b.fit.model.coeffs()),
+            "job{j}: expired batch member perturbed its cohort"
+        );
+        assert_eq!(a.fit.hyper.to_bits(), b.fit.hyper.to_bits());
+    }
+}
+
+#[test]
+fn requests_accepted_under_overload_fit_bit_identically_to_unloaded() {
+    // Capacity 3 sheds half the submissions; every accepted request
+    // must still fit to exactly the bits of an unloaded run that took
+    // all six.
+    let r = 4;
+    let basis = OrthonormalBasis::linear(r);
+    let points = sample_points(12, r, 97);
+    let run = |queue_capacity: usize| {
+        let service = FitService::new(ServiceConfig {
+            queue_capacity,
+            options: options(0),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let ps = service.register_points(points.clone()).unwrap();
+        let mut accepted = Vec::new();
+        for j in 0..6 {
+            let (prior, values) = job_payload(j, r, &points);
+            let submit = service.submit_fit(FitRequest {
+                job_id: format!("job{j}"),
+                basis: basis.clone(),
+                points: ps,
+                prior,
+                values,
+            });
+            match submit {
+                Ok(_) => accepted.push(j),
+                Err(BmfError::Overloaded { .. }) => {}
+                Err(other) => panic!("unexpected submit error: {other:?}"),
+            }
+        }
+        let report = service.drain();
+        let bits: Vec<(String, Vec<u64>)> = report
+            .outcomes
+            .into_iter()
+            .map(|o| {
+                (
+                    o.job_id.clone(),
+                    coeff_bits(o.result.unwrap().fit.model.coeffs()),
+                )
+            })
+            .collect();
+        (accepted, bits, service.counters())
+    };
+
+    let (all, unloaded_bits, _) = run(usize::MAX.min(65_536));
+    assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    let (accepted, loaded_bits, counters) = run(3);
+    assert_eq!(accepted, vec![0, 1, 2], "admission is strictly first-come");
+    assert_eq!(counters.shed_fits, 3);
+    for (job, bits) in &loaded_bits {
+        let reference = unloaded_bits
+            .iter()
+            .find(|(j, _)| j == job)
+            .map(|(_, b)| b)
+            .unwrap();
+        assert_eq!(
+            bits, reference,
+            "{job}: admission under load changed the fit"
+        );
+    }
+}
+
+#[test]
+fn append_queue_sheds_and_recovers_like_the_fit_queue() {
+    use bmf_core::prior::{Prior, PriorKind};
+
+    let r = 2;
+    let basis = OrthonormalBasis::linear(r);
+    let service = FitService::new(ServiceConfig {
+        append_capacity: 1,
+        options: options(0),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let prior = Prior::from_coeffs(PriorKind::ZeroMean, &[1.0, 0.4, -0.2]);
+    service
+        .register_stream("telemetry", basis, &prior, 1.0)
+        .unwrap();
+    service
+        .append_sample("telemetry", &[0.1, 0.2], 1.1)
+        .unwrap();
+    match service.append_sample("telemetry", &[0.3, 0.1], 0.9) {
+        Err(BmfError::Overloaded { class, capacity }) => {
+            assert_eq!(class, "append");
+            assert_eq!(capacity, 1);
+        }
+        other => panic!("expected Overloaded on append queue, got {other:?}"),
+    }
+    let report = service.drain();
+    assert_eq!(report.appended(), 1, "queued append survives the shed");
+    assert_eq!(service.stream_samples("telemetry").unwrap(), 1);
+    // Slot freed: the shed update is admitted on retry.
+    service
+        .append_sample("telemetry", &[0.3, 0.1], 0.9)
+        .unwrap();
+    service.drain();
+    assert_eq!(service.stream_samples("telemetry").unwrap(), 2);
+    assert_eq!(service.counters().shed_appends, 1);
+}
+
+#[test]
 fn import_screens_contaminated_snapshots() {
     use bmf_core::model::PerformanceModel;
     use bmf_core::snapshot::ModelSnapshot;

@@ -22,7 +22,8 @@ pub struct ScreenBeforeMath;
 /// The modules whose `pub fn`s are user-facing entry points, as full
 /// workspace-relative paths — PR 7 extended the discipline beyond
 /// `bmf_core` to the persistence boundary, where bytes from disk enter
-/// the model registry.
+/// the model registry, and PR 9 to the chaos VFS and fsck layers,
+/// where simulated-disk bytes and repair decisions do.
 const ENTRY_MODULES: &[&str] = &[
     "crates/core/src/fusion.rs",
     "crates/core/src/batch.rs",
@@ -37,6 +38,8 @@ const ENTRY_MODULES: &[&str] = &[
     "crates/core/src/snapshot.rs",
     "crates/persist/src/artifact.rs",
     "crates/persist/src/store.rs",
+    "crates/persist/src/vfs.rs",
+    "crates/persist/src/fsck.rs",
 ];
 
 impl Rule for ScreenBeforeMath {

@@ -114,11 +114,15 @@ fn verify_header(d: &mut Decoder<'_>) -> Result<u64> {
             detail: format!("bad magic {magic:02x?}, expected {MAGIC:02x?}"),
         });
     }
+    let version_at = d.offset();
     let version = d.take_u32("format version")?;
     if version != FORMAT_VERSION {
+        // Rejected before a single payload byte is parsed: the error
+        // names the offending version and where it sits in the file.
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
+            offset: version_at,
         });
     }
     let len_at = d.offset();
@@ -520,9 +524,41 @@ mod tests {
             decode_snapshot(&bytes),
             Err(PersistError::UnsupportedVersion {
                 found: 9,
-                supported: FORMAT_VERSION
+                supported: FORMAT_VERSION,
+                offset: 8,
             })
         ));
+    }
+
+    /// ROADMAP item 4's version-bump exercise: a well-formed artifact
+    /// from a hypothetical future v2 writer — whatever its payload
+    /// holds, even garbage that would crash a v1 parser — is rejected
+    /// at the header with the structured version error and the byte
+    /// offset of the version field. No payload byte is ever parsed.
+    #[test]
+    fn future_v2_artifact_is_rejected_before_any_parse() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        // A payload of garbage with a deliberately lying length field
+        // and fingerprint: if any of those checks ran, the error would
+        // be Corrupt/FingerprintMismatch, not UnsupportedVersion.
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0xdead_beef_u64.to_le_bytes());
+        bytes.extend_from_slice(&[0xff; 16]);
+        for api in [
+            decode_snapshot(&bytes).map(|_| 0),
+            artifact_fingerprint(&bytes),
+        ] {
+            assert!(matches!(
+                api,
+                Err(PersistError::UnsupportedVersion {
+                    found: 2,
+                    supported: FORMAT_VERSION,
+                    offset: 8,
+                })
+            ));
+        }
     }
 
     #[test]

@@ -30,12 +30,15 @@ pub enum PersistError {
         /// What was wrong there.
         detail: String,
     },
-    /// The artifact was written by an unknown format version.
+    /// The artifact was written by an unknown format version. Raised
+    /// from the header check, before any payload byte is parsed.
     UnsupportedVersion {
         /// Version found in the header.
         found: u32,
         /// Newest version this build reads.
         supported: u32,
+        /// Byte offset of the version field in the artifact.
+        offset: usize,
     },
     /// The payload's recomputed FNV-1a fingerprint disagrees with the
     /// header (bit rot or tampering), or an artifact's content does not
@@ -60,9 +63,14 @@ impl fmt::Display for PersistError {
             PersistError::Corrupt { offset, detail } => {
                 write!(f, "corrupt artifact at byte {offset}: {detail}")
             }
-            PersistError::UnsupportedVersion { found, supported } => write!(
+            PersistError::UnsupportedVersion {
+                found,
+                supported,
+                offset,
+            } => write!(
                 f,
-                "artifact format version {found} is not supported (this build reads <= {supported})"
+                "artifact format version {found} at byte {offset} is not supported \
+                 (this build reads <= {supported})"
             ),
             PersistError::FingerprintMismatch { expected, actual } => write!(
                 f,
@@ -117,8 +125,10 @@ mod tests {
         let v = PersistError::UnsupportedVersion {
             found: 9,
             supported: 1,
+            offset: 8,
         };
         assert!(v.to_string().contains('9'));
+        assert!(v.to_string().contains("byte 8"));
         let fp = PersistError::FingerprintMismatch {
             expected: 0xabc,
             actual: 0xdef,

@@ -17,9 +17,25 @@
 //!   encoding. Decoding verifies all four before anything is parsed;
 //! * [`store`] — [`ArtifactStore`](store::ArtifactStore), a
 //!   content-addressed directory of artifacts keyed by fingerprint with
-//!   an append-only index, integrity verification on load, and
-//!   [`warm_start`](store::ArtifactStore::warm_start) to refill a
-//!   [`FitService`](bmf_core::service::FitService) registry from disk.
+//!   an append-only checksummed index, integrity verification on load,
+//!   and [`warm_start`](store::ArtifactStore::warm_start) to refill a
+//!   [`FitService`](bmf_core::service::FitService) registry from disk;
+//! * [`vfs`] — the storage virtual filesystem every store byte moves
+//!   through: [`RealVfs`](vfs::RealVfs) in production,
+//!   [`MemVfs`](vfs::MemVfs) (an in-memory disk with an explicit
+//!   crash-durability model) and [`FaultVfs`](vfs::FaultVfs) (seeded
+//!   error, short-write, and crash-point injection) under test;
+//! * [`fsck`] — [`check`](fsck::check)/[`repair`](fsck::repair):
+//!   structural integrity passes detecting orphan blobs, dangling index
+//!   entries, and fingerprint mismatches, with crash-safe repair.
+//!
+//! Every store mutation is crash-consistent: puts commit through a
+//! write-ahead intent on the index, compaction rewrites the index
+//! behind a tmp → fsync → rename corridor, and
+//! [`open`](store::ArtifactStore::open) runs recovery — a crash at
+//! *any* I/O operation (exhaustively tested via
+//! [`FaultVfs`](vfs::FaultVfs)) leaves a store that re-opens valid with
+//! every acknowledged publication intact.
 //!
 //! # Determinism and safety
 //!
@@ -57,7 +73,9 @@
 pub mod artifact;
 pub mod codec;
 mod error;
+pub mod fsck;
 pub mod store;
+pub mod vfs;
 
 pub use error::PersistError;
 

@@ -13,6 +13,7 @@ use bmf_core::snapshot::ModelSnapshot;
 use bmf_persist::artifact::{decode_snapshot, encode_snapshot, HEADER_LEN};
 use bmf_persist::store::ArtifactStore;
 use bmf_persist::PersistError;
+use bmf_stat::faults::FaultInjector;
 
 fn scratch(name: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
@@ -98,19 +99,17 @@ fn store_detects_on_disk_tampering() {
     let snap = snapshot();
     let id = store.put(&snap).unwrap();
     let path = store.artifact_path(id);
+    let mut inject = FaultInjector::new(0xC0_44_0E);
 
-    // Flip one payload bit on disk.
+    // Flip one seeded bit on disk.
     let mut bytes = std::fs::read(&path).unwrap();
-    let last = bytes.len() - 1;
-    bytes[last] ^= 0x01;
+    inject.flip_bit(&mut bytes);
     std::fs::write(&path, &bytes).unwrap();
-    assert!(matches!(
-        store.get(id),
-        Err(PersistError::FingerprintMismatch { .. })
-    ));
+    assert!(store.get(id).is_err());
 
-    // Truncate the file on disk.
-    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    // Truncate the file on disk at a seeded cut.
+    inject.truncate_bytes(&mut bytes);
+    std::fs::write(&path, &bytes).unwrap();
     assert!(store.get(id).is_err());
 
     // Replace with a valid artifact of *different* content: the id
@@ -123,6 +122,32 @@ fn store_detects_on_disk_tampering() {
         store.get(id),
         Err(PersistError::FingerprintMismatch { .. })
     ));
+}
+
+#[test]
+fn seeded_byte_corruption_never_decodes() {
+    // The exhaustive loops above cover single-bit damage; this sweep
+    // drives the shared `FaultInjector` byte helpers (the same ones the
+    // chaos harness uses) across seeds, piling up arbitrary byte edits
+    // until the artifact is unrecognisable — every step must stay a
+    // structured error.
+    let bytes = encode_snapshot(&snapshot()).unwrap();
+    for seed in 0..64 {
+        let mut inject = FaultInjector::new(seed);
+        let mut tampered = bytes.clone();
+        for _ in 0..4 {
+            inject.corrupt_byte(&mut tampered);
+            match decode_snapshot(&tampered) {
+                Ok(_) => panic!("seed {seed}: corrupted artifact decoded"),
+                Err(
+                    PersistError::Corrupt { .. }
+                    | PersistError::FingerprintMismatch { .. }
+                    | PersistError::UnsupportedVersion { .. },
+                ) => {}
+                Err(other) => panic!("seed {seed}: unexpected error kind {other}"),
+            }
+        }
+    }
 }
 
 #[test]

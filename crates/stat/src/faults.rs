@@ -131,6 +131,48 @@ impl FaultInjector {
         }
     }
 
+    /// Flips one randomly chosen bit in a byte buffer — the on-disk
+    /// bit-rot fault the persistence layer must detect structurally.
+    /// Returns `(byte index, bit index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is empty (a harness misuse, not a library
+    /// path).
+    pub fn flip_bit(&mut self, bytes: &mut [u8]) -> (usize, u32) {
+        let byte = self.rng.gen_index(bytes.len());
+        let bit = self.rng.gen_index(8) as u32;
+        bytes[byte] ^= 1 << bit;
+        (byte, bit)
+    }
+
+    /// Truncates a byte buffer to a randomly chosen strictly shorter
+    /// prefix — the torn-write fault: a crash mid-write leaves a prefix
+    /// of the intended bytes. Returns the surviving length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is empty.
+    pub fn truncate_bytes(&mut self, bytes: &mut Vec<u8>) -> usize {
+        let keep = self.rng.gen_index(bytes.len());
+        bytes.truncate(keep);
+        keep
+    }
+
+    /// Overwrites one randomly chosen byte with a randomly chosen value
+    /// guaranteed to differ from the original — targeted single-byte
+    /// tampering. Returns `(byte index, new value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is empty.
+    pub fn corrupt_byte(&mut self, bytes: &mut [u8]) -> (usize, u8) {
+        let i = self.rng.gen_index(bytes.len());
+        let delta = 1 + self.rng.gen_index(255) as u8;
+        bytes[i] = bytes[i].wrapping_add(delta);
+        (i, bytes[i])
+    }
+
     /// Truncates the sample set to `k` rows (keeping a random contiguous
     /// window) — the K ≪ rank fault where the data cannot identify the
     /// model on its own.

@@ -18,7 +18,10 @@
 //! * [`prop`] — the in-tree property-test harness (seeded cases with
 //!   failure-seed reporting),
 //! * [`faults`] — deterministic fault injection (NaN/∞ contamination,
-//!   singular designs, degenerate priors) for the robustness suites,
+//!   singular designs, degenerate priors, byte-level bit rot) for the
+//!   robustness suites,
+//! * [`backoff`] — deterministic retry policies with seeded exponential
+//!   backoff (virtual-time delays) for transient storage errors,
 //! * [`fnv`] — the shared FNV-1a content fingerprint used by the
 //!   service registry and the persistence layer.
 //!
@@ -40,6 +43,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod crossval;
 pub mod faults;
 pub mod fnv;

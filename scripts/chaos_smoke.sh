@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Chaos smoke gate: run the chaos soak bench in --smoke mode twice —
+# once with the worker pool pinned to one thread, once at the default
+# pool — and enforce the fault-tolerance contracts CI cares about:
+#
+#   1. determinism: the emitted reports are byte-identical (seeded
+#      fault injection, virtual-time latencies, and crash folds must
+#      not depend on thread count or wall clock);
+#   2. schema: every gated key is present, nothing non-finite leaks
+#      into the report;
+#   3. invariants: the fault-free control level recovers every trial,
+#      every tested crash point recovers to an fsck-clean store, and
+#      the tiny admission queue actually sheds (otherwise the overload
+#      leg isn't exercising admission control at all).
+#
+# The bench itself fails the run before writing a report if any trial
+# leaves an unclean store, so a green smoke means every simulated
+# crash and every injected fault ended in a valid store.
+#
+# Usage:  scripts/chaos_smoke.sh [out-dir]   (default target/chaos-smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Absolute paths: cargo runs the bench binary from the package
+# directory, so relative outputs would land under crates/bench/.
+out_dir="$(pwd)/${1:-target/chaos-smoke}"
+mkdir -p "$out_dir"
+one="$out_dir/chaos_threads1.json"
+auto="$out_dir/chaos_default.json"
+
+echo "== chaos smoke: BMF_THREADS=1 =="
+BMF_THREADS=1 BMF_CHAOS_OUT="$one" \
+    cargo bench --offline --locked -p bmf-bench --bench chaos -- --smoke
+echo "== chaos smoke: default pool =="
+BMF_CHAOS_OUT="$auto" \
+    cargo bench --offline --locked -p bmf-bench --bench chaos -- --smoke
+
+if ! cmp -s "$one" "$auto"; then
+    echo "FAIL: chaos report differs between BMF_THREADS=1 and the default pool" >&2
+    diff "$one" "$auto" >&2 || true
+    exit 1
+fi
+echo "OK: report byte-identical at 1 thread and default pool"
+
+fail=0
+
+for key in scenario seed_store fault_sweep overload crash headline \
+           error_permille recovered read_retries warm_p99_ns \
+           shed_fits shed_permille expired_fits points_tested \
+           recovered_clean recovery_rate_permille; do
+    if ! grep -q "\"$key\"" "$one"; then
+        echo "FAIL: required key \"$key\" missing from chaos report" >&2
+        fail=1
+    fi
+done
+
+# Rust formats non-finite floats as NaN/inf; none may reach the report.
+if grep -qiE 'nan|infinity' "$one"; then
+    echo "FAIL: non-finite value in chaos report" >&2
+    fail=1
+fi
+
+# Invariants: full recovery on the fault-free control, every crash
+# point clean, and the overload leg genuinely shedding.
+recovery=$(awk -F'"recovery_rate_permille": ' '/"headline"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+tested=$(awk -F'"points_tested": ' '/"crash"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+clean=$(awk -F'"recovered_clean": ' '/"crash"/ { split($2, a, " "); print a[1] + 0 }' "$one")
+shed=$(awk -F'"shed_fits": ' '/"overload"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+served=$(awk -F'"fits_ok": ' '/"overload"/ { split($2, a, ","); print a[1] + 0 }' "$one")
+if ! awk -v r="$recovery" -v t="$tested" -v c="$clean" -v sh="$shed" -v sv="$served" \
+        'BEGIN { exit !(t > 0 && c == t && sh > 0 && sv > 0 && r > 0) }'; then
+    echo "FAIL: bad chaos invariants (recovery=$recovery permille, crash $clean/$tested clean, shed=$shed, served=$served)" >&2
+    fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "OK: schema + invariants passed (recovery=$recovery permille, crash $clean/$tested clean, shed=$shed, served=$served)"

@@ -37,6 +37,9 @@ fi
 if [[ -z "${BMF_SEQUENTIAL_OUT:-}" ]]; then
     export BMF_SEQUENTIAL_OUT="$(pwd)/target/smoke/BENCH_sequential.json"
 fi
+if [[ -z "${BMF_CHAOS_OUT:-}" ]]; then
+    export BMF_CHAOS_OUT="$(pwd)/target/smoke/BENCH_chaos.json"
+fi
 
 for bench in "$@"; do
     echo "== smoke: $bench ${features[1]:+(features: ${features[1]})}=="
