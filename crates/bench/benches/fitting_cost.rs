@@ -34,7 +34,7 @@ fn setup(k: usize) -> Setup {
     };
     let ro = RingOscillator::new(cfg, 7);
     let metric = ro.metric(RoMetric::Frequency);
-    let set = monte_carlo(&metric, Stage::PostLayout, k, 11);
+    let set = monte_carlo(&metric, Stage::PostLayout, k, 11).expect("simulation succeeds");
     let m_vars = metric.num_vars(Stage::PostLayout);
     let basis = OrthonormalBasis::linear(m_vars);
     let g = basis.design_matrix(set.point_slices());

@@ -43,9 +43,9 @@ fn main() {
     let sram = SramReadPath::new(SramConfig::small(), 3);
     let view = sram.read_delay();
     h.bench(&format!("substrate/sram_mc_{mc}"), || {
-        monte_carlo(&view, Stage::PostLayout, mc, 1)
+        monte_carlo(&view, Stage::PostLayout, mc, 1).expect("simulation succeeds")
     });
-    let set = monte_carlo(&view, Stage::PostLayout, mc, 1);
+    let set = monte_carlo(&view, Stage::PostLayout, mc, 1).expect("simulation succeeds");
     let basis = OrthonormalBasis::linear(set.points[0].len());
     h.bench(&format!("substrate/design_matrix_{mc}"), || {
         basis.design_matrix(set.point_slices())

@@ -81,13 +81,15 @@ pub fn prior_quality_sweep(scale: Scale, seed: u64) -> Result<Report> {
             Stage::PostLayout,
             k,
             derive_seed(seed, 50 + si as u64),
-        );
+        )
+        .expect("simulation succeeds");
         let test = monte_carlo(
             &circuit,
             Stage::PostLayout,
             300,
             derive_seed(seed, 90 + si as u64),
-        );
+        )
+        .expect("simulation succeeds");
 
         let mut errs = Vec::new();
         for sel in [
@@ -150,13 +152,15 @@ pub fn prior_quality_sweep(scale: Scale, seed: u64) -> Result<Report> {
             Stage::PostLayout,
             k,
             derive_seed(seed, 250 + si as u64),
-        );
+        )
+        .expect("simulation succeeds");
         let test = monte_carlo(
             &circuit,
             Stage::PostLayout,
             300,
             derive_seed(seed, 290 + si as u64),
-        );
+        )
+        .expect("simulation succeeds");
         let mut errs = Vec::new();
         let mut chosen = String::new();
         for sel in [
@@ -239,7 +243,8 @@ pub fn baseline_comparison(scale: Scale, seed: u64) -> Result<Report> {
     let m_terms = lay_vars + 1;
 
     // Early model.
-    let sch = monte_carlo(&view, Stage::Schematic, 800, derive_seed(seed, 1));
+    let sch = monte_carlo(&view, Stage::Schematic, 800, derive_seed(seed, 1))
+        .expect("simulation succeeds");
     let basis_sch = OrthonormalBasis::linear(sch_vars);
     let early = crate::earlyfit::EarlyModel {
         coeffs: {
@@ -257,8 +262,10 @@ pub fn baseline_comparison(scale: Scale, seed: u64) -> Result<Report> {
         _ => vec![60, 150, 400, 2 * m_terms],
     };
     let k_max = *k_values.last().expect("non-empty");
-    let train = monte_carlo(&view, Stage::PostLayout, k_max, derive_seed(seed, 2));
-    let test = monte_carlo(&view, Stage::PostLayout, 300, derive_seed(seed, 3));
+    let train = monte_carlo(&view, Stage::PostLayout, k_max, derive_seed(seed, 2))
+        .expect("simulation succeeds");
+    let test = monte_carlo(&view, Stage::PostLayout, 300, derive_seed(seed, 3))
+        .expect("simulation succeeds");
     let g_full = basis.design_matrix(train.point_slices());
     let g_test = basis.design_matrix(test.point_slices());
     let norm = bmf_core::fusion::response_scale(&train.values);
@@ -363,8 +370,10 @@ pub fn hyper_sensitivity(scale: Scale, seed: u64) -> Result<Report> {
     let circuit = SyntheticCircuit::new(cfg, seed);
     let basis = OrthonormalBasis::linear(early_vars);
     let prior = Prior::from_coeffs(PriorKind::NonZeroMean, circuit.true_early_coeffs());
-    let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 1));
-    let test = monte_carlo(&circuit, Stage::PostLayout, 300, derive_seed(seed, 2));
+    let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 1))
+        .expect("simulation succeeds");
+    let test = monte_carlo(&circuit, Stage::PostLayout, 300, derive_seed(seed, 2))
+        .expect("simulation succeeds");
     let g = basis.design_matrix(train.point_slices());
     let f = Vector::from(train.values);
     let g_test = basis.design_matrix(test.point_slices());
@@ -447,8 +456,10 @@ pub fn fold_sensitivity(scale: Scale, seed: u64) -> Result<Report> {
         .map(|&a| Some(a))
         .collect();
     early.extend(std::iter::repeat_n(None, late_vars - early_vars));
-    let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 1));
-    let test = monte_carlo(&circuit, Stage::PostLayout, 300, derive_seed(seed, 2));
+    let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 1))
+        .expect("simulation succeeds");
+    let test = monte_carlo(&circuit, Stage::PostLayout, 300, derive_seed(seed, 2))
+        .expect("simulation succeeds");
 
     let mut r = Report::new("ablation-kfold", "BMF-PS error vs cross-validation folds");
     let mut rows = Vec::new();
@@ -653,7 +664,8 @@ pub fn prior_mapping_study(scale: Scale, seed: u64) -> Result<Report> {
         Scale::Ci => 100,
         _ => 500,
     };
-    let sch = monte_carlo(&vos, Stage::Schematic, n_early, derive_seed(seed, 1));
+    let sch = monte_carlo(&vos, Stage::Schematic, n_early, derive_seed(seed, 1))
+        .expect("simulation succeeds");
     let sch_basis = OrthonormalBasis::linear(4);
     let early_fit = fit_omp(
         &sch_basis,
@@ -667,7 +679,7 @@ pub fn prior_mapping_study(scale: Scale, seed: u64) -> Result<Report> {
     let alpha_e = early_fit.model.coeffs().to_vec();
 
     // Map onto the layout basis through the finger expansion (eq. 49).
-    let expansion = dp.finger_expansion();
+    let expansion = dp.finger_expansion().expect("finger counts are positive");
     let expanded = expansion
         .expand_basis(&sch_basis)
         .expect("schematic V_OS basis is multilinear");
@@ -687,8 +699,10 @@ pub fn prior_mapping_study(scale: Scale, seed: u64) -> Result<Report> {
         Scale::Ci => 6,
         _ => 8,
     };
-    let lay = monte_carlo(&vos, Stage::PostLayout, k, derive_seed(seed, 2));
-    let test = monte_carlo(&vos, Stage::PostLayout, 300, derive_seed(seed, 3));
+    let lay =
+        monte_carlo(&vos, Stage::PostLayout, k, derive_seed(seed, 2)).expect("simulation succeeds");
+    let test = monte_carlo(&vos, Stage::PostLayout, 300, derive_seed(seed, 3))
+        .expect("simulation succeeds");
 
     let fitter = BmfFitter::from_mapped_early_model(&expanded, &alpha_e, vec![])?
         .with_options(FitOptions::new().folds(3).seed(derive_seed(seed, 4)));
@@ -750,8 +764,10 @@ pub fn missing_prior_study(scale: Scale, seed: u64) -> Result<Report> {
     };
     let circuit = SyntheticCircuit::new(cfg, seed);
     let late_vars = circuit.num_vars(Stage::PostLayout);
-    let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 1));
-    let test = monte_carlo(&circuit, Stage::PostLayout, 300, derive_seed(seed, 2));
+    let train = monte_carlo(&circuit, Stage::PostLayout, k, derive_seed(seed, 1))
+        .expect("simulation succeeds");
+    let test = monte_carlo(&circuit, Stage::PostLayout, 300, derive_seed(seed, 2))
+        .expect("simulation succeeds");
 
     // (a) Proper §IV-B handling: infinite-variance priors on the extras.
     let basis = OrthonormalBasis::linear(late_vars);

@@ -74,13 +74,15 @@ pub fn run_cost_comparison(
     let basis = OrthonormalBasis::linear(late_vars);
     let prior_raw = early.late_prior_values(late_vars);
 
-    let train = monte_carlo(circuit, Stage::PostLayout, k_omp, derive_seed(seed, 2));
+    let train = monte_carlo(circuit, Stage::PostLayout, k_omp, derive_seed(seed, 2))
+        .expect("simulation succeeds");
     let test = monte_carlo(
         circuit,
         Stage::PostLayout,
         scale.test_samples(),
         derive_seed(seed, 3),
-    );
+    )
+    .expect("simulation succeeds");
     let g_full = basis.design_matrix(train.point_slices());
     let g_test = basis.design_matrix(test.point_slices());
     let norm = bmf_core::fusion::response_scale(&train.values);

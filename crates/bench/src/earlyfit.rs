@@ -60,7 +60,8 @@ pub fn fit_early_model(
     scale: Scale,
     seed: u64,
 ) -> Result<(EarlyModel, SampleSet)> {
-    let set = monte_carlo(circuit, Stage::Schematic, scale.early_samples(), seed);
+    let set = monte_carlo(circuit, Stage::Schematic, scale.early_samples(), seed)
+        .expect("simulation succeeds");
     let num_vars = circuit.num_vars(Stage::Schematic);
     let basis = OrthonormalBasis::linear(num_vars);
     let cfg = OmpConfig {

@@ -173,7 +173,8 @@ pub fn ro_histograms(scale: Scale, seed: u64) -> Report {
             Stage::PostLayout,
             n,
             derive_seed(seed, metric as u64),
-        );
+        )
+        .expect("simulation succeeds");
         histogram_section(&mut r, label, &set.values, unit, factor);
     }
     r
@@ -187,7 +188,8 @@ pub fn sram_histogram(scale: Scale, seed: u64) -> Report {
         "Post-layout Monte-Carlo histogram of SRAM read delay (paper Fig. 7)",
     );
     let view = sram.read_delay();
-    let set = monte_carlo(&view, Stage::PostLayout, scale.histogram_samples(), seed);
+    let set = monte_carlo(&view, Stage::PostLayout, scale.histogram_samples(), seed)
+        .expect("simulation succeeds");
     histogram_section(&mut r, "read delay", &set.values, "ps", 1e12);
     r
 }
@@ -226,7 +228,8 @@ pub fn fitting_cost_sweep(
     let prior_raw = early.late_prior_values(late_vars);
     let k_values = scale.k_values();
     let k_max = *k_values.last().expect("non-empty");
-    let train = monte_carlo(circuit, Stage::PostLayout, k_max, derive_seed(seed, 2));
+    let train = monte_carlo(circuit, Stage::PostLayout, k_max, derive_seed(seed, 2))
+        .expect("simulation succeeds");
     let norm = bmf_core::fusion::response_scale(&train.values);
     let prior = crate::tables::scaled_prior(&prior_raw, norm);
     let g_full = basis.design_matrix(train.point_slices());

@@ -27,6 +27,7 @@ pub mod chaos_study;
 pub mod costs;
 pub mod earlyfit;
 pub mod figures;
+pub mod lint_study;
 pub mod persist_study;
 pub mod report;
 pub mod scale;

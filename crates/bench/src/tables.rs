@@ -326,13 +326,15 @@ pub fn run_error_table(
     let mut sums = vec![[0.0f64; 4]; k_values.len()];
     for rep in 0..repeats {
         let rep_seed = derive_seed(seed, 100 + rep as u64);
-        let train = monte_carlo(circuit, Stage::PostLayout, k_max, derive_seed(rep_seed, 0));
+        let train = monte_carlo(circuit, Stage::PostLayout, k_max, derive_seed(rep_seed, 0))
+            .expect("simulation succeeds");
         let test = monte_carlo(
             circuit,
             Stage::PostLayout,
             scale.test_samples(),
             derive_seed(rep_seed, 1),
-        );
+        )
+        .expect("simulation succeeds");
         let g_full = basis.design_matrix(train.point_slices());
         let g_test = basis.design_matrix(test.point_slices());
         // Work in the normalized response space (see

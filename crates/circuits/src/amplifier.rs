@@ -11,10 +11,12 @@
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
 
+use crate::error::{check_var_count, CircuitError};
 use crate::process::Sensitivity;
 use crate::spice::ac::{bandwidth_3db, solve_ac};
 use crate::spice::circuit::Circuit;
 use crate::stage::{CircuitPerformance, Stage};
+use bmf_linalg::LinalgError;
 
 /// Configuration of the amplifier stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,8 +120,9 @@ impl std::fmt::Display for AmplifierMetric {
 /// let amp = Amplifier::new(AmplifierConfig::default(), 1);
 /// let gain = amp.metric(AmplifierMetric::GainDb);
 /// let x = vec![0.0; gain.num_vars(Stage::Schematic)];
-/// let g = gain.evaluate(Stage::Schematic, &x);
+/// let g = gain.evaluate(Stage::Schematic, &x)?;
 /// assert!((g - 32.04).abs() < 0.1); // 20·log10(gm·RL) = 20·log10(40)
+/// # Ok::<(), bmf_circuits::error::CircuitError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Amplifier {
@@ -262,8 +265,8 @@ impl CircuitPerformance for AmplifierPerformance<'_> {
         }
     }
 
-    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.num_vars(stage), "variable count mismatch");
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
+        check_var_count(self.name(), stage, self.num_vars(stage), x.len())?;
         // Schematic evaluations must not read parasitic slots; pad with
         // zeros so the shared sensitivities line up.
         let padded: Vec<f64>;
@@ -278,13 +281,19 @@ impl CircuitPerformance for AmplifierPerformance<'_> {
             x
         };
         let (ckt, vout) = self.amp.netlist(stage, xs);
+        let solver_err = |e: LinalgError| CircuitError::Solver {
+            circuit: self.name().to_string(),
+            detail: e.to_string(),
+        };
         match self.metric {
-            AmplifierMetric::GainDb => solve_ac(&ckt, 1.0e3)
-                .expect("amplifier AC system is well posed")
-                .magnitude_db(vout),
+            AmplifierMetric::GainDb => Ok(solve_ac(&ckt, 1.0e3)
+                .map_err(solver_err)?
+                .magnitude_db(vout)),
             AmplifierMetric::BandwidthHz => bandwidth_3db(&ckt, vout, 1.0e3, 1.0e12)
-                .expect("amplifier AC system is well posed")
-                .expect("single-pole stage always rolls off"),
+                .map_err(solver_err)?
+                .ok_or_else(|| CircuitError::NoRolloff {
+                    circuit: self.name().to_string(),
+                }),
         }
     }
 
@@ -311,12 +320,14 @@ mod tests {
         let x = vec![0.0; n];
         let g = a
             .metric(AmplifierMetric::GainDb)
-            .evaluate(Stage::Schematic, &x);
+            .evaluate(Stage::Schematic, &x)
+            .unwrap();
         let expect_gain = 20.0 * (a.config().gm * a.config().rl).log10();
         assert!((g - expect_gain).abs() < 1e-6, "gain {g} vs {expect_gain}");
         let bw = a
             .metric(AmplifierMetric::BandwidthHz)
-            .evaluate(Stage::Schematic, &x);
+            .evaluate(Stage::Schematic, &x)
+            .unwrap();
         let expect_bw = 1.0 / (2.0 * std::f64::consts::PI * a.config().rl * a.config().cl);
         assert!(
             (bw - expect_bw).abs() / expect_bw < 1e-3,
@@ -329,10 +340,12 @@ mod tests {
         let a = amp();
         let bw_s = a
             .metric(AmplifierMetric::BandwidthHz)
-            .evaluate(Stage::Schematic, &vec![0.0; a.config().schematic_vars()]);
+            .evaluate(Stage::Schematic, &vec![0.0; a.config().schematic_vars()])
+            .unwrap();
         let bw_l = a
             .metric(AmplifierMetric::BandwidthHz)
-            .evaluate(Stage::PostLayout, &vec![0.0; a.config().post_layout_vars()]);
+            .evaluate(Stage::PostLayout, &vec![0.0; a.config().post_layout_vars()])
+            .unwrap();
         let ratio = bw_l / bw_s;
         let expect = 1.0 / (1.0 + a.config().layout_cap_fraction);
         assert!((ratio - expect).abs() < 0.01, "ratio {ratio} vs {expect}");
@@ -355,7 +368,7 @@ mod tests {
         use crate::sim::monte_carlo;
         let a = amp();
         let view = a.metric(AmplifierMetric::GainDb);
-        let set = monte_carlo(&view, Stage::PostLayout, 200, 7);
+        let set = monte_carlo(&view, Stage::PostLayout, 200, 7).unwrap();
         let s = bmf_stat::summary::Summary::from_slice(&set.values);
         // ~0.3-1.5 dB sigma for a few-% gm/RL spread.
         assert!(

@@ -17,6 +17,7 @@
 
 use bmf_basis::expansion::FingerExpansion;
 
+use crate::error::{check_var_count, CircuitError};
 use crate::spice::circuit::Circuit;
 use crate::spice::dc::solve_dc;
 use crate::stage::{CircuitPerformance, Stage};
@@ -89,9 +90,19 @@ impl DiffPair {
 
     /// The schematic→layout variable expansion (for prior mapping):
     /// `vth1 → W fingers`, `vth2 → W fingers`, `rl1 → 1`, `rl2 → 1`.
-    pub fn finger_expansion(&self) -> FingerExpansion {
-        FingerExpansion::new(vec![self.config.fingers, self.config.fingers, 1, 1])
-            .expect("finger counts are positive")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Expansion`] when the expansion builder
+    /// rejects the finger layout (it cannot for a constructed
+    /// [`DiffPair`], whose finger counts are positive by construction,
+    /// but the contract is surfaced rather than asserted).
+    pub fn finger_expansion(&self) -> Result<FingerExpansion, CircuitError> {
+        FingerExpansion::new(vec![self.config.fingers, self.config.fingers, 1, 1]).map_err(|e| {
+            CircuitError::Expansion {
+                detail: e.to_string(),
+            }
+        })
     }
 
     /// The offset-voltage [`CircuitPerformance`] view.
@@ -101,7 +112,12 @@ impl DiffPair {
 
     /// Solves the small-signal circuit for the input-referred offset, given
     /// per-finger ΔV_TH values and the two load resistances.
-    fn solve_offset(&self, dvth: &[Vec<f64>; 2], rl: [f64; 2], gm_total: f64) -> f64 {
+    fn solve_offset(
+        &self,
+        dvth: &[Vec<f64>; 2],
+        rl: [f64; 2],
+        gm_total: f64,
+    ) -> Result<f64, CircuitError> {
         let mut c = Circuit::new();
         let out1 = c.node();
         let out2 = c.node();
@@ -125,10 +141,13 @@ impl DiffPair {
                 c.vccs(Circuit::GND, out, ctrl, Circuit::GND, gm_f);
             }
         }
-        let sol = solve_dc(&c).expect("diff pair MNA is well posed");
+        let sol = solve_dc(&c).map_err(|e| CircuitError::Solver {
+            circuit: "diffpair.v_os".to_string(),
+            detail: e.to_string(),
+        })?;
         let vdiff = sol.voltage(out1) - sol.voltage(out2);
         // Refer to the input through the nominal differential gain.
-        vdiff / (gm_total * self.config.rl)
+        Ok(vdiff / (gm_total * self.config.rl))
     }
 }
 
@@ -151,9 +170,9 @@ impl CircuitPerformance for DiffPairPerformance<'_> {
         }
     }
 
-    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
         let cfg = &self.dp.config;
-        assert_eq!(x.len(), self.num_vars(stage), "variable count mismatch");
+        check_var_count(self.name(), stage, self.num_vars(stage), x.len())?;
         let w = cfg.fingers;
         let (dvth, rl_vars, gm, rl_nom) = match stage {
             Stage::Schematic => (
@@ -204,12 +223,16 @@ mod tests {
     #[test]
     fn zero_mismatch_gives_zero_offset() {
         let d = dp();
-        let v = d.offset_voltage().evaluate(Stage::Schematic, &[0.0; 4]);
+        let v = d
+            .offset_voltage()
+            .evaluate(Stage::Schematic, &[0.0; 4])
+            .unwrap();
         assert!(v.abs() < 1e-15);
         let n = d.offset_voltage().num_vars(Stage::PostLayout);
         let v = d
             .offset_voltage()
-            .evaluate(Stage::PostLayout, &vec![0.0; n]);
+            .evaluate(Stage::PostLayout, &vec![0.0; n])
+            .unwrap();
         assert!(v.abs() < 1e-15);
     }
 
@@ -219,7 +242,8 @@ mod tests {
         let d = dp();
         let v = d
             .offset_voltage()
-            .evaluate(Stage::Schematic, &[1.0, -1.0, 0.0, 0.0]);
+            .evaluate(Stage::Schematic, &[1.0, -1.0, 0.0, 0.0])
+            .unwrap();
         let expect = d.config().sigma_vth * 2.0;
         assert!(
             (v - expect).abs() < 0.05 * expect.abs(),
@@ -232,10 +256,12 @@ mod tests {
         let d = dp();
         let a = d
             .offset_voltage()
-            .evaluate(Stage::Schematic, &[0.7, -0.2, 0.0, 0.0]);
+            .evaluate(Stage::Schematic, &[0.7, -0.2, 0.0, 0.0])
+            .unwrap();
         let b = d
             .offset_voltage()
-            .evaluate(Stage::Schematic, &[-0.7, 0.2, 0.0, 0.0]);
+            .evaluate(Stage::Schematic, &[-0.7, 0.2, 0.0, 0.0])
+            .unwrap();
         assert!((a + b).abs() < 1e-12);
     }
 
@@ -245,11 +271,17 @@ mod tests {
         // model at the collapsed point should agree closely (gm/RL layout
         // factors cancel in the input-referred offset to first order).
         let d = dp();
-        let exp = d.finger_expansion();
+        let exp = d.finger_expansion().unwrap();
         let layout_x = [0.6, -0.3, 0.1, 0.8, -0.5, 0.2]; // W=2: 4 vth + 2 rl
         let sch_x = exp.collapse_point(&layout_x);
-        let vl = d.offset_voltage().evaluate(Stage::PostLayout, &layout_x);
-        let vs = d.offset_voltage().evaluate(Stage::Schematic, &sch_x);
+        let vl = d
+            .offset_voltage()
+            .evaluate(Stage::PostLayout, &layout_x)
+            .unwrap();
+        let vs = d
+            .offset_voltage()
+            .evaluate(Stage::Schematic, &sch_x)
+            .unwrap();
         let scale = vs.abs().max(1e-6);
         assert!(
             (vl - vs).abs() / scale < 0.15,
@@ -262,14 +294,15 @@ mod tests {
         let d = dp();
         let v = d
             .offset_voltage()
-            .evaluate(Stage::Schematic, &[0.0, 0.0, 1.0, -1.0]);
+            .evaluate(Stage::Schematic, &[0.0, 0.0, 1.0, -1.0])
+            .unwrap();
         assert!(v.abs() > 0.0, "load mismatch must create offset");
     }
 
     #[test]
     fn finger_expansion_shape() {
         let d = dp();
-        let e = d.finger_expansion();
+        let e = d.finger_expansion().unwrap();
         assert_eq!(e.num_schematic_vars(), 4);
         assert_eq!(e.num_layout_vars(), 6);
         assert_eq!(e.finger_count(0), 2);

@@ -1,0 +1,129 @@
+//! Structured errors for circuit evaluation.
+//!
+//! The circuit substrate predates the workspace's panic-free guarantee:
+//! its `evaluate` implementations used to `assert!` on shape mismatches
+//! and `.expect()` on solver results, so a malformed variation vector or
+//! a pathological operating point aborted the process. [`CircuitError`]
+//! replaces every one of those sites with a value callers can match on;
+//! the Monte-Carlo engine propagates it and the lint's
+//! `panic-reachability` rule keeps the whole `pub` surface of this crate
+//! panic-free from here on.
+
+use crate::stage::Stage;
+
+/// An error produced while evaluating a circuit performance metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The variation vector's length does not match `num_vars(stage)`.
+    VarCount {
+        /// Metric name (`CircuitPerformance::name`).
+        circuit: String,
+        /// Stage the evaluation was requested at.
+        stage: Stage,
+        /// Expected variable count at that stage.
+        expected: usize,
+        /// Length of the vector actually supplied.
+        got: usize,
+    },
+    /// An inner solver (MNA factorization, Newton iteration, RC-tree
+    /// construction) failed; `detail` carries its rendered error.
+    Solver {
+        /// Metric name (`CircuitPerformance::name`).
+        circuit: String,
+        /// The inner solver's rendered error.
+        detail: String,
+    },
+    /// A bandwidth search found no −3 dB roll-off inside its frequency
+    /// range.
+    NoRolloff {
+        /// Metric name (`CircuitPerformance::name`).
+        circuit: String,
+    },
+    /// A schematic→layout expansion could not be constructed.
+    Expansion {
+        /// The expansion builder's rendered error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::VarCount {
+                circuit,
+                stage,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{circuit}: {stage} evaluation expects {expected} variables, got {got}"
+            ),
+            CircuitError::Solver { circuit, detail } => {
+                write!(f, "{circuit}: solver failed: {detail}")
+            }
+            CircuitError::NoRolloff { circuit } => {
+                write!(f, "{circuit}: no -3 dB roll-off in the search range")
+            }
+            CircuitError::Expansion { detail } => {
+                write!(f, "finger expansion: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Checks the variation-vector length against the stage's expectation.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::VarCount`] on mismatch.
+pub fn check_var_count(
+    circuit: &str,
+    stage: Stage,
+    expected: usize,
+    got: usize,
+) -> Result<(), CircuitError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(CircuitError::VarCount {
+            circuit: circuit.to_string(),
+            stage,
+            expected,
+            got,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_count_renders_both_sides() {
+        let e = check_var_count("ro.power", Stage::PostLayout, 10, 4).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("expects 10"), "{msg}");
+        assert!(msg.contains("got 4"), "{msg}");
+        assert!(msg.contains("post-layout"), "{msg}");
+    }
+
+    #[test]
+    fn matching_count_is_ok() {
+        assert!(check_var_count("x", Stage::Schematic, 3, 3).is_ok());
+    }
+
+    #[test]
+    fn solver_and_rolloff_render() {
+        let s = CircuitError::Solver {
+            circuit: "mirror.output_current".into(),
+            detail: "singular".into(),
+        };
+        assert!(s.to_string().contains("solver failed: singular"));
+        let r = CircuitError::NoRolloff {
+            circuit: "amplifier.bandwidth_hz".into(),
+        };
+        assert!(r.to_string().contains("roll-off"));
+    }
+}

@@ -42,9 +42,10 @@
 //!
 //! let ro = RingOscillator::new(RoConfig::small(), 42);
 //! let freq = ro.metric(RoMetric::Frequency);
-//! let set = monte_carlo(&freq, Stage::PostLayout, 10, 7);
+//! let set = monte_carlo(&freq, Stage::PostLayout, 10, 7)?;
 //! assert_eq!(set.values.len(), 10);
 //! assert!(set.cost_hours > 0.0);
+//! # Ok::<(), bmf_circuits::error::CircuitError>(())
 //! ```
 
 #![deny(missing_docs)]
@@ -52,6 +53,7 @@
 
 pub mod amplifier;
 pub mod diffpair;
+pub mod error;
 pub mod mirror;
 pub mod process;
 pub mod ro;

@@ -11,6 +11,7 @@
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
 
+use crate::error::{check_var_count, CircuitError};
 use crate::process::Sensitivity;
 use crate::spice::circuit::Circuit;
 use crate::spice::mosfet::{Mosfet, MosfetModel, NewtonOptions, NonlinearCircuit, Polarity};
@@ -95,8 +96,9 @@ impl MirrorConfig {
 ///
 /// let m = CurrentMirror::new(MirrorConfig::default(), 1);
 /// let i = m.output_current();
-/// let nominal = i.evaluate(Stage::Schematic, &vec![0.0; i.num_vars(Stage::Schematic)]);
+/// let nominal = i.evaluate(Stage::Schematic, &vec![0.0; i.num_vars(Stage::Schematic)])?;
 /// assert!(nominal > 1e-5 && nominal < 1e-3); // tens of µA
+/// # Ok::<(), bmf_circuits::error::CircuitError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct CurrentMirror {
@@ -215,8 +217,8 @@ impl CircuitPerformance for MirrorPerformance<'_> {
         }
     }
 
-    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.num_vars(stage), "variable count mismatch");
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
+        check_var_count(self.name(), stage, self.num_vars(stage), x.len())?;
         let cfg = &self.mirror.config;
         let si = match stage {
             Stage::Schematic => 0usize,
@@ -274,8 +276,11 @@ impl CircuitPerformance for MirrorPerformance<'_> {
             ],
         };
         let op = crate::spice::mosfet::solve_dc_nonlinear(&ckt, &NewtonOptions::default())
-            .expect("mirror operating point converges");
-        op.drain_currents[1]
+            .map_err(|e| CircuitError::Solver {
+                circuit: self.name().to_string(),
+                detail: e.to_string(),
+            })?;
+        Ok(op.drain_currents[1])
     }
 
     fn sim_cost_hours(&self, stage: Stage) -> f64 {
@@ -300,7 +305,7 @@ mod tests {
         let m = mirror();
         let view = m.output_current();
         let x = vec![0.0; m.config().schematic_vars()];
-        let iout = view.evaluate(Stage::Schematic, &x);
+        let iout = view.evaluate(Stage::Schematic, &x).unwrap();
         // Reference current through R_ref at the diode voltage.
         // Matched devices and low lambda: I_out ≈ I_ref within a few %.
         // I_ref ≈ (VDD − V_diode)/R_ref with V_diode ≈ vth + sqrt(2 I/k).
@@ -311,8 +316,12 @@ mod tests {
     fn layout_vth_shift_reduces_output_current() {
         let m = mirror();
         let view = m.output_current();
-        let i_sch = view.evaluate(Stage::Schematic, &vec![0.0; m.config().schematic_vars()]);
-        let i_lay = view.evaluate(Stage::PostLayout, &vec![0.0; m.config().post_layout_vars()]);
+        let i_sch = view
+            .evaluate(Stage::Schematic, &vec![0.0; m.config().schematic_vars()])
+            .unwrap();
+        let i_lay = view
+            .evaluate(Stage::PostLayout, &vec![0.0; m.config().post_layout_vars()])
+            .unwrap();
         assert!(
             i_lay < i_sch,
             "higher mirror V_TH must reduce the copied current: {i_lay} vs {i_sch}"
@@ -324,11 +333,11 @@ mod tests {
         let m = mirror();
         let view = m.output_current();
         let n = m.config().schematic_vars();
-        let base = view.evaluate(Stage::Schematic, &vec![0.0; n]);
+        let base = view.evaluate(Stage::Schematic, &vec![0.0; n]).unwrap();
         // Bump the mirror device's first mismatch variable.
         let mut x = vec![0.0; n];
         x[m.config().interdie_vars + m.config().params_per_device] = 2.0;
-        let bumped = view.evaluate(Stage::Schematic, &x);
+        let bumped = view.evaluate(Stage::Schematic, &x).unwrap();
         assert!(
             (bumped - base).abs() / base > 1e-3,
             "mismatch has no effect"
@@ -339,7 +348,7 @@ mod tests {
     fn monte_carlo_spread_is_mismatch_dominated() {
         let m = mirror();
         let view = m.output_current();
-        let set = monte_carlo(&view, Stage::PostLayout, 200, 3);
+        let set = monte_carlo(&view, Stage::PostLayout, 200, 3).unwrap();
         let s = bmf_stat::summary::Summary::from_slice(&set.values);
         let cov = s.coefficient_of_variation();
         assert!(cov > 0.005 && cov < 0.25, "cov = {cov}");

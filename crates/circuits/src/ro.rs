@@ -26,6 +26,7 @@
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
 
+use crate::error::{check_var_count, CircuitError};
 use crate::process::{Sensitivity, VarSpace};
 use crate::stage::{CircuitPerformance, Stage};
 
@@ -184,8 +185,9 @@ struct StageSens {
 ///
 /// let ro = RingOscillator::new(RoConfig::small(), 1);
 /// let f = ro.metric(RoMetric::Frequency);
-/// let nominal = f.evaluate(Stage::Schematic, &vec![0.0; f.num_vars(Stage::Schematic)]);
+/// let nominal = f.evaluate(Stage::Schematic, &vec![0.0; f.num_vars(Stage::Schematic)])?;
 /// assert!(nominal > 1.0e9); // GHz-class oscillator
+/// # Ok::<(), bmf_circuits::error::CircuitError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct RingOscillator {
@@ -347,17 +349,12 @@ impl RingOscillator {
     }
 
     /// Evaluates all three metrics at once (shared stage computation).
-    fn evaluate_all(&self, stage: Stage, x: &[f64]) -> (f64, f64, f64) {
+    fn evaluate_all(&self, stage: Stage, x: &[f64]) -> Result<(f64, f64, f64), CircuitError> {
         let expected = match stage {
             Stage::Schematic => self.config.schematic_vars(),
             Stage::PostLayout => self.config.post_layout_vars(),
         };
-        assert_eq!(
-            x.len(),
-            expected,
-            "RO {stage} expects {expected} variables, got {}",
-            x.len()
-        );
+        check_var_count("ro", stage, expected, x.len())?;
         let (sens, delay_factor) = match stage {
             Stage::Schematic => (&self.sch, 1.0),
             Stage::PostLayout => (&self.lay, self.config.layout_delay_factor),
@@ -390,7 +387,7 @@ impl RingOscillator {
         let noise = (noise_sum / n).max(0.05);
         let pn = pn0 + 10.0 * noise.log10() - 10.0 * (power / self.nominal_power).log10()
             + 20.0 * (freq / self.nominal_freq).log10();
-        (power, pn, freq)
+        Ok((power, pn, freq))
     }
 }
 
@@ -415,13 +412,13 @@ impl CircuitPerformance for RoPerformance<'_> {
         }
     }
 
-    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
-        let (power, pn, freq) = self.ro.evaluate_all(stage, x);
-        match self.metric {
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
+        let (power, pn, freq) = self.ro.evaluate_all(stage, x)?;
+        Ok(match self.metric {
             RoMetric::Power => power,
             RoMetric::PhaseNoise => pn,
             RoMetric::Frequency => freq,
-        }
+        })
     }
 
     fn sim_cost_hours(&self, stage: Stage) -> f64 {
@@ -492,9 +489,13 @@ mod tests {
         let x = vec![0.0; ro.config().schematic_vars()];
         let f = ro
             .metric(RoMetric::Frequency)
-            .evaluate(Stage::Schematic, &x);
+            .evaluate(Stage::Schematic, &x)
+            .unwrap();
         assert!((f - ro.nominal_frequency()).abs() / ro.nominal_frequency() < 1e-12);
-        let p = ro.metric(RoMetric::Power).evaluate(Stage::Schematic, &x);
+        let p = ro
+            .metric(RoMetric::Power)
+            .evaluate(Stage::Schematic, &x)
+            .unwrap();
         // Power at nominal = vdd^2 f C_total + leak.
         let cfg = ro.config();
         let expect =
@@ -534,10 +535,12 @@ mod tests {
         let xl = vec![0.0; ro.config().post_layout_vars()];
         let fs = ro
             .metric(RoMetric::Frequency)
-            .evaluate(Stage::Schematic, &xs);
+            .evaluate(Stage::Schematic, &xs)
+            .unwrap();
         let fl = ro
             .metric(RoMetric::Frequency)
-            .evaluate(Stage::PostLayout, &xl);
+            .evaluate(Stage::PostLayout, &xl)
+            .unwrap();
         assert!(
             fl < fs,
             "post-layout frequency {fl} should be below schematic {fs}"
@@ -553,11 +556,13 @@ mod tests {
         let mut x = vec![0.0; n_lay];
         let base = ro
             .metric(RoMetric::Frequency)
-            .evaluate(Stage::PostLayout, &x);
+            .evaluate(Stage::PostLayout, &x)
+            .unwrap();
         x[n_sch] = 2.0; // first parasitic variable
         let bumped = ro
             .metric(RoMetric::Frequency)
-            .evaluate(Stage::PostLayout, &x);
+            .evaluate(Stage::PostLayout, &x)
+            .unwrap();
         assert_ne!(base, bumped, "parasitic variable must matter post-layout");
     }
 
@@ -569,15 +574,19 @@ mod tests {
         let n = ro.config().schematic_vars();
         let dir: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64 - 3.0) / 3.0).collect();
         let m = ro.metric(RoMetric::Frequency);
-        let f0 = m.evaluate(Stage::Schematic, &vec![0.0; n]);
-        let f1 = m.evaluate(
-            Stage::Schematic,
-            &dir.iter().map(|d| d * 0.1).collect::<Vec<_>>(),
-        );
-        let f2 = m.evaluate(
-            Stage::Schematic,
-            &dir.iter().map(|d| d * 0.2).collect::<Vec<_>>(),
-        );
+        let f0 = m.evaluate(Stage::Schematic, &vec![0.0; n]).unwrap();
+        let f1 = m
+            .evaluate(
+                Stage::Schematic,
+                &dir.iter().map(|d| d * 0.1).collect::<Vec<_>>(),
+            )
+            .unwrap();
+        let f2 = m
+            .evaluate(
+                Stage::Schematic,
+                &dir.iter().map(|d| d * 0.2).collect::<Vec<_>>(),
+            )
+            .unwrap();
         let d1 = f1 - f0;
         let d2 = f2 - f0;
         assert!(
@@ -599,15 +608,15 @@ mod tests {
         let mut dot = 0.0;
         let mut na = 0.0;
         let mut nb = 0.0;
-        let f0s = m.evaluate(Stage::Schematic, &vec![0.0; n_sch]);
-        let f0l = m.evaluate(Stage::PostLayout, &vec![0.0; n_lay]);
+        let f0s = m.evaluate(Stage::Schematic, &vec![0.0; n_sch]).unwrap();
+        let f0l = m.evaluate(Stage::PostLayout, &vec![0.0; n_lay]).unwrap();
         for i in 0..n_sch {
             let mut xs = vec![0.0; n_sch];
             xs[i] = h;
-            let gs = (m.evaluate(Stage::Schematic, &xs) - f0s) / h / f0s;
+            let gs = (m.evaluate(Stage::Schematic, &xs).unwrap() - f0s) / h / f0s;
             let mut xl = vec![0.0; n_lay];
             xl[i] = h;
-            let gl = (m.evaluate(Stage::PostLayout, &xl) - f0l) / h / f0l;
+            let gl = (m.evaluate(Stage::PostLayout, &xl).unwrap() - f0l) / h / f0l;
             dot += gs * gl;
             na += gs * gs;
             nb += gl * gl;
@@ -625,7 +634,7 @@ mod tests {
         use crate::sim::monte_carlo;
         let ro = small_ro();
         let m = ro.metric(RoMetric::Frequency);
-        let set = monte_carlo(&m, Stage::PostLayout, 400, 3);
+        let set = monte_carlo(&m, Stage::PostLayout, 400, 3).unwrap();
         let s = bmf_stat::summary::Summary::from_slice(&set.values);
         let cov = s.coefficient_of_variation();
         // A few percent frequency spread, like the paper's Fig. 4(c).
@@ -638,7 +647,8 @@ mod tests {
         let x = vec![0.0; ro.config().schematic_vars()];
         let pn = ro
             .metric(RoMetric::PhaseNoise)
-            .evaluate(Stage::Schematic, &x);
+            .evaluate(Stage::Schematic, &x)
+            .unwrap();
         assert!(pn < -80.0 && pn > -130.0, "pn = {pn}");
     }
 

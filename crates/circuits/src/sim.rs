@@ -16,6 +16,7 @@
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
 
+use crate::error::CircuitError;
 use crate::stage::{CircuitPerformance, Stage};
 
 /// A set of Monte-Carlo samples of one metric at one stage.
@@ -94,45 +95,55 @@ impl SampleSet {
 /// Each sample's variation vector is standard normal, generated from
 /// `derive_seed(seed, index)`; the ledger is charged
 /// `k · circuit.sim_cost_hours(stage)`.
+///
+/// # Errors
+///
+/// Propagates the first [`CircuitError`] any sample evaluation produces.
 pub fn monte_carlo(
     circuit: &dyn CircuitPerformance,
     stage: Stage,
     k: usize,
     seed: u64,
-) -> SampleSet {
+) -> Result<SampleSet, CircuitError> {
     let n = circuit.num_vars(stage);
     let mut points = Vec::with_capacity(k);
     let mut values = Vec::with_capacity(k);
     for i in 0..k {
         let x = sample_point(n, seed, i as u64);
-        let f = circuit.evaluate(stage, &x);
+        let f = circuit.evaluate(stage, &x)?;
         points.push(x);
         values.push(f);
     }
-    SampleSet {
+    Ok(SampleSet {
         stage,
         points,
         values,
         cost_hours: k as f64 * circuit.sim_cost_hours(stage),
-    }
+    })
 }
 
 /// Parallel variant of [`monte_carlo`] fanning chunks out over scoped
 /// threads. Produces a bit-identical result to the sequential version.
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`CircuitError`] any sample evaluation
+/// produces (workers stop at their first error; the sequential and
+/// parallel variants report the same error for the same inputs).
 pub fn monte_carlo_par(
     circuit: &dyn CircuitPerformance,
     stage: Stage,
     k: usize,
     seed: u64,
     threads: usize,
-) -> SampleSet {
+) -> Result<SampleSet, CircuitError> {
     let threads = threads.max(1);
     if threads == 1 || k < 2 * threads {
         return monte_carlo(circuit, stage, k, seed);
     }
     let n = circuit.num_vars(stage);
     let chunk = k.div_ceil(threads);
-    let mut results: Vec<Vec<(Vec<f64>, f64)>> = Vec::new();
+    let mut results: Vec<ChunkResult> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -145,10 +156,10 @@ pub fn monte_carlo_par(
                 (lo..hi)
                     .map(|i| {
                         let x = sample_point(n, seed, i as u64);
-                        let f = circuit.evaluate(stage, &x);
-                        (x, f)
+                        let f = circuit.evaluate(stage, &x)?;
+                        Ok((x, f))
                     })
-                    .collect::<Vec<_>>()
+                    .collect::<Result<Vec<_>, CircuitError>>()
             }));
         }
         for h in handles {
@@ -160,18 +171,22 @@ pub fn monte_carlo_par(
     let mut points = Vec::with_capacity(k);
     let mut values = Vec::with_capacity(k);
     for chunk in results {
-        for (x, f) in chunk {
+        for (x, f) in chunk? {
             points.push(x);
             values.push(f);
         }
     }
-    SampleSet {
+    Ok(SampleSet {
         stage,
         points,
         values,
         cost_hours: k as f64 * circuit.sim_cost_hours(stage),
-    }
+    })
 }
+
+/// One worker's output: its chunk of `(point, value)` samples, or the
+/// first evaluation error it hit.
+type ChunkResult = Result<Vec<(Vec<f64>, f64)>, CircuitError>;
 
 fn sample_point(n: usize, seed: u64, index: u64) -> Vec<f64> {
     let mut rng = seeded(derive_seed(seed, index));
@@ -225,8 +240,8 @@ mod tests {
         fn num_vars(&self, _stage: Stage) -> usize {
             self.vars
         }
-        fn evaluate(&self, _stage: Stage, x: &[f64]) -> f64 {
-            x.iter().sum()
+        fn evaluate(&self, _stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
+            Ok(x.iter().sum())
         }
         fn sim_cost_hours(&self, stage: Stage) -> f64 {
             match stage {
@@ -239,10 +254,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let c = Sum { vars: 5 };
-        let a = monte_carlo(&c, Stage::Schematic, 8, 42);
-        let b = monte_carlo(&c, Stage::Schematic, 8, 42);
+        let a = monte_carlo(&c, Stage::Schematic, 8, 42).unwrap();
+        let b = monte_carlo(&c, Stage::Schematic, 8, 42).unwrap();
         assert_eq!(a, b);
-        let c2 = monte_carlo(&c, Stage::Schematic, 8, 43);
+        let c2 = monte_carlo(&c, Stage::Schematic, 8, 43).unwrap();
         assert_ne!(a.values, c2.values);
     }
 
@@ -251,30 +266,30 @@ mod tests {
         // Sample i depends only on (seed, i): growing K must not change
         // earlier samples.
         let c = Sum { vars: 3 };
-        let small = monte_carlo(&c, Stage::PostLayout, 4, 7);
-        let big = monte_carlo(&c, Stage::PostLayout, 10, 7);
+        let small = monte_carlo(&c, Stage::PostLayout, 4, 7).unwrap();
+        let big = monte_carlo(&c, Stage::PostLayout, 10, 7).unwrap();
         assert_eq!(&big.points[..4], &small.points[..]);
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let c = Sum { vars: 4 };
-        let seq = monte_carlo(&c, Stage::Schematic, 23, 5);
-        let par = monte_carlo_par(&c, Stage::Schematic, 23, 5, 4);
+        let seq = monte_carlo(&c, Stage::Schematic, 23, 5).unwrap();
+        let par = monte_carlo_par(&c, Stage::Schematic, 23, 5, 4).unwrap();
         assert_eq!(seq, par);
     }
 
     #[test]
     fn cost_charged_per_sample() {
         let c = Sum { vars: 2 };
-        let s = monte_carlo(&c, Stage::PostLayout, 100, 1);
+        let s = monte_carlo(&c, Stage::PostLayout, 100, 1).unwrap();
         assert!((s.cost_hours - 1.4).abs() < 1e-12);
     }
 
     #[test]
     fn take_prefix_splits_cost() {
         let c = Sum { vars: 2 };
-        let s = monte_carlo(&c, Stage::Schematic, 10, 1);
+        let s = monte_carlo(&c, Stage::Schematic, 10, 1).unwrap();
         let head = s.take_prefix(4);
         assert_eq!(head.len(), 4);
         assert!((head.cost_hours - 0.4 * s.cost_hours / 1.0).abs() < 1e-12);
@@ -284,7 +299,7 @@ mod tests {
     #[test]
     fn select_picks_indices() {
         let c = Sum { vars: 2 };
-        let s = monte_carlo(&c, Stage::Schematic, 5, 9);
+        let s = monte_carlo(&c, Stage::Schematic, 5, 9).unwrap();
         let sel = s.select(&[4, 0]);
         assert_eq!(sel.len(), 2);
         assert_eq!(sel.values[0], s.values[4]);
@@ -294,7 +309,7 @@ mod tests {
     #[test]
     fn samples_look_standard_normal() {
         let c = Sum { vars: 1 };
-        let s = monte_carlo(&c, Stage::Schematic, 20_000, 3);
+        let s = monte_carlo(&c, Stage::Schematic, 20_000, 3).unwrap();
         let mean: f64 = s.values.iter().sum::<f64>() / s.len() as f64;
         let var: f64 = s
             .values
@@ -309,7 +324,7 @@ mod tests {
     #[test]
     fn ledger_accumulates() {
         let c = Sum { vars: 2 };
-        let s = monte_carlo(&c, Stage::PostLayout, 10, 1);
+        let s = monte_carlo(&c, Stage::PostLayout, 10, 1).unwrap();
         let mut ledger = CostLedger::new();
         ledger.charge_samples(&s);
         ledger.charge_fitting_seconds(7.2);

@@ -24,6 +24,7 @@
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
 
+use crate::error::{check_var_count, CircuitError};
 use crate::process::{Sensitivity, VarSpace};
 use crate::spice::elmore::{RcSegment, RcTree};
 use crate::stage::{CircuitPerformance, Stage};
@@ -176,8 +177,9 @@ struct ColumnSens {
 ///
 /// let sram = SramReadPath::new(SramConfig::small(), 3);
 /// let d = sram.read_delay();
-/// let t = d.evaluate(Stage::Schematic, &vec![0.0; d.num_vars(Stage::Schematic)]);
+/// let t = d.evaluate(Stage::Schematic, &vec![0.0; d.num_vars(Stage::Schematic)])?;
 /// assert!(t > 50.0e-12 && t < 500.0e-12);
+/// # Ok::<(), bmf_circuits::error::CircuitError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SramReadPath {
@@ -346,18 +348,13 @@ impl SramReadPath {
         self.config.t_driver + self.config.t_bitline + self.config.t_senseamp
     }
 
-    fn evaluate_delay(&self, stage: Stage, x: &[f64]) -> f64 {
+    fn evaluate_delay(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
         let cfg = &self.config;
         let expected = match stage {
             Stage::Schematic => cfg.schematic_vars(),
             Stage::PostLayout => cfg.post_layout_vars(),
         };
-        assert_eq!(
-            x.len(),
-            expected,
-            "SRAM {stage} expects {expected} variables, got {}",
-            x.len()
-        );
+        check_var_count("sram.read_delay", stage, expected, x.len())?;
         let (driver, sense, cols, rc_factor) = match stage {
             Stage::Schematic => (&self.driver_sch, &self.sense_sch, &self.cols_sch, 1.0),
             Stage::PostLayout => (
@@ -385,20 +382,20 @@ impl SramReadPath {
                 // parasitic variation of this column.
                 let r_scale = (1.0 + col.par_r.eval(x)).max(0.2);
                 let c_scale = (1.0 + col.par_c.eval(x)).max(0.2);
-                let elmore = bitline_elmore(cfg.rows, r_scale, c_scale);
-                let elmore_nom = bitline_elmore(cfg.rows, 1.0, 1.0);
+                let elmore = bitline_elmore(cfg.rows, r_scale, c_scale)?;
+                let elmore_nom = bitline_elmore(cfg.rows, 1.0, 1.0)?;
                 t_bl *= 1.0 + (rc_factor - 1.0) * (elmore / elmore_nom);
             }
             t_bl_sum += t_bl;
         }
         let t_bl_avg = t_bl_sum / cols.len() as f64;
-        t_drv + t_bl_avg + t_sa
+        Ok(t_drv + t_bl_avg + t_sa)
     }
 }
 
 /// Elmore delay of a uniform `rows`-segment bitline ladder with scaled
 /// per-segment R and C, in arbitrary units.
-fn bitline_elmore(rows: usize, r_scale: f64, c_scale: f64) -> f64 {
+fn bitline_elmore(rows: usize, r_scale: f64, c_scale: f64) -> Result<f64, CircuitError> {
     let segs: Vec<RcSegment> = (0..rows)
         .map(|i| RcSegment {
             parent: if i == 0 { None } else { Some(i - 1) },
@@ -406,8 +403,11 @@ fn bitline_elmore(rows: usize, r_scale: f64, c_scale: f64) -> f64 {
             capacitance: 0.4e-15 * c_scale,
         })
         .collect();
-    let tree = RcTree::new(segs).expect("ladder is topologically sorted");
-    tree.max_delay()
+    let tree = RcTree::new(segs).map_err(|e| CircuitError::Solver {
+        circuit: "sram.read_delay".to_string(),
+        detail: e.to_string(),
+    })?;
+    Ok(tree.max_delay())
 }
 
 /// The read-delay [`CircuitPerformance`] view borrowed from an
@@ -429,7 +429,7 @@ impl CircuitPerformance for SramPerformance<'_> {
         }
     }
 
-    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
         self.sram.evaluate_delay(stage, x)
     }
 
@@ -512,7 +512,7 @@ mod tests {
     fn nominal_delay_close_to_sum_of_stages() {
         let s = small();
         let x = vec![0.0; s.config().schematic_vars()];
-        let t = s.read_delay().evaluate(Stage::Schematic, &x);
+        let t = s.read_delay().evaluate(Stage::Schematic, &x).unwrap();
         // The leakage term slightly slows the bitline even at nominal.
         let approx = s.nominal_delay();
         assert!(t >= approx);
@@ -524,10 +524,12 @@ mod tests {
         let s = small();
         let ts = s
             .read_delay()
-            .evaluate(Stage::Schematic, &vec![0.0; s.config().schematic_vars()]);
+            .evaluate(Stage::Schematic, &vec![0.0; s.config().schematic_vars()])
+            .unwrap();
         let tl = s
             .read_delay()
-            .evaluate(Stage::PostLayout, &vec![0.0; s.config().post_layout_vars()]);
+            .evaluate(Stage::PostLayout, &vec![0.0; s.config().post_layout_vars()])
+            .unwrap();
         assert!(tl > ts, "post-layout {tl} should exceed schematic {ts}");
     }
 
@@ -536,17 +538,17 @@ mod tests {
         let s = small();
         let n = s.config().schematic_vars();
         let d = s.read_delay();
-        let base = d.evaluate(Stage::Schematic, &vec![0.0; n]);
+        let base = d.evaluate(Stage::Schematic, &vec![0.0; n]).unwrap();
         // Bump the accessed cell's first parameter (col0.cell0).
         let acc = s.var_space(Stage::Schematic).group("col0.cell0").unwrap();
         let mut x = vec![0.0; n];
         x[acc.range.start] = 1.0;
-        let d_acc = (d.evaluate(Stage::Schematic, &x) - base).abs();
+        let d_acc = (d.evaluate(Stage::Schematic, &x).unwrap() - base).abs();
         // Bump an unaccessed cell's first parameter (col0.cell5).
         let una = s.var_space(Stage::Schematic).group("col0.cell5").unwrap();
         let mut y = vec![0.0; n];
         y[una.range.start] = 1.0;
-        let d_una = (d.evaluate(Stage::Schematic, &y) - base).abs();
+        let d_una = (d.evaluate(Stage::Schematic, &y).unwrap() - base).abs();
         assert!(
             d_acc > 5.0 * d_una,
             "accessed-cell effect {d_acc} should dwarf unaccessed {d_una}"
@@ -561,16 +563,16 @@ mod tests {
         let n_lay = s.config().post_layout_vars();
         let d = s.read_delay();
         let mut x = vec![0.0; n_lay];
-        let base = d.evaluate(Stage::PostLayout, &x);
+        let base = d.evaluate(Stage::PostLayout, &x).unwrap();
         x[n_sch] = 2.0;
-        assert_ne!(base, d.evaluate(Stage::PostLayout, &x));
+        assert_ne!(base, d.evaluate(Stage::PostLayout, &x).unwrap());
     }
 
     #[test]
     fn monte_carlo_spread_plausible() {
         let s = small();
         let d = s.read_delay();
-        let set = monte_carlo(&d, Stage::PostLayout, 300, 5);
+        let set = monte_carlo(&d, Stage::PostLayout, 300, 5).unwrap();
         let sum = bmf_stat::summary::Summary::from_slice(&set.values);
         let cov = sum.coefficient_of_variation();
         assert!(cov > 0.002 && cov < 0.2, "cov={cov}");
@@ -598,16 +600,16 @@ mod tests {
         let n_lay = s.config().post_layout_vars();
         let d = s.read_delay();
         let h = 0.05;
-        let f0s = d.evaluate(Stage::Schematic, &vec![0.0; n_sch]);
-        let f0l = d.evaluate(Stage::PostLayout, &vec![0.0; n_lay]);
+        let f0s = d.evaluate(Stage::Schematic, &vec![0.0; n_sch]).unwrap();
+        let f0l = d.evaluate(Stage::PostLayout, &vec![0.0; n_lay]).unwrap();
         let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
         for i in 0..n_sch {
             let mut xs = vec![0.0; n_sch];
             xs[i] = h;
-            let gs = (d.evaluate(Stage::Schematic, &xs) - f0s) / h / f0s;
+            let gs = (d.evaluate(Stage::Schematic, &xs).unwrap() - f0s) / h / f0s;
             let mut xl = vec![0.0; n_lay];
             xl[i] = h;
-            let gl = (d.evaluate(Stage::PostLayout, &xl) - f0l) / h / f0l;
+            let gl = (d.evaluate(Stage::PostLayout, &xl).unwrap() - f0l) / h / f0l;
             dot += gs * gl;
             na += gs * gs;
             nb += gl * gl;

@@ -18,6 +18,8 @@
 //! separately by [`crate::diffpair`], which publishes its
 //! `FingerExpansion`.)
 
+use crate::error::CircuitError;
+
 /// A point in the design flow at which simulation data can be collected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
@@ -51,10 +53,13 @@ pub trait CircuitPerformance: Sync {
 
     /// Evaluates the metric at `stage` for the variation vector `x`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Implementations panic when `x.len() != self.num_vars(stage)`.
-    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64;
+    /// Returns [`CircuitError::VarCount`] when
+    /// `x.len() != self.num_vars(stage)`, and a solver-specific variant
+    /// when the underlying circuit analysis fails — implementations
+    /// never panic on malformed input or pathological operating points.
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError>;
 
     /// Simulated wall-clock cost of producing one Monte-Carlo sample at
     /// `stage`, in hours. This feeds the cost ledger reproducing the
@@ -83,8 +88,8 @@ mod tests {
                 Stage::PostLayout => 5,
             }
         }
-        fn evaluate(&self, _stage: Stage, x: &[f64]) -> f64 {
-            x.iter().sum()
+        fn evaluate(&self, _stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
+            Ok(x.iter().sum())
         }
         fn sim_cost_hours(&self, _stage: Stage) -> f64 {
             0.01
@@ -105,6 +110,19 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         let d: &dyn CircuitPerformance = &Dummy;
-        assert_eq!(d.evaluate(Stage::Schematic, &[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(d.evaluate(Stage::Schematic, &[1.0, 2.0, 3.0]), Ok(6.0));
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error_not_a_panic() {
+        let e = crate::error::check_var_count("dummy", Stage::Schematic, 3, 1).unwrap_err();
+        assert!(matches!(
+            e,
+            CircuitError::VarCount {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
     }
 }

@@ -16,6 +16,7 @@
 use bmf_stat::normal::StandardNormal;
 use bmf_stat::rng::{derive_seed, seeded};
 
+use crate::error::{check_var_count, CircuitError};
 use crate::stage::{CircuitPerformance, Stage};
 
 /// Configuration of a [`SyntheticCircuit`].
@@ -200,8 +201,8 @@ impl CircuitPerformance for SyntheticCircuit {
         }
     }
 
-    fn evaluate(&self, stage: Stage, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.num_vars(stage), "variable count mismatch");
+    fn evaluate(&self, stage: Stage, x: &[f64]) -> Result<f64, CircuitError> {
+        check_var_count(self.name(), stage, self.num_vars(stage), x.len())?;
         let (coeffs, dir): (&[f64], &[f64]) = match stage {
             Stage::Schematic => (
                 &self.alpha_early,
@@ -214,7 +215,7 @@ impl CircuitPerformance for SyntheticCircuit {
         let u: f64 = dir.iter().zip(x).map(|(d, xi)| d * xi).sum();
         let residual =
             self.config.residual_scale * self.config.coeff_scale * ((u * u - 1.0) / 2.0f64.sqrt());
-        linear + residual
+        Ok(linear + residual)
     }
 
     fn sim_cost_hours(&self, stage: Stage) -> f64 {
@@ -254,7 +255,7 @@ mod tests {
         let s = syn();
         let n = s.num_vars(Stage::PostLayout);
         let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64 - 2.0) / 2.0).collect();
-        let f = s.evaluate(Stage::PostLayout, &x);
+        let f = s.evaluate(Stage::PostLayout, &x).unwrap();
         let linear = s.eval_linear(s.true_late_coeffs(), &x);
         let bound = s.config().residual_scale
             * s.config().coeff_scale

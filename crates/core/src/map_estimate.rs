@@ -344,6 +344,7 @@ impl<'g> MapSweep<'g> {
     /// # Errors
     ///
     /// Same conditions as [`MapSweep::solve`].
+    // bmf-lint: allow(screen-reachability) -- solve_kind_into screens the response (screen::finite_values) before any arithmetic; the sweep matrices were screened at build time
     pub fn solve_with_kind(
         &self,
         f: &Vector,

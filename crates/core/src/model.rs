@@ -142,6 +142,7 @@ impl PerformanceModel {
 /// is only materialized once a caller has already misused the API.
 fn predict_shape_error(model: &PerformanceModel, points: &MatRef<'_>, out_len: usize) -> BmfError {
     BmfError::SampleShape {
+        // bmf-lint: allow(alloc-reachability) -- error construction: allocates only on the failure path, never per-prediction
         detail: format!(
             "predict_into: {} rows of dimension {} into {} output slots, \
              model expects dimension {}",

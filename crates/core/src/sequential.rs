@@ -214,7 +214,7 @@ impl SequentialBmf {
     ///
     /// Returns [`BmfError::Linalg`] on numerical failure or when
     /// `out.len()` differs from the coefficient count.
-    // bmf-lint: allow(screen-before-math) -- every sample row was screened on ingestion; this only folds cached screened data
+    // bmf-lint: allow(screen-reachability) -- every sample row was screened on ingestion; this only folds cached screened data
     pub fn coefficients_into(&self, ws: &mut SeqWorkspace, out: &mut [f64]) -> Result<()> {
         let m = self.d_inv.len();
         let k = self.values.len();
@@ -261,6 +261,7 @@ impl SequentialBmf {
     /// # Errors
     ///
     /// Same conditions as [`SequentialBmf::coefficients_into`].
+    // bmf-lint: allow(screen-reachability) -- delegates to coefficients_into, which only folds cached screened data
     pub fn coefficients(&self) -> Result<Vector> {
         let mut ws = SeqWorkspace::new();
         let mut out = vec![0.0; self.d_inv.len()];
@@ -350,6 +351,7 @@ impl SequentialBmf {
     /// * The conditions of [`SequentialBmf::coefficients_into`].
     /// * [`BmfError::PriorShape`] when `basis.len()` differs from the
     ///   coefficient count.
+    // bmf-lint: allow(screen-reachability) -- delegates to coefficients_into, which only folds cached screened data
     pub fn snapshot(
         &self,
         job_id: &str,

@@ -248,6 +248,7 @@ impl GrowingCholesky {
     /// Re-lays the factor into a fresh zeroed buffer with row stride
     /// `new_cap` (≥ current dimension).
     fn relayout(&mut self, new_cap: usize) {
+        // bmf-lint: allow(alloc-reachability) -- amortized growth path: reached only when capacity is exhausted, never on the steady-state per-row update
         let mut fresh = vec![0.0; new_cap * new_cap];
         for i in 0..self.n {
             fresh[i * new_cap..i * new_cap + self.n]

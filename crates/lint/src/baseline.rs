@@ -4,12 +4,30 @@
 //! lint run then fails only on *new* findings. Entries match findings by
 //! `(rule, file, fingerprint)` — the fingerprint hashes the offending
 //! line's content, not its number, so edits elsewhere in the file do not
-//! invalidate the pin. Matching is multiset-style: one entry cancels one
-//! finding, so two identical offending lines need two entries.
+//! invalidate the pin.
+//!
+//! ## Duplicate fingerprints: multiset semantics
+//!
+//! Because the fingerprint is content-derived, two *textually identical*
+//! offending lines in the same file produce the same fingerprint. The
+//! diff therefore treats the baseline as a **multiset**: each entry is a
+//! budget of one, consumed by exactly one finding, so two identical
+//! lines need two (identical-keyed) entries. This is deliberate — it
+//! keeps the invariant "every accepted finding has its own reviewed
+//! entry" even when the offending text repeats. The historical worked
+//! example: `AmplifierPerformance::evaluate` contained the exact line
+//! `.expect("single-pole response rolls off")` twice (once per match
+//! arm), pinned as fingerprint `fd890c73a92444a5` × 2 entries with the
+//! same note. When one of the two lines is fixed, one entry becomes
+//! stale and the diff reports it individually; `--deny-stale` prints the
+//! surviving identity as `rule=… file=… fingerprint=…` so the right
+//! entry (not "some entry") can be deleted.
 //!
 //! The format is a hand-parsed subset of TOML (the workspace has zero
 //! external dependencies): `[[finding]]` tables with `key = "value"`
-//! string pairs and `#` comments.
+//! string pairs and `#` comments. A non-empty `note` is mandatory on
+//! every entry, mirroring the `-- <reason>` clause of inline
+//! suppressions.
 
 use crate::findings::Finding;
 use std::collections::BTreeMap;
@@ -236,6 +254,19 @@ mod tests {
         let d = diff(vec![a, b], &baseline);
         assert_eq!(d.baselined, 1);
         assert_eq!(d.new.len(), 1);
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn duplicate_entries_cancel_duplicate_findings_one_for_one() {
+        // The fd890c73a92444a5 pattern: two textually identical offending
+        // lines, two identical-keyed entries — both cancel, none stale.
+        let a = finding("r", "f.rs", "same line");
+        let b = finding("r", "f.rs", "same line");
+        let baseline = vec![entry_for(&a, "pin one"), entry_for(&b, "pin two")];
+        let d = diff(vec![a, b], &baseline);
+        assert_eq!(d.baselined, 2);
+        assert!(d.new.is_empty());
         assert!(d.stale.is_empty());
     }
 

@@ -325,10 +325,11 @@ fn lex_number(c: &mut Cursor<'_>) -> TokenKind {
             // the literal (but never in hex literals).
             let exp = !hex && (nb == b'e' || nb == b'E');
             c.bump();
-            if exp && matches!(c.peek(0), Some(b'+') | Some(b'-')) {
-                if matches!(c.peek(1), Some(d) if d.is_ascii_digit()) {
-                    c.bump();
-                }
+            if exp
+                && matches!(c.peek(0), Some(b'+') | Some(b'-'))
+                && matches!(c.peek(1), Some(d) if d.is_ascii_digit())
+            {
+                c.bump();
             }
         } else if nb == b'.' {
             // A dot continues the literal only when followed by a digit

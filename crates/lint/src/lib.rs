@@ -10,9 +10,12 @@
 //! and only *new* findings fail the gate.
 //!
 //! Pipeline: [`lexer`] tokenizes, [`scan::FileModel`] recovers structure
-//! (test spans, fn bodies, inner attributes, suppressions), [`rules`]
-//! produce [`findings::Finding`]s, [`baseline`] diffs them against the
-//! pinned set, and [`report`] renders human or JSON output.
+//! (test spans, fn bodies, inner attributes, suppressions), [`parse`]
+//! lifts function items with their calls and sinks, [`callgraph`]
+//! resolves a workspace-wide call graph, [`rules`] (file rules and
+//! flow-aware graph rules over [`reach`]) produce
+//! [`findings::Finding`]s, [`baseline`] diffs them against the pinned
+//! set, and [`report`] renders human or JSON output.
 //!
 //! Inline suppressions take the form
 //! `// bmf-lint: allow(<rule>) -- <reason>` on the offending line or the
@@ -34,16 +37,20 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod findings;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
 
 use findings::{line_snippet, Finding};
-use rules::all_rules;
+use rules::{all_rule_ids, all_rules, graph_rules};
 use scan::FileModel;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
@@ -56,51 +63,138 @@ pub struct SourceFile {
     pub text: String,
 }
 
-/// Lints a single file's source text under the given workspace-relative
-/// path label. Returns the surviving findings, sorted by
-/// `(file, line, col, rule)`: rule output minus well-formed suppressions,
-/// plus a `malformed-suppression` finding for every suppression comment
-/// that lacks its reason or names an unknown rule.
-pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
-    let file = SourceFile {
-        path: path.to_string(),
-        text: text.to_string(),
-    };
-    let model = FileModel::build(&file.text);
+/// One analyzed file: its source plus the structural model.
+pub struct AnalyzedFile {
+    /// The source file.
+    pub source: SourceFile,
+    /// The token/structure model the rules query.
+    pub model: FileModel,
+}
+
+/// The whole-workspace analysis: every file's model plus the call graph
+/// over the parsed function items. File rules see one file at a time;
+/// graph rules see this.
+pub struct Analysis {
+    /// Analyzed files, in deterministic (sorted-path) order.
+    pub files: Vec<AnalyzedFile>,
+    /// The workspace call graph.
+    pub graph: callgraph::CallGraph,
+    by_path: BTreeMap<String, usize>,
+}
+
+impl Analysis {
+    /// Builds the analysis: per-file models, parsed items, call graph.
+    pub fn build(sources: Vec<SourceFile>) -> Analysis {
+        let files: Vec<AnalyzedFile> = sources
+            .into_iter()
+            .map(|source| {
+                let model = FileModel::build(&source.text);
+                AnalyzedFile { source, model }
+            })
+            .collect();
+        let mut nodes = Vec::new();
+        for f in &files {
+            nodes.extend(parse::parse_file(&f.source, &f.model));
+        }
+        let by_path = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.source.path.clone(), i))
+            .collect();
+        Analysis {
+            graph: callgraph::CallGraph::build(nodes),
+            files,
+            by_path,
+        }
+    }
+
+    /// The structural model for a workspace-relative path, if analyzed.
+    pub fn model_for(&self, path: &str) -> Option<&FileModel> {
+        self.by_path.get(path).map(|&i| &self.files[i].model)
+    }
+}
+
+/// Runs every file rule and every graph rule over the analysis, applies
+/// suppressions, and appends `malformed-suppression` findings. Sorted by
+/// `(file, line, col, rule)`.
+pub fn lint_analysis(analysis: &Analysis) -> Vec<Finding> {
     let mut raw = Vec::new();
-    for rule in all_rules() {
-        rule.check(&file, &model, &mut raw);
+    for f in &analysis.files {
+        for rule in all_rules() {
+            rule.check(&f.source, &f.model, &mut raw);
+        }
+    }
+    for rule in graph_rules() {
+        rule.check(analysis, &mut raw);
     }
     let mut out: Vec<Finding> = raw
         .into_iter()
-        .filter(|f| !model.suppressed(&f.rule, f.line))
+        .filter(|fi| {
+            !analysis
+                .model_for(&fi.file)
+                .is_some_and(|m| m.suppressed(&fi.rule, fi.line))
+        })
         .collect();
 
-    let known: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
-    for m in &model.malformed {
-        out.push(Finding {
-            rule: "malformed-suppression".to_string(),
-            file: file.path.clone(),
-            line: m.line,
-            col: m.col,
-            message: m.problem.clone(),
-            snippet: line_snippet(&file.text, m.line),
-        });
-    }
-    for s in &model.suppressions {
-        if !known.contains(&s.rule.as_str()) {
+    let known = all_rule_ids();
+    for f in &analysis.files {
+        for m in &f.model.malformed {
             out.push(Finding {
                 rule: "malformed-suppression".to_string(),
-                file: file.path.clone(),
-                line: s.line,
-                col: 1,
-                message: format!("suppression names unknown rule `{}`", s.rule),
-                snippet: line_snippet(&file.text, s.line),
+                file: f.source.path.clone(),
+                line: m.line,
+                col: m.col,
+                message: m.problem.clone(),
+                snippet: line_snippet(&f.source.text, m.line),
             });
+        }
+        for s in &f.model.suppressions {
+            if !known.contains(&s.rule.as_str()) {
+                out.push(Finding {
+                    rule: "malformed-suppression".to_string(),
+                    file: f.source.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!("suppression names unknown rule `{}`", s.rule),
+                    snippet: line_snippet(&f.source.text, s.line),
+                });
+            }
         }
     }
     out.sort_by_key(Finding::sort_key);
     out
+}
+
+/// Lints a single file's source text under the given workspace-relative
+/// path label. Returns the surviving findings, sorted by
+/// `(file, line, col, rule)`: rule output minus well-formed suppressions,
+/// plus a `malformed-suppression` finding for every suppression comment
+/// that lacks its reason or names an unknown rule. Graph rules run over
+/// the one-file call graph, so fixtures exercise them too.
+pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
+    let analysis = Analysis::build(vec![SourceFile {
+        path: path.to_string(),
+        text: text.to_string(),
+    }]);
+    lint_analysis(&analysis)
+}
+
+/// Builds the analysis for every library source file in the workspace
+/// rooted at `root`.
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure (unreadable directory
+/// or file).
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let files = workspace::collect_sources(root)
+        .map_err(|e| format!("cannot enumerate sources under {}: {e}", root.display()))?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let text = fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel}: {e}"))?;
+        sources.push(SourceFile { path: rel, text });
+    }
+    Ok(Analysis::build(sources))
 }
 
 /// Lints every library source file in the workspace rooted at `root`.
@@ -111,15 +205,7 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
 /// Returns a description of the first I/O failure (unreadable directory
 /// or file).
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
-    let files = workspace::collect_sources(root)
-        .map_err(|e| format!("cannot enumerate sources under {}: {e}", root.display()))?;
-    let mut out = Vec::new();
-    for rel in files {
-        let text = fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel}: {e}"))?;
-        out.extend(lint_source(&rel, &text));
-    }
-    out.sort_by_key(Finding::sort_key);
-    Ok(out)
+    Ok(lint_analysis(&analyze_workspace(root)?))
 }
 
 #[cfg(test)]

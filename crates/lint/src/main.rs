@@ -4,7 +4,13 @@
 //! ```text
 //! bmf-lint [--root DIR] [--baseline FILE] [--format human|json]
 //!          [--write-baseline] [--deny-stale] [--list-rules]
+//!          [--emit callgraph] [--explain RULE]
 //! ```
+//!
+//! `--emit=callgraph` dumps the workspace call graph instead of linting
+//! (DOT under `--format=human`, JSON under `--format=json`); both dumps
+//! are byte-deterministic. `--explain <rule>` prints the long-form
+//! description of one rule.
 //!
 //! Exit codes: `0` clean, `1` new findings (or stale baseline entries
 //! under `--deny-stale`), `2` usage or I/O error.
@@ -13,7 +19,7 @@
 
 use bmf_lint::baseline::{self, BaselineEntry};
 use bmf_lint::report;
-use bmf_lint::rules::all_rules;
+use bmf_lint::rules::{all_rules, explain_rule, graph_rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +30,8 @@ struct Options {
     write_baseline: bool,
     deny_stale: bool,
     list_rules: bool,
+    emit_callgraph: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +42,8 @@ fn parse_args() -> Result<Options, String> {
         write_baseline: false,
         deny_stale: false,
         list_rules: false,
+        emit_callgraph: false,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,10 +67,25 @@ fn parse_args() -> Result<Options, String> {
             "--write-baseline" => opts.write_baseline = true,
             "--deny-stale" => opts.deny_stale = true,
             "--list-rules" => opts.list_rules = true,
+            "--emit" => match args.next().as_deref() {
+                Some("callgraph") => opts.emit_callgraph = true,
+                other => return Err(format!("--emit supports callgraph, got {other:?}")),
+            },
+            _ if arg.starts_with("--emit=") => match &arg["--emit=".len()..] {
+                "callgraph" => opts.emit_callgraph = true,
+                other => return Err(format!("--emit supports callgraph, got `{other}`")),
+            },
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule name")?);
+            }
+            _ if arg.starts_with("--explain=") => {
+                opts.explain = Some(arg["--explain=".len()..].to_string());
+            }
             "--help" | "-h" => {
                 println!(
                     "bmf-lint [--root DIR] [--baseline FILE] [--format human|json]\n\
-                     \x20        [--write-baseline] [--deny-stale] [--list-rules]"
+                     \x20        [--write-baseline] [--deny-stale] [--list-rules]\n\
+                     \x20        [--emit callgraph] [--explain RULE]"
                 );
                 std::process::exit(0);
             }
@@ -75,6 +100,26 @@ fn run(opts: &Options) -> Result<bool, String> {
         for rule in all_rules() {
             println!("{:28} {}", rule.id(), rule.describe());
         }
+        for rule in graph_rules() {
+            println!("{:28} {}", rule.id(), rule.describe());
+        }
+        return Ok(true);
+    }
+    if let Some(rule) = &opts.explain {
+        let Some(text) = explain_rule(rule) else {
+            return Err(format!("no rule named `{rule}` (see --list-rules)"));
+        };
+        print!("{rule}: {text}");
+        return Ok(true);
+    }
+    if opts.emit_callgraph {
+        let analysis = bmf_lint::analyze_workspace(&opts.root)?;
+        let rendered = if opts.json {
+            analysis.graph.to_json()
+        } else {
+            analysis.graph.to_dot()
+        };
+        print!("{rendered}");
         return Ok(true);
     }
 
@@ -121,6 +166,16 @@ fn run(opts: &Options) -> Result<bool, String> {
     print!("{rendered}");
 
     let failed = !diff.new.is_empty() || (opts.deny_stale && !diff.stale.is_empty());
+    if opts.deny_stale {
+        // Name the offending entries on stderr so a failing CI log says
+        // exactly which pins to delete, whatever --format is in effect.
+        for e in &diff.stale {
+            eprintln!(
+                "bmf-lint: stale baseline entry: rule={} file={} fingerprint={}",
+                e.rule, e.file, e.fingerprint
+            );
+        }
+    }
     Ok(!failed)
 }
 

@@ -1,0 +1,797 @@
+//! Item-level parse on top of the token stream: function items with
+//! qualified names, the calls they make, the panic/alloc sinks they
+//! contain, and (for the persistence layer) the VFS operations they
+//! perform, in source order.
+//!
+//! This is deliberately *not* a Rust parser. It recovers exactly the
+//! facts the flow-aware rules need — `fn` items inside `mod`/`impl`/
+//! `trait` scopes, `path::to::fn(...)` and `.method(...)` call sites,
+//! and a handful of token-pattern "sink" constructs — from the
+//! [`crate::scan::FileModel`] structure, using brace matching rather
+//! than grammar. Anything it cannot classify is dropped, never guessed:
+//! the call graph built from these items is conservative by
+//! construction (see `DESIGN.md` §16 for the soundness stance).
+
+use crate::lexer::TokenKind;
+use crate::scan::FileModel;
+use crate::SourceFile;
+use std::collections::BTreeMap;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `foo(..)` or `a::b::foo(..)` — normalized path segments, last one
+    /// the function name. `crate`/`self`/`super` prefixes are stripped
+    /// and `bmf_x` crate roots are rewritten to the short crate name
+    /// used by [`crate::rules::crate_of`].
+    Path(Vec<String>),
+    /// `.foo(..)` — a method call resolved by name (and, when the
+    /// receiver is literally `self`, by the surrounding impl type).
+    Method {
+        /// The method name.
+        name: String,
+        /// True when the receiver token is exactly `self`.
+        on_self: bool,
+    },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// What is being called.
+    pub callee: Callee,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// Code-index of the callee token — call sites, sinks, and VFS ops
+    /// within one function are ordered by this.
+    pub ci: usize,
+}
+
+/// The kind of a sink construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// `panic!`-family macros and `.unwrap()`/`.expect()`.
+    Panic,
+    /// Allocating constructs: `Vec::new`, `vec!`, `.to_vec()`, `.push()`, ...
+    Alloc,
+    /// Slice/array indexing `x[i]`, which panics out of bounds.
+    Index,
+}
+
+/// One sink occurrence inside a function body. Sinks are recorded
+/// unconditionally; the rules decide which count (inline suppressions
+/// for the direct *or* the reachability rule neutralize a sink).
+#[derive(Debug, Clone)]
+pub struct Sink {
+    /// What kind of sink.
+    pub kind: SinkKind,
+    /// Short description for witness messages, e.g. "`.unwrap()`".
+    pub what: String,
+    /// 1-based line of the sink token.
+    pub line: u32,
+    /// Code-index of the sink token.
+    pub ci: usize,
+}
+
+/// One VFS operation (`...vfs.<op>(<arg>, ..)`) inside a function body.
+#[derive(Debug, Clone)]
+pub struct VfsOp {
+    /// The operation name: `write`, `append`, `sync_file`, `sync_dir`,
+    /// `rename`, `remove`, ...
+    pub op: String,
+    /// The identifier at the head of the first argument (`&tmp` → `tmp`),
+    /// or `""` when the argument is not a simple binding.
+    pub arg: String,
+    /// 1-based line of the operation token.
+    pub line: u32,
+    /// Code-index of the operation token.
+    pub ci: usize,
+}
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// The bare function name.
+    pub name: String,
+    /// The `impl`/`trait` type the function is defined on, or `""` for a
+    /// free function.
+    pub self_ty: String,
+    /// Fully qualified id: `crate::module[::Type]::name`.
+    pub qualified: String,
+    /// Short crate name (`core`, `linalg`, `root`, ...).
+    pub krate: String,
+    /// Whether the function is `pub` (bare `pub` only; restricted
+    /// visibility sits behind an already-checked boundary).
+    pub is_pub: bool,
+    /// Whether the return type mentions `Result`.
+    pub returns_result: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the signature mentions `f64` (gates arithmetic events in
+    /// the screening rule: integer bookkeeping is not "math").
+    pub sig_f64: bool,
+    /// Every call site in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Every sink construct in the body, in source order.
+    pub sinks: Vec<Sink>,
+    /// Every VFS operation in the body, in source order.
+    pub vfs_ops: Vec<VfsOp>,
+    /// Code-index of the first binary arithmetic operator in the body.
+    pub first_math_ci: Option<usize>,
+    /// Code-index of the first direct `screen::` path call in the body.
+    pub first_screen_ci: Option<usize>,
+    /// Body byte range (used internally for scope attribution).
+    pub body: (usize, usize),
+}
+
+/// Keywords that can precede `(` without being a call.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "clone", "collect", "push"];
+const VFS_OPS: &[&str] = &[
+    "write",
+    "append",
+    "read",
+    "sync_file",
+    "sync_dir",
+    "rename",
+    "remove",
+    "exists",
+    "list",
+    "len",
+    "create_dir_all",
+];
+
+/// A `mod`/`impl`/`trait` scope: byte range of the braces plus the name
+/// contributed to qualified ids inside it.
+struct Scope {
+    start: usize,
+    end: usize,
+    is_mod: bool,
+    name: String,
+}
+
+/// Parses every non-test function item in `file` into [`FnItem`]s, in
+/// source order.
+pub fn parse_file(file: &SourceFile, model: &FileModel) -> Vec<FnItem> {
+    let src = &file.text;
+    let scopes = scan_scopes(file, model);
+    let file_mods = file_module_path(&file.path);
+    let krate = file_mods.first().cloned().unwrap_or_default();
+
+    // One FnItem per non-test fn with a body, keyed by body start for
+    // innermost-enclosing attribution.
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut by_body_start: BTreeMap<usize, usize> = BTreeMap::new();
+    for f in &model.fns {
+        if f.body.0 == f.body.1 || model.in_test(f.body.0) {
+            continue;
+        }
+        let mut mods = file_mods.clone();
+        for s in &scopes {
+            if s.is_mod && f.body.0 >= s.start && f.body.0 < s.end {
+                mods.push(s.name.clone());
+            }
+        }
+        let self_ty = scopes
+            .iter()
+            .filter(|s| !s.is_mod && f.body.0 >= s.start && f.body.0 < s.end)
+            .min_by_key(|s| s.end - s.start)
+            .map(|s| s.name.clone())
+            .unwrap_or_default();
+        let mut qualified = mods.join("::");
+        if !self_ty.is_empty() {
+            qualified.push_str("::");
+            qualified.push_str(&self_ty);
+        }
+        qualified.push_str("::");
+        qualified.push_str(&f.name);
+        let sig_f64 = signature_mentions(file, model, f.line, f.body.0, "f64");
+        by_body_start.insert(f.body.0, items.len());
+        items.push(FnItem {
+            file: file.path.clone(),
+            name: f.name.clone(),
+            self_ty,
+            qualified,
+            krate: krate.clone(),
+            is_pub: f.is_pub,
+            returns_result: f.returns_result,
+            line: f.line,
+            sig_f64,
+            calls: Vec::new(),
+            sinks: Vec::new(),
+            vfs_ops: Vec::new(),
+            first_math_ci: None,
+            first_screen_ci: None,
+            body: f.body,
+        });
+    }
+
+    // Single pass over the code tokens, attributing each event to the
+    // innermost enclosing non-test fn.
+    for ci in 0..model.code.len() {
+        let Some(tok) = model.code_tok(ci) else {
+            continue;
+        };
+        let Some(owner) = model
+            .enclosing_fn(tok.start)
+            .and_then(|f| by_body_start.get(&f.body.0))
+            .copied()
+        else {
+            continue;
+        };
+        let line = tok.line;
+        match tok.kind {
+            TokenKind::Ident => {
+                let text = tok.text(src);
+                scan_ident_event(file, model, ci, text, line, &mut items[owner]);
+            }
+            TokenKind::Punct => {
+                let text = tok.text(src);
+                if text == "[" && items[owner].body.0 < tok.start {
+                    // Indexing: `expr[...]` with a value-like left neighbor.
+                    if ci > 0 && is_value_like(model, src, ci - 1) {
+                        items[owner].sinks.push(Sink {
+                            kind: SinkKind::Index,
+                            what: "slice indexing `[..]`".to_string(),
+                            line,
+                            ci,
+                        });
+                    }
+                }
+                if items[owner].first_math_ci.is_none() && is_binary_arithmetic(model, src, ci) {
+                    items[owner].first_math_ci = Some(ci);
+                }
+            }
+            _ => {}
+        }
+    }
+    items
+}
+
+/// Classifies one identifier token: call site, sink, VFS op, or nothing.
+fn scan_ident_event(
+    file: &SourceFile,
+    model: &FileModel,
+    ci: usize,
+    text: &str,
+    line: u32,
+    item: &mut FnItem,
+) {
+    let src = &file.text;
+    let prev = if ci > 0 {
+        model.code_text(src, ci - 1)
+    } else {
+        ""
+    };
+    // Macros: `name!(..)` / `name!{..}` / `name![..]`.
+    if model.code_text(src, ci + 1) == "!" {
+        if PANIC_MACROS.contains(&text) {
+            item.sinks.push(Sink {
+                kind: SinkKind::Panic,
+                what: format!("`{text}!`"),
+                line,
+                ci,
+            });
+        } else if text == "vec" || text == "format" {
+            item.sinks.push(Sink {
+                kind: SinkKind::Alloc,
+                what: format!("allocating `{text}!`"),
+                line,
+                ci,
+            });
+        }
+        return;
+    }
+    let called = is_called(model, src, ci);
+    if !called {
+        return;
+    }
+    if prev == "." {
+        // Method call (or method-shaped sink).
+        if PANIC_METHODS.contains(&text) {
+            item.sinks.push(Sink {
+                kind: SinkKind::Panic,
+                what: format!("`.{text}()`"),
+                line,
+                ci,
+            });
+            return;
+        }
+        if ALLOC_METHODS.contains(&text) {
+            item.sinks.push(Sink {
+                kind: SinkKind::Alloc,
+                what: format!("allocating `.{text}()`"),
+                line,
+                ci,
+            });
+            // `.clone()` et al. never resolve to workspace fns by path,
+            // but a workspace method may share the name; fall through so
+            // the call edge exists too.
+        }
+        let receiver = if ci >= 2 {
+            model.code_text(src, ci - 2)
+        } else {
+            ""
+        };
+        if receiver == "vfs" && VFS_OPS.contains(&text) {
+            item.vfs_ops.push(VfsOp {
+                op: text.to_string(),
+                arg: first_arg_ident(model, src, ci),
+                line,
+                ci,
+            });
+        }
+        item.calls.push(CallSite {
+            callee: Callee::Method {
+                name: text.to_string(),
+                on_self: receiver == "self",
+            },
+            line,
+            ci,
+        });
+        return;
+    }
+    if KEYWORDS.contains(&text) || prev == "fn" {
+        return;
+    }
+    // Path call: collect `a :: b :: name` going backward.
+    let mut segments = vec![text.to_string()];
+    let mut j = ci;
+    while j >= 2
+        && model.code_text(src, j - 1) == "::"
+        && model
+            .code_tok(j - 2)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+    {
+        let seg = model.code_text(src, j - 2);
+        if seg == "crate" || seg == "self" || seg == "super" {
+            break;
+        }
+        segments.insert(0, normalize_crate_segment(seg));
+        j -= 2;
+    }
+    if model.code_text(src, j.wrapping_sub(1)) == "fn" {
+        return;
+    }
+    if segments.len() >= 2 {
+        // `Vec::new(..)`-style constructor allocations.
+        let head = segments[segments.len() - 2].as_str();
+        let last = segments[segments.len() - 1].as_str();
+        if matches!(head, "Vec" | "Box" | "String")
+            && matches!(last, "new" | "with_capacity" | "from")
+        {
+            item.sinks.push(Sink {
+                kind: SinkKind::Alloc,
+                what: format!("allocating `{head}::{last}`"),
+                line,
+                ci,
+            });
+            return;
+        }
+    }
+    item.calls.push(CallSite {
+        callee: Callee::Path(segments),
+        line,
+        ci,
+    });
+    if item.first_screen_ci.is_none() {
+        if let Some(CallSite {
+            callee: Callee::Path(segs),
+            ..
+        }) = item.calls.last()
+        {
+            if segs.len() >= 2 && segs[segs.len() - 2] == "screen" {
+                item.first_screen_ci = Some(ci);
+            }
+        }
+    }
+}
+
+/// True when the token at `ci` is immediately called: `name(..)` or the
+/// turbofish form `name::<T>(..)`.
+fn is_called(model: &FileModel, src: &str, ci: usize) -> bool {
+    if model.code_text(src, ci + 1) == "(" {
+        return true;
+    }
+    if model.code_text(src, ci + 1) == "::" && model.code_text(src, ci + 2) == "<" {
+        // Walk the turbofish generics to the matching `>`.
+        let mut depth = 0i64;
+        let mut cur = ci + 2;
+        while cur < model.code.len() {
+            match model.code_text(src, cur) {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            if depth <= 0 {
+                return model.code_text(src, cur + 1) == "(";
+            }
+            cur += 1;
+        }
+    }
+    false
+}
+
+/// The identifier at the head of a call's first argument, skipping `&`
+/// and `mut`: `(&tmp, ..)` → `tmp`.
+fn first_arg_ident(model: &FileModel, src: &str, call_ci: usize) -> String {
+    let mut cur = call_ci + 2; // skip `name` `(`
+    while cur < model.code.len() {
+        let text = model.code_text(src, cur);
+        if text == "&" || text == "mut" {
+            cur += 1;
+            continue;
+        }
+        if model
+            .code_tok(cur)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            return text.to_string();
+        }
+        return String::new();
+    }
+    String::new()
+}
+
+/// True when the code token at `ci` can end a value expression
+/// (identifier, number, closing bracket) — used to separate indexing and
+/// binary operators from array literals and unary forms.
+fn is_value_like(model: &FileModel, src: &str, ci: usize) -> bool {
+    let Some(tok) = model.code_tok(ci) else {
+        return false;
+    };
+    let text = tok.text(src);
+    if matches!(tok.kind, TokenKind::Ident) {
+        return !KEYWORDS.contains(&text) && !matches!(text, "return" | "in" | "else" | "match");
+    }
+    matches!(tok.kind, TokenKind::Number) || matches!(text, ")" | "]")
+}
+
+/// True when the punct at `ci` is a binary arithmetic operator or a
+/// compound assignment (same classification the screening rules use).
+fn is_binary_arithmetic(model: &FileModel, src: &str, ci: usize) -> bool {
+    let text = model.code_text(src, ci);
+    if matches!(text, "+=" | "-=" | "*=" | "/=" | "%=") {
+        return true;
+    }
+    if !matches!(text, "+" | "-" | "*" | "/" | "%") || ci == 0 {
+        return false;
+    }
+    is_value_like(model, src, ci - 1)
+}
+
+/// True when the tokens between the `fn` keyword's line start and the
+/// body opening brace mention `needle` (e.g. `f64` in the signature).
+fn signature_mentions(
+    file: &SourceFile,
+    model: &FileModel,
+    fn_line: u32,
+    body_start: usize,
+    needle: &str,
+) -> bool {
+    for ci in 0..model.code.len() {
+        let Some(tok) = model.code_tok(ci) else {
+            continue;
+        };
+        if tok.start >= body_start {
+            break;
+        }
+        if tok.line >= fn_line && tok.text(&file.text) == needle {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans `mod name { .. }`, `impl [..] Type { .. }`, and
+/// `trait Name { .. }` scopes.
+fn scan_scopes(file: &SourceFile, model: &FileModel) -> Vec<Scope> {
+    let src = &file.text;
+    let mut scopes = Vec::new();
+    for ci in 0..model.code.len() {
+        match model.code_text(src, ci) {
+            "mod" => {
+                let Some(name_tok) = model.code_tok(ci + 1) else {
+                    continue;
+                };
+                if name_tok.kind != TokenKind::Ident || model.code_text(src, ci + 2) != "{" {
+                    continue;
+                }
+                if let Some((start, end)) = brace_range(model, src, ci + 2) {
+                    scopes.push(Scope {
+                        start,
+                        end,
+                        is_mod: true,
+                        name: name_tok.text(src).to_string(),
+                    });
+                }
+            }
+            "impl" => {
+                if let Some((name, open_ci)) = parse_impl_header(model, src, ci) {
+                    if let Some((start, end)) = brace_range(model, src, open_ci) {
+                        scopes.push(Scope {
+                            start,
+                            end,
+                            is_mod: false,
+                            name,
+                        });
+                    }
+                }
+            }
+            "trait" => {
+                let Some(name_tok) = model.code_tok(ci + 1) else {
+                    continue;
+                };
+                if name_tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                // Walk to the opening brace (skipping bounds/generics);
+                // stop at `;` (associated `trait Alias = ..;` forms).
+                let mut cur = ci + 2;
+                let mut open = None;
+                while cur < model.code.len() {
+                    match model.code_text(src, cur) {
+                        "{" => {
+                            open = Some(cur);
+                            break;
+                        }
+                        ";" => break,
+                        _ => cur += 1,
+                    }
+                }
+                if let Some(open_ci) = open {
+                    if let Some((start, end)) = brace_range(model, src, open_ci) {
+                        scopes.push(Scope {
+                            start,
+                            end,
+                            is_mod: false,
+                            name: name_tok.text(src).to_string(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    scopes
+}
+
+/// Parses an `impl` header starting at code-index `ci`: returns the
+/// implemented-on type name and the code-index of the body `{`.
+fn parse_impl_header(model: &FileModel, src: &str, ci: usize) -> Option<(String, usize)> {
+    let mut angle = 0i64;
+    let mut before_for: Vec<String> = Vec::new();
+    let mut after_for: Vec<String> = Vec::new();
+    let mut saw_for = false;
+    let mut cur = ci + 1;
+    while cur < model.code.len() {
+        let text = model.code_text(src, cur);
+        match text {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "<<" => angle += 2,
+            ">>" => angle -= 2,
+            "{" if angle <= 0 => {
+                let bucket = if saw_for && !after_for.is_empty() {
+                    &after_for
+                } else {
+                    &before_for
+                };
+                let name = bucket.last().cloned()?;
+                return Some((name, cur));
+            }
+            ";" if angle <= 0 => return None,
+            "for" if angle <= 0 => saw_for = true,
+            "where" if angle <= 0 => {
+                // Idents in the where clause are bounds, not the type.
+                let mut inner = cur + 1;
+                while inner < model.code.len() && model.code_text(src, inner) != "{" {
+                    inner += 1;
+                }
+                if inner >= model.code.len() {
+                    return None;
+                }
+                let bucket = if saw_for && !after_for.is_empty() {
+                    &after_for
+                } else {
+                    &before_for
+                };
+                let name = bucket.last().cloned()?;
+                return Some((name, inner));
+            }
+            _ => {
+                if angle <= 0
+                    && model
+                        .code_tok(cur)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                    && !KEYWORDS.contains(&text)
+                {
+                    if saw_for {
+                        after_for.push(text.to_string());
+                    } else {
+                        before_for.push(text.to_string());
+                    }
+                }
+            }
+        }
+        cur += 1;
+    }
+    None
+}
+
+/// Byte range of the brace block opening at code-index `open_ci`.
+fn brace_range(model: &FileModel, src: &str, open_ci: usize) -> Option<(usize, usize)> {
+    let start = model.code_tok(open_ci)?.start;
+    let mut depth = 0i64;
+    let mut cur = open_ci;
+    while cur < model.code.len() {
+        match model.code_text(src, cur) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, model.code_tok(cur)?.end));
+                }
+            }
+            _ => {}
+        }
+        cur += 1;
+    }
+    None
+}
+
+/// Rewrites a leading `bmf_x` crate segment to the short name the rest of
+/// the lint uses (`bmf_core` → `core`).
+fn normalize_crate_segment(seg: &str) -> String {
+    seg.strip_prefix("bmf_").unwrap_or(seg).to_string()
+}
+
+/// Module path derived from the file path: `crates/x/src/a/b.rs` →
+/// `[x, a, b]`, `src/lib.rs` → `[root]`.
+fn file_module_path(path: &str) -> Vec<String> {
+    let (krate, rest) = if let Some(rest) = path.strip_prefix("crates/") {
+        let mut parts = rest.splitn(2, '/');
+        let name = parts.next().unwrap_or("").to_string();
+        (name, parts.next().unwrap_or(""))
+    } else if let Some(rest) = path.strip_prefix("src/") {
+        ("root".to_string(), rest)
+    } else {
+        (String::new(), path)
+    };
+    let rest = rest.strip_prefix("src/").unwrap_or(rest);
+    let mut out = Vec::new();
+    if !krate.is_empty() {
+        out.push(krate);
+    }
+    for comp in rest.split('/') {
+        let comp = comp.strip_suffix(".rs").unwrap_or(comp);
+        if comp.is_empty() || comp == "lib" || comp == "mod" || comp == "main" {
+            continue;
+        }
+        out.push(comp.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(path: &str, src: &str) -> Vec<FnItem> {
+        let file = SourceFile {
+            path: path.to_string(),
+            text: src.to_string(),
+        };
+        let model = FileModel::build(&file.text);
+        parse_file(&file, &model)
+    }
+
+    #[test]
+    fn qualified_names_cover_mods_impls_and_traits() {
+        let src = "pub struct S;\nimpl S {\n    pub fn m(&self) {}\n}\nmod inner {\n    fn helper() {}\n}\ntrait T {\n    fn d(&self) { () }\n}\nfn free() {}\n";
+        let items = parse("crates/core/src/demo.rs", src);
+        let ids: Vec<&str> = items.iter().map(|i| i.qualified.as_str()).collect();
+        assert!(ids.contains(&"core::demo::S::m"), "{ids:?}");
+        assert!(ids.contains(&"core::demo::inner::helper"), "{ids:?}");
+        assert!(ids.contains(&"core::demo::T::d"), "{ids:?}");
+        assert!(ids.contains(&"core::demo::free"), "{ids:?}");
+    }
+
+    #[test]
+    fn calls_sinks_and_order_are_recovered() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    helper();\n    bmf_core::screen::check(1);\n    self_thing.method_a();\n    x.unwrap()\n}\nfn helper() {}\n";
+        let items = parse("crates/core/src/demo.rs", src);
+        let f = &items[0];
+        assert_eq!(f.calls.len(), 3, "{:?}", f.calls);
+        assert_eq!(f.calls[0].callee, Callee::Path(vec!["helper".to_string()]));
+        assert_eq!(
+            f.calls[1].callee,
+            Callee::Path(vec![
+                "core".to_string(),
+                "screen".to_string(),
+                "check".to_string()
+            ])
+        );
+        assert!(matches!(
+            &f.calls[2].callee,
+            Callee::Method { name, on_self: false } if name == "method_a"
+        ));
+        assert_eq!(f.sinks.len(), 1);
+        assert_eq!(f.sinks[0].kind, SinkKind::Panic);
+        assert!(f.first_screen_ci.is_some());
+        assert!(f.calls[1].ci < f.sinks[0].ci);
+    }
+
+    #[test]
+    fn vfs_ops_capture_op_and_first_arg() {
+        let src = "impl Store {\n    fn put(&self) {\n        self.vfs.write(&tmp, bytes);\n        self.vfs.sync_file(&tmp);\n        self.vfs.rename(&tmp, &blob);\n        self.vfs.sync_dir(&root);\n    }\n}\n";
+        let items = parse("crates/persist/src/store.rs", src);
+        let ops: Vec<(&str, &str)> = items[0]
+            .vfs_ops
+            .iter()
+            .map(|o| (o.op.as_str(), o.arg.as_str()))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                ("write", "tmp"),
+                ("sync_file", "tmp"),
+                ("rename", "tmp"),
+                ("sync_dir", "root")
+            ]
+        );
+    }
+
+    #[test]
+    fn test_code_is_invisible() {
+        let src = "fn live() { helper(); }\nfn helper() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let items = parse("crates/core/src/demo.rs", src);
+        assert_eq!(items.len(), 2);
+        assert!(items.iter().all(|i| i.sinks.is_empty()));
+    }
+
+    #[test]
+    fn turbofish_calls_are_calls() {
+        let src = "fn f() { parse::<u32>(\"1\"); }\nfn parse() {}\n";
+        let items = parse("crates/core/src/demo.rs", src);
+        assert_eq!(items[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn indexing_is_an_index_sink_but_literals_are_not() {
+        let src = "fn f(xs: &[f64]) -> f64 { let a = [1.0, 2.0]; xs[0] + a[1] }\n";
+        let items = parse("crates/core/src/demo.rs", src);
+        let idx: Vec<_> = items[0]
+            .sinks
+            .iter()
+            .filter(|s| s.kind == SinkKind::Index)
+            .collect();
+        assert_eq!(idx.len(), 2, "{:?}", items[0].sinks);
+    }
+
+    #[test]
+    fn module_paths_from_file_layout() {
+        assert_eq!(file_module_path("crates/core/src/lib.rs"), vec!["core"]);
+        assert_eq!(
+            file_module_path("crates/core/src/a/b.rs"),
+            vec!["core", "a", "b"]
+        );
+        assert_eq!(
+            file_module_path("crates/core/src/a/mod.rs"),
+            vec!["core", "a"]
+        );
+        assert_eq!(file_module_path("src/lib.rs"), vec!["root"]);
+    }
+}

@@ -91,6 +91,12 @@ fn json_stale(e: &BaselineEntry) -> String {
     )
 }
 
+/// Crate-internal alias so other emitters (the call-graph dump) share
+/// the exact same JSON string escaping.
+pub(crate) fn escape_str(s: &str) -> String {
+    escape(s)
+}
+
 /// Minimal JSON string escaping (quotes, backslash, control characters).
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -1,36 +1,61 @@
 //! The rule catalog.
 //!
-//! Each rule is a small token-pattern matcher over a [`FileModel`]. Rules
-//! are scoped by crate (derived from the workspace-relative path): the
-//! fitting-stack guarantees apply to the library crates, the determinism
-//! rules additionally police `bmf-lint` itself, and the tool crate
-//! `bmf-bench` is exempt from panic-freedom (benchmark binaries may abort).
+//! Two kinds of rules coexist. *File rules* ([`Rule`]) are token-pattern
+//! matchers over one [`FileModel`]. *Graph rules* ([`GraphRule`]) run
+//! once over the whole [`crate::Analysis`] — the parsed items and the
+//! workspace call graph — and catch violations that cross function and
+//! crate boundaries. Rules are scoped by crate (derived from the
+//! workspace-relative path): the fitting-stack guarantees apply to the
+//! library crates, the determinism rules additionally police `bmf-lint`
+//! itself, and the tool crate `bmf-bench` is exempt from panic-freedom
+//! (benchmark binaries may abort).
 
 pub mod alloc_kernels;
+pub mod alloc_reach;
+pub mod durability;
 pub mod float_eq;
 pub mod forbid_unsafe;
 pub mod lossy_cast;
 pub mod nondet;
 pub mod panic_paths;
+pub mod panic_reach;
 pub mod partial_cmp;
-pub mod screen_first;
+pub mod screen_reach;
 
 use crate::findings::{line_snippet, Finding};
 use crate::lexer::Token;
 use crate::scan::FileModel;
 use crate::SourceFile;
 
-/// A lint rule: an identifier plus a check over one file.
+/// A file-scoped lint rule: an identifier plus a check over one file.
 pub trait Rule {
     /// The rule's stable name, as used in baselines and suppressions.
     fn id(&self) -> &'static str;
     /// One-line description for `--list-rules` and the docs.
     fn describe(&self) -> &'static str;
+    /// Long-form description for `--explain <rule>`.
+    fn explain(&self) -> &'static str {
+        self.describe()
+    }
     /// Appends findings for `file` to `out`.
     fn check(&self, file: &SourceFile, model: &FileModel, out: &mut Vec<Finding>);
 }
 
-/// Every rule, in catalog order.
+/// A workspace-scoped rule over the call graph.
+pub trait GraphRule {
+    /// The rule's stable name, as used in baselines and suppressions.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the docs.
+    fn describe(&self) -> &'static str;
+    /// Long-form description for `--explain <rule>`.
+    fn explain(&self) -> &'static str {
+        self.describe()
+    }
+    /// Appends findings over the whole analysis to `out`.
+    fn check(&self, analysis: &crate::Analysis, out: &mut Vec<Finding>);
+}
+
+/// Every file rule, in catalog order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(panic_paths::NoPanicPaths),
@@ -40,8 +65,40 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(alloc_kernels::NoAllocInIntoKernels),
         Box::new(forbid_unsafe::ForbidUnsafeMissing),
         Box::new(nondet::NoNondeterministicSources),
-        Box::new(screen_first::ScreenBeforeMath),
     ]
+}
+
+/// Every graph rule, in catalog order.
+pub fn graph_rules() -> Vec<Box<dyn GraphRule>> {
+    vec![
+        Box::new(panic_reach::PanicReachability::default()),
+        Box::new(alloc_reach::AllocReachability),
+        Box::new(screen_reach::ScreenReachability),
+        Box::new(durability::DurabilityOrdering),
+    ]
+}
+
+/// Every rule id across both catalogs (suppression validation,
+/// `--explain` lookup).
+pub fn all_rule_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+    ids.extend(graph_rules().iter().map(|r| r.id()));
+    ids
+}
+
+/// The long-form description for `--explain <rule>`, if the rule exists.
+pub fn explain_rule(id: &str) -> Option<String> {
+    for r in all_rules() {
+        if r.id() == id {
+            return Some(format!("{}\n\n{}\n", r.describe(), r.explain()));
+        }
+    }
+    for r in graph_rules() {
+        if r.id() == id {
+            return Some(format!("{}\n\n{}\n", r.describe(), r.explain()));
+        }
+    }
+    None
 }
 
 /// Crates carrying the panic-free / screened fitting-stack guarantees.

@@ -1,0 +1,13 @@
+// Negative fixture: the kernel and everything it reaches touch
+// caller-provided storage only; allocating constructors live in a
+// builder outside the kernel's reach, where they are allowed.
+
+pub fn scale_into(out: &mut [f64], xs: &[f64]) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = *x * 2.0;
+    }
+}
+
+pub fn workspace(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

@@ -1,0 +1,14 @@
+// Positive fixture (linted as crates/core/src/fixture.rs): the `_into`
+// kernel allocates nothing in its own body — the per-file rule passes it
+// — but the helper it calls builds a fresh Vec on every invocation.
+
+pub fn scale_into(out: &mut [f64], xs: &[f64]) {
+    let w = weights(xs.len());
+    for (o, (x, wi)) in out.iter_mut().zip(xs.iter().zip(w.iter())) {
+        *o = *x * *wi;
+    }
+}
+
+fn weights(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}

@@ -1,0 +1,36 @@
+// Negative fixture: the PR 9 corridor as designed. Blob bytes are
+// fsynced before the rename and the rename is made durable with a
+// directory fsync; the index append commits at its fsync; compaction
+// removes garbage only after the rewritten index is durable.
+
+pub fn publish(vfs: &mut Vfs, tmp: &str, blob: &str, root: &str) -> Result<(), String> {
+    vfs.write(tmp, payload)?;
+    vfs.sync_file(tmp)?;
+    vfs.rename(tmp, blob)?;
+    vfs.sync_dir(root)?;
+    Ok(())
+}
+
+pub fn commit(vfs: &mut Vfs, index: &str, root: &str) -> Result<(), String> {
+    vfs.append(index, entry)?;
+    vfs.sync_file(index)?;
+    vfs.sync_dir(root)?;
+    Ok(())
+}
+
+pub fn compact(vfs: &mut Vfs, garbage: &[String], tmp: &str, index: &str, root: &str) -> Result<(), String> {
+    rewrite_index(vfs, tmp, index, root)?;
+    for victim in garbage {
+        vfs.remove(victim)?;
+    }
+    vfs.sync_dir(root)?;
+    Ok(())
+}
+
+fn rewrite_index(vfs: &mut Vfs, tmp: &str, index: &str, root: &str) -> Result<(), String> {
+    vfs.write(tmp, bytes)?;
+    vfs.sync_file(tmp)?;
+    vfs.rename(tmp, index)?;
+    vfs.sync_dir(root)?;
+    Ok(())
+}

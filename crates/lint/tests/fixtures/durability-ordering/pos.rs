@@ -1,0 +1,25 @@
+// Positive fixture (linted as crates/persist/src/store.rs): two broken
+// corridors. `publish` swaps the fsync past the rename — a crash can
+// publish torn bytes — and `compact` garbage-collects blobs before the
+// rewritten index is durable, leaving dangling entries after a crash.
+
+pub fn publish(vfs: &mut Vfs, tmp: &str, blob: &str, root: &str) -> Result<(), String> {
+    vfs.write(tmp, payload)?;
+    vfs.rename(tmp, blob)?;
+    vfs.sync_file(blob)?;
+    vfs.sync_dir(root)?;
+    Ok(())
+}
+
+pub fn compact(vfs: &mut Vfs, garbage: &[String], root: &str) -> Result<(), String> {
+    for victim in garbage {
+        vfs.remove(victim)?;
+    }
+    rewrite_index(vfs, root)?;
+    Ok(())
+}
+
+fn rewrite_index(vfs: &mut Vfs, root: &str) -> Result<(), String> {
+    vfs.sync_dir(root)?;
+    Ok(())
+}

@@ -1,0 +1,24 @@
+// Negative fixture: the whole call chain propagates errors as values,
+// so no panic construct is reachable from the public surface; unwrap in
+// test code is invisible to the graph.
+
+pub fn fit(xs: &[f64]) -> Result<f64, String> {
+    prepare(xs)
+}
+
+fn prepare(xs: &[f64]) -> Result<f64, String> {
+    head(xs)
+}
+
+fn head(xs: &[f64]) -> Result<f64, String> {
+    xs.first().copied().ok_or_else(|| "empty sample".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1.0f64];
+        let _ = super::fit(&xs).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+// Positive fixture (linted as crates/core/src/fixture.rs): the public
+// entry point is panic-free in its own body — the per-file token rule
+// has nothing to say about it — but a private helper two calls down
+// still unwraps, so callers can observe an abort instead of an error.
+
+pub fn fit(xs: &[f64]) -> f64 {
+    prepare(xs)
+}
+
+fn prepare(xs: &[f64]) -> f64 {
+    head(xs)
+}
+
+fn head(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,21 @@
+// Negative fixture: screening precedes the kernel call; a delegator
+// whose every callee screens-from-entry inherits the property through
+// the fixpoint, and private helpers behind the boundary are exempt.
+
+use crate::screen;
+
+pub fn fuse(out: &mut [f64], xs: &[f64]) -> Result<(), String> {
+    screen::finite_values("fusion input", xs)?;
+    axpy_into(out, 1.0, xs);
+    Ok(())
+}
+
+pub fn fuse_default(out: &mut [f64], xs: &[f64]) -> Result<(), String> {
+    fuse(out, xs)
+}
+
+fn axpy_into(y: &mut [f64], a: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}

@@ -1,0 +1,15 @@
+// Positive fixture (linted as crates/core/src/fusion.rs): the public
+// entry point does no arithmetic of its own — the retired per-file
+// `screen-before-math` rule passed it — but it hands unscreened input
+// straight to a kernel, so a NaN still smears through the math.
+
+pub fn fuse(out: &mut [f64], xs: &[f64]) -> Result<(), String> {
+    axpy_into(out, 1.0, xs);
+    Ok(())
+}
+
+fn axpy_into(y: &mut [f64], a: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}

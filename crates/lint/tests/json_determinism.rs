@@ -32,6 +32,12 @@ fn json_matches_pinned_golden() {
     let got = json(&diff(lint_source(LABEL, SRC), &entries));
     let want = concat!(
         "{\"version\":1,\"new\":[",
+        "{\"rule\":\"panic-reachability\",\"file\":\"crates/core/src/demo.rs\",",
+        "\"line\":1,\"col\":1,",
+        "\"message\":\"public fn `core::demo::f` contains `.unwrap()` (line 2); ",
+        "callers cannot observe a structured error\",",
+        "\"snippet\":\"<pub fn core::demo::f>\",",
+        "\"fingerprint\":\"be7d996eea5c8d13\"},",
         "{\"rule\":\"no-panic-paths\",\"file\":\"crates/core/src/demo.rs\",",
         "\"line\":2,\"col\":7,",
         "\"message\":\"`.unwrap()` in library code; propagate the error or handle ",

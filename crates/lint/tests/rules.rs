@@ -5,7 +5,7 @@
 //! scopes itself to.
 
 use bmf_lint::lint_source;
-use bmf_lint::rules::all_rules;
+use bmf_lint::rules::{all_rules, graph_rules};
 
 struct Case {
     rule: &'static str,
@@ -58,10 +58,28 @@ const CASES: &[Case] = &[
         neg: include_str!("fixtures/no-nondeterministic-sources/neg.rs"),
     },
     Case {
-        rule: "screen-before-math",
+        rule: "panic-reachability",
+        label: "crates/core/src/fixture.rs",
+        pos: include_str!("fixtures/panic-reachability/pos.rs"),
+        neg: include_str!("fixtures/panic-reachability/neg.rs"),
+    },
+    Case {
+        rule: "alloc-reachability",
+        label: "crates/core/src/fixture.rs",
+        pos: include_str!("fixtures/alloc-reachability/pos.rs"),
+        neg: include_str!("fixtures/alloc-reachability/neg.rs"),
+    },
+    Case {
+        rule: "screen-reachability",
         label: "crates/core/src/fusion.rs",
-        pos: include_str!("fixtures/screen-before-math/pos.rs"),
-        neg: include_str!("fixtures/screen-before-math/neg.rs"),
+        pos: include_str!("fixtures/screen-reachability/pos.rs"),
+        neg: include_str!("fixtures/screen-reachability/neg.rs"),
+    },
+    Case {
+        rule: "durability-ordering",
+        label: "crates/persist/src/store.rs",
+        pos: include_str!("fixtures/durability-ordering/pos.rs"),
+        neg: include_str!("fixtures/durability-ordering/neg.rs"),
     },
     // Not a catalog rule: the scanner itself reports broken suppression
     // comments under this pseudo-rule, so it gets the same golden pair.
@@ -82,12 +100,16 @@ fn case(rule: &str) -> &'static Case {
 
 #[test]
 fn every_catalog_rule_has_a_fixture_pair() {
-    for rule in all_rules() {
-        let c = case(rule.id());
+    let ids: Vec<&str> = all_rules()
+        .iter()
+        .map(|r| r.id())
+        .chain(graph_rules().iter().map(|r| r.id()))
+        .collect();
+    for id in ids {
+        let c = case(id);
         assert!(
             !c.pos.is_empty() && !c.neg.is_empty(),
-            "empty fixture for `{}`",
-            rule.id()
+            "empty fixture for `{id}`"
         );
     }
 }
@@ -130,4 +152,55 @@ fn rule_scoping_follows_crate_paths() {
     assert!(lint_source("crates/bench/src/fixture.rs", panic_src).is_empty());
     let cast_src = case("no-lossy-cast-in-kernels").pos;
     assert!(lint_source("crates/core/src/fixture.rs", cast_src).is_empty());
+    // Graph rules scope the same way: a transitive panic in bench code
+    // and a broken durability corridor outside bmf_persist::store are
+    // both out of jurisdiction.
+    let reach_src = case("panic-reachability").pos;
+    assert!(lint_source("crates/bench/src/fixture.rs", reach_src).is_empty());
+    let durability_src = case("durability-ordering").pos;
+    assert!(lint_source("crates/persist/src/vfs.rs", durability_src).is_empty());
+}
+
+#[test]
+fn panic_reachability_sees_what_the_token_rule_misses() {
+    // The acceptance fixture for the flow-aware upgrade: the entry point
+    // `fit` at line 6 is token-clean, so `no-panic-paths` anchors only at
+    // the helper's unwrap, while `panic-reachability` anchors at the
+    // `pub fn` itself and names the witness chain.
+    let c = case("panic-reachability");
+    let findings = lint_source(c.label, c.pos);
+    let entry_line = 6;
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == "no-panic-paths" && f.line == entry_line),
+        "token rule unexpectedly fired on the panic-free entry point"
+    );
+    let reach: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "panic-reachability")
+        .collect();
+    assert_eq!(reach.len(), 1, "{findings:#?}");
+    assert_eq!(reach[0].line, entry_line);
+    assert_eq!(reach[0].snippet, "<pub fn core::fixture::fit>");
+    assert!(
+        reach[0]
+            .message
+            .contains("core::fixture::fit -> core::fixture::prepare -> core::fixture::head"),
+        "witness chain missing: {}",
+        reach[0].message
+    );
+}
+
+#[test]
+fn durability_fixture_names_both_broken_corridors() {
+    let c = case("durability-ordering");
+    let findings = lint_source(c.label, c.pos);
+    let durability: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "durability-ordering")
+        .collect();
+    assert_eq!(durability.len(), 2, "{findings:#?}");
+    assert!(durability[0].message.contains("without an fsync between"));
+    assert!(durability[1].message.contains("before `rewrite_index`"));
 }

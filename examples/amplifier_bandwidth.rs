@@ -22,8 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sch_vars = bw.num_vars(Stage::Schematic);
     let lay_vars = bw.num_vars(Stage::PostLayout);
 
-    let nom_sch = bw.evaluate(Stage::Schematic, &vec![0.0; sch_vars]);
-    let nom_lay = bw.evaluate(Stage::PostLayout, &vec![0.0; lay_vars]);
+    let nom_sch = bw
+        .evaluate(Stage::Schematic, &vec![0.0; sch_vars])
+        .expect("simulation succeeds");
+    let nom_lay = bw
+        .evaluate(Stage::PostLayout, &vec![0.0; lay_vars])
+        .expect("simulation succeeds");
     println!(
         "nominal -3dB bandwidth: schematic {:.1} MHz -> post-layout {:.1} MHz \
          (parasitic load capacitance)",
@@ -32,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Early model from schematic AC sweeps.
-    let sch = monte_carlo(&bw, Stage::Schematic, 400, 1);
+    let sch = monte_carlo(&bw, Stage::Schematic, 400, 1).expect("simulation succeeds");
     let early = fit_omp(
         &OrthonormalBasis::linear(sch_vars),
         &sch.points,
@@ -43,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Post-layout fusion: the intercept shift and parasitic terms must be
     // learned from the few late samples.
     let k = 30;
-    let lay = monte_carlo(&bw, Stage::PostLayout, k, 2);
-    let test = monte_carlo(&bw, Stage::PostLayout, 300, 3);
+    let lay = monte_carlo(&bw, Stage::PostLayout, k, 2).expect("simulation succeeds");
+    let test = monte_carlo(&bw, Stage::PostLayout, 300, 3).expect("simulation succeeds");
     let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
 
@@ -74,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = Spec::LowerBound(nom_lay * 0.93);
     let y_model = yield_monte_carlo(&fit.model, &spec, 20_000, 5)?;
     // Reference: brute-force yield from the actual circuit.
-    let brute = monte_carlo(&bw, Stage::PostLayout, 2_000, 6);
+    let brute = monte_carlo(&bw, Stage::PostLayout, 2_000, 6).expect("simulation succeeds");
     let y_true =
         brute.values.iter().filter(|v| spec.passes(**v)).count() as f64 / brute.values.len() as f64;
     println!(

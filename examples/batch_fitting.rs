@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for metric in METRICS {
         let perf = ro.metric(metric);
         // Early model: plentiful cheap schematic simulations.
-        let sch = monte_carlo(&perf, Stage::Schematic, 300, 1);
+        let sch = monte_carlo(&perf, Stage::Schematic, 300, 1).expect("simulation succeeds");
         let early = fit_least_squares(
             &OrthonormalBasis::linear(sch_vars),
             &sch.points,
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut prior: Vec<Option<f64>> = early.coeffs().iter().map(|&a| Some(a)).collect();
         prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
 
-        let late = monte_carlo(&perf, Stage::PostLayout, k_late, 2);
+        let late = monte_carlo(&perf, Stage::PostLayout, k_late, 2).expect("simulation succeeds");
         match &shared_points {
             None => shared_points = Some(late.points.clone()),
             Some(points) => assert_eq!(points, &late.points, "metrics share the sample points"),
@@ -67,7 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.threads
     );
     for (label, fit) in report.labels.iter().zip(&report.fits) {
-        let test = monte_carlo(&ro.metric(metric_by_name(label)), Stage::PostLayout, 300, 9);
+        let test = monte_carlo(&ro.metric(metric_by_name(label)), Stage::PostLayout, 300, 9)
+            .expect("simulation succeeds");
         let err = fit
             .model
             .relative_error(test.point_slices(), &test.values)?;
@@ -94,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // same jobs gives bit-identical coefficients.
     for (j, metric) in METRICS.iter().enumerate() {
         let perf = ro.metric(*metric);
-        let sch = monte_carlo(&perf, Stage::Schematic, 300, 1);
+        let sch = monte_carlo(&perf, Stage::Schematic, 300, 1).expect("simulation succeeds");
         let early = fit_least_squares(
             &OrthonormalBasis::linear(sch_vars),
             &sch.points,
@@ -102,7 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let mut prior: Vec<Option<f64>> = early.coeffs().iter().map(|&a| Some(a)).collect();
         prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
-        let late = monte_carlo(&perf, Stage::PostLayout, k_late, 2);
+        let late = monte_carlo(&perf, Stage::PostLayout, k_late, 2).expect("simulation succeeds");
         let serial = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior)?
             .with_options(FitOptions::new().seed(3))
             .fit(&late.points, &late.values)?;

@@ -21,8 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sch_vars = iout.num_vars(Stage::Schematic);
     let lay_vars = iout.num_vars(Stage::PostLayout);
 
-    let nominal_sch = iout.evaluate(Stage::Schematic, &vec![0.0; sch_vars]);
-    let nominal_lay = iout.evaluate(Stage::PostLayout, &vec![0.0; lay_vars]);
+    let nominal_sch = iout
+        .evaluate(Stage::Schematic, &vec![0.0; sch_vars])
+        .expect("simulation succeeds");
+    let nominal_lay = iout
+        .evaluate(Stage::PostLayout, &vec![0.0; lay_vars])
+        .expect("simulation succeeds");
     println!(
         "mirror output current (Newton DC solve per sample): schematic {:.2} µA, \
          post-layout {:.2} µA (stress-shifted V_TH)",
@@ -31,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Early model from schematic Newton solves.
-    let sch = monte_carlo(&iout, Stage::Schematic, 400, 1);
+    let sch = monte_carlo(&iout, Stage::Schematic, 400, 1).expect("simulation succeeds");
     let early = fit_omp(
         &OrthonormalBasis::linear(sch_vars),
         &sch.points,
@@ -41,8 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Post-layout fusion with few samples.
     let k = 20;
-    let lay = monte_carlo(&iout, Stage::PostLayout, k, 2);
-    let test = monte_carlo(&iout, Stage::PostLayout, 300, 3);
+    let lay = monte_carlo(&iout, Stage::PostLayout, k, 2).expect("simulation succeeds");
+    let test = monte_carlo(&iout, Stage::PostLayout, 300, 3).expect("simulation succeeds");
     let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
     let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior)?
@@ -66,7 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst_high.value * 1e6
     );
     // Check the corner against the actual circuit at the same point.
-    let actual_low = iout.evaluate(Stage::PostLayout, &worst_low.point);
+    let actual_low = iout
+        .evaluate(Stage::PostLayout, &worst_low.point)
+        .expect("simulation succeeds");
     println!(
         "circuit at the predicted low corner: {:.2} µA (model said {:.2} µA)",
         actual_low * 1e6,

@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("truth: {early_vars} early variables + {extra} post-layout-only parasitic variables");
 
     let k = 40;
-    let train = monte_carlo(&circuit, Stage::PostLayout, k, 1);
-    let test = monte_carlo(&circuit, Stage::PostLayout, 400, 2);
+    let train = monte_carlo(&circuit, Stage::PostLayout, k, 1).expect("simulation succeeds");
+    let test = monte_carlo(&circuit, Stage::PostLayout, 400, 2).expect("simulation succeeds");
 
     // The synthetic circuit exposes its exact early coefficients, so the
     // prior is the best case; only the parasitic terms are unknown.

@@ -49,14 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let basis = OrthonormalBasis::linear(sch_vars);
 
     // Early model (the prior), as usual.
-    let sch = monte_carlo(&view, Stage::Schematic, 800, 1);
+    let sch = monte_carlo(&view, Stage::Schematic, 800, 1).expect("simulation succeeds");
     let early = fit_omp(&basis, &sch.points, &sch.values, &OmpConfig::default())?;
 
     // A pool of *candidate* post-layout simulations: the loop decides
     // which of these to actually pay for. Work in the normalized
     // response space (see `bmf_core::fusion::response_scale`).
-    let pool = monte_carlo(&view, Stage::PostLayout, 60, 2);
-    let test = monte_carlo(&view, Stage::PostLayout, 300, 3);
+    let pool = monte_carlo(&view, Stage::PostLayout, 60, 2).expect("simulation succeeds");
+    let test = monte_carlo(&view, Stage::PostLayout, 300, 3).expect("simulation succeeds");
     let scale = response_scale(&pool.values);
     let prior_vals: Vec<f64> = early.model.coeffs().iter().map(|a| a / scale).collect();
     let prior = Prior::from_coeffs(PriorKind::NonZeroMean, &prior_vals);

@@ -20,14 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = dp.config().fingers;
 
     // Schematic stage: V_OS over 4 lumped variables (eq. 36).
-    let sch = monte_carlo(&vos, Stage::Schematic, 400, 1);
+    let sch = monte_carlo(&vos, Stage::Schematic, 400, 1).expect("simulation succeeds");
     let sch_basis = OrthonormalBasis::linear(4);
     let early = fit_omp(&sch_basis, &sch.points, &sch.values, &OmpConfig::default())?;
     let alpha_e = early.model.coeffs();
     println!("schematic V_OS coefficients (x1e3): {:?}", scaled(alpha_e));
 
     // Layout: each input transistor splits into W fingers (eq. 37-43).
-    let expansion = dp.finger_expansion();
+    let expansion = dp.finger_expansion().expect("finger counts are positive");
     let expanded = expansion.expand_basis(&sch_basis)?;
     println!(
         "finger expansion: {} schematic terms -> {} layout terms",
@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fit the post-layout model from very few layout simulations.
     let k = 8;
-    let lay = monte_carlo(&vos, Stage::PostLayout, k, 2);
-    let test = monte_carlo(&vos, Stage::PostLayout, 400, 3);
+    let lay = monte_carlo(&vos, Stage::PostLayout, k, 2).expect("simulation succeeds");
+    let test = monte_carlo(&vos, Stage::PostLayout, 400, 3).expect("simulation succeeds");
     let fit = BmfFitter::from_mapped_early_model(&expanded, alpha_e, vec![])?
         .with_options(FitOptions::new().folds(4).seed(11))
         .fit(&lay.points, &lay.values)?;

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let late_vars = circuit.num_vars(Stage::PostLayout);
 
     // Step 1 — early stage: plenty of cheap schematic simulations.
-    let sch = monte_carlo(&circuit, Stage::Schematic, 600, 1);
+    let sch = monte_carlo(&circuit, Stage::Schematic, 600, 1).expect("simulation succeeds");
     let sch_basis = OrthonormalBasis::linear(early_vars);
     let early_fit = fit_omp(&sch_basis, &sch.points, &sch.values, &OmpConfig::default())?;
     println!(
@@ -45,8 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 2 — late stage: only 25 expensive post-layout simulations.
     let k = 25;
-    let lay = monte_carlo(&circuit, Stage::PostLayout, k, 2);
-    let test = monte_carlo(&circuit, Stage::PostLayout, 400, 3);
+    let lay = monte_carlo(&circuit, Stage::PostLayout, k, 2).expect("simulation succeeds");
+    let test = monte_carlo(&circuit, Stage::PostLayout, 400, 3).expect("simulation succeeds");
 
     // The late basis embeds the early one; parasitic terms get missing
     // priors (handled by `None`).

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let lay_vars = view.num_vars(Stage::PostLayout);
 
         // Early stage: reuse the schematic validation data (sunk cost).
-        let sch = monte_carlo(&view, Stage::Schematic, 800, 1);
+        let sch = monte_carlo(&view, Stage::Schematic, 800, 1).expect("simulation succeeds");
         let early = fit_omp(
             &OrthonormalBasis::linear(sch_vars),
             &sch.points,
@@ -51,9 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
 
         // Late stage: few expensive post-layout simulations.
-        let lay = monte_carlo(&view, Stage::PostLayout, k_late, 2);
+        let lay = monte_carlo(&view, Stage::PostLayout, k_late, 2).expect("simulation succeeds");
         ledger.charge_samples(&lay);
-        let test = monte_carlo(&view, Stage::PostLayout, 300, 3);
+        let test = monte_carlo(&view, Stage::PostLayout, 300, 3).expect("simulation succeeds");
 
         let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
         prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));

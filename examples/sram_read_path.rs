@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Fig.7-style histogram of the post-layout read-delay distribution.
-    let mc = monte_carlo(&delay, Stage::PostLayout, 1000, 1);
+    let mc = monte_carlo(&delay, Stage::PostLayout, 1000, 1).expect("simulation succeeds");
     let ps: Vec<f64> = mc.values.iter().map(|v| v * 1e12).collect();
     let hist = Histogram::from_samples(&ps, 18)?;
     println!("post-layout read-delay distribution (ps):");
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Early model from schematic data.
-    let sch = monte_carlo(&delay, Stage::Schematic, 1200, 2);
+    let sch = monte_carlo(&delay, Stage::Schematic, 1200, 2).expect("simulation succeeds");
     let early = fit_omp(
         &OrthonormalBasis::linear(sch_vars),
         &sch.points,
@@ -66,8 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Late-stage fusion with K far below the coefficient count.
     let k = 80;
-    let lay = monte_carlo(&delay, Stage::PostLayout, k, 3);
-    let test = monte_carlo(&delay, Stage::PostLayout, 300, 4);
+    let lay = monte_carlo(&delay, Stage::PostLayout, k, 3).expect("simulation succeeds");
+    let test = monte_carlo(&delay, Stage::PostLayout, 300, 4).expect("simulation succeeds");
     let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
 

@@ -40,6 +40,9 @@ fi
 if [[ -z "${BMF_CHAOS_OUT:-}" ]]; then
     export BMF_CHAOS_OUT="$(pwd)/target/smoke/BENCH_chaos.json"
 fi
+if [[ -z "${BMF_LINT_OUT:-}" ]]; then
+    export BMF_LINT_OUT="$(pwd)/target/smoke/BENCH_lint.json"
+fi
 
 for bench in "$@"; do
     echo "== smoke: $bench ${features[1]:+(features: ${features[1]})}=="

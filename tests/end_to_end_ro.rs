@@ -37,7 +37,7 @@ fn fused_model_beats_prior_free_baseline() {
         let sch_vars = view.num_vars(Stage::Schematic);
         let lay_vars = view.num_vars(Stage::PostLayout);
 
-        let sch = monte_carlo(&view, Stage::Schematic, 600, 1);
+        let sch = monte_carlo(&view, Stage::Schematic, 600, 1).expect("simulation succeeds");
         let early = fit_omp(
             &OrthonormalBasis::linear(sch_vars),
             &sch.points,
@@ -47,8 +47,8 @@ fn fused_model_beats_prior_free_baseline() {
         .expect("early fit");
 
         let k = 50;
-        let lay = monte_carlo(&view, Stage::PostLayout, k, 2);
-        let test = monte_carlo(&view, Stage::PostLayout, 300, 3);
+        let lay = monte_carlo(&view, Stage::PostLayout, k, 2).expect("simulation succeeds");
+        let test = monte_carlo(&view, Stage::PostLayout, 300, 3).expect("simulation succeeds");
 
         let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
         prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
@@ -89,7 +89,7 @@ fn bmf_error_improves_with_more_samples() {
     let view = ro.metric(RoMetric::Frequency);
     let sch_vars = view.num_vars(Stage::Schematic);
     let lay_vars = view.num_vars(Stage::PostLayout);
-    let sch = monte_carlo(&view, Stage::Schematic, 600, 4);
+    let sch = monte_carlo(&view, Stage::Schematic, 600, 4).expect("simulation succeeds");
     let early = fit_omp(
         &OrthonormalBasis::linear(sch_vars),
         &sch.points,
@@ -100,8 +100,8 @@ fn bmf_error_improves_with_more_samples() {
     let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
 
-    let lay = monte_carlo(&view, Stage::PostLayout, 160, 5);
-    let test = monte_carlo(&view, Stage::PostLayout, 300, 6);
+    let lay = monte_carlo(&view, Stage::PostLayout, 160, 5).expect("simulation succeeds");
+    let test = monte_carlo(&view, Stage::PostLayout, 300, 6).expect("simulation succeeds");
     let mut errs = Vec::new();
     for k in [40usize, 160] {
         let fit = BmfFitter::new(OrthonormalBasis::linear(lay_vars), prior.clone())
@@ -129,7 +129,7 @@ fn prior_selection_is_consistent() {
     let view = ro.metric(RoMetric::Power);
     let sch_vars = view.num_vars(Stage::Schematic);
     let lay_vars = view.num_vars(Stage::PostLayout);
-    let sch = monte_carlo(&view, Stage::Schematic, 500, 7);
+    let sch = monte_carlo(&view, Stage::Schematic, 500, 7).expect("simulation succeeds");
     let early = fit_omp(
         &OrthonormalBasis::linear(sch_vars),
         &sch.points,
@@ -139,7 +139,7 @@ fn prior_selection_is_consistent() {
     .expect("early fit");
     let mut prior: Vec<Option<f64>> = early.model.coeffs().iter().map(|&a| Some(a)).collect();
     prior.extend(std::iter::repeat_n(None, lay_vars - sch_vars));
-    let lay = monte_carlo(&view, Stage::PostLayout, 60, 8);
+    let lay = monte_carlo(&view, Stage::PostLayout, 60, 8).expect("simulation succeeds");
 
     let basis = OrthonormalBasis::linear(lay_vars);
     let mut cv_errors = Vec::new();
@@ -169,8 +169,8 @@ fn prior_selection_is_consistent() {
 fn monte_carlo_parallel_consistency_and_costs() {
     let ro = test_ro();
     let view = ro.metric(RoMetric::PhaseNoise);
-    let seq = monte_carlo(&view, Stage::PostLayout, 37, 11);
-    let par = monte_carlo_par(&view, Stage::PostLayout, 37, 11, 3);
+    let seq = monte_carlo(&view, Stage::PostLayout, 37, 11).expect("simulation succeeds");
+    let par = monte_carlo_par(&view, Stage::PostLayout, 37, 11, 3).expect("simulation succeeds");
     assert_eq!(seq, par);
 
     let mut ledger = CostLedger::new();

@@ -17,14 +17,14 @@ fn mapped_prior_preserves_variance_and_fits() {
     let vos = dp.offset_voltage();
 
     // Early fit on the 4-variable schematic basis.
-    let sch = monte_carlo(&vos, Stage::Schematic, 300, 1);
+    let sch = monte_carlo(&vos, Stage::Schematic, 300, 1).expect("simulation succeeds");
     let sch_basis = OrthonormalBasis::linear(4);
     let early =
         fit_omp(&sch_basis, &sch.points, &sch.values, &OmpConfig::default()).expect("early fit");
     let alpha_e = early.model.coeffs();
 
     // Expand and map: eq. 46's variance identity must hold exactly.
-    let expansion = dp.finger_expansion();
+    let expansion = dp.finger_expansion().expect("finger counts are positive");
     let expanded = expansion.expand_basis(&sch_basis).expect("multilinear");
     let beta = expanded.map_coefficients(alpha_e);
     for (m, &alpha_m) in alpha_e
@@ -41,8 +41,8 @@ fn mapped_prior_preserves_variance_and_fits() {
     }
 
     // Late-stage fusion with very few samples.
-    let lay = monte_carlo(&vos, Stage::PostLayout, 8, 2);
-    let test = monte_carlo(&vos, Stage::PostLayout, 300, 3);
+    let lay = monte_carlo(&vos, Stage::PostLayout, 8, 2).expect("simulation succeeds");
+    let test = monte_carlo(&vos, Stage::PostLayout, 300, 3).expect("simulation succeeds");
     let fit = BmfFitter::from_mapped_early_model(&expanded, alpha_e, vec![])
         .expect("fitter")
         .with_options(FitOptions::new().folds(4).seed(5))
@@ -59,7 +59,7 @@ fn mapped_prior_preserves_variance_and_fits() {
 fn mapped_prior_construction_matches_eq49() {
     // Direct check of Prior::mapped on the diff-pair expansion.
     let dp = DiffPair::new(DiffPairConfig::default());
-    let expansion = dp.finger_expansion();
+    let expansion = dp.finger_expansion().expect("finger counts are positive");
     let sch_basis = OrthonormalBasis::linear(4);
     let expanded = expansion.expand_basis(&sch_basis).expect("multilinear");
     // alpha for (1, x_vth1, x_vth2, x_rl1, x_rl2).
@@ -87,11 +87,15 @@ fn collapse_consistency_between_stages() {
         ..DiffPairConfig::default()
     });
     let vos = dp.offset_voltage();
-    let expansion = dp.finger_expansion();
+    let expansion = dp.finger_expansion().expect("finger counts are positive");
     let layout_x = [0.4, -0.9, 0.3, 0.2, 0.7, -0.1];
     let sch_x = expansion.collapse_point(&layout_x);
-    let vl = vos.evaluate(Stage::PostLayout, &layout_x);
-    let vs = vos.evaluate(Stage::Schematic, &sch_x);
+    let vl = vos
+        .evaluate(Stage::PostLayout, &layout_x)
+        .expect("simulation succeeds");
+    let vs = vos
+        .evaluate(Stage::Schematic, &sch_x)
+        .expect("simulation succeeds");
     assert!(
         (vl - vs).abs() < 1e-12,
         "with unit layout factors the stages must agree exactly: {vl} vs {vs}"

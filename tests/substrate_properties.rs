@@ -23,8 +23,8 @@ fn ro_evaluation_is_deterministic() {
         x[n / 2] = bump;
         let m = ro.metric(RoMetric::Frequency);
         assert_eq!(
-            m.evaluate(Stage::PostLayout, &x),
-            m.evaluate(Stage::PostLayout, &x)
+            m.evaluate(Stage::PostLayout, &x).unwrap(),
+            m.evaluate(Stage::PostLayout, &x).unwrap()
         );
     });
 }
@@ -40,15 +40,15 @@ fn ro_physical_sanity() {
         let n_l = ro.config().post_layout_vars();
         let f = ro.metric(RoMetric::Frequency);
         let p = ro.metric(RoMetric::Power);
-        let fs = f.evaluate(Stage::Schematic, &vec![0.0; n_s]);
-        let fl = f.evaluate(Stage::PostLayout, &vec![0.0; n_l]);
+        let fs = f.evaluate(Stage::Schematic, &vec![0.0; n_s]).unwrap();
+        let fl = f.evaluate(Stage::PostLayout, &vec![0.0; n_l]).unwrap();
         assert!(fs > 0.0 && fl > 0.0);
         assert!(fl < fs, "layout must be slower");
         let x: Vec<f64> = (0..n_l)
             .map(|i| if i % 2 == 0 { 3.0 } else { -3.0 })
             .collect();
-        let fv = f.evaluate(Stage::PostLayout, &x);
-        let pv = p.evaluate(Stage::PostLayout, &x);
+        let fv = f.evaluate(Stage::PostLayout, &x).unwrap();
+        let pv = p.evaluate(Stage::PostLayout, &x).unwrap();
         assert!(fv.is_finite() && fv > 0.0);
         assert!(pv.is_finite() && pv > 0.0);
     });
@@ -63,7 +63,7 @@ fn sram_delay_monotone_in_cell_weakness() {
         let s = SramReadPath::new(SramConfig::small(), seed);
         let d = s.read_delay();
         let n = s.config().schematic_vars();
-        let base = d.evaluate(Stage::Schematic, &vec![0.0; n]);
+        let base = d.evaluate(Stage::Schematic, &vec![0.0; n]).unwrap();
         assert!(base > 0.0 && base.is_finite());
         let acc = s.var_space(Stage::Schematic).group("col0.cell0").unwrap();
         // The sign of the first weight is seed-dependent; the *magnitude*
@@ -71,9 +71,9 @@ fn sram_delay_monotone_in_cell_weakness() {
         // response must stay finite.
         let mut x = vec![0.0; n];
         x[acc.range.start] = 3.0;
-        let up = d.evaluate(Stage::Schematic, &x);
+        let up = d.evaluate(Stage::Schematic, &x).unwrap();
         x[acc.range.start] = -3.0;
-        let down = d.evaluate(Stage::Schematic, &x);
+        let down = d.evaluate(Stage::Schematic, &x).unwrap();
         assert!(up.is_finite() && down.is_finite());
         assert!((up - base).abs() + (down - base).abs() > 0.0);
         // Opposite bumps move the delay in opposite directions.
@@ -95,13 +95,13 @@ fn parasitics_are_layout_only() {
         let n_l = ro.config().post_layout_vars();
         let m = ro.metric(RoMetric::Power);
         let mut x = vec![0.1; n_l];
-        let a = m.evaluate(Stage::PostLayout, &x);
+        let a = m.evaluate(Stage::PostLayout, &x).unwrap();
         for slot in x.iter_mut().skip(n_s) {
             *slot = v;
         }
-        let b = m.evaluate(Stage::PostLayout, &x);
+        let b = m.evaluate(Stage::PostLayout, &x).unwrap();
         assert_ne!(a, b, "parasitics must matter post-layout");
-        let sch = m.evaluate(Stage::Schematic, &x[..n_s]);
+        let sch = m.evaluate(Stage::Schematic, &x[..n_s]).unwrap();
         assert!(sch.is_finite());
     });
 }
